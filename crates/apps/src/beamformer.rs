@@ -1,0 +1,171 @@
+//! The `audiobeamformer` benchmark: a 4-sensor delay-and-sum beamformer.
+//!
+//! Each sensor channel applies a steering delay and a low-pass FIR before
+//! the coherent sum. Rates are one sample per firing, matching the
+//! paper's observation that audiobeamformer has threads with a frame size
+//! of one item (one header per data item — the worst case for CommGuard
+//! overhead) and a median of 72 instructions per frame computation.
+
+use cg_graph::{CostModel, NodeId, NodeKind};
+use cg_runtime::{f32s, Program};
+use commguard::graph::{self as cg_graph, GraphBuilder, StreamGraph};
+
+use crate::firs::{lowpass, Delay, Fir};
+use crate::signal;
+
+/// Sensor count.
+pub const CHANNELS: usize = 4;
+
+/// The audiobeamformer workload.
+#[derive(Debug, Clone)]
+pub struct BeamformerApp {
+    samples: usize,
+}
+
+impl BeamformerApp {
+    /// A workload over `samples` output samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn new(samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        BeamformerApp { samples }
+    }
+
+    /// Steady iterations (one sample each).
+    pub fn frames(&self) -> u64 {
+        self.samples as u64
+    }
+
+    /// Builds the 9-node graph:
+    /// src → split(rr 1×4) → 4 channel filters → join(rr 1×4) → sum → sink.
+    pub fn graph(&self) -> StreamGraph {
+        let mut b = GraphBuilder::new("audiobeamformer");
+        let src = b.add_node_with_cost("source", NodeKind::Source, CostModel::new(30, 10));
+        let split = b.add_node_with_cost("split", NodeKind::SplitRoundRobin, CostModel::new(16, 6));
+        let join = b.add_node_with_cost("join", NodeKind::JoinRoundRobin, CostModel::new(16, 6));
+        let sum = b.add_node_with_cost("sum", NodeKind::Filter, CostModel::new(30, 10));
+        let snk = b.add_node("sink", NodeKind::Sink);
+        b.connect(src, split, CHANNELS as u32, CHANNELS as u32).unwrap();
+        for ch in 0..CHANNELS {
+            let f = b.add_node_with_cost(format!("chan{ch}"), NodeKind::Filter, CostModel::new(80, 500));
+            b.connect(split, f, 1, 1).unwrap();
+            b.connect(f, join, 1, 1).unwrap();
+        }
+        b.connect(join, sum, CHANNELS as u32, CHANNELS as u32).unwrap();
+        b.connect(sum, snk, 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Builds the runnable program; returns it with the sink id.
+    pub fn build(&self) -> (Program, NodeId) {
+        let graph = self.graph();
+        let src = graph.node_by_name("source").unwrap();
+        let sum = graph.node_by_name("sum").unwrap();
+        let snk = graph.node_by_name("sink").unwrap();
+        let chans: Vec<NodeId> = (0..CHANNELS)
+            .map(|c| graph.node_by_name(&format!("chan{c}")).unwrap())
+            .collect();
+        let mut p = Program::new(graph);
+
+        let sensors = Self::sensor_inputs(self.samples);
+        let mut pos = 0usize;
+        p.set_source(src, move |out| {
+            for ch in &sensors {
+                out.push(ch[pos % ch.len()].to_bits());
+            }
+            pos += 1;
+        });
+
+        for (ch, &node) in chans.iter().enumerate() {
+            // Steering delays undo the arrival skew (channel ch arrives
+            // ch·2 samples late, so it gets the complementary delay).
+            let mut delay = Delay::new((CHANNELS - 1 - ch) * 2 + 1);
+            let mut fir = Fir::new(lowpass(64, 0.2));
+            p.set_filter(node, move |inp, out| {
+                let x = f32s::from_words(&inp[0]);
+                let y = fir.step(delay.step(x[0]));
+                out[0].push(y.to_bits());
+            });
+        }
+
+        p.set_filter(sum, |inp, out| {
+            let x = f32s::from_words(&inp[0]);
+            let s: f32 = x.iter().sum::<f32>() / CHANNELS as f32;
+            // Saturating output stage (fixed-point DAC semantics): bounds
+            // the damage of exponent-bit corruption to one full-scale
+            // sample.
+            let s = if s.is_finite() { s.clamp(-2.0, 2.0) } else { 0.0 };
+            out[0].push(s.to_bits());
+        });
+        (p, snk)
+    }
+
+    /// Decodes the sink stream into `f32` samples.
+    pub fn decode(&self, words: &[u32]) -> Vec<f32> {
+        f32s::from_words(words)
+    }
+
+    /// Per-sensor inputs: the same source signal with per-channel arrival
+    /// delay and gain mismatch.
+    fn sensor_inputs(n: usize) -> Vec<Vec<f32>> {
+        let base = signal::audio(n + 2 * CHANNELS);
+        (0..CHANNELS)
+            .map(|ch| {
+                let delay = ch * 2;
+                let gain = 1.0 - ch as f32 * 0.05;
+                (0..n).map(|i| base[i + 2 * CHANNELS - delay] * gain).collect()
+            })
+            .collect()
+    }
+}
+
+impl Default for BeamformerApp {
+    fn default() -> Self {
+        BeamformerApp::new(2048)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_runtime::{run, SimConfig};
+
+    #[test]
+    fn graph_shape() {
+        let app = BeamformerApp::new(8);
+        let g = app.graph();
+        assert_eq!(g.node_count(), 9);
+        let sched = g.schedule().unwrap();
+        assert!(sched.repetition_vector().iter().all(|&r| r == 1));
+    }
+
+    #[test]
+    fn beamformed_output_has_energy() {
+        let app = BeamformerApp::new(256);
+        let (p, snk) = app.build();
+        let r = run(p, &SimConfig::error_free(app.frames())).unwrap();
+        assert!(r.completed);
+        let out = app.decode(r.sink_output(snk));
+        assert_eq!(out.len(), 256);
+        let energy: f32 = out.iter().map(|v| v * v).sum();
+        assert!(energy > 1.0, "coherent sum should carry energy: {energy}");
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn header_per_item_worst_case() {
+        // With one-sample rates and CommGuard on, header pushes equal
+        // frames per edge — the paper's worst-case frame/item ratio.
+        let app = BeamformerApp::new(32);
+        let (p, _snk) = app.build();
+        let cfg = SimConfig {
+            protection: commguard::Protection::commguard(),
+            ..SimConfig::error_free(app.frames())
+        };
+        let r = run(p, &cfg).unwrap();
+        // 11 edges × (32 frames + 1 end header).
+        assert_eq!(r.queues.header_pushes, 11 * 33);
+    }
+}

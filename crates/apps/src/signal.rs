@@ -1,0 +1,136 @@
+//! Deterministic synthetic inputs.
+//!
+//! The paper uses a photograph and an MP3 clip; we synthesise structured
+//! stand-ins so the repository is self-contained: a multi-tone audio
+//! signal with an amplitude envelope (enough spectral and temporal
+//! structure for SNR to be meaningful) and a "flower-like" test image
+//! with radial petals, gradients and high-frequency texture (enough
+//! spatial structure for block-DCT compression and PSNR to behave like
+//! they do on photos).
+
+use cg_metrics::Image;
+use std::f32::consts::PI;
+
+/// A deterministic multi-tone test signal of `n` samples at 44.1 kHz
+/// nominal rate, in [-1, 1].
+pub fn audio(n: usize) -> Vec<f32> {
+    let sr = 44_100.0f32;
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / sr;
+            // Three harmonically unrelated tones plus vibrato and a slow
+            // envelope, so every subband carries energy.
+            let carrier = 0.5 * (2.0 * PI * 440.0 * t).sin()
+                + 0.25 * (2.0 * PI * 1_247.0 * t + 0.7).sin()
+                + 0.15 * (2.0 * PI * 3_301.0 * t + 1.9).sin();
+            let vibrato = (2.0 * PI * 5.0 * t).sin();
+            let envelope = 0.55 + 0.45 * (2.0 * PI * 1.5 * t + vibrato * 0.3).sin();
+            (carrier * envelope).clamp(-1.0, 1.0)
+        })
+        .collect()
+}
+
+/// A stereo pair: right channel is the left delayed and attenuated.
+pub fn audio_stereo(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let left = audio(n + 16);
+    let right: Vec<f32> = (0..n).map(|i| left[i + 16] * 0.8 + left[i] * 0.2).collect();
+    (left[..n].to_vec(), right)
+}
+
+/// A structured synthetic test image ("flower" stand-in): radial petals
+/// over a vertical sky-to-ground gradient, with a textured centre.
+pub fn test_image(width: usize, height: usize) -> Image {
+    let mut img = Image::new(width, height);
+    let (cx, cy) = (width as f32 / 2.0, height as f32 * 0.55);
+    let scale = width.min(height) as f32;
+    for y in 0..height {
+        for x in 0..width {
+            let fx = (x as f32 - cx) / scale;
+            let fy = (y as f32 - cy) / scale;
+            let r = (fx * fx + fy * fy).sqrt();
+            let theta = fy.atan2(fx);
+            // Background gradient: sky to ground.
+            let t = y as f32 / height as f32;
+            let mut rgb = (
+                40.0 + 80.0 * (1.0 - t),
+                90.0 + 60.0 * (1.0 - t),
+                160.0 * (1.0 - t) + 40.0,
+            );
+            // Petals: 8-lobed rose curve.
+            let petal = (8.0 * theta).cos().abs();
+            let petal_edge = 0.18 + 0.22 * petal;
+            if r < petal_edge {
+                let shade = 1.0 - (r / petal_edge);
+                rgb = (
+                    200.0 + 55.0 * shade,
+                    60.0 + 120.0 * petal * shade,
+                    90.0 + 40.0 * shade,
+                );
+            }
+            // Textured centre disk.
+            if r < 0.07 {
+                let tex = ((x as f32 * 1.7).sin() * (y as f32 * 1.3).cos()).abs();
+                rgb = (150.0 + 70.0 * tex, 120.0 + 60.0 * tex, 30.0 + 40.0 * tex);
+            }
+            // Mild high-frequency texture everywhere (foliage noise).
+            let n = ((x as f32 * 0.9).sin() + (y as f32 * 1.1).cos()) * 6.0;
+            img.set_pixel(
+                x,
+                y,
+                (
+                    (rgb.0 + n).clamp(0.0, 255.0) as u8,
+                    (rgb.1 + n).clamp(0.0, 255.0) as u8,
+                    (rgb.2 + n).clamp(0.0, 255.0) as u8,
+                ),
+            );
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_is_bounded_and_nontrivial() {
+        let a = audio(4096);
+        assert_eq!(a.len(), 4096);
+        assert!(a.iter().all(|x| (-1.0..=1.0).contains(x)));
+        let energy: f32 = a.iter().map(|x| x * x).sum();
+        assert!(energy > 100.0, "signal must carry energy, got {energy}");
+    }
+
+    #[test]
+    fn audio_is_deterministic() {
+        assert_eq!(audio(256), audio(256));
+    }
+
+    #[test]
+    fn stereo_channels_differ_but_correlate() {
+        let (l, r) = audio_stereo(1024);
+        assert_eq!(l.len(), 1024);
+        assert_eq!(r.len(), 1024);
+        assert_ne!(l, r);
+    }
+
+    #[test]
+    fn image_has_structure() {
+        let img = test_image(64, 48);
+        // Not constant: some spatial variance in each channel.
+        let mut mins = [255u8; 3];
+        let mut maxs = [0u8; 3];
+        for y in 0..48 {
+            for x in 0..64 {
+                let p = img.pixel(x, y);
+                for (c, v) in [p.0, p.1, p.2].into_iter().enumerate() {
+                    mins[c] = mins[c].min(v);
+                    maxs[c] = maxs[c].max(v);
+                }
+            }
+        }
+        for c in 0..3 {
+            assert!(maxs[c] - mins[c] > 60, "channel {c} too flat");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Uniform access to the six benchmarks for the experiment harnesses.
+
+use cg_graph::NodeId;
+use cg_runtime::{run, Program, SimConfig};
+use commguard::graph as cg_graph;
+
+use crate::beamformer::BeamformerApp;
+use crate::complex_fir::ComplexFirApp;
+use crate::fft_app::FftApp;
+use crate::jpeg::JpegApp;
+use crate::mp3::Mp3App;
+use crate::vocoder::VocoderApp;
+
+/// The paper's six benchmarks (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchApp {
+    /// 4-sensor delay-and-sum beamformer.
+    AudioBeamformer,
+    /// 8-band analysis/synthesis vocoder.
+    ChannelVocoder,
+    /// Cascaded complex FIR filters.
+    ComplexFir,
+    /// 64-point radix-2 FFT pipeline.
+    Fft,
+    /// Block-DCT image decoder (Fig. 1 graph).
+    Jpeg,
+    /// MDCT subband audio decoder.
+    Mp3,
+}
+
+impl BenchApp {
+    /// All six, in the paper's listing order.
+    pub fn all() -> [BenchApp; 6] {
+        [
+            BenchApp::AudioBeamformer,
+            BenchApp::ChannelVocoder,
+            BenchApp::ComplexFir,
+            BenchApp::Fft,
+            BenchApp::Jpeg,
+            BenchApp::Mp3,
+        ]
+    }
+
+    /// The benchmark's name as the paper writes it.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchApp::AudioBeamformer => "audiobeamformer",
+            BenchApp::ChannelVocoder => "channelvocoder",
+            BenchApp::ComplexFir => "complex-fir",
+            BenchApp::Fft => "fft",
+            BenchApp::Jpeg => "jpeg",
+            BenchApp::Mp3 => "mp3",
+        }
+    }
+}
+
+impl std::fmt::Display for BenchApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Workload size: quick sweeps vs. paper-scale runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// Small inputs for CI and quick sweeps.
+    Small,
+    /// Paper-scale inputs (640×480 jpeg, longer audio).
+    Paper,
+}
+
+enum Inner {
+    Beam(BeamformerApp),
+    Voc(VocoderApp),
+    Cfir(ComplexFirApp),
+    Fft(FftApp),
+    Jpeg(Box<JpegApp>),
+    Mp3(Box<Mp3App>),
+}
+
+/// A prepared benchmark workload: input data, reference output, and a
+/// factory for fresh [`Program`]s (each simulated run consumes one).
+pub struct Workload {
+    app: BenchApp,
+    inner: Inner,
+    /// Error-free sink stream, used as the SNR reference for the kernels.
+    reference: Vec<u32>,
+    sink: NodeId,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("app", &self.app.name())
+            .field("frames", &self.frames())
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Prepares `app` at `size`, including its error-free reference run.
+    pub fn new(app: BenchApp, size: Size) -> Self {
+        let inner = match (app, size) {
+            (BenchApp::AudioBeamformer, Size::Small) => Inner::Beam(BeamformerApp::new(2048)),
+            (BenchApp::AudioBeamformer, Size::Paper) => Inner::Beam(BeamformerApp::new(16_384)),
+            (BenchApp::ChannelVocoder, Size::Small) => Inner::Voc(VocoderApp::new(2048)),
+            (BenchApp::ChannelVocoder, Size::Paper) => Inner::Voc(VocoderApp::new(16_384)),
+            (BenchApp::ComplexFir, Size::Small) => Inner::Cfir(ComplexFirApp::new(2048)),
+            (BenchApp::ComplexFir, Size::Paper) => Inner::Cfir(ComplexFirApp::new(16_384)),
+            (BenchApp::Fft, Size::Small) => Inner::Fft(FftApp::new(64)),
+            (BenchApp::Fft, Size::Paper) => Inner::Fft(FftApp::new(512)),
+            (BenchApp::Jpeg, Size::Small) => Inner::Jpeg(Box::new(JpegApp::small())),
+            (BenchApp::Jpeg, Size::Paper) => Inner::Jpeg(Box::new(JpegApp::paper())),
+            (BenchApp::Mp3, Size::Small) => Inner::Mp3(Box::new(Mp3App::new(8192))),
+            (BenchApp::Mp3, Size::Paper) => Inner::Mp3(Box::new(Mp3App::new(65_536))),
+        };
+        let mut w = Workload {
+            app,
+            inner,
+            reference: Vec::new(),
+            sink: NodeId::from_index(0),
+        };
+        let (program, sink) = w.build();
+        w.sink = sink;
+        let report = run(program, &SimConfig::error_free(w.frames()))
+            .expect("error-free reference run must succeed");
+        assert!(report.completed, "reference run did not complete");
+        w.reference = report.sink_output(sink).to_vec();
+        w
+    }
+
+    /// Which benchmark this is.
+    pub fn app(&self) -> BenchApp {
+        self.app
+    }
+
+    /// Steady iterations for a full run.
+    pub fn frames(&self) -> u64 {
+        match &self.inner {
+            Inner::Beam(a) => a.frames(),
+            Inner::Voc(a) => a.frames(),
+            Inner::Cfir(a) => a.frames(),
+            Inner::Fft(a) => a.frames(),
+            Inner::Jpeg(a) => a.frames(),
+            Inner::Mp3(a) => a.frames(),
+        }
+    }
+
+    /// Builds a fresh program for one run; returns it with the sink id.
+    pub fn build(&self) -> (Program, NodeId) {
+        match &self.inner {
+            Inner::Beam(a) => a.build(),
+            Inner::Voc(a) => a.build(),
+            Inner::Cfir(a) => a.build(),
+            Inner::Fft(a) => a.build(),
+            Inner::Jpeg(a) => a.build(),
+            Inner::Mp3(a) => a.build(),
+        }
+    }
+
+    /// The sink node.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// The error-free sink stream.
+    pub fn reference(&self) -> &[u32] {
+        &self.reference
+    }
+
+    /// Output quality of a sink stream in dB, with the paper's semantics:
+    /// jpeg = PSNR vs. raw image, mp3 = SNR vs. raw PCM, kernels = SNR
+    /// vs. the error-free output.
+    pub fn quality_db(&self, sink_words: &[u32]) -> f64 {
+        match &self.inner {
+            Inner::Jpeg(a) => a.psnr(sink_words),
+            Inner::Mp3(a) => a.snr(sink_words),
+            Inner::Beam(_) | Inner::Voc(_) | Inner::Cfir(_) | Inner::Fft(_) => {
+                let reference: Vec<f32> = self
+                    .reference
+                    .iter()
+                    .map(|&w| f32::from_bits(w))
+                    .map(sanitize)
+                    .collect();
+                let got: Vec<f32> = sink_words
+                    .iter()
+                    .map(|&w| f32::from_bits(w))
+                    .map(sanitize)
+                    .collect();
+                cg_metrics::snr_f32(&reference, &got)
+            }
+        }
+    }
+
+    /// Quality of the error-free run itself: ∞ for the kernels, the
+    /// algorithmic compression loss for jpeg/mp3.
+    pub fn error_free_quality_db(&self) -> f64 {
+        self.quality_db(&self.reference)
+    }
+
+    /// For jpeg only: the decoded image of a sink stream.
+    pub fn decode_image(&self, sink_words: &[u32]) -> Option<cg_metrics::Image> {
+        match &self.inner {
+            Inner::Jpeg(a) => Some(a.decode(sink_words)),
+            _ => None,
+        }
+    }
+}
+
+/// Clamps non-finite and out-of-range words so SNR stays defined.
+/// The bound (±256) sits above every kernel's legitimate output range
+/// (beamformer ±2, vocoder ±4, fir magnitudes ≤8, fft bins ≤128), so it
+/// only limits the energy a corrupted exponent can contribute — the
+/// same effect a fixed-point output stage has in the paper's codecs.
+fn sanitize(v: f32) -> f32 {
+    if v.is_finite() {
+        v.clamp(-256.0, 256.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_apps_prepare_and_reference() {
+        for app in BenchApp::all() {
+            // Small-but-not-tiny: construction runs the reference itself.
+            let w = match app {
+                // Keep the heavier apps extra small in this smoke test.
+                BenchApp::Jpeg | BenchApp::Mp3 => continue,
+                _ => Workload::new(app, Size::Small),
+            };
+            assert!(!w.reference().is_empty(), "{app}: empty reference");
+            assert!(w.frames() > 0);
+            assert!(
+                w.error_free_quality_db().is_infinite(),
+                "{app}: kernel reference must match itself exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = BenchApp::all().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "audiobeamformer",
+                "channelvocoder",
+                "complex-fir",
+                "fft",
+                "jpeg",
+                "mp3"
+            ]
+        );
+    }
+}

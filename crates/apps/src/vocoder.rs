@@ -1,0 +1,171 @@
+//! The `channelvocoder` benchmark: an analysis/synthesis channel vocoder.
+//!
+//! The input is duplicated across 8 analysis bands; each band applies a
+//! band-pass FIR and an envelope follower, and the combiner re-modulates
+//! each band's envelope onto a synthetic carrier and sums. Rates are 8
+//! samples per firing.
+
+use cg_graph::{CostModel, NodeId, NodeKind};
+use cg_runtime::{f32s, Program};
+use commguard::graph::{self as cg_graph, GraphBuilder, StreamGraph};
+use std::f32::consts::PI;
+
+use crate::firs::{bandpass, lowpass, Fir};
+use crate::signal;
+
+/// Analysis band count.
+pub const BANDS: usize = 8;
+
+/// Samples per firing.
+pub const HOP: u32 = 8;
+
+/// The channelvocoder workload.
+#[derive(Debug, Clone)]
+pub struct VocoderApp {
+    samples: usize,
+}
+
+impl VocoderApp {
+    /// A workload over `samples` samples (rounded down to whole hops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one hop of samples is requested.
+    pub fn new(samples: usize) -> Self {
+        assert!(samples >= HOP as usize, "need at least one hop");
+        VocoderApp { samples }
+    }
+
+    /// Steady iterations (one hop each).
+    pub fn frames(&self) -> u64 {
+        (self.samples / HOP as usize) as u64
+    }
+
+    /// Builds the 13-node graph:
+    /// src → split(dup) → 8 bands → join → combine → sink.
+    pub fn graph(&self) -> StreamGraph {
+        let mut b = GraphBuilder::new("channelvocoder");
+        let src = b.add_node_with_cost("source", NodeKind::Source, CostModel::new(40, 10));
+        let split = b.add_node_with_cost("split", NodeKind::SplitDuplicate, CostModel::new(20, 6));
+        let join = b.add_node_with_cost("join", NodeKind::JoinRoundRobin, CostModel::new(20, 6));
+        let comb = b.add_node_with_cost("combine", NodeKind::Filter, CostModel::new(80, 60));
+        let snk = b.add_node("sink", NodeKind::Sink);
+        b.connect(src, split, HOP, HOP).unwrap();
+        for band in 0..BANDS {
+            let f = b.add_node_with_cost(
+                format!("band{band}"),
+                NodeKind::Filter,
+                CostModel::new(60, 300),
+            );
+            b.connect(split, f, HOP, HOP).unwrap();
+            b.connect(f, join, HOP, HOP).unwrap();
+        }
+        b.connect(join, comb, HOP * BANDS as u32, HOP * BANDS as u32).unwrap();
+        b.connect(comb, snk, HOP, HOP).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Builds the runnable program; returns it with the sink id.
+    pub fn build(&self) -> (Program, NodeId) {
+        let graph = self.graph();
+        let src = graph.node_by_name("source").unwrap();
+        let comb = graph.node_by_name("combine").unwrap();
+        let snk = graph.node_by_name("sink").unwrap();
+        let bands: Vec<NodeId> = (0..BANDS)
+            .map(|i| graph.node_by_name(&format!("band{i}")).unwrap())
+            .collect();
+        let mut p = Program::new(graph);
+
+        let input = signal::audio(self.samples);
+        let mut pos = 0usize;
+        p.set_source(src, move |out| {
+            for _ in 0..HOP {
+                out.push(input[pos % input.len()].to_bits());
+                pos += 1;
+            }
+        });
+
+        for (i, &node) in bands.iter().enumerate() {
+            let f0 = Self::band_centre(i);
+            let mut bp = Fir::new(bandpass(48, f0, 0.02));
+            let mut env = Fir::new(lowpass(24, 0.02));
+            p.set_filter(node, move |inp, out| {
+                for &w in &inp[0] {
+                    let x = f32::from_bits(w);
+                    let band_sig = bp.step(x);
+                    let envelope = env.step(band_sig.abs());
+                    out[0].push(envelope.to_bits());
+                }
+            });
+        }
+
+        // Combine: band envelopes modulate carriers at each band centre.
+        let mut t = 0usize;
+        p.set_filter(comb, move |inp, out| {
+            let x = f32s::from_words(&inp[0]);
+            for s in 0..HOP as usize {
+                let mut acc = 0.0f32;
+                for band in 0..BANDS {
+                    let envelope = x.get(band * HOP as usize + s).copied().unwrap_or(0.0);
+                    let f0 = Self::band_centre(band);
+                    let carrier = (2.0 * PI * f0 * (t + s) as f32).sin();
+                    acc += envelope * carrier;
+                }
+                let y = acc * 2.0;
+                let y = if y.is_finite() { y.clamp(-4.0, 4.0) } else { 0.0 };
+                out[0].push(y.to_bits());
+            }
+            t += HOP as usize;
+        });
+        (p, snk)
+    }
+
+    /// Decodes the sink stream into `f32` samples.
+    pub fn decode(&self, words: &[u32]) -> Vec<f32> {
+        f32s::from_words(words)
+    }
+
+    /// Normalised centre frequency of analysis band `i`.
+    fn band_centre(i: usize) -> f32 {
+        0.02 + 0.05 * i as f32
+    }
+}
+
+impl Default for VocoderApp {
+    fn default() -> Self {
+        VocoderApp::new(2048)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_runtime::{run, SimConfig};
+
+    #[test]
+    fn graph_shape() {
+        let app = VocoderApp::new(64);
+        let g = app.graph();
+        assert_eq!(g.node_count(), 13);
+        let sched = g.schedule().unwrap();
+        assert!(sched.repetition_vector().iter().all(|&r| r == 1));
+    }
+
+    #[test]
+    fn vocoded_output_is_full_length_with_energy() {
+        let app = VocoderApp::new(512);
+        let (p, snk) = app.build();
+        let r = run(p, &SimConfig::error_free(app.frames())).unwrap();
+        assert!(r.completed);
+        let out = app.decode(r.sink_output(snk));
+        assert_eq!(out.len(), 512);
+        assert!(out.iter().all(|v| v.is_finite()));
+        let energy: f32 = out.iter().map(|v| v * v).sum();
+        assert!(energy > 0.01, "vocoder output silent: {energy}");
+    }
+
+    #[test]
+    fn frames_round_down_to_hops() {
+        assert_eq!(VocoderApp::new(65).frames(), 8);
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation benches for the design knobs DESIGN.md calls out: pad
+//! policy (zero vs repeat-last), frame-size scaling, and queue
+//! working-set amortisation. Criterion measures the runtime cost;
+//! `fig10`/`fig11` measure the quality side of the same knobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cg_apps::{BenchApp, Size, Workload};
+use cg_fault::Mtbe;
+use cg_runtime::{run, SimConfig};
+use commguard::config::GuardConfig;
+use commguard::{PadPolicy, Protection};
+
+fn bench_pad_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pad_policy");
+    g.sample_size(10);
+    let w = Workload::new(BenchApp::Mp3, Size::Small);
+    for (label, policy) in [("zero", PadPolicy::Zero), ("repeat_last", PadPolicy::RepeatLast)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                let (p, _snk) = w.build();
+                let cfg = SimConfig::with_errors(
+                    w.frames(),
+                    Protection::CommGuard(GuardConfig {
+                        pad_policy: policy,
+                        ..GuardConfig::default()
+                    }),
+                    Mtbe::kilo_instructions(128),
+                    1,
+                );
+                run(p, &cfg).expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_frame_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_scale");
+    g.sample_size(10);
+    let w = Workload::new(BenchApp::ComplexFir, Size::Small);
+    for scale in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| {
+                let (p, _snk) = w.build();
+                let cfg = SimConfig {
+                    protection: Protection::CommGuard(GuardConfig::with_frame_scale(scale)),
+                    ..SimConfig::error_free(w.frames())
+                };
+                run(p, &cfg).expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pad_policy, bench_frame_scale);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end simulation throughput per benchmark under the paper's
+//! headline configuration (CommGuard, MTBE = 512k instructions) —
+//! the cost of regenerating one data point of Figs. 8–11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cg_apps::{BenchApp, Size, Workload};
+use cg_fault::Mtbe;
+use cg_runtime::{run, SimConfig};
+use commguard::Protection;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_512k");
+    g.sample_size(10);
+    for app in BenchApp::all() {
+        let w = Workload::new(app, Size::Small);
+        g.bench_with_input(BenchmarkId::from_parameter(app.name()), &w, |b, w| {
+            b.iter(|| {
+                let (p, _snk) = w.build();
+                let cfg = SimConfig::with_errors(
+                    w.frames(),
+                    Protection::commguard(),
+                    Mtbe::kilo_instructions(512),
+                    1,
+                );
+                run(p, &cfg).expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppu_vm");
+    for (name, prog) in cg_vm::kernels::all() {
+        let input = cg_vm::kernels::input(512);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut vm = cg_vm::Vm::new(prog.clone(), input.clone());
+                vm.run(50_000_000).expect("halts")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_vm);
+criterion_main!(benches);

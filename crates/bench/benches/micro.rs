@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the CommGuard building blocks: SECDED encode /
+//! decode (the `compute/check-ECC` suboperations of Table 3), queue push
+//! /pop under both pointer-protection modes and several working-set
+//! sizes (§5.1), and the AM FSM pop path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use commguard::ecc::{decode, encode};
+use commguard::queue::{PointerMode, QueueSpec, SimQueue, Unit};
+use commguard::{AlignmentManager, PadPolicy, SubopCounters};
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(encode(black_box(x)))
+        })
+    });
+    g.bench_function("decode_clean", |b| {
+        let cw = encode(0xDEAD_BEEF);
+        b.iter(|| black_box(decode(black_box(cw))))
+    });
+    g.bench_function("decode_corrected", |b| {
+        let cw = encode(0xDEAD_BEEF).with_flipped_bit(17);
+        b.iter(|| black_box(decode(black_box(cw))))
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.throughput(Throughput::Elements(1024));
+    for (label, mode) in [("raw_ptr", PointerMode::Raw), ("ecc_ptr", PointerMode::Ecc)] {
+        for ws_div in [8usize, 1024] {
+            let name = format!("push_pop_1k/{label}/ws_cap_div{ws_div}");
+            g.bench_function(&name, |b| {
+                let spec = QueueSpec {
+                    capacity: 4096,
+                    workset_size: 4096 / ws_div,
+                    pointer_mode: mode,
+                };
+                b.iter(|| {
+                    let mut q = SimQueue::new(spec);
+                    for i in 0..1024u32 {
+                        q.try_push(Unit::Item(i)).unwrap();
+                    }
+                    q.flush();
+                    for _ in 0..1024 {
+                        black_box(q.try_pop());
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_am(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alignment_manager");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("aligned_pops_1k", |b| {
+        b.iter(|| {
+            let mut q = SimQueue::new(QueueSpec::with_capacity(4096));
+            let mut am = AlignmentManager::new(PadPolicy::Zero);
+            let mut sub = SubopCounters::default();
+            q.try_push(Unit::header(0)).unwrap();
+            for i in 0..1024u32 {
+                q.try_push(Unit::Item(i)).unwrap();
+            }
+            q.flush();
+            for _ in 0..1024 {
+                black_box(am.pop(&mut q, &mut sub));
+            }
+        })
+    });
+    g.bench_function("realigning_pops_1k", |b| {
+        b.iter(|| {
+            let mut q = SimQueue::new(QueueSpec::with_capacity(8192));
+            let mut am = AlignmentManager::new(PadPolicy::Zero);
+            let mut sub = SubopCounters::default();
+            // 128 frames of 8 items, every other frame missing one item.
+            for f in 0..128u32 {
+                q.try_push(Unit::header(f)).unwrap();
+                let n = if f % 2 == 0 { 8 } else { 7 };
+                for i in 0..n {
+                    q.try_push(Unit::Item(i)).unwrap();
+                }
+            }
+            q.flush();
+            for f in 0..128u32 {
+                if f > 0 {
+                    am.new_frame_computation(f, &mut sub);
+                }
+                for _ in 0..8 {
+                    black_box(am.pop(&mut q, &mut sub));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecc, bench_queue, bench_am);
+criterion_main!(benches);

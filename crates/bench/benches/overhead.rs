@@ -1,0 +1,42 @@
+//! The wall-clock companion to Fig. 13: end-to-end simulated decode of
+//! each benchmark with CommGuard modules enabled vs. disabled (reliable
+//! queue only), error-free. The relative gap is the software cost of
+//! header insertion, header checking and frame-boundary serialisation —
+//! the quantity the paper bounds at a few percent on real hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cg_apps::{BenchApp, Size, Workload};
+use cg_runtime::{run, SimConfig};
+use commguard::Protection;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_wallclock");
+    g.sample_size(10);
+    for app in BenchApp::all() {
+        let w = Workload::new(app, Size::Small);
+        for (label, protection) in [
+            ("unguarded", Protection::PpuReliableQueue),
+            ("commguard", Protection::commguard()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, app.name()),
+                &protection,
+                |b, &protection| {
+                    b.iter(|| {
+                        let (p, _snk) = w.build();
+                        let cfg = SimConfig {
+                            protection,
+                            ..SimConfig::error_free(w.frames())
+                        };
+                        run(p, &cfg).expect("runs")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

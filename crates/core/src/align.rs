@@ -1,0 +1,526 @@
+//! The Alignment Manager — the five-state FSM of the paper's Table 1.
+//!
+//! One AM guards one incoming queue of one consumer core. It observes two
+//! event streams: the local thread's frame-computation boundaries
+//! (delivered by the PPU protection module via
+//! [`AlignmentManager::new_frame_computation`]) and the units popped from
+//! the queue. Whenever the two disagree — an item where a header was
+//! expected, a header from the past or the future — the AM repairs
+//! alignment by **discarding** queued data (communication realignment) or
+//! **padding** the thread's pops (computation realignment), so that every
+//! new frame starts aligned and error effects stay ephemeral.
+
+use cg_queue::{FrameId, SimQueue, Unit};
+
+use crate::subop::{RealignKind, SubopCounters};
+
+/// AM FSM states (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmState {
+    /// Receiving and computing on items for the active frame computation.
+    RcvCmp,
+    /// A new frame computation has started; the next unit from the queue
+    /// should be the matching frame header.
+    ExpHdr,
+    /// Discarding whole frames from the queue (alignment error
+    /// `AE_FE`: extra frames).
+    DiscFr,
+    /// Discarding items *and* frames from the queue (`AE_IE`, `AE_FE`).
+    Disc,
+    /// Padding the thread's pops for lost data (`AE_IL`, `AE_FL`); holds
+    /// the future header that will end the episode.
+    Pdg,
+}
+
+/// What the AM fabricates while padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PadPolicy {
+    /// Respond to padded pops with 0 (the paper's Table 2 behaviour).
+    #[default]
+    Zero,
+    /// Respond with the last successfully delivered item — an ablation
+    /// that often improves output quality for smooth signals.
+    RepeatLast,
+}
+
+/// Classification of a popped unit relative to the local `active-fc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeaderClass {
+    Correct,
+    Past,
+    Future(FrameId),
+}
+
+/// The Alignment Manager for one incoming queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentManager {
+    state: AmState,
+    active_fc: FrameId,
+    /// Future header held while padding.
+    held: Option<FrameId>,
+    policy: PadPolicy,
+    last_value: u32,
+}
+
+impl AlignmentManager {
+    /// A fresh AM: the thread is about to begin frame 0 and expects that
+    /// frame's header first.
+    pub fn new(policy: PadPolicy) -> Self {
+        AlignmentManager {
+            state: AmState::ExpHdr,
+            active_fc: 0,
+            held: None,
+            policy,
+            last_value: 0,
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> AmState {
+        self.state
+    }
+
+    /// The frame the local thread is currently computing.
+    pub fn active_fc(&self) -> FrameId {
+        self.active_fc
+    }
+
+    /// Handles the "new frame computation started" event: the PPU
+    /// protection module has advanced the thread's `active-fc` to `fc`.
+    pub fn new_frame_computation(&mut self, fc: FrameId, sub: &mut SubopCounters) {
+        sub.fsm_ops += 1;
+        sub.counter_ops += 1;
+        self.active_fc = fc;
+        self.state = match self.state {
+            AmState::RcvCmp => AmState::ExpHdr,
+            // Rolled over again without ever finding the previous header:
+            // keep expecting (the old target is now simply "past").
+            AmState::ExpHdr => AmState::ExpHdr,
+            // Still discarding towards the (new) frame boundary.
+            AmState::DiscFr => AmState::DiscFr,
+            AmState::Disc => AmState::Disc,
+            AmState::Pdg => match self.held {
+                // "New frame computation matched header" → resume.
+                Some(h) if h == fc => {
+                    self.held = None;
+                    AmState::RcvCmp
+                }
+                // Local computation overshot the held header: the queued
+                // data following it is stale; discard to the boundary.
+                Some(h) if h < fc && h != cg_queue::END_FRAME_ID => {
+                    self.held = None;
+                    sub.record_event(fc, RealignKind::Discard);
+                    AmState::DiscFr
+                }
+                _ => AmState::Pdg,
+            },
+        };
+    }
+
+    /// Handles one pop request from the local thread.
+    ///
+    /// Returns the delivered item — real, or fabricated per the
+    /// [`PadPolicy`] while padding — or `None` when the queue has nothing
+    /// visible and the thread must block (the FSM state is preserved so
+    /// the request can simply be retried).
+    pub fn pop(&mut self, q: &mut SimQueue, sub: &mut SubopCounters) -> Option<u32> {
+        sub.fsm_ops += 1; // FSM-check on every pop request (Table 2).
+        if self.state == AmState::Pdg {
+            return Some(self.pad(sub));
+        }
+        // Defensive bound on the discard loop: even a queue flooded by
+        // corrupted (unprotected) pointer state cannot wedge the AM in a
+        // single pop request; the request yields and retries instead.
+        let mut budget = 1u32 << 20;
+        loop {
+            budget = budget.checked_sub(1)?;
+            let unit = q.try_pop()?;
+            sub.header_bit_ops += 1; // is-header test on every unit.
+            match unit {
+                Unit::Item(v) => match self.state {
+                    AmState::RcvCmp => {
+                        sub.accepted_items += 1;
+                        self.last_value = v;
+                        return Some(v);
+                    }
+                    AmState::ExpHdr => {
+                        // "Received item" in ExpHdr → DiscFr.
+                        sub.fsm_ops += 1; // FSM-update (Table 2 loop)
+                        self.state = AmState::DiscFr;
+                        sub.record_event(self.active_fc, RealignKind::Discard);
+                        sub.discarded_items += 1;
+                    }
+                    AmState::DiscFr | AmState::Disc => {
+                        sub.fsm_ops += 1;
+                        sub.discarded_items += 1;
+                    }
+                    AmState::Pdg => unreachable!("Pdg returns before the pop loop"),
+                },
+                Unit::Header(_) => {
+                    sub.fsm_ops += 1; // FSM-check/update for the header
+                    sub.ecc_ops += 1; // check-ECC for header (Table 2).
+                    let class = self.classify(&unit);
+                    match (self.state, class) {
+                        // --- RcvCmp row of Table 1 ---
+                        (AmState::RcvCmp, HeaderClass::Future(h)) => {
+                            self.enter_padding(h, sub);
+                            return Some(self.pad(sub));
+                        }
+                        (AmState::RcvCmp, _) => {
+                            // Past header (a correct id mid-frame is a
+                            // producer restart — equally "past").
+                            self.state = AmState::Disc;
+                            sub.record_event(self.active_fc, RealignKind::Discard);
+                            sub.discarded_headers += 1;
+                        }
+                        // --- ExpHdr row ---
+                        (AmState::ExpHdr, HeaderClass::Correct) => {
+                            self.state = AmState::RcvCmp;
+                            // Header consumed; loop on to fetch the item.
+                        }
+                        (AmState::ExpHdr, HeaderClass::Past) => {
+                            self.state = AmState::DiscFr;
+                            sub.record_event(self.active_fc, RealignKind::Discard);
+                            sub.discarded_headers += 1;
+                        }
+                        (AmState::ExpHdr, HeaderClass::Future(h)) => {
+                            self.enter_padding(h, sub);
+                            return Some(self.pad(sub));
+                        }
+                        // --- DiscFr row ---
+                        (AmState::DiscFr, HeaderClass::Correct) => {
+                            self.state = AmState::RcvCmp;
+                        }
+                        (AmState::DiscFr, HeaderClass::Future(h)) => {
+                            self.enter_padding(h, sub);
+                            return Some(self.pad(sub));
+                        }
+                        (AmState::DiscFr, HeaderClass::Past) => {
+                            sub.discarded_headers += 1;
+                        }
+                        // --- Disc row: only a future header exits ---
+                        (AmState::Disc, HeaderClass::Future(h)) => {
+                            self.enter_padding(h, sub);
+                            return Some(self.pad(sub));
+                        }
+                        (AmState::Disc, _) => {
+                            sub.discarded_headers += 1;
+                        }
+                        (AmState::Pdg, _) => {
+                            unreachable!("Pdg returns before the pop loop")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies a header against the local `active-fc`. Headers whose
+    /// ECC detects uncorrectable corruption are conservatively treated as
+    /// past (forcing a discard-realign rather than trusting a bogus id).
+    fn classify(&self, unit: &Unit) -> HeaderClass {
+        match unit.header_id() {
+            None => HeaderClass::Past,
+            Some(id) if id == self.active_fc => HeaderClass::Correct,
+            Some(id) if id > self.active_fc => HeaderClass::Future(id),
+            Some(_) => HeaderClass::Past,
+        }
+    }
+
+    fn enter_padding(&mut self, held: FrameId, sub: &mut SubopCounters) {
+        self.state = AmState::Pdg;
+        self.held = Some(held);
+        sub.record_event(self.active_fc, RealignKind::Pad);
+    }
+
+    fn pad(&mut self, sub: &mut SubopCounters) -> u32 {
+        sub.padded_items += 1;
+        match self.policy {
+            PadPolicy::Zero => 0,
+            PadPolicy::RepeatLast => self.last_value,
+        }
+    }
+}
+
+impl Default for AlignmentManager {
+    fn default() -> Self {
+        AlignmentManager::new(PadPolicy::Zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_queue::{QueueSpec, END_FRAME_ID};
+
+    fn queue() -> SimQueue {
+        SimQueue::new(QueueSpec {
+            capacity: 256,
+            workset_size: 32,
+            pointer_mode: cg_queue::PointerMode::Ecc,
+        })
+    }
+
+    fn push_frame(q: &mut SimQueue, id: FrameId, items: &[u32]) {
+        q.try_push(Unit::header(id)).unwrap();
+        for &v in items {
+            q.try_push(Unit::Item(v)).unwrap();
+        }
+        q.flush();
+    }
+
+    /// Drives a well-formed stream through the AM: nothing realigns.
+    #[test]
+    fn aligned_stream_passes_through() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        for frame in 0..4u32 {
+            push_frame(&mut q, frame, &[frame * 10, frame * 10 + 1]);
+        }
+        for frame in 0..4u32 {
+            if frame > 0 {
+                am.new_frame_computation(frame, &mut sub);
+            }
+            assert_eq!(am.pop(&mut q, &mut sub), Some(frame * 10));
+            assert_eq!(am.pop(&mut q, &mut sub), Some(frame * 10 + 1));
+            assert_eq!(am.state(), AmState::RcvCmp);
+        }
+        assert_eq!(sub.padded_items, 0);
+        assert_eq!(sub.discarded_items, 0);
+        assert_eq!(sub.accepted_items, 8);
+    }
+
+    /// Table 1, RcvCmp row: a future header mid-frame → Pdg, pops padded,
+    /// realignment completes at the matching boundary.
+    #[test]
+    fn rcvcmp_future_header_pads_lost_items() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        // Frame 0 lost its second item; frame 1 follows immediately.
+        push_frame(&mut q, 0, &[10]);
+        push_frame(&mut q, 1, &[20, 21]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        // Second pop of frame 0 meets header 1 (future) → pad.
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        assert_eq!(am.state(), AmState::Pdg);
+        // Boundary: matches held header → RcvCmp, frame 1 delivered.
+        am.new_frame_computation(1, &mut sub);
+        assert_eq!(am.state(), AmState::RcvCmp);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(20));
+        assert_eq!(am.pop(&mut q, &mut sub), Some(21));
+        assert_eq!(sub.padded_items, 1);
+        assert_eq!(sub.pad_events, 1);
+    }
+
+    /// Table 1, RcvCmp row: a past header mid-frame → Disc until a future
+    /// header appears.
+    #[test]
+    fn rcvcmp_past_header_discards() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[10]);
+        // Producer erroneously restarts frame 0 with stale items.
+        push_frame(&mut q, 0, &[66, 67]);
+        push_frame(&mut q, 1, &[20]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        // Pop 2 of frame 0: header 0 again (past) → Disc → discards 66,67
+        // → header 1 (future) → Pdg → pad.
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        assert_eq!(am.state(), AmState::Pdg);
+        assert_eq!(sub.discarded_items, 2);
+        am.new_frame_computation(1, &mut sub);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(20));
+    }
+
+    /// Table 1, ExpHdr row: an item instead of a header → DiscFr, then the
+    /// correct header resumes delivery.
+    #[test]
+    fn exphdr_item_discards_to_boundary() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        // Stray items precede the frame-0 header (producer pushed extra).
+        q.try_push(Unit::Item(99)).unwrap();
+        q.try_push(Unit::Item(98)).unwrap();
+        q.flush();
+        push_frame(&mut q, 0, &[10, 11]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        assert_eq!(sub.discarded_items, 2);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(11));
+        assert_eq!(am.state(), AmState::RcvCmp);
+    }
+
+    /// Table 1, ExpHdr row: a past header → DiscFr (whole stale frame
+    /// dropped), correct header resumes.
+    #[test]
+    fn exphdr_past_header_discards_frame() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[10]);
+        // Duplicate stale frame 0 arrives where frame 1 should be.
+        push_frame(&mut q, 0, &[55]);
+        push_frame(&mut q, 1, &[20]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        am.new_frame_computation(1, &mut sub);
+        assert_eq!(am.state(), AmState::ExpHdr);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(20));
+        assert_eq!(sub.discarded_items, 1);
+        assert_eq!(sub.discarded_headers, 1);
+    }
+
+    /// Table 1, ExpHdr row: a future header → Pdg until the thread catches
+    /// up (an entire frame of this queue was lost).
+    #[test]
+    fn exphdr_future_header_pads_whole_frame() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[10]);
+        // Frame 1 never arrives; frame 2 follows.
+        push_frame(&mut q, 2, &[30]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        am.new_frame_computation(1, &mut sub);
+        // Frame 1's pop hits header 2 → pad.
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        assert_eq!(am.state(), AmState::Pdg);
+        am.new_frame_computation(2, &mut sub);
+        assert_eq!(am.state(), AmState::RcvCmp);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(30));
+    }
+
+    /// Pdg row: boundaries that do not match the held header keep padding.
+    #[test]
+    fn padding_persists_until_match() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[10]);
+        push_frame(&mut q, 3, &[40]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        am.new_frame_computation(1, &mut sub);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        am.new_frame_computation(2, &mut sub);
+        assert_eq!(am.state(), AmState::Pdg);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        am.new_frame_computation(3, &mut sub);
+        assert_eq!(am.state(), AmState::RcvCmp);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(40));
+    }
+
+    /// The end-of-computation header is always "future": the consumer pads
+    /// until its own computation ends.
+    #[test]
+    fn end_header_pads_forever() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[10]);
+        q.try_push(Unit::end_header()).unwrap();
+        q.flush();
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        assert_eq!(am.state(), AmState::Pdg);
+        for fc in 1..5 {
+            am.new_frame_computation(fc, &mut sub);
+            assert_eq!(am.state(), AmState::Pdg);
+            assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        }
+        let _ = END_FRAME_ID;
+    }
+
+    /// Blocking: an empty queue returns `None` and preserves state.
+    #[test]
+    fn empty_queue_blocks_without_state_change() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        assert_eq!(am.pop(&mut q, &mut sub), None);
+        assert_eq!(am.state(), AmState::ExpHdr);
+        push_frame(&mut q, 0, &[7]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(7));
+    }
+
+    /// A header consumed just before the queue drains is not lost: the
+    /// FSM remembers it crossed into RcvCmp.
+    #[test]
+    fn partial_progress_across_blocking() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        q.try_push(Unit::header(0)).unwrap();
+        q.flush();
+        assert_eq!(am.pop(&mut q, &mut sub), None, "header eaten, no item yet");
+        assert_eq!(am.state(), AmState::RcvCmp);
+        q.try_push(Unit::Item(42)).unwrap();
+        q.flush();
+        assert_eq!(am.pop(&mut q, &mut sub), Some(42));
+    }
+
+    /// RepeatLast padding repeats the last delivered item.
+    #[test]
+    fn repeat_last_pad_policy() {
+        let mut q = queue();
+        let mut am = AlignmentManager::new(PadPolicy::RepeatLast);
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[77]);
+        push_frame(&mut q, 1, &[88]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(77));
+        assert_eq!(am.pop(&mut q, &mut sub), Some(77), "pad repeats 77");
+        assert_eq!(am.state(), AmState::Pdg);
+    }
+
+    /// An uncorrectably corrupted header is treated as past (discard), not
+    /// trusted.
+    #[test]
+    fn corrupt_header_treated_as_past() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        // Frame 0 header arrives hopelessly corrupted.
+        if let Unit::Header(cw) = Unit::header(0) {
+            q.try_push(Unit::Header(cw.with_flipped_bit(2).with_flipped_bit(20)))
+                .unwrap();
+        }
+        q.try_push(Unit::Item(10)).unwrap();
+        q.flush();
+        push_frame(&mut q, 1, &[20]);
+        // ExpHdr + past(header garbage) → DiscFr; item 10 discarded;
+        // header 1 is future → Pdg.
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        assert_eq!(am.state(), AmState::Pdg);
+        am.new_frame_computation(1, &mut sub);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(20));
+    }
+
+    /// Overshoot: the thread's boundary passes the held header → DiscFr.
+    #[test]
+    fn pdg_overshoot_discards() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[10]);
+        push_frame(&mut q, 1, &[20]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        // Hit header 1 mid-frame-0 → Pdg holding 1.
+        assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        // The local thread (erroneously) jumps straight to frame 2.
+        am.new_frame_computation(2, &mut sub);
+        assert_eq!(am.state(), AmState::DiscFr);
+        // Frame 1's item is stale now; frame 2 never comes... until it does.
+        push_frame(&mut q, 2, &[30]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(30));
+        assert_eq!(sub.discarded_items, 1, "frame 1 item dropped");
+    }
+
+    /// Every state is reachable and reported by `state()`.
+    #[test]
+    fn state_accessors() {
+        let am = AlignmentManager::default();
+        assert_eq!(am.state(), AmState::ExpHdr);
+        assert_eq!(am.active_fc(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Rely-style frame reliability analysis (paper §9).
+//!
+//! The paper argues that *without* CommGuard, a quantitative reliability
+//! analysis in the style of Rely (Carbin et al., OOPSLA'13) would
+//! conclude a streaming application has "virtually zero reliability":
+//! alignment errors persist, so the probability that output element `k`
+//! is unaffected decays towards zero with total executed instructions.
+//! *With* CommGuard, error effects do not propagate across frame
+//! boundaries, so the analysis can bound the reliability of **each
+//! frame** by the fault exposure of the single steady iteration that
+//! produced it — a constant independent of stream position.
+//!
+//! This module computes both quantities from the graph's schedule, cost
+//! models and the configured fault process; the
+//! `tests/reliability.rs` integration test validates the guarded bound
+//! against measured frame-exactness from simulation.
+
+use cg_fault::{EffectModel, Mtbe};
+use cg_graph::{schedule::Schedule, StreamGraph};
+
+/// Analytic reliability bounds for a guarded/unguarded streaming run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reliability {
+    /// Expected *visible* (non-masked) faults striking one steady
+    /// iteration, summed over all cores.
+    pub visible_faults_per_frame: f64,
+    /// Probability that a given frame's computation was completely
+    /// fault-free under CommGuard (lower bound on frame exactness).
+    pub frame_reliability: f64,
+}
+
+/// Computes the per-frame reliability bound for `graph` under a
+/// per-core fault process with mean `mtbe` and manifestation `model`.
+///
+/// The fault process is Poisson in instruction time (matching
+/// `cg_fault::CoreInjector`), so the probability that a frame's
+/// `I` instructions on one core see no visible fault is
+/// `exp(-I·(1-p_silent)/mtbe)`, and cores are independent.
+pub fn analyze(graph: &StreamGraph, schedule: &Schedule, mtbe: Mtbe, model: &EffectModel) -> Reliability {
+    let visible = 1.0 - model.p_silent;
+    let mtbe = mtbe.as_instructions() as f64;
+    let mut faults = 0.0f64;
+    for (id, node) in graph.nodes() {
+        let items: u64 = node
+            .inputs()
+            .iter()
+            .map(|&e| u64::from(graph.edge(e).pop_rate()))
+            .chain(
+                node.outputs()
+                    .iter()
+                    .map(|&e| u64::from(graph.edge(e).push_rate())),
+            )
+            .sum();
+        let instr_per_frame =
+            schedule.repetitions(id) as f64 * node.cost().firing_cost(items) as f64;
+        faults += instr_per_frame * visible / mtbe;
+    }
+    Reliability {
+        visible_faults_per_frame: faults,
+        frame_reliability: (-faults).exp(),
+    }
+}
+
+/// The unguarded counterpart: with persistent misalignment, output
+/// element `frame_index` is only reliable if *no* visible fault struck
+/// any of the preceding frames either — the exponential decay the paper
+/// summarises as "virtually zero reliability".
+pub fn unguarded_stream_reliability(per_frame: &Reliability, frame_index: u64) -> f64 {
+    (-(per_frame.visible_faults_per_frame * (frame_index + 1) as f64)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_graph::{GraphBuilder, NodeKind};
+
+    fn toy() -> (StreamGraph, Schedule) {
+        let mut b = GraphBuilder::new("toy");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.pipeline(&[s, f, k], 4).unwrap();
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        (g, sched)
+    }
+
+    #[test]
+    fn reliability_improves_with_mtbe() {
+        let (g, sched) = toy();
+        let model = EffectModel::calibrated();
+        let lo = analyze(&g, &sched, Mtbe::instructions(1_000), &model);
+        let hi = analyze(&g, &sched, Mtbe::instructions(1_000_000), &model);
+        assert!(hi.frame_reliability > lo.frame_reliability);
+        assert!(hi.frame_reliability > 0.999);
+        assert!((0.0..=1.0).contains(&lo.frame_reliability));
+    }
+
+    #[test]
+    fn masking_raises_reliability() {
+        let (g, sched) = toy();
+        let mut mostly_silent = EffectModel::calibrated();
+        mostly_silent.p_silent = 0.99;
+        mostly_silent.p_data = 0.01;
+        mostly_silent.p_control = 0.0;
+        mostly_silent.p_addressing = 0.0;
+        let harsh = analyze(&g, &sched, Mtbe::instructions(100), &EffectModel::data_only());
+        let soft = analyze(&g, &sched, Mtbe::instructions(100), &mostly_silent);
+        assert!(soft.frame_reliability > harsh.frame_reliability);
+    }
+
+    #[test]
+    fn unguarded_reliability_decays_to_zero() {
+        let (g, sched) = toy();
+        let r = analyze(&g, &sched, Mtbe::instructions(10_000), &EffectModel::calibrated());
+        let early = unguarded_stream_reliability(&r, 0);
+        let late = unguarded_stream_reliability(&r, 100_000);
+        assert!(early > late);
+        assert!(late < 1e-6, "paper: virtually zero reliability, got {late}");
+        // Guarded reliability is position-independent by construction.
+        assert_eq!(r.frame_reliability, unguarded_stream_reliability(&r, 0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Protection configurations — the four systems of the paper's Fig. 3.
+
+use cg_queue::PointerMode;
+
+use crate::align::PadPolicy;
+
+/// Configuration of the CommGuard modules themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Frame-size scaling factor (§5.4): 1 = StreamIt-default frames,
+    /// N = every frame spans N steady iterations.
+    pub frame_scale: u32,
+    /// What padded pops return.
+    pub pad_policy: PadPolicy,
+    /// Whether frame headers are end-to-end ECC protected (the paper's
+    /// design; `false` is an ablation showing why §4.1 requires it).
+    pub protect_headers: bool,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            frame_scale: 1,
+            pad_policy: PadPolicy::Zero,
+            protect_headers: true,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// Default config with a different frame scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    pub fn with_frame_scale(scale: u32) -> Self {
+        assert!(scale > 0, "frame scale must be positive");
+        GuardConfig {
+            frame_scale: scale,
+            ..Default::default()
+        }
+    }
+}
+
+/// System-level protection mode, matching the paper's evaluated
+/// configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Protection {
+    /// Fig. 3a — fault injection disabled entirely.
+    ErrorFree,
+    /// Fig. 3b — PPU cores, but the queue pointers live in unprotected
+    /// storage and there is no CommGuard.
+    PpuUnprotectedQueue,
+    /// Fig. 3c — PPU cores with a reliable (ECC-pointer) queue, still no
+    /// CommGuard: data transmission is safe but alignment is not.
+    PpuReliableQueue,
+    /// Fig. 3d — PPU cores, reliable queue *and* the CommGuard modules.
+    CommGuard(GuardConfig),
+}
+
+impl Protection {
+    /// The standard CommGuard configuration (default frames, zero pad).
+    pub fn commguard() -> Self {
+        Protection::CommGuard(GuardConfig::default())
+    }
+
+    /// Whether the CommGuard HI/AM modules are active.
+    pub fn guards_enabled(&self) -> bool {
+        matches!(self, Protection::CommGuard(_))
+    }
+
+    /// Whether fault injection is active.
+    pub fn errors_enabled(&self) -> bool {
+        !matches!(self, Protection::ErrorFree)
+    }
+
+    /// The queue pointer protection this mode implies.
+    pub fn pointer_mode(&self) -> PointerMode {
+        match self {
+            Protection::PpuUnprotectedQueue => PointerMode::Raw,
+            _ => PointerMode::Ecc,
+        }
+    }
+
+    /// The guard configuration, when guards are enabled.
+    pub fn guard_config(&self) -> Option<GuardConfig> {
+        match self {
+            Protection::CommGuard(cfg) => Some(*cfg),
+            _ => None,
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protection::ErrorFree => "error-free",
+            Protection::PpuUnprotectedQueue => "ppu+unprotected-queue",
+            Protection::PpuReliableQueue => "ppu+reliable-queue",
+            Protection::CommGuard(_) => "commguard",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_imply_pointer_protection() {
+        assert_eq!(
+            Protection::PpuUnprotectedQueue.pointer_mode(),
+            PointerMode::Raw
+        );
+        assert_eq!(Protection::PpuReliableQueue.pointer_mode(), PointerMode::Ecc);
+        assert_eq!(Protection::commguard().pointer_mode(), PointerMode::Ecc);
+    }
+
+    #[test]
+    fn guard_flags() {
+        assert!(Protection::commguard().guards_enabled());
+        assert!(!Protection::PpuReliableQueue.guards_enabled());
+        assert!(!Protection::ErrorFree.errors_enabled());
+        assert!(Protection::PpuUnprotectedQueue.errors_enabled());
+        assert!(Protection::commguard().guard_config().is_some());
+        assert!(Protection::ErrorFree.guard_config().is_none());
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels = [
+            Protection::ErrorFree.label(),
+            Protection::PpuUnprotectedQueue.label(),
+            Protection::PpuReliableQueue.label(),
+            Protection::commguard().label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn frame_scale_constructor() {
+        assert_eq!(GuardConfig::with_frame_scale(4).frame_scale, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = GuardConfig::with_frame_scale(0);
+    }
+}

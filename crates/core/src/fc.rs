@@ -1,0 +1,145 @@
+//! The active frame-computation counter and frame-size scaling.
+//!
+//! The PPU protection module increments `active-fc` at every
+//! frame-computation boundary (§4.4); the HI stamps its value into
+//! headers and the AM compares incoming headers against it. Frame sizes
+//! can be grown application-wide by *down-scaling* the increment
+//! frequency "through a saturating counter" (§5.4) — a scale of 4 makes
+//! one CommGuard frame out of four steady-state iterations.
+
+use cg_queue::FrameId;
+
+/// The reliable `active-fc` counter of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveFc {
+    value: FrameId,
+    /// Frame id at which the thread's computation ends, when known.
+    limit: Option<FrameId>,
+}
+
+impl ActiveFc {
+    /// A counter starting at frame 0 with an optional end limit.
+    pub fn new(limit: Option<FrameId>) -> Self {
+        ActiveFc { value: 0, limit }
+    }
+
+    /// Current frame id.
+    pub fn value(&self) -> FrameId {
+        self.value
+    }
+
+    /// The configured end-of-computation frame, if any.
+    pub fn limit(&self) -> Option<FrameId> {
+        self.limit
+    }
+
+    /// Advances to the next frame. Returns the new frame id.
+    pub fn increment(&mut self) -> FrameId {
+        self.value = self.value.wrapping_add(1);
+        self.value
+    }
+
+    /// `true` once the counter has reached its limit (the thread's
+    /// computation is over and the end header should be emitted).
+    pub fn at_limit(&self) -> bool {
+        matches!(self.limit, Some(l) if self.value >= l)
+    }
+}
+
+/// Saturating down-scaler for frame-computation frequency (§5.4).
+///
+/// With `factor` N, only every Nth scope boundary is promoted to a
+/// CommGuard frame-computation boundary, multiplying every frame size in
+/// the application by N.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameScale {
+    factor: u32,
+    count: u32,
+}
+
+impl FrameScale {
+    /// A scaler promoting every `factor`-th boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn new(factor: u32) -> Self {
+        assert!(factor > 0, "frame scale factor must be positive");
+        FrameScale { factor, count: 0 }
+    }
+
+    /// The configured factor.
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+
+    /// Registers a scope boundary; returns `true` when it should count as
+    /// a frame-computation boundary.
+    pub fn on_boundary(&mut self) -> bool {
+        self.count += 1;
+        if self.count >= self.factor {
+            self.count = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for FrameScale {
+    /// The StreamIt-default frame size (every boundary counts).
+    fn default() -> Self {
+        FrameScale::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_fc_counts_and_limits() {
+        let mut fc = ActiveFc::new(Some(3));
+        assert_eq!(fc.value(), 0);
+        assert!(!fc.at_limit());
+        fc.increment();
+        fc.increment();
+        assert!(!fc.at_limit());
+        assert_eq!(fc.increment(), 3);
+        assert!(fc.at_limit());
+        assert_eq!(fc.limit(), Some(3));
+    }
+
+    #[test]
+    fn unlimited_counter_never_ends() {
+        let mut fc = ActiveFc::new(None);
+        for _ in 0..100 {
+            fc.increment();
+        }
+        assert!(!fc.at_limit());
+    }
+
+    #[test]
+    fn scale_one_promotes_every_boundary() {
+        let mut s = FrameScale::default();
+        for _ in 0..5 {
+            assert!(s.on_boundary());
+        }
+    }
+
+    #[test]
+    fn scale_four_promotes_every_fourth() {
+        let mut s = FrameScale::new(4);
+        let promoted: Vec<bool> = (0..8).map(|_| s.on_boundary()).collect();
+        assert_eq!(
+            promoted,
+            vec![false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = FrameScale::new(0);
+    }
+}

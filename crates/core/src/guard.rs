@@ -1,0 +1,348 @@
+//! Per-core bundle of CommGuard modules.
+//!
+//! [`CoreGuard`] ties together everything one core needs (Fig. 4): the
+//! `active-fc` counter, the frame-scale saturating counter, one
+//! [`HeaderInserter`] per outgoing queue and one [`AlignmentManager`] per
+//! incoming queue, plus the core's [`SubopCounters`]. The runtime drives
+//! it with four callbacks: thread start, scope boundary, pop/push, and
+//! thread end.
+
+use cg_queue::{PushError, SimQueue, Unit};
+
+use crate::align::{AlignmentManager, AmState};
+use crate::config::GuardConfig;
+use crate::fc::{ActiveFc, FrameScale};
+use crate::hi::HeaderInserter;
+use crate::subop::SubopCounters;
+
+/// The CommGuard modules of one core, or a pass-through stub for
+/// configurations without CommGuard.
+#[derive(Debug, Clone)]
+pub struct CoreGuard {
+    enabled: bool,
+    fc: ActiveFc,
+    scale: FrameScale,
+    his: Vec<HeaderInserter>,
+    ams: Vec<AlignmentManager>,
+    sub: SubopCounters,
+}
+
+impl CoreGuard {
+    /// Active CommGuard modules for a core with `num_in` incoming and
+    /// `num_out` outgoing queues. `fc_limit` is the frame id at which the
+    /// thread's computation ends (from the application's run length), if
+    /// known.
+    pub fn new(num_in: usize, num_out: usize, cfg: &GuardConfig, fc_limit: Option<u32>) -> Self {
+        CoreGuard {
+            enabled: true,
+            fc: ActiveFc::new(fc_limit),
+            scale: FrameScale::new(cfg.frame_scale),
+            his: vec![HeaderInserter::new(); num_out],
+            ams: vec![AlignmentManager::new(cfg.pad_policy); num_in],
+            sub: SubopCounters::default(),
+        }
+    }
+
+    /// A pass-through guard for non-CommGuard configurations: pops and
+    /// pushes go straight to the queue, no headers exist.
+    pub fn disabled(num_in: usize, num_out: usize) -> Self {
+        CoreGuard {
+            enabled: false,
+            fc: ActiveFc::new(None),
+            scale: FrameScale::default(),
+            his: vec![HeaderInserter::new(); num_out],
+            ams: vec![AlignmentManager::default(); num_in],
+            sub: SubopCounters::default(),
+        }
+    }
+
+    /// Whether the guard modules are active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current `active-fc` value.
+    pub fn active_fc(&self) -> u32 {
+        self.fc.value()
+    }
+
+    /// The AM guarding incoming port `port` (for inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn am_state(&self, port: usize) -> AmState {
+        self.ams[port].state()
+    }
+
+    /// Suboperation counters for this core.
+    pub fn subops(&self) -> &SubopCounters {
+        &self.sub
+    }
+
+    /// Consumes the guard, returning its counters.
+    pub fn into_subops(self) -> SubopCounters {
+        self.sub
+    }
+
+    /// Thread start: queues frame 0's headers on every outgoing port.
+    pub fn start(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let fc = self.fc.value();
+        for hi in &mut self.his {
+            hi.begin_frame(fc, &mut self.sub);
+        }
+    }
+
+    /// Scope boundary (one frame computation finished). Under frame
+    /// scaling only every Nth boundary is promoted; when promoted, the
+    /// `active-fc` advances, AMs are notified, and new headers are queued.
+    /// Returns `true` when promoted (the runtime must then drain the HIs
+    /// before allowing further pushes — the §5.3 serialisation point).
+    pub fn scope_boundary(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.sub.counter_ops += 1; // saturating-counter increment
+        if !self.scale.on_boundary() {
+            return false;
+        }
+        let fc = self.fc.increment();
+        self.sub.counter_ops += 1; // active-fc increment
+        for am in &mut self.ams {
+            am.new_frame_computation(fc, &mut self.sub);
+        }
+        for hi in &mut self.his {
+            hi.begin_frame(fc, &mut self.sub);
+        }
+        true
+    }
+
+    /// Thread end (outermost scope exited, per the PPU protection module):
+    /// queues the end-of-computation header on every outgoing port.
+    pub fn finish(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        for hi in &mut self.his {
+            hi.begin_end(&mut self.sub);
+        }
+    }
+
+    /// Attempts to flush the pending header of outgoing port `port` into
+    /// `q`. Returns `true` when that port is clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn hi_tick(&mut self, port: usize, q: &mut SimQueue) -> bool {
+        self.his[port].tick(q, &mut self.sub)
+    }
+
+    /// Forces the pending header of `port` into `q` after a QM timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn hi_force(&mut self, port: usize, q: &mut SimQueue) {
+        self.his[port].force(q, &mut self.sub);
+    }
+
+    /// `true` when no outgoing port has a pending header (pushes may
+    /// proceed).
+    pub fn headers_clear(&self) -> bool {
+        self.his.iter().all(HeaderInserter::is_clear)
+    }
+
+    /// A pop on incoming port `port`. With guards enabled this runs the
+    /// AM FSM (alignment checks, pad/discard); otherwise it is a raw queue
+    /// pop. `None` means the thread must block and retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn pop(&mut self, port: usize, q: &mut SimQueue) -> Option<u32> {
+        if self.enabled {
+            self.ams[port].pop(q, &mut self.sub)
+        } else {
+            let unit = q.try_pop()?;
+            self.sub.accepted_items += 1;
+            // Headers never exist without CommGuard; treat defensively.
+            Some(unit.item_value().unwrap_or(0))
+        }
+    }
+
+    /// Forces a pop after a QM timeout, delivering whatever stale unit is
+    /// at the head (incorrect data, but forward progress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn timeout_pop(&mut self, _port: usize, q: &mut SimQueue) -> u32 {
+        let unit = q.timeout_pop();
+        self.sub.accepted_items += 1;
+        match unit {
+            Unit::Item(v) => v,
+            Unit::Header(cw) => cw.raw() as u32,
+        }
+    }
+
+    /// A push on outgoing port `port`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PushError`] when the queue appears full; the thread
+    /// blocks and retries (or times out).
+    pub fn push(&mut self, _port: usize, q: &mut SimQueue, value: u32) -> Result<(), PushError> {
+        q.try_push(Unit::Item(value))
+    }
+
+    /// Forces a push after a QM timeout, overwriting unconsumed data.
+    pub fn timeout_push(&mut self, _port: usize, q: &mut SimQueue, value: u32) {
+        q.timeout_push(Unit::Item(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_queue::{PointerMode, QueueSpec};
+
+    fn queue() -> SimQueue {
+        SimQueue::new(QueueSpec {
+            capacity: 256,
+            workset_size: 32,
+            pointer_mode: PointerMode::Ecc,
+        })
+    }
+
+    /// A guarded producer core feeding a guarded consumer core, error
+    /// free: items flow unchanged, one header per frame.
+    #[test]
+    fn producer_consumer_roundtrip() {
+        let mut q = queue();
+        let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), Some(3));
+        let mut cons = CoreGuard::new(1, 0, &GuardConfig::default(), Some(3));
+        prod.start();
+        cons.start();
+        for frame in 0..3u32 {
+            if frame > 0 {
+                assert!(prod.scope_boundary());
+                assert!(cons.scope_boundary());
+            }
+            assert!(prod.hi_tick(0, &mut q));
+            prod.push(0, &mut q, frame * 100).unwrap();
+            prod.push(0, &mut q, frame * 100 + 1).unwrap();
+            q.flush();
+            assert_eq!(cons.pop(0, &mut q), Some(frame * 100));
+            assert_eq!(cons.pop(0, &mut q), Some(frame * 100 + 1));
+        }
+        assert_eq!(cons.subops().accepted_items, 6);
+        assert_eq!(cons.subops().padded_items, 0);
+        assert_eq!(q.stats().header_pushes, 3);
+    }
+
+    /// A producer that loses items is padded at the consumer; frames stay
+    /// aligned afterwards.
+    #[test]
+    fn lost_items_padded_and_realigned() {
+        let mut q = queue();
+        let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), Some(2));
+        let mut cons = CoreGuard::new(1, 0, &GuardConfig::default(), Some(2));
+        prod.start();
+        cons.start();
+        assert!(prod.hi_tick(0, &mut q));
+        // Frame 0: control error — only 1 of 2 items pushed.
+        prod.push(0, &mut q, 100).unwrap();
+        prod.scope_boundary();
+        assert!(prod.hi_tick(0, &mut q));
+        prod.push(0, &mut q, 200).unwrap();
+        prod.push(0, &mut q, 201).unwrap();
+        q.flush();
+
+        assert_eq!(cons.pop(0, &mut q), Some(100));
+        assert_eq!(cons.pop(0, &mut q), Some(0), "lost item padded");
+        cons.scope_boundary();
+        assert_eq!(cons.pop(0, &mut q), Some(200));
+        assert_eq!(cons.pop(0, &mut q), Some(201));
+        assert_eq!(cons.subops().padded_items, 1);
+    }
+
+    /// Disabled guards pass raw values with no headers.
+    #[test]
+    fn disabled_guard_is_transparent() {
+        let mut q = queue();
+        let mut prod = CoreGuard::disabled(0, 1);
+        let mut cons = CoreGuard::disabled(1, 0);
+        prod.start();
+        assert!(!prod.scope_boundary());
+        assert!(prod.headers_clear());
+        prod.push(0, &mut q, 5).unwrap();
+        q.flush();
+        assert_eq!(cons.pop(0, &mut q), Some(5));
+        assert!(!cons.is_enabled());
+        assert_eq!(q.stats().header_pushes, 0);
+    }
+
+    /// Frame scaling: scale 2 halves header frequency.
+    #[test]
+    fn frame_scaling_reduces_headers() {
+        let mut q = queue();
+        let cfg = GuardConfig::with_frame_scale(2);
+        let mut prod = CoreGuard::new(0, 1, &cfg, None);
+        prod.start();
+        assert!(prod.hi_tick(0, &mut q));
+        // 4 boundaries → only 2 promoted; drain the HI after each
+        // promotion (as the runtime's serialisation point does).
+        let promoted: Vec<bool> = (0..4)
+            .map(|_| {
+                let p = prod.scope_boundary();
+                assert!(prod.hi_tick(0, &mut q));
+                p
+            })
+            .collect();
+        assert_eq!(promoted, vec![false, true, false, true]);
+        q.flush();
+        // Initial header + 2 promoted = 3.
+        assert_eq!(q.stats().header_pushes, 3);
+        assert_eq!(prod.active_fc(), 2);
+    }
+
+    /// `finish` emits the end header.
+    #[test]
+    fn finish_emits_end_header() {
+        let mut q = queue();
+        let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), Some(1));
+        prod.start();
+        assert!(prod.hi_tick(0, &mut q));
+        prod.finish();
+        assert!(prod.hi_tick(0, &mut q));
+        q.flush();
+        assert_eq!(q.try_pop().unwrap().header_id(), Some(0));
+        assert_eq!(
+            q.try_pop().unwrap().header_id(),
+            Some(cg_queue::END_FRAME_ID)
+        );
+    }
+
+    /// Timeout paths deliver garbage but keep moving.
+    #[test]
+    fn timeout_paths_progress() {
+        let mut q = queue();
+        let mut cons = CoreGuard::new(1, 0, &GuardConfig::default(), None);
+        let v = cons.timeout_pop(0, &mut q);
+        assert_eq!(v, 0, "stale slot content");
+        let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), None);
+        prod.timeout_push(0, &mut q, 9);
+        assert_eq!(q.stats().timeout_pushes, 1);
+    }
+
+    #[test]
+    fn am_state_accessor() {
+        let cons = CoreGuard::new(2, 0, &GuardConfig::default(), None);
+        assert_eq!(cons.am_state(0), AmState::ExpHdr);
+        assert_eq!(cons.am_state(1), AmState::ExpHdr);
+    }
+}

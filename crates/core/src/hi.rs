@@ -1,0 +1,152 @@
+//! The Header Inserter (paper §4.1).
+//!
+//! On the producer side of every queue, the HI inserts an ECC-protected
+//! frame header carrying the `active-fc` value at the start of each frame
+//! computation, and the special end-of-computation header when the
+//! thread's outermost scope exits. The thread itself is oblivious to the
+//! HI's actions.
+
+use cg_queue::{FrameId, SimQueue, Unit};
+
+use crate::subop::SubopCounters;
+
+/// The Header Inserter guarding one outgoing queue.
+///
+/// Because a header insertion can meet a full queue, the HI keeps the
+/// pending header and retries; the core's pushes for the new frame stall
+/// behind it ([`HeaderInserter::is_clear`]), which is exactly the
+/// frame-boundary serialisation the paper accounts for in §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeaderInserter {
+    pending: Option<FrameId>,
+}
+
+impl HeaderInserter {
+    /// A fresh HI with no pending header.
+    pub fn new() -> Self {
+        HeaderInserter::default()
+    }
+
+    /// Queues the header for frame `fc` for insertion (`prepare-header` +
+    /// `compute-ECC` suboperations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous header is still pending — the runtime must
+    /// drain the HI (via [`HeaderInserter::tick`]) before the next
+    /// boundary, which the frame structure guarantees.
+    pub fn begin_frame(&mut self, fc: FrameId, sub: &mut SubopCounters) {
+        assert!(
+            self.pending.is_none(),
+            "frame boundary reached with a header still pending"
+        );
+        sub.prepare_header_ops += 1;
+        sub.counter_ops += 1; // read active-fc
+        sub.ecc_ops += 1; // compute-ECC for the header
+        sub.header_bit_ops += 1; // set header-bit
+        self.pending = Some(fc);
+    }
+
+    /// Queues the end-of-computation header.
+    pub fn begin_end(&mut self, sub: &mut SubopCounters) {
+        self.begin_frame(cg_queue::END_FRAME_ID, sub);
+    }
+
+    /// Attempts to push the pending header; returns `true` when the HI is
+    /// clear (nothing pending, or the push succeeded).
+    pub fn tick(&mut self, q: &mut SimQueue, sub: &mut SubopCounters) -> bool {
+        match self.pending {
+            None => true,
+            Some(fc) => {
+                sub.fsm_ops += 1; // FSM-update per out-queue (Table 2).
+                if q.try_push(Unit::header(fc)).is_ok() {
+                    self.pending = None;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Forces the pending header into the queue past a full condition
+    /// (queue-manager timeout path), overwriting unconsumed data.
+    pub fn force(&mut self, q: &mut SimQueue, sub: &mut SubopCounters) {
+        if let Some(fc) = self.pending.take() {
+            sub.fsm_ops += 1;
+            q.timeout_push(Unit::header(fc));
+        }
+    }
+
+    /// `true` when no header is awaiting insertion.
+    pub fn is_clear(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_queue::{PointerMode, QueueSpec};
+
+    fn queue(cap: usize) -> SimQueue {
+        SimQueue::new(QueueSpec {
+            capacity: cap,
+            workset_size: (cap / 8).max(1),
+            pointer_mode: PointerMode::Ecc,
+        })
+    }
+
+    #[test]
+    fn inserts_header_with_frame_id() {
+        let mut q = queue(64);
+        let mut hi = HeaderInserter::new();
+        let mut sub = SubopCounters::default();
+        hi.begin_frame(7, &mut sub);
+        assert!(!hi.is_clear());
+        assert!(hi.tick(&mut q, &mut sub));
+        assert!(hi.is_clear());
+        q.flush();
+        assert_eq!(q.try_pop().unwrap().header_id(), Some(7));
+        assert_eq!(sub.prepare_header_ops, 1);
+        assert_eq!(sub.ecc_ops, 1);
+    }
+
+    #[test]
+    fn retries_on_full_queue() {
+        let mut q = queue(8);
+        for i in 0..8u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        let mut hi = HeaderInserter::new();
+        let mut sub = SubopCounters::default();
+        hi.begin_frame(1, &mut sub);
+        assert!(!hi.tick(&mut q, &mut sub), "queue full, header pends");
+        // Drain one full workset so the producer sees room.
+        let _ = q.try_pop();
+        assert!(hi.tick(&mut q, &mut sub));
+    }
+
+    #[test]
+    fn end_header_uses_reserved_id() {
+        let mut q = queue(64);
+        let mut hi = HeaderInserter::new();
+        let mut sub = SubopCounters::default();
+        hi.begin_end(&mut sub);
+        assert!(hi.tick(&mut q, &mut sub));
+        q.flush();
+        assert_eq!(
+            q.try_pop().unwrap().header_id(),
+            Some(cg_queue::END_FRAME_ID)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "still pending")]
+    fn double_begin_panics() {
+        let mut hi = HeaderInserter::new();
+        let mut sub = SubopCounters::default();
+        hi.begin_frame(1, &mut sub);
+        hi.begin_frame(2, &mut sub);
+    }
+}

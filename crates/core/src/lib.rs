@@ -1,0 +1,70 @@
+//! # commguard — FSM-based guards for error-prone parallel communication
+//!
+//! A full reproduction of **"CommGuard: Mitigating Communication Errors in
+//! Error-Prone Parallel Execution"** (Yetim, Malik, Martonosi — ASPLOS
+//! 2015). CommGuard converts potentially *catastrophic* communication and
+//! control-flow errors between error-prone processor cores into ordinary,
+//! often tolerable, *data* errors, by keeping each consumer's control flow
+//! semantically aligned with the data arriving on its queues.
+//!
+//! Per core, CommGuard adds three small fully-reliable modules:
+//!
+//! * [`HeaderInserter`] — stamps every outgoing queue with an
+//!   ECC-protected frame header at each frame-computation boundary (§4.1);
+//! * [`AlignmentManager`] — the five-state FSM of the paper's Table 1
+//!   that checks every pop against the expected frame and **discards** or
+//!   **pads** items to restore alignment (§4.2);
+//! * the queue-manager policy ([`qm`]) layering CommGuard's accounting and
+//!   timeout behaviour over the [`cg_queue::SimQueue`] substrate (§4.3).
+//!
+//! [`CoreGuard`] bundles the modules for one core, and
+//! [`Protection`] selects the evaluation configurations of the paper's
+//! Fig. 3 (unprotected / reliable-queue / CommGuard).
+//!
+//! The substrate crates are re-exported for convenience: [`ecc`],
+//! [`fault`], [`graph`], and [`queue`].
+//!
+//! ```
+//! use commguard::{AlignmentManager, AmState, PadPolicy, SubopCounters};
+//! use commguard::queue::{QueueSpec, SimQueue, Unit};
+//!
+//! // A producer inserts a header, then two items of frame 0.
+//! let mut q = SimQueue::new(QueueSpec::with_capacity(64));
+//! q.try_push(Unit::header(0)).unwrap();
+//! q.try_push(Unit::Item(10)).unwrap();
+//! q.try_push(Unit::Item(11)).unwrap();
+//! q.flush();
+//!
+//! // The consumer-side AM delivers the aligned items.
+//! let mut sub = SubopCounters::default();
+//! let mut am = AlignmentManager::new(PadPolicy::Zero);
+//! am.new_frame_computation(0, &mut sub);
+//! assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+//! assert_eq!(am.pop(&mut q, &mut sub), Some(11));
+//! assert_eq!(am.state(), AmState::RcvCmp);
+//! ```
+
+pub mod align;
+pub mod analysis;
+pub mod config;
+pub mod fc;
+pub mod guard;
+pub mod hi;
+pub mod qit;
+pub mod qm;
+pub mod subop;
+
+pub use align::{AlignmentManager, AmState, PadPolicy};
+pub use analysis::{analyze, unguarded_stream_reliability, Reliability};
+pub use config::Protection;
+pub use fc::{ActiveFc, FrameScale};
+pub use guard::CoreGuard;
+pub use hi::HeaderInserter;
+pub use qit::Qit;
+pub use subop::{RealignEvent, RealignKind, SubopCounters};
+
+// Substrate re-exports.
+pub use cg_ecc as ecc;
+pub use cg_fault as fault;
+pub use cg_graph as graph;
+pub use cg_queue as queue;

@@ -1,0 +1,66 @@
+//! The Queue Information Table and its reliable-storage budget (§5.5).
+//!
+//! CommGuard's modules need a small amount of *fully reliable* on-core
+//! storage: the `active-fc` counter and the frame-scaling saturating
+//! counter (plus their limits), and per attached queue a 3-bit AM state, a
+//! header word, the queue id, the local buffer pointer and its speculative
+//! copy. The paper budgets ≈82 bytes for a core with 4 queues; [`Qit`]
+//! reproduces that arithmetic from the actual configuration.
+
+/// Reliable-storage model for one core's CommGuard state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Qit {
+    num_queues: usize,
+}
+
+/// Word size in bytes (32-bit architecture, as in the paper's simulator).
+const WORD_BYTES: u64 = 4;
+
+impl Qit {
+    /// A QIT serving `num_queues` attached queues (in + out).
+    pub fn new(num_queues: usize) -> Self {
+        Qit { num_queues }
+    }
+
+    /// Number of attached queues.
+    pub fn num_queues(&self) -> usize {
+        self.num_queues
+    }
+
+    /// Reliable storage in bits.
+    ///
+    /// Two counters and their limits (`active-fc`, saturating frame-scale
+    /// counter) plus, per queue: 3 bits of FSM state and 4 words (header,
+    /// queue id, local buffer pointer, speculative pointer copy).
+    pub fn reliable_storage_bits(&self) -> u64 {
+        let counters = 4 * WORD_BYTES * 8;
+        let per_queue = 3 + 4 * WORD_BYTES * 8;
+        counters + self.num_queues as u64 * per_queue
+    }
+
+    /// Reliable storage in bytes, rounded up.
+    pub fn reliable_storage_bytes(&self) -> u64 {
+        self.reliable_storage_bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_for_four_queues() {
+        // §5.5: "with 4 queues per core the total reliable storage would
+        // account to 4×4B + 4×(3bits + 4B + 4B + 4B + 4B) ≈ 82B".
+        let qit = Qit::new(4);
+        assert_eq!(qit.reliable_storage_bytes(), 82);
+        assert_eq!(qit.num_queues(), 4);
+    }
+
+    #[test]
+    fn scales_with_queue_count() {
+        assert!(Qit::new(8).reliable_storage_bytes() > Qit::new(4).reliable_storage_bytes());
+        // No queues: just the counters.
+        assert_eq!(Qit::new(0).reliable_storage_bytes(), 16);
+    }
+}

@@ -1,0 +1,100 @@
+//! Queue-manager policy helpers (paper §4.3, §5.1).
+//!
+//! The data path of the queue manager lives in [`cg_queue::SimQueue`]
+//! (working sets, ECC-protected shared pointers). This module adds the
+//! QM's *policy* responsibilities: blocking operations must not block
+//! forever on error-skewed queue state, so every port carries a
+//! [`TimeoutTracker`] that fires after a bounded number of fruitless
+//! attempts, at which point the runtime forces a `timeout_pop`/
+//! `timeout_push` ("a timeout may cause incorrect data to be transmitted
+//! but frame checking would still ensure alignment at the frame
+//! boundaries").
+
+/// Counts consecutive blocked attempts on one queue port and fires a
+/// timeout after a configurable threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutTracker {
+    threshold: u64,
+    blocked: u64,
+    fired: u64,
+}
+
+impl TimeoutTracker {
+    /// A tracker firing after `threshold` consecutive blocked attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold > 0, "timeout threshold must be positive");
+        TimeoutTracker {
+            threshold,
+            blocked: 0,
+            fired: 0,
+        }
+    }
+
+    /// Registers a blocked attempt; returns `true` when the timeout fires
+    /// (and resets the count).
+    pub fn on_block(&mut self) -> bool {
+        self.blocked += 1;
+        if self.blocked >= self.threshold {
+            self.blocked = 0;
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Registers successful progress, resetting the streak.
+    pub fn on_progress(&mut self) {
+        self.blocked = 0;
+    }
+
+    /// Number of timeouts fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+impl Default for TimeoutTracker {
+    /// Generous default: a port must stall 10 000 consecutive scheduling
+    /// rounds before the QM forces progress. Error-free executions never
+    /// time out (the paper: "we did not observe any timeouts in any of
+    /// our experiments").
+    fn default() -> Self {
+        TimeoutTracker::new(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_threshold() {
+        let mut t = TimeoutTracker::new(3);
+        assert!(!t.on_block());
+        assert!(!t.on_block());
+        assert!(t.on_block());
+        assert_eq!(t.fired(), 1);
+        // Count restarts after firing.
+        assert!(!t.on_block());
+    }
+
+    #[test]
+    fn progress_resets_streak() {
+        let mut t = TimeoutTracker::new(2);
+        assert!(!t.on_block());
+        t.on_progress();
+        assert!(!t.on_block());
+        assert!(t.on_block());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_panics() {
+        let _ = TimeoutTracker::new(0);
+    }
+}

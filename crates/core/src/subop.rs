@@ -1,0 +1,198 @@
+//! CommGuard suboperation accounting (paper Tables 2–3, Figs. 8, 12, 14).
+//!
+//! Every hardware suboperation CommGuard performs is counted here so the
+//! paper's overhead figures can be regenerated from real call counts
+//! rather than estimates: FSM checks/updates, active-fc counter
+//! operations, header ECC set/checks, header-bit tests, and the realign
+//! work (padded/discarded items) behind the data-loss figure.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use cg_queue::FrameId;
+
+/// The kind of a realignment action, for the Fig. 7 annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RealignKind {
+    /// The AM padded pops with fabricated values (lost data).
+    Pad,
+    /// The AM discarded queued items/frames (extra data).
+    Discard,
+}
+
+/// One realignment episode, recorded when the AM leaves its normal states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealignEvent {
+    /// The consumer's active frame computation when realignment started.
+    pub frame: FrameId,
+    /// Pad or discard.
+    pub kind: RealignKind,
+}
+
+/// Suboperation and realignment counters for one core's CommGuard modules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubopCounters {
+    /// FSM state checks/updates (Table 3 row `FSM-check/update`).
+    pub fsm_ops: u64,
+    /// Active-fc and saturating-counter reads/increments.
+    pub counter_ops: u64,
+    /// Header ECC set/check operations (Table 3 `check/compute-ECC`).
+    pub ecc_ops: u64,
+    /// Header-bit set/tests (Table 3 `is-header`).
+    pub header_bit_ops: u64,
+    /// `prepare-header` operations (one per frame boundary).
+    pub prepare_header_ops: u64,
+    /// Items delivered to the consumer thread (accepted real data).
+    pub accepted_items: u64,
+    /// Pops answered with fabricated pad values.
+    pub padded_items: u64,
+    /// Items discarded from queues during realignment.
+    pub discarded_items: u64,
+    /// Headers discarded from queues during realignment (frame skips).
+    pub discarded_headers: u64,
+    /// Distinct pad episodes (entries into the `Pdg` state).
+    pub pad_events: u64,
+    /// Distinct discard episodes (entries into `Disc`/`DiscFr`).
+    pub discard_events: u64,
+    /// Realignment episode log (bounded; see [`SubopCounters::MAX_EVENTS`]).
+    pub events: Vec<RealignEvent>,
+}
+
+impl SubopCounters {
+    /// Maximum retained realignment episodes (the counters keep counting
+    /// past this; only the log is bounded).
+    pub const MAX_EVENTS: usize = 4096;
+
+    /// Total CommGuard suboperations, the numerator of Fig. 14's "Total".
+    pub fn total_subops(&self) -> u64 {
+        self.fsm_ops + self.counter_ops + self.ecc_ops + self.header_bit_ops
+            + self.prepare_header_ops
+    }
+
+    /// Bytes lost to realignment: padded plus discarded items, 4 bytes
+    /// each (the Fig. 8 numerator).
+    pub fn lost_bytes(&self) -> u64 {
+        (self.padded_items + self.discarded_items) * 4
+    }
+
+    /// Bytes of real data delivered (the Fig. 8 denominator).
+    pub fn accepted_bytes(&self) -> u64 {
+        self.accepted_items * 4
+    }
+
+    /// Ratio of lost to accepted data (Fig. 8's y-axis); zero when nothing
+    /// was accepted.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.accepted_items == 0 {
+            return 0.0;
+        }
+        self.lost_bytes() as f64 / self.accepted_bytes() as f64
+    }
+
+    /// Records a realignment episode.
+    pub fn record_event(&mut self, frame: FrameId, kind: RealignKind) {
+        match kind {
+            RealignKind::Pad => self.pad_events += 1,
+            RealignKind::Discard => self.discard_events += 1,
+        }
+        if self.events.len() < Self::MAX_EVENTS {
+            self.events.push(RealignEvent { frame, kind });
+        }
+    }
+}
+
+impl AddAssign<&SubopCounters> for SubopCounters {
+    fn add_assign(&mut self, rhs: &SubopCounters) {
+        self.fsm_ops += rhs.fsm_ops;
+        self.counter_ops += rhs.counter_ops;
+        self.ecc_ops += rhs.ecc_ops;
+        self.header_bit_ops += rhs.header_bit_ops;
+        self.prepare_header_ops += rhs.prepare_header_ops;
+        self.accepted_items += rhs.accepted_items;
+        self.padded_items += rhs.padded_items;
+        self.discarded_items += rhs.discarded_items;
+        self.discarded_headers += rhs.discarded_headers;
+        self.pad_events += rhs.pad_events;
+        self.discard_events += rhs.discard_events;
+        let room = Self::MAX_EVENTS.saturating_sub(self.events.len());
+        self.events
+            .extend(rhs.events.iter().take(room).copied());
+    }
+}
+
+impl fmt::Display for SubopCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subops: {} fsm, {} counter, {} ecc, {} hdr-bit | {} accepted, \
+             {} padded, {} discarded ({} pad / {} discard events)",
+            self.fsm_ops,
+            self.counter_ops,
+            self.ecc_ops,
+            self.header_bit_ops,
+            self.accepted_items,
+            self.padded_items,
+            self.discarded_items,
+            self.pad_events,
+            self.discard_events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let s = SubopCounters {
+            fsm_ops: 10,
+            counter_ops: 5,
+            ecc_ops: 3,
+            header_bit_ops: 2,
+            prepare_header_ops: 1,
+            accepted_items: 100,
+            padded_items: 3,
+            discarded_items: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.total_subops(), 21);
+        assert_eq!(s.lost_bytes(), 20);
+        assert_eq!(s.accepted_bytes(), 400);
+        assert!((s.loss_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_ratio_zero_when_nothing_accepted() {
+        assert_eq!(SubopCounters::default().loss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn event_log_is_bounded_but_counts_continue() {
+        let mut s = SubopCounters::default();
+        for i in 0..(SubopCounters::MAX_EVENTS as u64 + 10) {
+            s.record_event(i as u32, RealignKind::Pad);
+        }
+        assert_eq!(s.events.len(), SubopCounters::MAX_EVENTS);
+        assert_eq!(s.pad_events, SubopCounters::MAX_EVENTS as u64 + 10);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = SubopCounters::default();
+        a.record_event(1, RealignKind::Discard);
+        let mut b = SubopCounters::default();
+        b.fsm_ops = 7;
+        b.record_event(2, RealignKind::Pad);
+        a += &b;
+        assert_eq!(a.fsm_ops, 7);
+        assert_eq!(a.pad_events, 1);
+        assert_eq!(a.discard_events, 1);
+        assert_eq!(a.events.len(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SubopCounters::default().to_string().is_empty());
+    }
+}

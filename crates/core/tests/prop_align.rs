@@ -1,0 +1,168 @@
+//! Property tests for the Alignment Manager: self-stabilisation.
+//!
+//! The paper (§9) frames CommGuard's guarantee in terms of
+//! self-stabilisation: error effects on alignment are *ephemeral* — once
+//! faults stop, the system returns to a valid state at the next frame
+//! boundary. These properties drive the AM with arbitrarily corrupted
+//! producer streams and assert exactly that.
+
+use commguard::queue::{QueueSpec, SimQueue, Unit};
+use commguard::{AlignmentManager, PadPolicy, SubopCounters};
+use proptest::prelude::*;
+
+/// Per-frame corruption applied to the producer's stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Corrupt {
+    /// Frame emitted exactly as intended.
+    Clean,
+    /// The last `1..n` items of the frame are missing.
+    LoseItems(u32),
+    /// `1..=4` spurious items are appended to the frame.
+    ExtraItems(u32),
+    /// The whole frame (header + items) is emitted twice.
+    DupFrame,
+    /// The whole frame is skipped.
+    SkipFrame,
+    /// The items are emitted but the header is lost.
+    SkipHeader,
+}
+
+impl Corrupt {
+    fn is_clean(self) -> bool {
+        matches!(self, Corrupt::Clean)
+    }
+}
+
+fn corrupt_strategy() -> impl Strategy<Value = Corrupt> {
+    prop_oneof![
+        6 => Just(Corrupt::Clean),
+        1 => (1u32..4).prop_map(Corrupt::LoseItems),
+        1 => (1u32..4).prop_map(Corrupt::ExtraItems),
+        1 => Just(Corrupt::DupFrame),
+        1 => Just(Corrupt::SkipFrame),
+        1 => Just(Corrupt::SkipHeader),
+    ]
+}
+
+/// Emits the (possibly corrupted) stream for one frame. Item values encode
+/// `frame * 1000 + index` so delivery can be checked exactly.
+fn emit_frame(q: &mut SimQueue, frame: u32, n: u32, c: Corrupt) {
+    let push_items = |q: &mut SimQueue, count: u32| {
+        for i in 0..count {
+            q.try_push(Unit::Item(frame * 1000 + i)).unwrap();
+        }
+    };
+    match c {
+        Corrupt::Clean => {
+            q.try_push(Unit::header(frame)).unwrap();
+            push_items(q, n);
+        }
+        Corrupt::LoseItems(k) => {
+            q.try_push(Unit::header(frame)).unwrap();
+            push_items(q, n.saturating_sub(k.min(n)));
+        }
+        Corrupt::ExtraItems(k) => {
+            q.try_push(Unit::header(frame)).unwrap();
+            push_items(q, n + k);
+        }
+        Corrupt::DupFrame => {
+            q.try_push(Unit::header(frame)).unwrap();
+            push_items(q, n);
+            q.try_push(Unit::header(frame)).unwrap();
+            push_items(q, n);
+        }
+        Corrupt::SkipFrame => {}
+        Corrupt::SkipHeader => {
+            push_items(q, n);
+        }
+    }
+    q.flush();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// (1) The consumer always completes: with the end header present, no
+    ///     pop ever blocks, every frame receives its full item count.
+    /// (2) Self-stabilisation: every frame after the last corrupted frame
+    ///     is delivered bit-exactly.
+    /// (3) A fully clean stream is delivered bit-exactly with zero
+    ///     realignment activity.
+    #[test]
+    fn corrupted_streams_realign(
+        n in 1u32..8,
+        plan in prop::collection::vec(corrupt_strategy(), 3..12),
+    ) {
+        let frames = plan.len() as u32;
+        let mut q = SimQueue::new(QueueSpec::with_capacity(4096));
+        for (f, c) in plan.iter().enumerate() {
+            emit_frame(&mut q, f as u32, n, *c);
+        }
+        q.try_push(Unit::end_header()).unwrap();
+        q.flush();
+
+        let mut am = AlignmentManager::new(PadPolicy::Zero);
+        let mut sub = SubopCounters::default();
+        let mut delivered: Vec<Vec<u32>> = Vec::new();
+        for f in 0..frames {
+            if f > 0 {
+                am.new_frame_computation(f, &mut sub);
+            }
+            let mut got = Vec::new();
+            for _ in 0..n {
+                let v = am.pop(&mut q, &mut sub);
+                prop_assert!(v.is_some(), "pop blocked at frame {f}");
+                got.push(v.unwrap());
+            }
+            delivered.push(got);
+        }
+
+        // (2) every frame after the last corruption is exact.
+        let last_bad = plan.iter().rposition(|c| !c.is_clean());
+        let first_checked = last_bad.map_or(0, |i| i + 1);
+        for f in first_checked..frames as usize {
+            let expect: Vec<u32> = (0..n).map(|i| f as u32 * 1000 + i).collect();
+            prop_assert_eq!(
+                &delivered[f], &expect,
+                "frame {} not realigned (plan {:?})", f, plan
+            );
+        }
+
+        // (3) clean streams see no realignment at all.
+        if last_bad.is_none() {
+            prop_assert_eq!(sub.padded_items, 0);
+            prop_assert_eq!(sub.discarded_items, 0);
+            prop_assert_eq!(sub.accepted_items as u32, frames * n);
+        }
+    }
+
+    /// Loss accounting matches what physically happened: accepted +
+    /// padded pops equal the total pops issued.
+    #[test]
+    fn pop_accounting_balances(
+        n in 1u32..6,
+        plan in prop::collection::vec(corrupt_strategy(), 2..10),
+    ) {
+        let frames = plan.len() as u32;
+        let mut q = SimQueue::new(QueueSpec::with_capacity(4096));
+        for (f, c) in plan.iter().enumerate() {
+            emit_frame(&mut q, f as u32, n, *c);
+        }
+        q.try_push(Unit::end_header()).unwrap();
+        q.flush();
+        let mut am = AlignmentManager::new(PadPolicy::Zero);
+        let mut sub = SubopCounters::default();
+        for f in 0..frames {
+            if f > 0 {
+                am.new_frame_computation(f, &mut sub);
+            }
+            for _ in 0..n {
+                prop_assert!(am.pop(&mut q, &mut sub).is_some());
+            }
+        }
+        prop_assert_eq!(
+            sub.accepted_items + sub.padded_items,
+            u64::from(frames * n)
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests over the full per-core guard bundle (HI + AM +
+//! counters) driven as the runtime drives it, including frame scaling.
+
+use commguard::config::GuardConfig;
+use commguard::queue::{QueueSpec, SimQueue};
+use commguard::{CoreGuard, PadPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    /// For any frame count, items-per-frame and frame scale, an
+    /// error-free producer/consumer pair over one queue delivers every
+    /// item bit-exactly with zero realignment, and inserts exactly
+    /// ceil(frames/scale) + 1 headers (frames at the promoted rate plus
+    /// the end header).
+    #[test]
+    fn error_free_guarded_channel_is_exact(
+        frames in 1u32..40,
+        items in 1u32..16,
+        scale in 1u32..6,
+        pad_policy in prop_oneof![Just(PadPolicy::Zero), Just(PadPolicy::RepeatLast)],
+    ) {
+        let mut q = SimQueue::new(QueueSpec::with_capacity(65_536));
+        let cfg = GuardConfig {
+            frame_scale: scale,
+            pad_policy,
+            protect_headers: true,
+        };
+        let promoted = frames.div_ceil(scale);
+        let mut prod = CoreGuard::new(0, 1, &cfg, Some(promoted));
+        let mut cons = CoreGuard::new(1, 0, &cfg, Some(promoted));
+
+        prod.start();
+        for f in 0..frames {
+            if f > 0 {
+                prod.scope_boundary();
+            }
+            prop_assert!(prod.hi_tick(0, &mut q));
+            for i in 0..items {
+                prod.push(0, &mut q, f * 1000 + i).unwrap();
+            }
+        }
+        prod.finish();
+        prop_assert!(prod.hi_tick(0, &mut q));
+        q.flush();
+
+        cons.start();
+        let mut got = Vec::new();
+        for f in 0..frames {
+            if f > 0 {
+                cons.scope_boundary();
+            }
+            for _ in 0..items {
+                let v = cons.pop(0, &mut q);
+                prop_assert!(v.is_some(), "frame {f} blocked");
+                got.push(v.unwrap());
+            }
+        }
+        let want: Vec<u32> = (0..frames)
+            .flat_map(|f| (0..items).map(move |i| f * 1000 + i))
+            .collect();
+        prop_assert_eq!(got, want);
+        let sub = cons.subops();
+        prop_assert_eq!(sub.padded_items, 0);
+        prop_assert_eq!(sub.discarded_items, 0);
+        // Header count: initial frame + promoted boundaries + end header.
+        prop_assert_eq!(
+            q.stats().header_pushes,
+            u64::from((frames - 1) / scale) + 2
+        );
+    }
+
+    /// Whatever single frame the producer garbles (short by k items),
+    /// the consumer receives exactly `items` values per frame and pads
+    /// exactly k — loss accounting is precise, not approximate.
+    #[test]
+    fn pad_count_equals_lost_items(
+        frames in 2u32..20,
+        items in 2u32..12,
+        bad_frame in 0u32..20,
+        lost in 1u32..12,
+    ) {
+        let bad_frame = bad_frame % frames;
+        let lost = lost.min(items);
+        let mut q = SimQueue::new(QueueSpec::with_capacity(65_536));
+        let cfg = GuardConfig::default();
+        let mut prod = CoreGuard::new(0, 1, &cfg, Some(frames));
+        let mut cons = CoreGuard::new(1, 0, &cfg, Some(frames));
+        prod.start();
+        for f in 0..frames {
+            if f > 0 {
+                prod.scope_boundary();
+            }
+            prop_assert!(prod.hi_tick(0, &mut q));
+            let n = if f == bad_frame { items - lost } else { items };
+            for i in 0..n {
+                prod.push(0, &mut q, f * 1000 + i).unwrap();
+            }
+        }
+        prod.finish();
+        prop_assert!(prod.hi_tick(0, &mut q));
+        q.flush();
+
+        cons.start();
+        for f in 0..frames {
+            if f > 0 {
+                cons.scope_boundary();
+            }
+            for _ in 0..items {
+                prop_assert!(cons.pop(0, &mut q).is_some());
+            }
+        }
+        let sub = cons.subops();
+        prop_assert_eq!(sub.padded_items, u64::from(lost));
+        prop_assert_eq!(sub.discarded_items, 0);
+        prop_assert_eq!(
+            sub.accepted_items,
+            u64::from(frames * items - lost)
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! ECC operation counters.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters for ECC suboperations.
+///
+/// Feeds the paper's Table 3 / Fig. 14 accounting: `check-ECC` and
+/// `compute-ECC` are counted as distinct hardware suboperations; corrections
+/// and detections additionally record how often stored state was actually
+/// corrupted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccStats {
+    /// Decode (`check-ECC`) operations performed.
+    pub checks: u64,
+    /// Encode (`compute-ECC`) operations performed.
+    pub computes: u64,
+    /// Single-bit errors corrected during checks.
+    pub corrections: u64,
+    /// Uncorrectable errors detected during checks.
+    pub detections: u64,
+}
+
+impl EccStats {
+    /// Total ECC suboperations (checks + computes).
+    pub fn total_ops(&self) -> u64 {
+        self.checks + self.computes
+    }
+}
+
+impl AddAssign for EccStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.checks += rhs.checks;
+        self.computes += rhs.computes;
+        self.corrections += rhs.corrections;
+        self.detections += rhs.detections;
+    }
+}
+
+impl fmt::Display for EccStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ecc: {} checks, {} computes, {} corrected, {} detected",
+            self.checks, self.computes, self.corrections, self.detections
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = EccStats {
+            checks: 1,
+            computes: 2,
+            corrections: 3,
+            detections: 4,
+        };
+        a += EccStats {
+            checks: 10,
+            computes: 20,
+            corrections: 30,
+            detections: 40,
+        };
+        assert_eq!(a.checks, 11);
+        assert_eq!(a.computes, 22);
+        assert_eq!(a.corrections, 33);
+        assert_eq!(a.detections, 44);
+        assert_eq!(a.total_ops(), 33);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!EccStats::default().to_string().is_empty());
+    }
+}

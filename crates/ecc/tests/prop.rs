@@ -1,0 +1,34 @@
+//! Property tests for the SECDED implementation.
+
+use cg_ecc::{decode, encode, Decoded, CODEWORD_BITS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every word round-trips cleanly.
+    #[test]
+    fn roundtrip(word: u32) {
+        prop_assert_eq!(decode(encode(word)), Decoded::Clean(word));
+    }
+
+    /// Any single flip is corrected back to the original word.
+    #[test]
+    fn single_flip_corrected(word: u32, bit in 0..CODEWORD_BITS) {
+        let cw = encode(word).with_flipped_bit(bit);
+        prop_assert_eq!(decode(cw), Decoded::Corrected(word));
+    }
+
+    /// Any double flip is detected, never silently miscorrected.
+    #[test]
+    fn double_flip_detected(word: u32, b1 in 0..CODEWORD_BITS, b2 in 0..CODEWORD_BITS) {
+        prop_assume!(b1 != b2);
+        let cw = encode(word).with_flipped_bit(b1).with_flipped_bit(b2);
+        prop_assert_eq!(decode(cw), Decoded::Detected);
+    }
+
+    /// Distinct words never encode to the same codeword (injectivity).
+    #[test]
+    fn encoding_injective(a: u32, b: u32) {
+        prop_assume!(a != b);
+        prop_assert_ne!(encode(a), encode(b));
+    }
+}

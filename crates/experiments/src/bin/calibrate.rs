@@ -1,0 +1,32 @@
+//! Effect-model calibration: runs the mechanistic register-file bit-flip
+//! experiments on the `cg-vm` PPU cores and prints the measured
+//! manifestation rates next to the rates `EffectModel::calibrated()`
+//! hard-codes for the app-scale simulator.
+
+use cg_experiments::Cli;
+use cg_fault::EffectModel;
+use cg_vm::measure_effect_rates;
+
+fn main() {
+    let cli = Cli::parse();
+    let trials = if cli.quick { 150 } else { 600 };
+    println!("Calibration: single register-bit flips on PPU VM kernels");
+    println!("  ({} trials per kernel, 3 kernels)\n", trials);
+    let measured = measure_effect_rates(trials, 2015);
+    let coded = EffectModel::calibrated();
+    println!("  class        measured   EffectModel::calibrated()");
+    for (name, m, c) in [
+        ("data", measured.data, coded.p_data),
+        ("control", measured.control, coded.p_control),
+        ("addressing", measured.addressing, coded.p_addressing),
+        ("silent", measured.silent, coded.p_silent),
+    ] {
+        println!("  {name:<12} {m:>8.3}   {c:>8.3}");
+        assert!(
+            (m - c).abs() < 0.12,
+            "{name}: measured {m:.3} drifted from coded {c:.3}; \
+             re-run and update EffectModel::calibrated()"
+        );
+    }
+    println!("\n✓ coded effect rates within ±0.12 of the mechanistic measurement");
+}

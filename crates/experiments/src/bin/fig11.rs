@@ -1,0 +1,67 @@
+//! Fig. 11: SNR vs MTBE for the four kernel benchmarks
+//! (audiobeamformer, channelvocoder, complex-fir, fft), mean over seeds,
+//! with frame-size scaling on complex-fir as in panel (c).
+
+use cg_apps::{BenchApp, Workload};
+use cg_experiments::{db, mtbe_sweep, run_once, Cli, Csv};
+use cg_metrics::Summary;
+use commguard::config::GuardConfig;
+use commguard::Protection;
+
+fn main() {
+    let cli = Cli::parse();
+    let sweep = mtbe_sweep(cli.quick);
+    let mut csv = Csv::create(
+        &cli.out,
+        "fig11.csv",
+        "app,frame_scale,mtbe_k,snr_mean_db,snr_stddev_db",
+    );
+
+    let apps = [
+        BenchApp::AudioBeamformer,
+        BenchApp::ChannelVocoder,
+        BenchApp::ComplexFir,
+        BenchApp::Fft,
+    ];
+    println!("Fig. 11: kernel SNR vs MTBE (error-free SNR is infinity)");
+    for app in apps {
+        let w = Workload::new(app, cli.size());
+        let scales: &[u32] = if app == BenchApp::ComplexFir && !cli.quick {
+            &[1, 2, 4, 8] // panel (c) carries the frame-size ablation
+        } else {
+            &[1]
+        };
+        for &scale in scales {
+            let protection = Protection::CommGuard(GuardConfig::with_frame_scale(scale));
+            print!("{:>18} {}x:", app.name(), scale);
+            for &mtbe_k in &sweep {
+                let qs: Vec<f64> = (0..cli.seeds)
+                    .map(|seed| run_once(&w, protection, mtbe_k, seed).1)
+                    .collect();
+                let s = Summary::of(&qs);
+                print!("  {:>7}", db(s.mean));
+                csv.row(format_args!(
+                    "{app},{scale},{mtbe_k},{},{:.3}",
+                    db(s.mean),
+                    s.stddev
+                ));
+            }
+            println!();
+        }
+
+        // Shape: SNR improves with MTBE.
+        let low = run_once(&w, Protection::commguard(), sweep[0], 0).1;
+        let high = run_once(&w, Protection::commguard(), *sweep.last().unwrap(), 0).1;
+        assert!(
+            high >= low,
+            "{app}: SNR must not degrade with MTBE ({low:.1} -> {high:.1})"
+        );
+    }
+    println!("    (columns: MTBE = {sweep:?} k instructions)");
+    println!(
+        "\nexpected shape (paper): SNR rises with MTBE; complex-fir and \
+         audiobeamformer stay resilient even at extreme rates, while fft \
+         and channelvocoder drop faster at low MTBE."
+    );
+    println!("✓ SNR rises with MTBE for all four kernels");
+}

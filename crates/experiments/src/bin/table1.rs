@@ -1,0 +1,157 @@
+//! Table 1: the Alignment Manager FSM — prints the state transition
+//! table and exercises every row against a live queue, asserting each
+//! transition lands in the state the paper specifies.
+
+use commguard::queue::{QueueSpec, SimQueue, Unit};
+use commguard::{AlignmentManager, AmState, PadPolicy, SubopCounters};
+
+fn queue() -> SimQueue {
+    SimQueue::new(QueueSpec::with_capacity(256))
+}
+
+/// Builds an AM in the requested state by replaying a scripted stream.
+fn am_in(state: AmState) -> (AlignmentManager, SimQueue, SubopCounters) {
+    let mut q = queue();
+    let mut am = AlignmentManager::new(PadPolicy::Zero);
+    let mut sub = SubopCounters::default();
+    match state {
+        AmState::ExpHdr => {}
+        AmState::RcvCmp => {
+            q.try_push(Unit::header(0)).unwrap();
+            q.try_push(Unit::Item(1)).unwrap();
+            q.flush();
+            assert_eq!(am.pop(&mut q, &mut sub), Some(1));
+        }
+        AmState::DiscFr => {
+            q.try_push(Unit::Item(9)).unwrap(); // item in ExpHdr → DiscFr
+            q.flush();
+            assert_eq!(am.pop(&mut q, &mut sub), None);
+        }
+        AmState::Disc => {
+            q.try_push(Unit::header(0)).unwrap();
+            q.try_push(Unit::Item(1)).unwrap();
+            q.try_push(Unit::header(0)).unwrap(); // past header in RcvCmp
+            q.flush();
+            assert_eq!(am.pop(&mut q, &mut sub), Some(1));
+            assert_eq!(am.pop(&mut q, &mut sub), None);
+        }
+        AmState::Pdg => {
+            q.try_push(Unit::header(2)).unwrap(); // future header
+            q.flush();
+            assert_eq!(am.pop(&mut q, &mut sub), Some(0));
+        }
+    }
+    assert_eq!(am.state(), state, "setup must land in {state:?}");
+    (am, q, sub)
+}
+
+fn check(
+    from: AmState,
+    event: &str,
+    drive: impl FnOnce(&mut AlignmentManager, &mut SimQueue, &mut SubopCounters),
+    expect: AmState,
+) {
+    let (mut am, mut q, mut sub) = am_in(from);
+    drive(&mut am, &mut q, &mut sub);
+    assert_eq!(
+        am.state(),
+        expect,
+        "Table 1 row {from:?} / event '{event}'"
+    );
+    println!("  {from:?} --[{event}]--> {expect:?}   ✓");
+}
+
+fn push_and_pop(unit: Unit) -> impl FnOnce(&mut AlignmentManager, &mut SimQueue, &mut SubopCounters)
+{
+    move |am, q, sub| {
+        q.try_push(unit).unwrap();
+        q.flush();
+        let _ = am.pop(q, sub);
+    }
+}
+
+fn main() {
+    println!("Table 1: Alignment manager FSM states and transitions\n");
+
+    // RcvCmp row.
+    check(
+        AmState::RcvCmp,
+        "new frame computation",
+        |am, _q, sub| am.new_frame_computation(1, sub),
+        AmState::ExpHdr,
+    );
+    check(
+        AmState::RcvCmp,
+        "received future header",
+        push_and_pop(Unit::header(5)),
+        AmState::Pdg,
+    );
+    check(
+        AmState::RcvCmp,
+        "received past header",
+        push_and_pop(Unit::header(0)),
+        AmState::Disc,
+    );
+
+    // ExpHdr row.
+    check(
+        AmState::ExpHdr,
+        "received correct header",
+        |am, q, sub| {
+            q.try_push(Unit::header(0)).unwrap();
+            q.try_push(Unit::Item(7)).unwrap();
+            q.flush();
+            assert_eq!(am.pop(q, sub), Some(7));
+        },
+        AmState::RcvCmp,
+    );
+    check(
+        AmState::ExpHdr,
+        "received item",
+        push_and_pop(Unit::Item(9)),
+        AmState::DiscFr,
+    );
+    check(
+        AmState::ExpHdr,
+        "received future header",
+        push_and_pop(Unit::header(7)),
+        AmState::Pdg,
+    );
+
+    // DiscFr row.
+    check(
+        AmState::DiscFr,
+        "received correct header",
+        |am, q, sub| {
+            q.try_push(Unit::header(0)).unwrap();
+            q.try_push(Unit::Item(7)).unwrap();
+            q.flush();
+            assert_eq!(am.pop(q, sub), Some(7));
+        },
+        AmState::RcvCmp,
+    );
+    check(
+        AmState::DiscFr,
+        "received future header",
+        push_and_pop(Unit::header(3)),
+        AmState::Pdg,
+    );
+
+    // Disc row.
+    check(
+        AmState::Disc,
+        "received future header",
+        push_and_pop(Unit::header(4)),
+        AmState::Pdg,
+    );
+
+    // Pdg row.
+    check(
+        AmState::Pdg,
+        "new frame computation matched header",
+        |am, _q, sub| am.new_frame_computation(2, sub),
+        AmState::RcvCmp,
+    );
+
+    println!("\nAll Table 1 transitions verified.");
+}

@@ -1,0 +1,190 @@
+//! # cg-experiments — regenerating every table and figure of the paper
+//!
+//! One binary per experiment (see `src/bin/`): `graphs` (Figs. 1–2),
+//! `table1`, `table23`, `fig3`, `fig7`, `fig8`, `fig9`, `fig10`,
+//! `fig11`, `fig12`, `fig13`, `fig14`, `calibrate` (the VM effect-rate
+//! measurement) and `run_all`. Each prints the paper's rows/series to
+//! stdout and writes CSV (and PPM images where applicable) under
+//! `results/`.
+//!
+//! Common flags: `--quick` (small workloads, fewer seeds), `--seeds N`,
+//! `--out DIR`, `--paper` (full-size workloads).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use cg_apps::{BenchApp, Size, Workload};
+use cg_fault::Mtbe;
+use cg_runtime::{run, RunReport, SimConfig};
+use commguard::Protection;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Use small workloads and fewer seeds.
+    pub quick: bool,
+    /// Use paper-scale workloads.
+    pub paper: bool,
+    /// Seeds per configuration (the paper uses 5).
+    pub seeds: u64,
+    /// Output directory for CSV/PPM artifacts.
+    pub out: PathBuf,
+    /// Remaining free-form flags.
+    pub flags: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        let mut cli = Cli {
+            quick: false,
+            paper: false,
+            seeds: 5,
+            out: PathBuf::from("results"),
+            flags: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => {
+                    cli.quick = true;
+                    cli.seeds = 2;
+                }
+                "--paper" => cli.paper = true,
+                "--seeds" => {
+                    cli.seeds = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seeds needs a number");
+                }
+                "--out" => {
+                    cli.out = PathBuf::from(args.next().expect("--out needs a path"));
+                }
+                other => cli.flags.push(other.to_string()),
+            }
+        }
+        fs::create_dir_all(&cli.out).expect("create output dir");
+        cli
+    }
+
+    /// Workload size implied by the flags.
+    pub fn size(&self) -> Size {
+        if self.paper {
+            Size::Paper
+        } else {
+            Size::Small
+        }
+    }
+
+    /// Whether a free-form flag was passed.
+    pub fn has_flag(&self, f: &str) -> bool {
+        self.flags.iter().any(|x| x == f)
+    }
+}
+
+/// The MTBE sweep used by the figures, in kilo-instructions.
+pub fn mtbe_sweep(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![64, 512, 4096]
+    } else {
+        vec![64, 128, 256, 512, 1024, 2048, 4096, 8192]
+    }
+}
+
+/// Runs one configuration of a prepared workload.
+pub fn run_once(
+    w: &Workload,
+    protection: Protection,
+    mtbe_k: u64,
+    seed: u64,
+) -> (RunReport, f64) {
+    let (program, sink) = w.build();
+    let cfg = SimConfig {
+        max_rounds: 50_000_000,
+        ..SimConfig::with_errors(
+            w.frames(),
+            protection,
+            Mtbe::kilo_instructions(mtbe_k),
+            seed,
+        )
+    };
+    let report = run(program, &cfg).expect("run starts");
+    let q = w.quality_db(report.sink_output(sink));
+    (report, q)
+}
+
+/// Runs one configuration with the guard hardware active but fault
+/// injection off (for pure-overhead measurements).
+pub fn run_once_no_faults(w: &Workload, protection: Protection) -> (RunReport, f64) {
+    let (program, sink) = w.build();
+    let cfg = SimConfig {
+        protection,
+        inject: false,
+        max_rounds: 50_000_000,
+        ..SimConfig::error_free(w.frames())
+    };
+    let report = run(program, &cfg).expect("run starts");
+    let q = w.quality_db(report.sink_output(sink));
+    (report, q)
+}
+
+/// A CSV writer that also echoes nothing (callers print their own rows).
+pub struct Csv {
+    file: fs::File,
+}
+
+impl Csv {
+    /// Creates `out/<name>` and writes the header row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (experiment binaries fail loudly).
+    pub fn create(dir: &Path, name: &str, header: &str) -> Self {
+        let mut file = fs::File::create(dir.join(name)).expect("create csv");
+        writeln!(file, "{header}").expect("write header");
+        Csv { file }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, fields: std::fmt::Arguments<'_>) {
+        writeln!(self.file, "{fields}").expect("write row");
+    }
+}
+
+/// Formats a dB value the way the figures label them (∞ → "inf").
+pub fn db(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Prepares all six workloads (reusing each across a sweep).
+pub fn all_workloads(size: Size) -> Vec<Workload> {
+    BenchApp::all()
+        .into_iter()
+        .map(|a| {
+            eprintln!("preparing {a} ...");
+            Workload::new(a, size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_contents() {
+        assert_eq!(mtbe_sweep(true), vec![64, 512, 4096]);
+        assert_eq!(mtbe_sweep(false).len(), 8);
+    }
+
+    #[test]
+    fn db_formatting() {
+        assert_eq!(db(f64::INFINITY), "inf");
+        assert_eq!(db(9.4321), "9.43");
+    }
+}

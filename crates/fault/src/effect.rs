@@ -1,0 +1,268 @@
+//! Architecture-level fault effect taxonomy (paper §3).
+//!
+//! The paper classifies the *manifestations* of register bit flips into
+//! data transmission errors (DTE), queue-management errors (QME),
+//! and alignment errors (AE) driven by control-flow perturbation. A large
+//! fraction of flips is also architecturally masked (dead registers,
+//! overwritten-before-use values). [`EffectModel`] captures the rates at
+//! which an injected fault lands in each class; the runtime applies the
+//! class mechanically to the executing firing.
+
+use rand::Rng;
+
+use crate::rng::DetRng;
+
+/// Manifestation class of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectKind {
+    /// A live data value is corrupted (single bit flip in an item that is
+    /// being computed, pushed, or popped). Paper class DTE.
+    DataValue,
+    /// The thread's fine-grained control flow is perturbed, changing how
+    /// many items this firing produces/consumes. Source of alignment
+    /// errors (paper class AE).
+    ControlFlow,
+    /// A memory address is corrupted. In a filter this garbles a local
+    /// buffer access; when queue state is unprotected it corrupts a
+    /// shared head/tail pointer (paper class QME).
+    Addressing,
+    /// The flip was architecturally masked (dead register or value
+    /// overwritten before use); no visible effect.
+    Silent,
+}
+
+/// Concrete control-flow perturbation applied to a firing.
+///
+/// PPU cores guarantee forward progress through the scope sequence, so a
+/// control error is always bounded to the current firing: it can change the
+/// item count of this firing or skip/duplicate a firing body, but it can
+/// never hang the thread or escape the scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlPerturbation {
+    /// The firing pushes `n` spurious extra items.
+    ExtraItems(u32),
+    /// The firing fails to push its last `n` items.
+    LostItems(u32),
+    /// The entire firing body is skipped (its outputs are never produced).
+    SkipFiring,
+    /// The firing body runs twice (its outputs are duplicated).
+    ExtraFiring,
+}
+
+/// Rates at which injected faults manifest as each [`EffectKind`].
+///
+/// Probabilities must sum to 1. The [`EffectModel::calibrated`] constructor
+/// returns rates measured by running the mechanistic register-file injector
+/// of `cg-vm` over the bundled bytecode kernels; see that crate's
+/// `calibration` module for the measurement harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffectModel {
+    /// Probability a fault corrupts a live data value.
+    pub p_data: f64,
+    /// Probability a fault perturbs control flow.
+    pub p_control: f64,
+    /// Probability a fault corrupts an address.
+    pub p_addressing: f64,
+    /// Probability a fault is architecturally masked.
+    pub p_silent: f64,
+    /// Geometric-distribution parameter for perturbation magnitudes
+    /// (expected extra/lost item count is `1 / magnitude_p`).
+    pub magnitude_p: f64,
+    /// Probability that a control perturbation affects a whole firing
+    /// (skip/duplicate) rather than an item count.
+    pub p_whole_firing: f64,
+}
+
+impl EffectModel {
+    /// Rates calibrated against the `cg-vm` register-file injector
+    /// (`cg_vm::calibration::measure_effect_rates`, 16-register cores on
+    /// the bundled FIR/FFT/moving-average kernels).
+    pub fn calibrated() -> Self {
+        EffectModel {
+            p_data: 0.13,
+            p_control: 0.18,
+            p_addressing: 0.05,
+            p_silent: 0.64,
+            magnitude_p: 0.5,
+            p_whole_firing: 0.10,
+        }
+    }
+
+    /// A model where every fault corrupts data — useful for isolating
+    /// DTE behaviour in tests.
+    pub fn data_only() -> Self {
+        EffectModel {
+            p_data: 1.0,
+            p_control: 0.0,
+            p_addressing: 0.0,
+            p_silent: 0.0,
+            magnitude_p: 0.5,
+            p_whole_firing: 0.0,
+        }
+    }
+
+    /// A model where every fault perturbs control flow — the worst case
+    /// for alignment, used to stress the AM FSM.
+    pub fn control_only() -> Self {
+        EffectModel {
+            p_data: 0.0,
+            p_control: 1.0,
+            p_addressing: 0.0,
+            p_silent: 0.0,
+            magnitude_p: 0.5,
+            p_whole_firing: 0.10,
+        }
+    }
+
+    /// Validates that the class probabilities form a distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.p_data + self.p_control + self.p_addressing + self.p_silent;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("effect probabilities sum to {sum}, expected 1"));
+        }
+        for (name, p) in [
+            ("p_data", self.p_data),
+            ("p_control", self.p_control),
+            ("p_addressing", self.p_addressing),
+            ("p_silent", self.p_silent),
+            ("p_whole_firing", self.p_whole_firing),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+        }
+        if !(self.magnitude_p > 0.0 && self.magnitude_p <= 1.0) {
+            return Err(format!("magnitude_p = {} outside (0, 1]", self.magnitude_p));
+        }
+        Ok(())
+    }
+
+    /// Samples the manifestation class of one fault.
+    pub fn sample_kind(&self, rng: &mut DetRng) -> EffectKind {
+        let u: f64 = rng.gen();
+        if u < self.p_data {
+            EffectKind::DataValue
+        } else if u < self.p_data + self.p_control {
+            EffectKind::ControlFlow
+        } else if u < self.p_data + self.p_control + self.p_addressing {
+            EffectKind::Addressing
+        } else {
+            EffectKind::Silent
+        }
+    }
+
+    /// Samples the concrete perturbation for a control-flow fault.
+    pub fn sample_perturbation(&self, rng: &mut DetRng) -> ControlPerturbation {
+        if rng.gen::<f64>() < self.p_whole_firing {
+            if rng.gen::<bool>() {
+                ControlPerturbation::SkipFiring
+            } else {
+                ControlPerturbation::ExtraFiring
+            }
+        } else {
+            let n = sample_geometric(self.magnitude_p, rng).min(64);
+            if rng.gen::<bool>() {
+                ControlPerturbation::ExtraItems(n)
+            } else {
+                ControlPerturbation::LostItems(n)
+            }
+        }
+    }
+}
+
+impl Default for EffectModel {
+    fn default() -> Self {
+        EffectModel::calibrated()
+    }
+}
+
+/// Samples from a geometric distribution on {1, 2, ...} with success
+/// probability `p`.
+fn sample_geometric(p: f64, rng: &mut DetRng) -> u32 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    let mut n = 1u32;
+    while rng.gen::<f64>() >= p && n < u32::MAX {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::core_rng;
+
+    #[test]
+    fn calibrated_model_is_valid() {
+        EffectModel::calibrated().validate().unwrap();
+        EffectModel::data_only().validate().unwrap();
+        EffectModel::control_only().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let mut m = EffectModel::calibrated();
+        m.p_data += 0.5;
+        assert!(m.validate().is_err());
+        let mut m = EffectModel::calibrated();
+        m.magnitude_p = 0.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn sample_kind_matches_rates_roughly() {
+        let model = EffectModel::calibrated();
+        let mut rng = core_rng(11, 0);
+        let n = 100_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            match model.sample_kind(&mut rng) {
+                EffectKind::DataValue => counts[0] += 1,
+                EffectKind::ControlFlow => counts[1] += 1,
+                EffectKind::Addressing => counts[2] += 1,
+                EffectKind::Silent => counts[3] += 1,
+            }
+        }
+        let frac = |c: u32| f64::from(c) / f64::from(n);
+        assert!((frac(counts[0]) - model.p_data).abs() < 0.01);
+        assert!((frac(counts[1]) - model.p_control).abs() < 0.01);
+        assert!((frac(counts[2]) - model.p_addressing).abs() < 0.01);
+        assert!((frac(counts[3]) - model.p_silent).abs() < 0.01);
+    }
+
+    #[test]
+    fn data_only_always_data() {
+        let model = EffectModel::data_only();
+        let mut rng = core_rng(3, 0);
+        for _ in 0..100 {
+            assert_eq!(model.sample_kind(&mut rng), EffectKind::DataValue);
+        }
+    }
+
+    #[test]
+    fn perturbation_magnitudes_are_bounded() {
+        let model = EffectModel::calibrated();
+        let mut rng = core_rng(5, 0);
+        for _ in 0..1000 {
+            match model.sample_perturbation(&mut rng) {
+                ControlPerturbation::ExtraItems(n) | ControlPerturbation::LostItems(n) => {
+                    assert!((1..=64).contains(&n));
+                }
+                ControlPerturbation::SkipFiring | ControlPerturbation::ExtraFiring => {}
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_mean_close_to_inverse_p() {
+        let mut rng = core_rng(9, 0);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| u64::from(sample_geometric(0.5, &mut rng))).sum();
+        let mean = sum as f64 / f64::from(n);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+}

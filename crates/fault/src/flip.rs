@@ -1,0 +1,52 @@
+//! Raw bit-flip primitives.
+
+use rand::Rng;
+
+use crate::rng::DetRng;
+
+/// Flips bit `bit` of `word`.
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+#[inline]
+pub fn flip_word_bit(word: u32, bit: u32) -> u32 {
+    assert!(bit < 32, "bit {bit} out of range");
+    word ^ (1 << bit)
+}
+
+/// Flips a uniformly random bit of `word`.
+#[inline]
+pub fn flip_random_bit_u32(word: u32, rng: &mut DetRng) -> u32 {
+    word ^ (1 << rng.gen_range(0..32u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::core_rng;
+
+    #[test]
+    fn flip_is_involutive() {
+        let w = 0xABCD_1234;
+        for bit in 0..32 {
+            assert_eq!(flip_word_bit(flip_word_bit(w, bit), bit), w);
+        }
+    }
+
+    #[test]
+    fn random_flip_changes_exactly_one_bit() {
+        let mut rng = core_rng(1, 0);
+        for _ in 0..100 {
+            let w = rng.gen::<u32>();
+            let f = flip_random_bit_u32(w, &mut rng);
+            assert_eq!((w ^ f).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_32_panics() {
+        let _ = flip_word_bit(0, 32);
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-core fault scheduling.
+
+use rand::Rng;
+
+use crate::effect::{EffectKind, EffectModel};
+use crate::rng::{core_rng, DetRng};
+use crate::stats::FaultStats;
+
+/// Mean time between errors, measured in committed instructions, as in the
+/// paper's x-axes ("MTBE (instructions x 1000)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mtbe(u64);
+
+impl Mtbe {
+    /// An MTBE of `n` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn instructions(n: u64) -> Self {
+        assert!(n > 0, "MTBE must be positive");
+        Mtbe(n)
+    }
+
+    /// An MTBE of `n × 1000` instructions (the paper's axis unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn kilo_instructions(n: u64) -> Self {
+        Mtbe::instructions(n * 1000)
+    }
+
+    /// The mean, in instructions.
+    pub fn as_instructions(self) -> u64 {
+        self.0
+    }
+
+    /// The standard sweep used throughout the paper's figures:
+    /// 64k..8192k instructions in powers of two.
+    pub fn paper_sweep() -> Vec<Mtbe> {
+        [64u64, 128, 256, 512, 1024, 2048, 4096, 8192]
+            .iter()
+            .map(|&k| Mtbe::kilo_instructions(k))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Mtbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 % 1000 == 0 {
+            write!(f, "{}k", self.0 / 1000)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// One scheduled fault, positioned in a core's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Core-local committed-instruction count at which the fault strikes.
+    pub at_instruction: u64,
+    /// Architecture-level manifestation class.
+    pub kind: EffectKind,
+}
+
+/// Independent fault injector for one simulated core.
+///
+/// Inter-arrival times are exponentially distributed with the configured
+/// mean, mirroring "each error injector picks a random target cycle in the
+/// future following the mean error rate" (§6). The injector owns a private
+/// deterministic RNG derived from `(run_seed, core_id)`.
+#[derive(Debug, Clone)]
+pub struct CoreInjector {
+    mtbe: Option<Mtbe>,
+    model: EffectModel,
+    rng: DetRng,
+    /// Committed instructions simulated so far on this core.
+    now: u64,
+    /// Instruction count of the next fault.
+    next_at: u64,
+    stats: FaultStats,
+}
+
+impl CoreInjector {
+    /// Creates an injector for core `core_id` of a run seeded `run_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` fails [`EffectModel::validate`].
+    pub fn new(mtbe: Mtbe, model: EffectModel, run_seed: u64, core_id: u64) -> Self {
+        model.validate().expect("invalid effect model");
+        let mut inj = CoreInjector {
+            mtbe: Some(mtbe),
+            model,
+            rng: core_rng(run_seed, core_id),
+            now: 0,
+            next_at: 0,
+            stats: FaultStats::default(),
+        };
+        inj.next_at = inj.draw_next(0);
+        inj
+    }
+
+    /// Creates an injector that never fires (error-free baseline).
+    pub fn disabled(run_seed: u64, core_id: u64) -> Self {
+        CoreInjector {
+            mtbe: None,
+            model: EffectModel::calibrated(),
+            rng: core_rng(run_seed, core_id),
+            now: 0,
+            next_at: u64::MAX,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Whether this injector can ever produce faults.
+    pub fn is_enabled(&self) -> bool {
+        self.mtbe.is_some()
+    }
+
+    /// The effect model in use.
+    pub fn model(&self) -> &EffectModel {
+        &self.model
+    }
+
+    /// Mutable access to the private RNG, for sampling perturbation details
+    /// with the same deterministic stream.
+    pub fn rng_mut(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Advances the core's instruction clock by `instructions` and returns
+    /// the faults that strike within the advanced window, in order.
+    pub fn advance(&mut self, instructions: u64) -> Vec<FaultEvent> {
+        let end = self.now.saturating_add(instructions);
+        let mut events = Vec::new();
+        while self.next_at < end {
+            let kind = self.model.sample_kind(&mut self.rng);
+            self.stats.record(kind);
+            events.push(FaultEvent {
+                at_instruction: self.next_at,
+                kind,
+            });
+            self.next_at = self.draw_next(self.next_at);
+        }
+        self.now = end;
+        events
+    }
+
+    /// Committed instructions simulated so far.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Cumulative fault statistics.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    fn draw_next(&mut self, from: u64) -> u64 {
+        match self.mtbe {
+            None => u64::MAX,
+            Some(mtbe) => {
+                // Exponential inter-arrival with the configured mean;
+                // 1 - u avoids ln(0).
+                let u: f64 = self.rng.gen();
+                let gap = -(1.0 - u).ln() * mtbe.as_instructions() as f64;
+                from.saturating_add((gap.max(1.0)) as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtbe_display_and_units() {
+        assert_eq!(Mtbe::kilo_instructions(512).as_instructions(), 512_000);
+        assert_eq!(Mtbe::kilo_instructions(512).to_string(), "512k");
+        assert_eq!(Mtbe::instructions(7).to_string(), "7");
+        assert_eq!(Mtbe::paper_sweep().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mtbe_panics() {
+        let _ = Mtbe::instructions(0);
+    }
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let mut inj = CoreInjector::disabled(1, 0);
+        assert!(!inj.is_enabled());
+        assert!(inj.advance(u64::MAX / 2).is_empty());
+    }
+
+    #[test]
+    fn fault_rate_matches_mtbe() {
+        let mut inj = CoreInjector::new(
+            Mtbe::instructions(1000),
+            EffectModel::calibrated(),
+            99,
+            0,
+        );
+        let events = inj.advance(10_000_000);
+        let n = events.len() as f64;
+        // Expect ~10_000 events; allow 5% tolerance.
+        assert!((n - 10_000.0).abs() < 500.0, "got {n}");
+        // Events are ordered and within the window.
+        for w in events.windows(2) {
+            assert!(w[0].at_instruction <= w[1].at_instruction);
+        }
+        assert!(events.last().unwrap().at_instruction < 10_000_000);
+        assert_eq!(inj.stats().total(), events.len() as u64);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed_and_core() {
+        let run = |seed, core| {
+            let mut inj =
+                CoreInjector::new(Mtbe::instructions(500), EffectModel::calibrated(), seed, core);
+            inj.advance(100_000)
+        };
+        assert_eq!(run(5, 1), run(5, 1));
+        assert_ne!(run(5, 1), run(5, 2));
+        assert_ne!(run(5, 1), run(6, 1));
+    }
+
+    #[test]
+    fn advance_in_chunks_equals_single_advance() {
+        let mk = || CoreInjector::new(Mtbe::instructions(100), EffectModel::calibrated(), 4, 7);
+        let mut a = mk();
+        let whole = a.advance(50_000);
+        let mut b = mk();
+        let mut chunked = Vec::new();
+        for _ in 0..50 {
+            chunked.extend(b.advance(1000));
+        }
+        assert_eq!(whole, chunked);
+        assert_eq!(a.now(), b.now());
+    }
+}

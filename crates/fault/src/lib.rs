@@ -1,0 +1,45 @@
+//! # cg-fault — deterministic hardware-fault injection
+//!
+//! Models the error-injection methodology of the CommGuard paper (§6):
+//! each simulated core owns an independent injector that picks a random
+//! target point in the future following a configured **mean time between
+//! errors (MTBE, in instructions)** and, when simulation reaches that
+//! point, injects an error.
+//!
+//! Two injection layers are provided:
+//!
+//! * **Mechanistic** — random bit flips in raw words (`flip`) and in the
+//!   register file of the [`cg-vm`](../cg_vm/index.html) bytecode cores.
+//!   This mirrors the paper's register-based injection exactly.
+//! * **Effect-level** — the [`EffectModel`] maps each raw fault to its
+//!   architecture-level manifestation class from the paper's §3 taxonomy
+//!   (data transmission error, control-flow perturbation, addressing
+//!   error, masked/silent). The class rates default to values calibrated
+//!   by running the mechanistic injector on `cg-vm` kernels (see
+//!   `cg_vm::calibration`), and can be overridden.
+//!
+//! Everything is deterministic given a run seed: per-core RNGs are seeded
+//! with `splitmix64(run_seed, core_id)` and never share state, matching the
+//! paper's "each core's error injection is independent and has its own
+//! random number generator".
+//!
+//! ```
+//! use cg_fault::{CoreInjector, EffectModel, Mtbe};
+//!
+//! let mut inj = CoreInjector::new(Mtbe::instructions(1000), EffectModel::calibrated(), 42, 0);
+//! // Advance the core by 10k instructions; roughly 10 faults arrive.
+//! let events = inj.advance(10_000);
+//! assert!(!events.is_empty());
+//! ```
+
+mod effect;
+mod flip;
+mod injector;
+mod rng;
+mod stats;
+
+pub use effect::{ControlPerturbation, EffectKind, EffectModel};
+pub use flip::{flip_random_bit_u32, flip_word_bit};
+pub use injector::{CoreInjector, FaultEvent, Mtbe};
+pub use rng::{core_rng, splitmix64, DetRng};
+pub use stats::FaultStats;

@@ -1,0 +1,94 @@
+//! Fault-injection statistics.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use crate::effect::EffectKind;
+
+/// Counts of injected faults by manifestation class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults that corrupted a live data value.
+    pub data: u64,
+    /// Faults that perturbed control flow.
+    pub control: u64,
+    /// Faults that corrupted an address.
+    pub addressing: u64,
+    /// Faults that were architecturally masked.
+    pub silent: u64,
+}
+
+impl FaultStats {
+    /// Records one fault of class `kind`.
+    pub fn record(&mut self, kind: EffectKind) {
+        match kind {
+            EffectKind::DataValue => self.data += 1,
+            EffectKind::ControlFlow => self.control += 1,
+            EffectKind::Addressing => self.addressing += 1,
+            EffectKind::Silent => self.silent += 1,
+        }
+    }
+
+    /// Total faults recorded.
+    pub fn total(&self) -> u64 {
+        self.data + self.control + self.addressing + self.silent
+    }
+
+    /// Total faults with a visible architectural effect.
+    pub fn visible(&self) -> u64 {
+        self.data + self.control + self.addressing
+    }
+}
+
+impl AddAssign for FaultStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.data += rhs.data;
+        self.control += rhs.control;
+        self.addressing += rhs.addressing;
+        self.silent += rhs.silent;
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults: {} data, {} control, {} addressing, {} silent",
+            self.data, self.control, self.addressing, self.silent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = FaultStats::default();
+        s.record(EffectKind::DataValue);
+        s.record(EffectKind::DataValue);
+        s.record(EffectKind::ControlFlow);
+        s.record(EffectKind::Silent);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.visible(), 3);
+        assert_eq!(s.data, 2);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = FaultStats {
+            data: 1,
+            control: 2,
+            addressing: 3,
+            silent: 4,
+        };
+        a += a;
+        assert_eq!(a.total(), 20);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!FaultStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Incremental, validated construction of [`StreamGraph`]s.
+
+use crate::cost::CostModel;
+use crate::graph::{Edge, GraphError, Node, NodeKind, StreamGraph};
+use crate::ids::{EdgeId, NodeId};
+
+/// Builder for [`StreamGraph`] values.
+///
+/// Collects nodes and edges, then validates the whole structure in
+/// [`GraphBuilder::build`]. Convenience methods construct the StreamIt
+/// composite patterns (pipelines and split-joins).
+///
+/// ```
+/// use cg_graph::{GraphBuilder, NodeKind};
+///
+/// # fn main() -> Result<(), cg_graph::GraphError> {
+/// let mut b = GraphBuilder::new("splitjoin");
+/// let src = b.add_node("src", NodeKind::Source);
+/// let split = b.add_node("split", NodeKind::SplitDuplicate);
+/// let a = b.add_node("a", NodeKind::Filter);
+/// let c = b.add_node("c", NodeKind::Filter);
+/// let join = b.add_node("join", NodeKind::JoinRoundRobin);
+/// let snk = b.add_node("snk", NodeKind::Sink);
+/// b.connect(src, split, 4, 4)?;
+/// b.connect(split, a, 4, 4)?;
+/// b.connect(split, c, 4, 4)?;
+/// b.connect(a, join, 4, 4)?;
+/// b.connect(c, join, 4, 4)?;
+/// b.connect(join, snk, 8, 8)?;
+/// let g = b.build()?;
+/// assert_eq!(g.node_count(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Starts an empty graph named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node with the default cost model; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        self.add_node_with_cost(name, kind, CostModel::default())
+    }
+
+    /// Adds a node with an explicit per-firing instruction [`CostModel`].
+    pub fn add_node_with_cost(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        cost: CostModel,
+    ) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            cost,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        });
+        id
+    }
+
+    /// Connects `src` to `dst` with the given per-firing rates:
+    /// `src` pushes `push` items per firing, `dst` pops `pop` per firing.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero rates, unknown node ids, and connections that a node's
+    /// kind forbids (e.g. an input into a source).
+    pub fn connect(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        push: u32,
+        pop: u32,
+    ) -> Result<EdgeId, GraphError> {
+        if push == 0 || pop == 0 {
+            return Err(GraphError::ZeroRate { src, dst });
+        }
+        for id in [src, dst] {
+            if id.index() >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(id));
+            }
+        }
+        if !self.nodes[src.index()].kind.gives_output() {
+            return Err(GraphError::IllegalConnection {
+                node: src,
+                reason: "node kind has no outputs",
+            });
+        }
+        if !self.nodes[dst.index()].kind.takes_input() {
+            return Err(GraphError::IllegalConnection {
+                node: dst,
+                reason: "node kind has no inputs",
+            });
+        }
+        let eid = EdgeId::from_index(self.edges.len());
+        self.edges.push(Edge { src, dst, push, pop });
+        self.nodes[src.index()].outputs.push(eid);
+        self.nodes[dst.index()].inputs.push(eid);
+        Ok(eid)
+    }
+
+    /// Connects a chain of already-added filter nodes with uniform rate
+    /// `rate` on every hop (`push == pop == rate`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphBuilder::connect`] errors.
+    pub fn pipeline(&mut self, chain: &[NodeId], rate: u32) -> Result<Vec<EdgeId>, GraphError> {
+        chain
+            .windows(2)
+            .map(|w| self.connect(w[0], w[1], rate, rate))
+            .collect()
+    }
+
+    /// Builds a duplicate split-join: `input → split → (each branch) →
+    /// join → output` where every branch sees the full stream of `width`
+    /// items per firing and contributes `branch_out` items to the joiner.
+    ///
+    /// Returns the `(split, join)` node ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphBuilder::connect`] errors.
+    pub fn split_join_duplicate(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        branches: &[NodeId],
+        output: NodeId,
+        width: u32,
+        branch_out: u32,
+    ) -> Result<(NodeId, NodeId), GraphError> {
+        let split = self.add_node(format!("{name}_split"), NodeKind::SplitDuplicate);
+        let join = self.add_node(format!("{name}_join"), NodeKind::JoinRoundRobin);
+        self.connect(input, split, width, width)?;
+        for &branch in branches {
+            self.connect(split, branch, width, width)?;
+            self.connect(branch, join, branch_out, branch_out)?;
+        }
+        let total = branch_out * branches.len() as u32;
+        self.connect(join, output, total, total)?;
+        Ok((split, join))
+    }
+
+    /// Validates and finalises the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural invariant violated (see
+    /// [`StreamGraph::validate`]).
+    pub fn build(self) -> Result<StreamGraph, GraphError> {
+        let g = StreamGraph {
+            name: self.name,
+            nodes: self.nodes,
+            edges: self.edges,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_rate() {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let k = b.add_node("k", NodeKind::Sink);
+        assert!(matches!(
+            b.connect(s, k, 0, 1),
+            Err(GraphError::ZeroRate { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let ghost = NodeId::from_index(99);
+        assert_eq!(b.connect(s, ghost, 1, 1), Err(GraphError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn rejects_input_into_source() {
+        let mut b = GraphBuilder::new("t");
+        let s1 = b.add_node("s1", NodeKind::Source);
+        let s2 = b.add_node("s2", NodeKind::Source);
+        assert!(matches!(
+            b.connect(s1, s2, 1, 1),
+            Err(GraphError::IllegalConnection { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_output_from_sink() {
+        let mut b = GraphBuilder::new("t");
+        let k = b.add_node("k", NodeKind::Sink);
+        let f = b.add_node("f", NodeKind::Filter);
+        assert!(matches!(
+            b.connect(k, f, 1, 1),
+            Err(GraphError::IllegalConnection { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(GraphBuilder::new("t").build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn build_rejects_disconnected() {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.connect(s, k, 1, 1).unwrap();
+        let s2 = b.add_node("s2", NodeKind::Source);
+        let k2 = b.add_node("k2", NodeKind::Sink);
+        b.connect(s2, k2, 1, 1).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_cycle() {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let f1 = b.add_node("f1", NodeKind::Filter);
+        let f2 = b.add_node("f2", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.connect(s, f1, 1, 1).unwrap();
+        b.connect(f1, f2, 1, 1).unwrap();
+        b.connect(f2, f1, 1, 1).unwrap();
+        b.connect(f2, k, 1, 1).unwrap();
+        assert_eq!(b.build().unwrap_err(), GraphError::Cyclic);
+    }
+
+    #[test]
+    fn build_rejects_filter_without_output() {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        b.connect(s, f, 1, 1).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::MissingEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_builds_chain() {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let f1 = b.add_node("f1", NodeKind::Filter);
+        let f2 = b.add_node("f2", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        let edges = b.pipeline(&[s, f1, f2, k], 4).unwrap();
+        assert_eq!(edges.len(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge(edges[1]).push_rate(), 4);
+    }
+
+    #[test]
+    fn split_join_helper_shapes_graph() {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let r = b.add_node("r", NodeKind::Filter);
+        let gch = b.add_node("g", NodeKind::Filter);
+        let bl = b.add_node("b", NodeKind::Filter);
+        let post = b.add_node("post", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        let (split, join) = b
+            .split_join_duplicate("rgb", s, &[r, gch, bl], post, 192, 64)
+            .unwrap();
+        b.connect(post, k, 192, 192).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.node(split).kind(), NodeKind::SplitDuplicate);
+        assert_eq!(g.node(join).kind(), NodeKind::JoinRoundRobin);
+        assert_eq!(g.node(join).inputs().len(), 3);
+        assert_eq!(g.edge(g.node(join).outputs()[0]).push_rate(), 192);
+    }
+}

@@ -1,0 +1,611 @@
+//! Stream graph representation and validation.
+
+use std::fmt;
+
+use crate::cost::CostModel;
+use crate::frames::FrameAnalysis;
+use crate::ids::{EdgeId, NodeId};
+use crate::schedule::Schedule;
+
+/// The structural role of a node, mirroring StreamIt's constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Produces the input stream (no incoming edges).
+    Source,
+    /// Consumes the output stream (no outgoing edges).
+    Sink,
+    /// Ordinary compute filter (at least one incoming and outgoing edge).
+    Filter,
+    /// Duplicating splitter: each firing copies its popped items to every
+    /// outgoing edge.
+    SplitDuplicate,
+    /// Round-robin splitter: each firing distributes popped items across
+    /// outgoing edges according to the edge push rates.
+    SplitRoundRobin,
+    /// Round-robin joiner: each firing gathers items from incoming edges
+    /// according to the edge pop rates.
+    JoinRoundRobin,
+}
+
+impl NodeKind {
+    /// Whether nodes of this kind may have incoming edges.
+    pub fn takes_input(self) -> bool {
+        !matches!(self, NodeKind::Source)
+    }
+
+    /// Whether nodes of this kind may have outgoing edges.
+    pub fn gives_output(self) -> bool {
+        !matches!(self, NodeKind::Sink)
+    }
+}
+
+/// A node of the stream graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) cost: CostModel,
+    pub(crate) inputs: Vec<EdgeId>,
+    pub(crate) outputs: Vec<EdgeId>,
+}
+
+impl Node {
+    /// Human-readable node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's structural role.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The per-firing instruction cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Incoming edges, in connection order.
+    pub fn inputs(&self) -> &[EdgeId] {
+        &self.inputs
+    }
+
+    /// Outgoing edges, in connection order.
+    pub fn outputs(&self) -> &[EdgeId] {
+        &self.outputs
+    }
+}
+
+/// A producer→consumer edge with static rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    /// Items the producer pushes on this edge per firing.
+    pub(crate) push: u32,
+    /// Items the consumer pops from this edge per firing.
+    pub(crate) pop: u32,
+}
+
+impl Edge {
+    /// Producing node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Consuming node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Items pushed per producer firing.
+    pub fn push_rate(&self) -> u32 {
+        self.push
+    }
+
+    /// Items popped per consumer firing.
+    pub fn pop_rate(&self) -> u32 {
+        self.pop
+    }
+}
+
+/// Errors raised while building, validating or scheduling a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A rate of zero was supplied for an edge.
+    ZeroRate {
+        /// Producing node of the offending edge.
+        src: NodeId,
+        /// Consuming node of the offending edge.
+        dst: NodeId,
+    },
+    /// An edge references a node id not present in the graph.
+    UnknownNode(NodeId),
+    /// A node's kind forbids the attached edge direction.
+    IllegalConnection {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+    /// The graph has no nodes.
+    Empty,
+    /// The graph is not weakly connected.
+    Disconnected {
+        /// A node unreachable from node 0 in the undirected sense.
+        node: NodeId,
+    },
+    /// The graph contains a directed cycle (feedback is unsupported).
+    Cyclic,
+    /// Balance equations are inconsistent (no steady-state schedule).
+    Inconsistent {
+        /// Edge at which the inconsistency was detected.
+        edge: EdgeId,
+    },
+    /// A node is missing a required input or output.
+    MissingEndpoint {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ZeroRate { src, dst } => {
+                write!(f, "edge {src}->{dst} has a zero rate")
+            }
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::IllegalConnection { node, reason } => {
+                write!(f, "illegal connection at {node}: {reason}")
+            }
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::Disconnected { node } => {
+                write!(f, "graph is disconnected at {node}")
+            }
+            GraphError::Cyclic => write!(f, "graph contains a directed cycle"),
+            GraphError::Inconsistent { edge } => {
+                write!(f, "balance equations inconsistent at {edge}")
+            }
+            GraphError::MissingEndpoint { node, reason } => {
+                write!(f, "node {node} is malformed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated streaming computation graph.
+///
+/// Construct via [`crate::GraphBuilder`]; a value of this type is always
+/// structurally valid (connected, acyclic, legal endpoints, non-zero
+/// rates). Scheduling may still fail if balance equations are
+/// inconsistent.
+#[derive(Debug, Clone)]
+pub struct StreamGraph {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+}
+
+impl StreamGraph {
+    /// Graph name (application name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Iterates over `(NodeId, &Node)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n))
+    }
+
+    /// Iterates over `(EdgeId, &Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::from_index(i), e))
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId::from_index)
+    }
+
+    /// Computes the steady-state repetition vector (balance-equation
+    /// solution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Inconsistent`] if no steady state exists.
+    pub fn schedule(&self) -> Result<Schedule, GraphError> {
+        Schedule::solve(self)
+    }
+
+    /// Runs the paper's Fig. 2 frame analysis on top of the steady-state
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn frame_analysis(&self) -> Result<FrameAnalysis, GraphError> {
+        Ok(FrameAnalysis::from_schedule(self, &self.schedule()?))
+    }
+
+    /// Nodes in a topological order (sources first). The graph is
+    /// guaranteed acyclic by construction.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.dst.index()] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        // Reverse so that pop() yields lowest index first: deterministic.
+        stack.sort_unstable_by(|a, b| b.cmp(a));
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = stack.pop() {
+            order.push(NodeId::from_index(i));
+            let mut newly = Vec::new();
+            for &eid in &self.nodes[i].outputs {
+                let d = self.edges[eid.index()].dst.index();
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    newly.push(d);
+                }
+            }
+            newly.sort_unstable_by(|a, b| b.cmp(a));
+            stack.extend(newly);
+        }
+        debug_assert_eq!(order.len(), n, "validated graphs are acyclic");
+        order
+    }
+
+    /// Renders a one-line-per-node textual summary (used by the
+    /// `graphs` experiment binary to reproduce Fig. 1).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "graph {} ({} nodes, {} edges)", self.name, self.nodes.len(), self.edges.len());
+        for (id, node) in self.nodes() {
+            let ins: Vec<String> = node
+                .inputs
+                .iter()
+                .map(|&e| {
+                    let edge = self.edge(e);
+                    format!("{}[pop {}]", self.node(edge.src).name, edge.pop)
+                })
+                .collect();
+            let outs: Vec<String> = node
+                .outputs
+                .iter()
+                .map(|&e| {
+                    let edge = self.edge(e);
+                    format!("{}[push {}]", self.node(edge.dst).name, edge.push)
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "  {id} {:>18} <{:?}>  in: {}  out: {}",
+                node.name,
+                node.kind,
+                if ins.is_empty() { "-".to_string() } else { ins.join(", ") },
+                if outs.is_empty() { "-".to_string() } else { outs.join(", ") },
+            );
+        }
+        s
+    }
+
+    /// Renders the graph in Graphviz DOT syntax (edges labelled with
+    /// their push/pop rates), for visualising benchmark topologies like
+    /// the paper's Fig. 1.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=LR; node [shape=box];");
+        for (id, node) in self.nodes() {
+            let shape = match node.kind() {
+                NodeKind::Source | NodeKind::Sink => "ellipse",
+                NodeKind::SplitDuplicate
+                | NodeKind::SplitRoundRobin
+                | NodeKind::JoinRoundRobin => "diamond",
+                NodeKind::Filter => "box",
+            };
+            let _ = writeln!(s, "  {} [label=\"{}\", shape={shape}];", id.index(), node.name());
+        }
+        for (_, e) in self.edges() {
+            let _ = writeln!(
+                s,
+                "  {} -> {} [label=\"{}/{}\"];",
+                e.src().index(),
+                e.dst().index(),
+                e.push_rate(),
+                e.pop_rate()
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Validates structural invariants. Called by the builder; exposed for
+    /// defensive re-checks after programmatic surgery in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for e in &self.edges {
+            if e.push == 0 || e.pop == 0 {
+                return Err(GraphError::ZeroRate { src: e.src, dst: e.dst });
+            }
+        }
+        for (id, node) in self.nodes() {
+            match node.kind {
+                NodeKind::Source => {
+                    if !node.inputs.is_empty() {
+                        return Err(GraphError::IllegalConnection {
+                            node: id,
+                            reason: "source cannot have inputs",
+                        });
+                    }
+                    if node.outputs.is_empty() {
+                        return Err(GraphError::MissingEndpoint {
+                            node: id,
+                            reason: "source needs at least one output",
+                        });
+                    }
+                }
+                NodeKind::Sink => {
+                    if !node.outputs.is_empty() {
+                        return Err(GraphError::IllegalConnection {
+                            node: id,
+                            reason: "sink cannot have outputs",
+                        });
+                    }
+                    if node.inputs.is_empty() {
+                        return Err(GraphError::MissingEndpoint {
+                            node: id,
+                            reason: "sink needs at least one input",
+                        });
+                    }
+                }
+                NodeKind::Filter => {
+                    if node.inputs.is_empty() || node.outputs.is_empty() {
+                        return Err(GraphError::MissingEndpoint {
+                            node: id,
+                            reason: "filter needs input and output",
+                        });
+                    }
+                }
+                NodeKind::SplitDuplicate | NodeKind::SplitRoundRobin => {
+                    if node.inputs.len() != 1 {
+                        return Err(GraphError::MissingEndpoint {
+                            node: id,
+                            reason: "splitter needs exactly one input",
+                        });
+                    }
+                    if node.outputs.len() < 2 {
+                        return Err(GraphError::MissingEndpoint {
+                            node: id,
+                            reason: "splitter needs at least two outputs",
+                        });
+                    }
+                }
+                NodeKind::JoinRoundRobin => {
+                    if node.outputs.len() != 1 {
+                        return Err(GraphError::MissingEndpoint {
+                            node: id,
+                            reason: "joiner needs exactly one output",
+                        });
+                    }
+                    if node.inputs.len() < 2 {
+                        return Err(GraphError::MissingEndpoint {
+                            node: id,
+                            reason: "joiner needs at least two inputs",
+                        });
+                    }
+                }
+            }
+        }
+        self.check_connected()?;
+        self.check_acyclic()?;
+        Ok(())
+    }
+
+    fn check_connected(&self) -> Result<(), GraphError> {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for &eid in self.nodes[i].inputs.iter().chain(&self.nodes[i].outputs) {
+                let e = &self.edges[eid.index()];
+                for j in [e.src.index(), e.dst.index()] {
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        match seen.iter().position(|&s| !s) {
+            None => Ok(()),
+            Some(i) => Err(GraphError::Disconnected {
+                node: NodeId::from_index(i),
+            }),
+        }
+    }
+
+    fn check_acyclic(&self) -> Result<(), GraphError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.dst.index()] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = stack.pop() {
+            visited += 1;
+            for &eid in &self.nodes[i].outputs {
+                let d = self.edges[eid.index()].dst.index();
+                indeg[d] -= 1;
+                if indeg[d] == 0 {
+                    stack.push(d);
+                }
+            }
+        }
+        if visited == n {
+            Ok(())
+        } else {
+            Err(GraphError::Cyclic)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn tiny() -> StreamGraph {
+        let mut b = GraphBuilder::new("tiny");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.connect(s, f, 2, 2).unwrap();
+        b.connect(f, k, 3, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors_work() {
+        let g = tiny();
+        assert_eq!(g.name(), "tiny");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let f = g.node_by_name("f").unwrap();
+        assert_eq!(g.node(f).kind(), NodeKind::Filter);
+        assert_eq!(g.node(f).inputs().len(), 1);
+        assert_eq!(g.node(f).outputs().len(), 1);
+        let e = g.edge(g.node(f).outputs()[0]);
+        assert_eq!(e.push_rate(), 3);
+        assert_eq!(e.pop_rate(), 3);
+        assert_eq!(e.src(), f);
+        assert!(g.node_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = tiny();
+        let order = g.topo_order();
+        assert_eq!(order.len(), 3);
+        let pos = |name: &str| {
+            let id = g.node_by_name(name).unwrap();
+            order.iter().position(|&n| n == id).unwrap()
+        };
+        assert!(pos("s") < pos("f"));
+        assert!(pos("f") < pos("k"));
+    }
+
+    #[test]
+    fn describe_mentions_every_node() {
+        let g = tiny();
+        let d = g.describe();
+        for name in ["s", "f", "k"] {
+            assert!(d.contains(name), "{d}");
+        }
+    }
+
+    #[test]
+    fn dot_export_mentions_everything() {
+        let g = tiny();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        for name in ["s", "f", "k"] {
+            assert!(dot.contains(&format!("label=\"{name}\"")), "{dot}");
+        }
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("label=\"3/3\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!NodeKind::Source.takes_input());
+        assert!(NodeKind::Source.gives_output());
+        assert!(NodeKind::Sink.takes_input());
+        assert!(!NodeKind::Sink.gives_output());
+        assert!(NodeKind::Filter.takes_input() && NodeKind::Filter.gives_output());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            GraphError::Empty,
+            GraphError::Cyclic,
+            GraphError::UnknownNode(NodeId::from_index(1)),
+            GraphError::ZeroRate {
+                src: NodeId::from_index(0),
+                dst: NodeId::from_index(1),
+            },
+            GraphError::Disconnected {
+                node: NodeId::from_index(2),
+            },
+            GraphError::Inconsistent {
+                edge: EdgeId::from_index(0),
+            },
+            GraphError::IllegalConnection {
+                node: NodeId::from_index(0),
+                reason: "x",
+            },
+            GraphError::MissingEndpoint {
+                node: NodeId::from_index(0),
+                reason: "y",
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

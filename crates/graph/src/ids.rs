@@ -1,0 +1,67 @@
+//! Typed identifiers for graph entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) usize);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub fn from_index(idx: usize) -> Self {
+                $name(idx)
+            }
+
+            /// The raw index, suitable for dense indexing.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node (filter/splitter/joiner) within a [`crate::StreamGraph`].
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifies an edge (producer→consumer queue) within a [`crate::StreamGraph`].
+    ///
+    /// Edge ids double as the paper's queue identifiers (QIDs) handed to
+    /// push/pop operations.
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// Identifies a simulated processor core.
+    CoreId,
+    "core"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let n = NodeId::from_index(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.to_string(), "n3");
+        assert_eq!(EdgeId::from_index(1).to_string(), "e1");
+        assert_eq!(CoreId::from_index(9).to_string(), "core9");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

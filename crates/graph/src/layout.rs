@@ -1,0 +1,147 @@
+//! Node-to-core layout.
+//!
+//! The paper's StreamIt cluster backend runs each node as a separate
+//! thread pinned to a processor (§2.2); its evaluation uses 10 cores for
+//! 10-node graphs. [`Layout`] captures that assignment and supports
+//! round-robin folding when a graph has more nodes than cores.
+
+use crate::graph::StreamGraph;
+use crate::ids::{CoreId, NodeId};
+
+/// An assignment of every node to a simulated core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    assignment: Vec<CoreId>,
+    num_cores: usize,
+}
+
+impl Layout {
+    /// One node per core (the paper's configuration).
+    pub fn one_to_one(graph: &StreamGraph) -> Self {
+        Layout {
+            assignment: (0..graph.node_count()).map(CoreId::from_index).collect(),
+            num_cores: graph.node_count(),
+        }
+    }
+
+    /// Folds nodes onto `num_cores` cores round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores == 0`.
+    pub fn round_robin(graph: &StreamGraph, num_cores: usize) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        Layout {
+            assignment: (0..graph.node_count())
+                .map(|i| CoreId::from_index(i % num_cores))
+                .collect(),
+            num_cores: num_cores.min(graph.node_count()),
+        }
+    }
+
+    /// An explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` length differs from the graph's node count.
+    pub fn explicit(graph: &StreamGraph, assignment: Vec<CoreId>) -> Self {
+        assert_eq!(
+            assignment.len(),
+            graph.node_count(),
+            "assignment must cover every node"
+        );
+        let num_cores = assignment
+            .iter()
+            .map(|c| c.index() + 1)
+            .max()
+            .unwrap_or(1);
+        Layout {
+            assignment,
+            num_cores,
+        }
+    }
+
+    /// The core executing `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn core_of(&self, node: NodeId) -> CoreId {
+        self.assignment[node.index()]
+    }
+
+    /// Number of cores in use.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Nodes assigned to `core`, in id order.
+    pub fn nodes_on(&self, core: CoreId) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == core)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use crate::GraphBuilder;
+
+    fn chain(n: usize) -> StreamGraph {
+        let mut b = GraphBuilder::new("chain");
+        let mut ids = vec![b.add_node("s", NodeKind::Source)];
+        for i in 1..n - 1 {
+            ids.push(b.add_node(format!("f{i}"), NodeKind::Filter));
+        }
+        ids.push(b.add_node("k", NodeKind::Sink));
+        b.pipeline(&ids, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_to_one_assigns_distinct_cores() {
+        let g = chain(5);
+        let l = Layout::one_to_one(&g);
+        assert_eq!(l.num_cores(), 5);
+        for (id, _) in g.nodes() {
+            assert_eq!(l.core_of(id).index(), id.index());
+            assert_eq!(l.nodes_on(l.core_of(id)), vec![id]);
+        }
+    }
+
+    #[test]
+    fn round_robin_folds() {
+        let g = chain(5);
+        let l = Layout::round_robin(&g, 2);
+        assert_eq!(l.num_cores(), 2);
+        assert_eq!(l.nodes_on(CoreId::from_index(0)).len(), 3);
+        assert_eq!(l.nodes_on(CoreId::from_index(1)).len(), 2);
+    }
+
+    #[test]
+    fn explicit_layout() {
+        let g = chain(3);
+        let l = Layout::explicit(
+            &g,
+            vec![
+                CoreId::from_index(1),
+                CoreId::from_index(0),
+                CoreId::from_index(1),
+            ],
+        );
+        assert_eq!(l.num_cores(), 2);
+        assert_eq!(l.nodes_on(CoreId::from_index(1)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn explicit_wrong_len_panics() {
+        let g = chain(3);
+        let _ = Layout::explicit(&g, vec![CoreId::from_index(0)]);
+    }
+}

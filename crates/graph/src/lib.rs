@@ -1,0 +1,52 @@
+//! # cg-graph — synchronous-dataflow stream graphs
+//!
+//! A StreamIt-like intermediate representation for streaming programs:
+//! nodes (filters, splitters, joiners, sources, sinks) connected by
+//! producer/consumer edges with **static rates** — each firing of a node
+//! pushes/pops a fixed number of word-sized items on each of its edges.
+//! This is the classic synchronous-dataflow (SDF) model, and it carries
+//! exactly the application-level facts CommGuard exploits (paper §2.2):
+//! explicit producer/consumer connections and static per-firing item
+//! counts.
+//!
+//! The crate provides:
+//!
+//! * a validated graph builder ([`GraphBuilder`]) with pipeline and
+//!   split-join conveniences,
+//! * the balance-equation solver computing the steady-state **repetition
+//!   vector** ([`schedule::Schedule`]),
+//! * the **frame analysis** of the paper's Fig. 2 ([`frames`]): linking
+//!   groups of producer firings to groups of items to groups of consumer
+//!   firings,
+//! * core layout ([`layout::Layout`]) mapping one node per core as the
+//!   paper's cluster backend does.
+//!
+//! ```
+//! use cg_graph::{GraphBuilder, NodeKind};
+//!
+//! # fn main() -> Result<(), cg_graph::GraphError> {
+//! let mut b = GraphBuilder::new("double-pipeline");
+//! let src = b.add_node("src", NodeKind::Source);
+//! let f = b.add_node("scale", NodeKind::Filter);
+//! let snk = b.add_node("snk", NodeKind::Sink);
+//! b.connect(src, f, 1, 1)?;
+//! b.connect(f, snk, 1, 1)?;
+//! let graph = b.build()?;
+//! let sched = graph.schedule()?;
+//! assert_eq!(sched.repetitions(src), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod cost;
+pub mod frames;
+mod graph;
+mod ids;
+pub mod layout;
+pub mod schedule;
+
+pub use builder::GraphBuilder;
+pub use cost::CostModel;
+pub use graph::{Edge, GraphError, Node, NodeKind, StreamGraph};
+pub use ids::{CoreId, EdgeId, NodeId};

@@ -1,0 +1,288 @@
+//! Steady-state scheduling: the SDF balance-equation solver.
+//!
+//! For every edge `src → dst` with rates `(push, pop)`, a steady-state
+//! schedule requires `reps[src] * push == reps[dst] * pop`. The smallest
+//! positive integer solution is the **repetition vector**; one *steady
+//! iteration* fires every node `reps[n]` times and returns every queue to
+//! its initial fill level.
+//!
+//! CommGuard's default frame definition equals one steady iteration: a
+//! *frame computation* of node `n` is `reps[n]` consecutive firings, and
+//! the items they exchange on an edge form one *frame* (paper Fig. 2).
+
+use crate::graph::{GraphError, StreamGraph};
+use crate::ids::{EdgeId, NodeId};
+
+/// Reduced positive fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frac {
+    num: u64,
+    den: u64,
+}
+
+impl Frac {
+    fn new(num: u64, den: u64) -> Self {
+        debug_assert!(num > 0 && den > 0);
+        let g = gcd(num, den);
+        Frac {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    fn mul(self, num: u64, den: u64) -> Self {
+        // Reduce cross-factors first to avoid overflow.
+        let g1 = gcd(self.num, den);
+        let g2 = gcd(num, self.den);
+        Frac::new((self.num / g1) * (num / g2), (self.den / g2) * (den / g1))
+    }
+}
+
+/// Greatest common divisor (Euclid).
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple.
+pub(crate) fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// The steady-state repetition vector of a [`StreamGraph`], plus derived
+/// per-iteration quantities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    reps: Vec<u64>,
+    /// Items crossing each edge per steady iteration.
+    edge_items: Vec<u64>,
+}
+
+impl Schedule {
+    /// Solves the balance equations for `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Inconsistent`] when the rates admit no
+    /// steady state.
+    pub fn solve(graph: &StreamGraph) -> Result<Self, GraphError> {
+        let n = graph.node_count();
+        let mut frac: Vec<Option<Frac>> = vec![None; n];
+        frac[0] = Some(Frac::new(1, 1));
+        // BFS over undirected adjacency; the graph is connected.
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(i) = queue.pop_front() {
+            let fi = frac[i].expect("visited nodes have fractions");
+            let node_edges: Vec<EdgeId> = graph
+                .node(NodeId::from_index(i))
+                .inputs()
+                .iter()
+                .chain(graph.node(NodeId::from_index(i)).outputs())
+                .copied()
+                .collect();
+            for eid in node_edges {
+                let e = graph.edge(eid);
+                // Balance: r[src] * push = r[dst] * pop.
+                let (other, expected) = if e.src().index() == i {
+                    (e.dst().index(), fi.mul(u64::from(e.push_rate()), u64::from(e.pop_rate())))
+                } else {
+                    (e.src().index(), fi.mul(u64::from(e.pop_rate()), u64::from(e.push_rate())))
+                };
+                match frac[other] {
+                    None => {
+                        frac[other] = Some(expected);
+                        queue.push_back(other);
+                    }
+                    Some(existing) => {
+                        if existing != expected {
+                            return Err(GraphError::Inconsistent { edge: eid });
+                        }
+                    }
+                }
+            }
+        }
+        // Scale to smallest integers: multiply by lcm of denominators,
+        // divide by gcd of numerators.
+        let mut den_lcm = 1u64;
+        for f in frac.iter().flatten() {
+            den_lcm = lcm(den_lcm, f.den);
+        }
+        let ints: Vec<u64> = frac
+            .iter()
+            .map(|f| {
+                let f = f.expect("connected graph visits all nodes");
+                f.num * (den_lcm / f.den)
+            })
+            .collect();
+        let mut num_gcd = 0u64;
+        for &v in &ints {
+            num_gcd = gcd(num_gcd, v);
+        }
+        let reps: Vec<u64> = ints.iter().map(|&v| v / num_gcd).collect();
+        let edge_items = graph
+            .edges()
+            .map(|(_, e)| reps[e.src().index()] * u64::from(e.push_rate()))
+            .collect();
+        Ok(Schedule { reps, edge_items })
+    }
+
+    /// Firings of `node` per steady iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn repetitions(&self, node: NodeId) -> u64 {
+        self.reps[node.index()]
+    }
+
+    /// Items crossing `edge` per steady iteration (the default frame size
+    /// for that edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    pub fn items_per_iteration(&self, edge: EdgeId) -> u64 {
+        self.edge_items[edge.index()]
+    }
+
+    /// The full repetition vector.
+    pub fn repetition_vector(&self) -> &[u64] {
+        &self.reps
+    }
+
+    /// Total instructions one steady iteration costs, under each node's
+    /// cost model.
+    pub fn iteration_instructions(&self, graph: &StreamGraph) -> u64 {
+        graph
+            .nodes()
+            .map(|(id, node)| {
+                let items: u64 = node
+                    .inputs()
+                    .iter()
+                    .map(|&e| u64::from(graph.edge(e).pop_rate()))
+                    .chain(node.outputs().iter().map(|&e| u64::from(graph.edge(e).push_rate())))
+                    .sum();
+                self.repetitions(id) * node.cost().firing_cost(items)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(192, 15360), 15360);
+    }
+
+    #[test]
+    fn uniform_pipeline_has_unit_repetitions() {
+        let mut b = GraphBuilder::new("p");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.pipeline(&[s, f, k], 8).unwrap();
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        assert_eq!(sched.repetition_vector(), &[1, 1, 1]);
+        for (eid, _) in g.edges() {
+            assert_eq!(sched.items_per_iteration(eid), 8);
+        }
+    }
+
+    #[test]
+    fn jpeg_f6_f7_rates_from_figure_2() {
+        // F6 pushes 192 per firing; F7 pops 15360 per firing.
+        // The paper: 80 firings of F6 per 1 firing of F7.
+        let mut b = GraphBuilder::new("fig2");
+        let f6 = b.add_node("F6", NodeKind::Source);
+        let f7 = b.add_node("F7", NodeKind::Sink);
+        b.connect(f6, f7, 192, 15360).unwrap();
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        assert_eq!(sched.repetitions(f6), 80);
+        assert_eq!(sched.repetitions(f7), 1);
+        assert_eq!(sched.items_per_iteration(EdgeId::from_index(0)), 15360);
+    }
+
+    #[test]
+    fn rate_converting_pipeline() {
+        // s --2/3--> f --5/4--> k : reps solve 2a=3b, 5b=4c.
+        let mut b = GraphBuilder::new("rc");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.connect(s, f, 2, 3).unwrap();
+        b.connect(f, k, 5, 4).unwrap();
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        // a/b = 3/2, b/c = 4/5 -> (a,b,c) = (6,4,5).
+        assert_eq!(sched.repetition_vector(), &[6, 4, 5]);
+    }
+
+    #[test]
+    fn splitjoin_balances_branches() {
+        let mut b = GraphBuilder::new("sj");
+        let s = b.add_node("s", NodeKind::Source);
+        let r = b.add_node("r", NodeKind::Filter);
+        let gg = b.add_node("g", NodeKind::Filter);
+        let bb = b.add_node("b", NodeKind::Filter);
+        let post = b.add_node("post", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.split_join_duplicate("rgb", s, &[r, gg, bb], post, 192, 64)
+            .unwrap();
+        b.connect(post, k, 192, 192).unwrap();
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        // Everything fires once per iteration in this balanced setup.
+        for (id, _) in g.nodes() {
+            assert_eq!(sched.repetitions(id), 1, "node {id}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_graph_rejected() {
+        // Diamond with mismatched rates: s->a->k and s->b->k where the two
+        // paths demand different repetition ratios for k.
+        let mut b = GraphBuilder::new("bad");
+        let s = b.add_node("s", NodeKind::Source);
+        let split = b.add_node("sp", NodeKind::SplitDuplicate);
+        let a = b.add_node("a", NodeKind::Filter);
+        let c = b.add_node("c", NodeKind::Filter);
+        let j = b.add_node("j", NodeKind::JoinRoundRobin);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.connect(s, split, 2, 2).unwrap();
+        b.connect(split, a, 2, 2).unwrap();
+        b.connect(split, c, 2, 2).unwrap();
+        b.connect(a, j, 2, 2).unwrap();
+        b.connect(c, j, 2, 3).unwrap(); // inconsistent branch
+        b.connect(j, k, 5, 5).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(g.schedule(), Err(GraphError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn iteration_instructions_accumulate() {
+        let mut b = GraphBuilder::new("cost");
+        let s = b.add_node_with_cost("s", NodeKind::Source, crate::CostModel::new(10, 1));
+        let k = b.add_node_with_cost("k", NodeKind::Sink, crate::CostModel::new(20, 2));
+        b.connect(s, k, 4, 4).unwrap();
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        // s: 10 + 1*4 = 14; k: 20 + 2*4 = 28.
+        assert_eq!(sched.iteration_instructions(&g), 42);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the balance-equation solver.
+
+use cg_graph::{GraphBuilder, NodeKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random rate-converting pipelines always solve, and the solution
+    /// satisfies every balance equation with the minimal scale (gcd 1).
+    #[test]
+    fn random_pipeline_balances(rates in prop::collection::vec((1u32..20, 1u32..20), 1..8)) {
+        let mut b = GraphBuilder::new("prop");
+        let n = rates.len() + 1;
+        let mut ids = vec![b.add_node("s", NodeKind::Source)];
+        for i in 1..n - 1 {
+            ids.push(b.add_node(format!("f{i}"), NodeKind::Filter));
+        }
+        if n > 1 {
+            ids.push(b.add_node("k", NodeKind::Sink));
+        }
+        let mut edges = Vec::new();
+        for (i, (push, pop)) in rates.iter().enumerate() {
+            edges.push(b.connect(ids[i], ids[i + 1], *push, *pop).unwrap());
+        }
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        // Every balance equation holds.
+        for (eid, e) in g.edges() {
+            prop_assert_eq!(
+                sched.repetitions(e.src()) * u64::from(e.push_rate()),
+                sched.repetitions(e.dst()) * u64::from(e.pop_rate())
+            );
+            prop_assert_eq!(
+                sched.items_per_iteration(eid),
+                sched.repetitions(e.src()) * u64::from(e.push_rate())
+            );
+        }
+        // Minimality: gcd of repetitions is 1.
+        let g0 = sched.repetition_vector().iter().fold(0u64, |a, &b| {
+            let (mut a, mut b) = (a, b);
+            while b != 0 { let t = a % b; a = b; b = t; }
+            a
+        });
+        prop_assert_eq!(g0, 1);
+        let _ = edges;
+    }
+
+    /// Duplicate split-joins with uniform branch rates are always
+    /// consistent and give equal repetitions to all branches.
+    #[test]
+    fn random_splitjoin_balances(width in 1u32..64, branches in 2usize..6) {
+        let mut b = GraphBuilder::new("sj");
+        let s = b.add_node("s", NodeKind::Source);
+        let post = b.add_node("post", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        let branch_ids: Vec<_> = (0..branches)
+            .map(|i| b.add_node(format!("b{i}"), NodeKind::Filter))
+            .collect();
+        b.split_join_duplicate("x", s, &branch_ids, post, width, width).unwrap();
+        let total = width * branches as u32;
+        b.connect(post, k, total, total).unwrap();
+        let g = b.build().unwrap();
+        let sched = g.schedule().unwrap();
+        let r0 = sched.repetitions(branch_ids[0]);
+        for &id in &branch_ids {
+            prop_assert_eq!(sched.repetitions(id), r0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal interleaved-RGB image with PPM output.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An 8-bit RGB image (row-major, interleaved R,G,B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// A black image of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
+    }
+
+    /// Wraps raw interleaved RGB data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * 3`.
+    pub fn from_rgb(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height * 3, "rgb buffer size mismatch");
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The interleaved RGB bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Reads pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> (u8, u8, u8) {
+        let i = (y * self.width + x) * 3;
+        (self.data[i], self.data[i + 1], self.data[i + 2])
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: (u8, u8, u8)) {
+        let i = (y * self.width + x) * 3;
+        self.data[i] = rgb.0;
+        self.data[i + 1] = rgb.1;
+        self.data[i + 2] = rgb.2;
+    }
+
+    /// Serialises as binary PPM (P6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        w.write_all(&self.data)
+    }
+
+    /// Writes a `.ppm` file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_ppm(io::BufWriter::new(f))
+    }
+
+    /// Parses a binary PPM (P6) produced by [`Image::write_ppm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed headers or truncated payloads.
+    pub fn read_ppm(bytes: &[u8]) -> io::Result<Self> {
+        let header_err = || io::Error::new(io::ErrorKind::InvalidData, "bad ppm header");
+        let mut fields = Vec::new();
+        let mut pos = 0usize;
+        // Collect 4 whitespace-separated header fields: P6, w, h, maxval.
+        while fields.len() < 4 {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err(header_err());
+            }
+            fields.push(&bytes[start..pos]);
+        }
+        pos += 1; // single whitespace after maxval
+        if fields[0] != b"P6" {
+            return Err(header_err());
+        }
+        let parse = |f: &[u8]| -> io::Result<usize> {
+            std::str::from_utf8(f)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(header_err)
+        };
+        let (w, h) = (parse(fields[1])?, parse(fields[2])?);
+        let need = w * h * 3;
+        if bytes.len() < pos + need {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "short ppm"));
+        }
+        Ok(Image::from_rgb(w, h, bytes[pos..pos + need].to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_roundtrip() {
+        let mut img = Image::new(4, 3);
+        img.set_pixel(2, 1, (10, 20, 30));
+        assert_eq!(img.pixel(2, 1), (10, 20, 30));
+        assert_eq!(img.pixel(0, 0), (0, 0, 0));
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut img = Image::new(2, 2);
+        img.set_pixel(0, 0, (255, 0, 0));
+        img.set_pixel(1, 1, (0, 0, 255));
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n2 2\n255\n"));
+        let back = Image::read_ppm(&buf).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(Image::read_ppm(b"P5\n2 2\n255\nxxxx").is_err());
+        assert!(Image::read_ppm(b"P6\n2 2\n255\nxx").is_err());
+        assert!(Image::read_ppm(b"").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = Image::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_buffer_panics() {
+        let _ = Image::from_rgb(2, 2, vec![0; 5]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # cg-metrics — output-quality metrics and experiment statistics
+//!
+//! The paper measures lossiness with signal-to-noise ratio (SNR) for
+//! audio and peak-SNR (PSNR) for images (§6), reporting means and
+//! standard deviations over 5 seeded runs per configuration. This crate
+//! provides those metrics, simple run statistics (mean/stddev/geomean),
+//! and a tiny RGB image type with PPM/PGM output so experiment binaries
+//! can write the Fig. 3/7/9 artifacts to disk.
+
+mod image;
+mod snr;
+pub mod wav;
+mod stats;
+
+pub use image::Image;
+pub use snr::{psnr_images, psnr_u8, snr_db, snr_f32};
+pub use stats::{geometric_mean, mean, stddev, Summary};

@@ -1,0 +1,128 @@
+//! Signal-to-noise metrics.
+
+use crate::image::Image;
+
+/// SNR in decibels between a reference signal and a degraded signal:
+/// `10·log10(Σ ref² / Σ (ref − sig)²)`.
+///
+/// Returns `f64::INFINITY` for identical signals. Signals shorter or
+/// longer than the reference are compared over the overlap, with missing
+/// samples counted as maximal noise (a lost sample is an error, not a
+/// free pass).
+pub fn snr_f32(reference: &[f32], signal: &[f32]) -> f64 {
+    let overlap = reference.len().min(signal.len());
+    let mut sig_energy = 0.0f64;
+    let mut noise_energy = 0.0f64;
+    for i in 0..overlap {
+        let r = f64::from(reference[i]);
+        let d = r - f64::from(signal[i]);
+        sig_energy += r * r;
+        noise_energy += d * d;
+    }
+    // Missing tail: the full reference energy there is noise.
+    for &r in &reference[overlap..] {
+        let r = f64::from(r);
+        sig_energy += r * r;
+        noise_energy += r * r;
+    }
+    snr_db(sig_energy, noise_energy)
+}
+
+/// SNR in dB from raw energies.
+pub fn snr_db(signal_energy: f64, noise_energy: f64) -> f64 {
+    if noise_energy == 0.0 {
+        return f64::INFINITY;
+    }
+    if signal_energy == 0.0 {
+        return 0.0;
+    }
+    10.0 * (signal_energy / noise_energy).log10()
+}
+
+/// PSNR in decibels between 8-bit sample streams (peak = 255):
+/// `10·log10(255² / MSE)`.
+///
+/// Length mismatches count missing samples as maximally wrong.
+pub fn psnr_u8(reference: &[u8], signal: &[u8]) -> f64 {
+    if reference.is_empty() {
+        return f64::INFINITY;
+    }
+    let overlap = reference.len().min(signal.len());
+    let mut se = 0.0f64;
+    for i in 0..overlap {
+        let d = f64::from(reference[i]) - f64::from(signal[i]);
+        se += d * d;
+    }
+    se += 255.0 * 255.0 * (reference.len() - overlap) as f64;
+    let mse = se / reference.len() as f64;
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0 * 255.0 / mse).log10()
+}
+
+/// PSNR between two images of equal dimensions.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn psnr_images(reference: &Image, signal: &Image) -> f64 {
+    assert_eq!(
+        (reference.width(), reference.height()),
+        (signal.width(), signal.height()),
+        "image dimensions must match"
+    );
+    psnr_u8(reference.data(), signal.data())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_are_infinite() {
+        let x = [1.0f32, -2.0, 3.0];
+        assert!(snr_f32(&x, &x).is_infinite());
+        assert!(psnr_u8(&[1, 2, 3], &[1, 2, 3]).is_infinite());
+    }
+
+    #[test]
+    fn known_snr_value() {
+        // signal [3,4] energy 25; noise [0,5-4=..] pick signal [3,3]:
+        // noise = (4-3)^2 = 1 → SNR = 10 log10(25) ≈ 13.979.
+        let snr = snr_f32(&[3.0, 4.0], &[3.0, 3.0]);
+        assert!((snr - 13.9794).abs() < 1e-3, "{snr}");
+    }
+
+    #[test]
+    fn short_signal_counts_tail_as_noise() {
+        let full = snr_f32(&[1.0, 1.0], &[1.0]);
+        // Half the energy is noise → 10 log10(2/1) ≈ 3.0103.
+        assert!((full - 3.0103).abs() < 1e-3, "{full}");
+    }
+
+    #[test]
+    fn psnr_single_off_by_one() {
+        // MSE = 1/3 → PSNR = 10 log10(65025 * 3) ≈ 52.9.
+        let p = psnr_u8(&[10, 20, 30], &[10, 21, 30]);
+        assert!((p - 52.90).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn psnr_degrades_with_more_noise() {
+        let reference = vec![128u8; 100];
+        let mild: Vec<u8> = reference.iter().map(|&v| v + 1).collect();
+        let harsh: Vec<u8> = reference.iter().map(|&v| v + 100).collect();
+        assert!(psnr_u8(&reference, &mild) > psnr_u8(&reference, &harsh));
+    }
+
+    #[test]
+    fn zero_signal_gives_zero_db() {
+        assert_eq!(snr_db(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn empty_reference_is_infinite() {
+        assert!(psnr_u8(&[], &[]).is_infinite());
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal 16-bit PCM WAV output, so the audio experiments produce
+//! listenable artifacts (the paper links example mp3 outputs for its
+//! error rates; `results/*.wav` are ours).
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes interleaved stereo (or mono) f32 samples in [-1, 1] as a
+/// 16-bit PCM WAV file.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+///
+/// # Panics
+///
+/// Panics if `channels` is 0 or `samples.len()` is not a multiple of
+/// `channels`.
+pub fn write_wav<W: Write>(
+    mut w: W,
+    samples: &[f32],
+    channels: u16,
+    sample_rate: u32,
+) -> io::Result<()> {
+    assert!(channels > 0, "need at least one channel");
+    assert_eq!(
+        samples.len() % channels as usize,
+        0,
+        "sample count must be a multiple of the channel count"
+    );
+    let data_len = (samples.len() * 2) as u32;
+    let byte_rate = sample_rate * u32::from(channels) * 2;
+    let block_align = channels * 2;
+
+    w.write_all(b"RIFF")?;
+    w.write_all(&(36 + data_len).to_le_bytes())?;
+    w.write_all(b"WAVE")?;
+    w.write_all(b"fmt ")?;
+    w.write_all(&16u32.to_le_bytes())?;
+    w.write_all(&1u16.to_le_bytes())?; // PCM
+    w.write_all(&channels.to_le_bytes())?;
+    w.write_all(&sample_rate.to_le_bytes())?;
+    w.write_all(&byte_rate.to_le_bytes())?;
+    w.write_all(&block_align.to_le_bytes())?;
+    w.write_all(&16u16.to_le_bytes())?; // bits per sample
+    w.write_all(b"data")?;
+    w.write_all(&data_len.to_le_bytes())?;
+    for &s in samples {
+        let v = if s.is_finite() {
+            (s.clamp(-1.0, 1.0) * 32767.0) as i16
+        } else {
+            0
+        };
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes a `.wav` file at `path`; see [`write_wav`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_wav(
+    path: impl AsRef<Path>,
+    samples: &[f32],
+    channels: u16,
+    sample_rate: u32,
+) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_wav(io::BufWriter::new(f), samples, channels, sample_rate)
+}
+
+/// Interleaves two equal-length channels.
+///
+/// # Panics
+///
+/// Panics if the channel lengths differ.
+pub fn interleave(left: &[f32], right: &[f32]) -> Vec<f32> {
+    assert_eq!(left.len(), right.len(), "channel length mismatch");
+    left.iter()
+        .zip(right)
+        .flat_map(|(&l, &r)| [l, r])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout_is_correct() {
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &[0.0, 0.5, -0.5, 1.0], 2, 44_100).unwrap();
+        assert_eq!(&buf[0..4], b"RIFF");
+        assert_eq!(&buf[8..12], b"WAVE");
+        assert_eq!(&buf[12..16], b"fmt ");
+        assert_eq!(&buf[36..40], b"data");
+        // 4 samples * 2 bytes.
+        assert_eq!(u32::from_le_bytes(buf[40..44].try_into().unwrap()), 8);
+        assert_eq!(buf.len(), 44 + 8);
+        // Full-scale sample saturates to 32767.
+        let last = i16::from_le_bytes(buf[buf.len() - 2..].try_into().unwrap());
+        assert_eq!(last, 32767);
+    }
+
+    #[test]
+    fn non_finite_samples_are_silenced() {
+        let mut buf = Vec::new();
+        write_wav(&mut buf, &[f32::NAN], 1, 8000).unwrap();
+        let v = i16::from_le_bytes(buf[44..46].try_into().unwrap());
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn interleave_zips() {
+        assert_eq!(
+            interleave(&[1.0, 2.0], &[3.0, 4.0]),
+            vec![1.0, 3.0, 2.0, 4.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the channel count")]
+    fn odd_stereo_panics() {
+        let mut buf = Vec::new();
+        let _ = write_wav(&mut buf, &[0.0; 3], 2, 8000);
+    }
+}

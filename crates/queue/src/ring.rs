@@ -1,0 +1,491 @@
+//! The bounded FIFO implementing one stream-graph edge.
+
+
+
+use crate::ptr::{PointerMode, PtrCell, Which};
+use crate::stats::QueueStats;
+use crate::unit::Unit;
+
+/// Configuration of a [`SimQueue`].
+///
+/// Defaults mirror the paper's §5.1 queue: a memory region split into 8
+/// working-set sub-regions so that shared head/tail pointers are touched
+/// once per working set rather than once per item, with ECC-protected
+/// shared pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSpec {
+    /// Total buffer capacity in units.
+    pub capacity: usize,
+    /// Units per working set (shared-pointer publish granularity).
+    pub workset_size: usize,
+    /// Protection of the shared head/tail pointers.
+    pub pointer_mode: PointerMode,
+}
+
+impl QueueSpec {
+    /// A spec with the given capacity, 8 working sets, ECC pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 8`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 8, "capacity must be at least 8");
+        QueueSpec {
+            capacity,
+            workset_size: capacity / 8,
+            pointer_mode: PointerMode::Ecc,
+        }
+    }
+
+    /// Returns the spec with a different pointer mode.
+    #[must_use]
+    pub fn pointer_mode(mut self, mode: PointerMode) -> Self {
+        self.pointer_mode = mode;
+        self
+    }
+}
+
+impl Default for QueueSpec {
+    fn default() -> Self {
+        QueueSpec::with_capacity(4096)
+    }
+}
+
+/// Error returned by [`SimQueue::try_push`] when the queue appears full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError(pub Unit);
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue full")
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// A simulated inter-core queue.
+///
+/// Functionally a bounded FIFO of [`Unit`]s, but structured like the
+/// paper's hardware queue: the producer and consumer keep exact *local*
+/// pointers in reliable on-core storage (the QIT) and synchronise through
+/// *shared* pointers in memory, published once per working set. The shared
+/// pointers are the fault surface: in [`PointerMode::Raw`] a
+/// [`SimQueue::corrupt_shared_pointer`] call silently and permanently
+/// skews all subsequent transfers, reproducing the paper's QME failures.
+#[derive(Debug, Clone)]
+pub struct SimQueue {
+    spec: QueueSpec,
+    buf: Vec<Unit>,
+    /// Consumer-exact read counter (reliable, on-core).
+    head: u32,
+    /// Producer-exact write counter (reliable, on-core).
+    tail: u32,
+    /// Shared pointers (in-memory, corruptible per mode).
+    shared_head: PtrCell,
+    shared_tail: PtrCell,
+    /// Producer's last-seen shared head / consumer's last-seen shared tail.
+    seen_head: u32,
+    seen_tail: u32,
+    stats: QueueStats,
+}
+
+impl SimQueue {
+    /// Creates an empty queue.
+    pub fn new(spec: QueueSpec) -> Self {
+        SimQueue {
+            spec,
+            buf: vec![Unit::Item(0); spec.capacity],
+            head: 0,
+            tail: 0,
+            shared_head: PtrCell::new(spec.pointer_mode, 0),
+            shared_tail: PtrCell::new(spec.pointer_mode, 0),
+            seen_head: 0,
+            seen_tail: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// The queue's configuration.
+    pub fn spec(&self) -> &QueueSpec {
+        &self.spec
+    }
+
+    /// Units currently buffered according to the exact local pointers.
+    /// (The *visible* count at the consumer may be smaller until the
+    /// producer publishes its working set.)
+    pub fn len(&self) -> usize {
+        self.tail.wrapping_sub(self.head) as usize
+    }
+
+    /// `true` when no units are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (used by wrappers layering their own
+    /// accounting onto the queue's).
+    pub fn stats_mut(&mut self) -> &mut QueueStats {
+        &mut self.stats
+    }
+
+    /// Attempts to push `unit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] when the queue appears full (per the possibly
+    /// corrupted shared head pointer).
+    pub fn try_push(&mut self, unit: Unit) -> Result<(), PushError> {
+        if self.apparent_used() >= self.spec.capacity as u32 {
+            // Refresh the consumer's progress from the shared pointer. An
+            // uncorrectable corruption (ECC detection) recovers with the
+            // conservative assumption that nothing was consumed (full);
+            // the reliable QM also rejects values violating the queue
+            // invariant (a valid head is never ahead of the tail nor more
+            // than a capacity behind it), which catches the rare
+            // SECDED miscorrection of multi-bit corruption.
+            let fallback = self.tail.wrapping_sub(self.spec.capacity as u32);
+            let loaded = self.shared_head.load(&mut self.stats.ecc);
+            self.seen_head = match (self.spec.pointer_mode, loaded) {
+                (PointerMode::Ecc, Some(h))
+                    if self.tail.wrapping_sub(h) > self.spec.capacity as u32 =>
+                {
+                    fallback
+                }
+                (_, Some(h)) => h,
+                (_, None) => fallback,
+            };
+            self.stats.shared_ptr_reads += 1;
+            if self.apparent_used() >= self.spec.capacity as u32 {
+                self.stats.blocked_pushes += 1;
+                return Err(PushError(unit));
+            }
+        }
+        let idx = self.tail as usize % self.spec.capacity;
+        self.buf[idx] = unit;
+        self.tail = self.tail.wrapping_add(1);
+        self.stats.record_push(unit.is_header());
+        if self.tail % self.spec.workset_size as u32 == 0 {
+            self.publish_tail();
+        }
+        Ok(())
+    }
+
+    /// Forces a push past a full condition, overwriting (dropping) the
+    /// oldest unconsumed unit. Models the queue-manager timeout of §5.1
+    /// ("a timeout may cause incorrect data to be transmitted"): the
+    /// consumer silently loses the overwritten unit.
+    pub fn timeout_push(&mut self, unit: Unit) {
+        if self.len() >= self.spec.capacity {
+            // Ring overwrite: the oldest unit is gone.
+            self.head = self.head.wrapping_add(1);
+            self.publish_head();
+        }
+        let idx = self.tail as usize % self.spec.capacity;
+        self.buf[idx] = unit;
+        self.tail = self.tail.wrapping_add(1);
+        self.stats.timeout_pushes += 1;
+        self.stats.record_push(unit.is_header());
+        self.publish_tail();
+    }
+
+    /// Attempts to pop the next unit, returning `None` when the queue
+    /// appears empty (per the possibly corrupted shared tail pointer).
+    pub fn try_pop(&mut self) -> Option<Unit> {
+        if self.apparent_available() == 0 {
+            // Uncorrectable corruption recovers with the conservative
+            // assumption that nothing new arrived (empty); the reliable
+            // QM also rejects tails violating the occupancy invariant
+            // (at most `capacity` ahead of the exact local head).
+            let loaded = self.shared_tail.load(&mut self.stats.ecc);
+            self.seen_tail = match (self.spec.pointer_mode, loaded) {
+                (PointerMode::Ecc, Some(t))
+                    if t.wrapping_sub(self.head) > self.spec.capacity as u32 =>
+                {
+                    self.head
+                }
+                (_, Some(t)) => t,
+                (_, None) => self.head,
+            };
+            self.stats.shared_ptr_reads += 1;
+            if self.apparent_available() == 0 {
+                self.stats.blocked_pops += 1;
+                return None;
+            }
+        }
+        let idx = self.head as usize % self.spec.capacity;
+        let unit = self.buf[idx];
+        self.head = self.head.wrapping_add(1);
+        self.stats.record_pop(unit.is_header());
+        if self.head % self.spec.workset_size as u32 == 0 {
+            self.publish_head();
+        }
+        Some(unit)
+    }
+
+    /// Forces a pop past an empty condition, returning whatever stale unit
+    /// occupies the head slot (queue-manager timeout behaviour).
+    pub fn timeout_pop(&mut self) -> Unit {
+        let idx = self.head as usize % self.spec.capacity;
+        let unit = self.buf[idx];
+        self.head = self.head.wrapping_add(1);
+        self.stats.timeout_pops += 1;
+        self.stats.record_pop(unit.is_header());
+        self.publish_head();
+        unit
+    }
+
+    /// Publishes any partially filled producer working set so the consumer
+    /// can see it. Called by the runtime at frame-computation boundaries
+    /// and at end of stream.
+    pub fn flush(&mut self) {
+        self.publish_tail();
+    }
+
+    /// Fault hook: flips `bit` of a shared pointer.
+    pub fn corrupt_shared_pointer(&mut self, which: Which, bit: u32) {
+        match which {
+            Which::Head => self.shared_head.inject_flip(bit),
+            Which::Tail => self.shared_tail.inject_flip(bit),
+        }
+        self.stats.pointer_corruptions += 1;
+    }
+
+    /// Fault hook: flips `bit` within the buffered unit at buffer slot
+    /// `slot` (item payloads take the flip modulo 32; header codewords
+    /// modulo the codeword width, where ECC will handle it).
+    pub fn corrupt_buffer_slot(&mut self, slot: usize, bit: u32) {
+        let cap = self.spec.capacity;
+        match &mut self.buf[slot % cap] {
+            Unit::Item(v) => *v ^= 1 << (bit % 32),
+            Unit::Header(cw) => *cw = cw.with_flipped_bit(bit % cg_ecc::CODEWORD_BITS),
+        }
+    }
+
+    /// Fault hook for the *unprotected-header* ablation: picks one
+    /// in-flight header (using `slot_seed` to select among them), flips
+    /// `bit` of its frame id, and re-encodes — modelling a header whose
+    /// payload is not end-to-end ECC protected, so the corruption is
+    /// silent. Returns `false` when no header is in flight.
+    pub fn corrupt_random_header_payload(&mut self, slot_seed: u32, bit: u32) -> bool {
+        let cap = self.spec.capacity;
+        // Bounded scan: corruption strikes the in-flight region near the
+        // head (scanning the whole region per fault would be O(capacity)
+        // per event for no modelling benefit).
+        let len = self.len().min(cap).min(1024);
+        let headers: Vec<usize> = (0..len)
+            .map(|i| (self.head as usize + i) % cap)
+            .filter(|&s| self.buf[s].is_header())
+            .collect();
+        if headers.is_empty() {
+            return false;
+        }
+        let slot = headers[slot_seed as usize % headers.len()];
+        if let Some(id) = self.buf[slot].header_id() {
+            self.buf[slot] = Unit::header(id ^ (1 << (bit % 32)));
+        }
+        true
+    }
+
+    /// Units the producer believes are in flight (tail − last-seen head).
+    fn apparent_used(&self) -> u32 {
+        self.tail.wrapping_sub(self.seen_head)
+    }
+
+    /// Units the consumer believes are available (last-seen tail − head).
+    fn apparent_available(&self) -> u32 {
+        self.seen_tail.wrapping_sub(self.head)
+    }
+
+    fn publish_tail(&mut self) {
+        self.shared_tail.store(self.tail, &mut self.stats.ecc);
+        self.stats.shared_ptr_writes += 1;
+        self.stats.workset_publishes += 1;
+    }
+
+    fn publish_head(&mut self) {
+        self.shared_head.store(self.head, &mut self.stats.ecc);
+        self.stats.shared_ptr_writes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SimQueue {
+        SimQueue::new(QueueSpec {
+            capacity: 8,
+            workset_size: 2,
+            pointer_mode: PointerMode::Ecc,
+        })
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = small();
+        for i in 0..6u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        for i in 0..6u32 {
+            assert_eq!(q.try_pop(), Some(Unit::Item(i)));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn visibility_is_workset_granular() {
+        let mut q = small();
+        // One item: below the workset boundary, not yet published.
+        q.try_push(Unit::Item(1)).unwrap();
+        assert_eq!(q.try_pop(), None, "unpublished item must be invisible");
+        // Second item crosses the 2-unit workset boundary.
+        q.try_push(Unit::Item(2)).unwrap();
+        assert_eq!(q.try_pop(), Some(Unit::Item(1)));
+    }
+
+    #[test]
+    fn flush_publishes_partial_workset() {
+        let mut q = small();
+        q.try_push(Unit::Item(9)).unwrap();
+        q.flush();
+        assert_eq!(q.try_pop(), Some(Unit::Item(9)));
+    }
+
+    #[test]
+    fn push_blocks_when_full_and_resumes_after_pops() {
+        let mut q = small();
+        for i in 0..8u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        assert!(q.try_push(Unit::Item(99)).is_err());
+        assert_eq!(q.stats().blocked_pushes, 1);
+        // Drain two items (one full workset) so the head is published.
+        assert_eq!(q.try_pop(), Some(Unit::Item(0)));
+        assert_eq!(q.try_pop(), Some(Unit::Item(1)));
+        q.try_push(Unit::Item(99)).unwrap();
+    }
+
+    #[test]
+    fn headers_counted_separately() {
+        let mut q = small();
+        q.try_push(Unit::header(5)).unwrap();
+        q.try_push(Unit::Item(1)).unwrap();
+        let _ = q.try_pop();
+        let _ = q.try_pop();
+        assert_eq!(q.stats().header_pushes, 1);
+        assert_eq!(q.stats().item_pushes, 1);
+        assert_eq!(q.stats().header_pops, 1);
+        assert_eq!(q.stats().item_pops, 1);
+    }
+
+    #[test]
+    fn corrupted_raw_tail_pointer_garbles_stream() {
+        let mut q = SimQueue::new(QueueSpec {
+            capacity: 8,
+            workset_size: 2,
+            pointer_mode: PointerMode::Raw,
+        });
+        q.try_push(Unit::Item(1)).unwrap();
+        q.try_push(Unit::Item(2)).unwrap();
+        // Corrupt the shared tail high bit: consumer now sees a huge
+        // available count and will read stale slots indefinitely.
+        q.corrupt_shared_pointer(Which::Tail, 31);
+        let mut popped = 0;
+        for _ in 0..100 {
+            if q.try_pop().is_some() {
+                popped += 1;
+            }
+        }
+        assert_eq!(popped, 100, "corrupted tail makes garbage available");
+    }
+
+    #[test]
+    fn corrupted_ecc_tail_pointer_is_corrected() {
+        let mut q = small();
+        q.try_push(Unit::Item(1)).unwrap();
+        q.try_push(Unit::Item(2)).unwrap();
+        q.corrupt_shared_pointer(Which::Tail, 31);
+        assert_eq!(q.try_pop(), Some(Unit::Item(1)));
+        assert_eq!(q.try_pop(), Some(Unit::Item(2)));
+        assert_eq!(q.try_pop(), None);
+        assert!(q.stats().ecc.corrections >= 1);
+    }
+
+    #[test]
+    fn timeout_pop_returns_stale_data() {
+        let mut q = small();
+        let u = q.timeout_pop();
+        assert_eq!(u, Unit::Item(0), "stale initial slot");
+        assert_eq!(q.stats().timeout_pops, 1);
+    }
+
+    #[test]
+    fn timeout_push_overwrites() {
+        let mut q = small();
+        for i in 0..8u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        q.timeout_push(Unit::Item(100));
+        assert_eq!(q.stats().timeout_pushes, 1);
+        // The oldest unit (item 0) was dropped; the rest arrive in order
+        // with the forced unit at the end.
+        for i in 1..8u32 {
+            assert_eq!(q.try_pop(), Some(Unit::Item(i)));
+        }
+        assert_eq!(q.try_pop(), Some(Unit::Item(100)));
+    }
+
+    #[test]
+    fn buffer_slot_corruption_flips_item_bit() {
+        let mut q = small();
+        q.try_push(Unit::Item(0)).unwrap();
+        q.try_push(Unit::Item(0)).unwrap();
+        q.corrupt_buffer_slot(0, 4);
+        assert_eq!(q.try_pop(), Some(Unit::Item(16)));
+    }
+
+    #[test]
+    fn buffer_slot_corruption_on_header_is_corrected() {
+        let mut q = small();
+        q.try_push(Unit::header(7)).unwrap();
+        q.try_push(Unit::Item(0)).unwrap();
+        q.corrupt_buffer_slot(0, 11);
+        let h = q.try_pop().unwrap();
+        assert_eq!(h.header_id(), Some(7));
+    }
+
+    #[test]
+    fn len_tracks_exact_occupancy() {
+        let mut q = small();
+        assert!(q.is_empty());
+        q.try_push(Unit::Item(1)).unwrap();
+        assert_eq!(q.len(), 1);
+        q.flush();
+        let _ = q.try_pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let mut q = small();
+        for round in 0..100u32 {
+            for i in 0..4 {
+                q.try_push(Unit::Item(round * 4 + i)).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(q.try_pop(), Some(Unit::Item(round * 4 + i)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn tiny_capacity_panics() {
+        let _ = QueueSpec::with_capacity(4);
+    }
+}

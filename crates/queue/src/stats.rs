@@ -1,0 +1,144 @@
+//! Queue traffic statistics — the raw material for the paper's Fig. 12
+//! (header memory events vs. all memory events) and §7.2 overheads.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use cg_ecc::EccStats;
+
+/// Counters accumulated by a [`crate::SimQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Successful item pushes (each is one data store).
+    pub item_pushes: u64,
+    /// Successful header pushes (each is one extra header store).
+    pub header_pushes: u64,
+    /// Successful item pops (each is one data load).
+    pub item_pops: u64,
+    /// Successful header pops (each is one extra header load).
+    pub header_pops: u64,
+    /// Push attempts rejected because the queue appeared full.
+    pub blocked_pushes: u64,
+    /// Pop attempts rejected because the queue appeared empty.
+    pub blocked_pops: u64,
+    /// Forced pushes after a queue-manager timeout.
+    pub timeout_pushes: u64,
+    /// Forced pops after a queue-manager timeout.
+    pub timeout_pops: u64,
+    /// Shared-pointer loads (refreshes after apparent-full/empty).
+    pub shared_ptr_reads: u64,
+    /// Shared-pointer stores (working-set publishes).
+    pub shared_ptr_writes: u64,
+    /// Working sets published by the producer side.
+    pub workset_publishes: u64,
+    /// Fault-injection events targeting shared pointers.
+    pub pointer_corruptions: u64,
+    /// ECC activity on the shared pointers.
+    pub ecc: EccStats,
+}
+
+impl QueueStats {
+    /// All data loads performed through the queue (item + header pops).
+    pub fn loads(&self) -> u64 {
+        self.item_pops + self.header_pops
+    }
+
+    /// All data stores performed through the queue (item + header pushes).
+    pub fn stores(&self) -> u64 {
+        self.item_pushes + self.header_pushes
+    }
+
+    /// Records a successful push.
+    pub(crate) fn record_push(&mut self, header: bool) {
+        if header {
+            self.header_pushes += 1;
+        } else {
+            self.item_pushes += 1;
+        }
+    }
+
+    /// Records a successful pop.
+    pub(crate) fn record_pop(&mut self, header: bool) {
+        if header {
+            self.header_pops += 1;
+        } else {
+            self.item_pops += 1;
+        }
+    }
+}
+
+impl AddAssign for QueueStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.item_pushes += rhs.item_pushes;
+        self.header_pushes += rhs.header_pushes;
+        self.item_pops += rhs.item_pops;
+        self.header_pops += rhs.header_pops;
+        self.blocked_pushes += rhs.blocked_pushes;
+        self.blocked_pops += rhs.blocked_pops;
+        self.timeout_pushes += rhs.timeout_pushes;
+        self.timeout_pops += rhs.timeout_pops;
+        self.shared_ptr_reads += rhs.shared_ptr_reads;
+        self.shared_ptr_writes += rhs.shared_ptr_writes;
+        self.workset_publishes += rhs.workset_publishes;
+        self.pointer_corruptions += rhs.pointer_corruptions;
+        self.ecc += rhs.ecc;
+    }
+}
+
+impl fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue: {} item pushes, {} item pops, {} hdr pushes, {} hdr pops, \
+             {} blocked, {} timeouts",
+            self.item_pushes,
+            self.item_pops,
+            self.header_pushes,
+            self.header_pops,
+            self.blocked_pushes + self.blocked_pops,
+            self.timeout_pushes + self.timeout_pops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_stores_aggregate() {
+        let s = QueueStats {
+            item_pushes: 10,
+            header_pushes: 2,
+            item_pops: 8,
+            header_pops: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.stores(), 12);
+        assert_eq!(s.loads(), 9);
+    }
+
+    #[test]
+    fn add_assign_merges_everything() {
+        let mut a = QueueStats {
+            item_pushes: 1,
+            blocked_pops: 2,
+            ..Default::default()
+        };
+        let b = QueueStats {
+            item_pushes: 3,
+            blocked_pops: 4,
+            timeout_pops: 5,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.item_pushes, 4);
+        assert_eq!(a.blocked_pops, 6);
+        assert_eq!(a.timeout_pops, 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!QueueStats::default().to_string().is_empty());
+    }
+}

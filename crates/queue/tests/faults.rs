@@ -1,0 +1,93 @@
+//! Fault-surface tests for the queue: pointer corruption under both
+//! protection modes, header-payload corruption (the unprotected-header
+//! ablation hook), and the invariant-validation recovery path.
+
+use cg_queue::{PointerMode, QueueSpec, SimQueue, Unit, Which};
+
+fn spec(mode: PointerMode) -> QueueSpec {
+    QueueSpec {
+        capacity: 64,
+        workset_size: 8,
+        pointer_mode: mode,
+    }
+}
+
+/// ECC pointers: any two corruptions between loads are either corrected
+/// or recovered conservatively — the apparent occupancy can never exceed
+/// the capacity (the QM invariant), so no phantom-item floods exist.
+#[test]
+fn ecc_pointer_corruption_never_floods() {
+    for bits in [[3u32, 3], [3, 17], [31, 30], [0, 38]] {
+        let mut q = SimQueue::new(spec(PointerMode::Ecc));
+        for i in 0..16u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        q.flush();
+        q.corrupt_shared_pointer(Which::Tail, bits[0]);
+        q.corrupt_shared_pointer(Which::Tail, bits[1]);
+        // Drain: at most the 16 real items come out; after that the
+        // queue must report empty (no garbage supply).
+        let mut popped = 0;
+        while q.try_pop().is_some() {
+            popped += 1;
+            assert!(popped <= 16, "phantom items after corruption {bits:?}");
+        }
+        assert!(popped <= 16);
+    }
+}
+
+/// Raw pointers: a high-bit tail corruption *does* flood (that is the
+/// paper's Fig. 3b failure), supplying garbage indefinitely.
+#[test]
+fn raw_pointer_corruption_floods() {
+    let mut q = SimQueue::new(spec(PointerMode::Raw));
+    q.try_push(Unit::Item(1)).unwrap();
+    q.flush();
+    let _ = q.try_pop();
+    q.corrupt_shared_pointer(Which::Tail, 20);
+    let mut garbage = 0;
+    for _ in 0..1000 {
+        if q.try_pop().is_some() {
+            garbage += 1;
+        }
+    }
+    assert_eq!(garbage, 1000, "unprotected queues keep transmitting garbage");
+}
+
+/// Header payload corruption flips the decoded frame id silently (no
+/// ECC signal) — the §4.1 ablation surface.
+#[test]
+fn header_payload_corruption_is_silent() {
+    let mut q = SimQueue::new(spec(PointerMode::Ecc));
+    q.try_push(Unit::header(5)).unwrap();
+    q.try_push(Unit::Item(1)).unwrap();
+    q.flush();
+    assert!(q.corrupt_random_header_payload(0, 1));
+    let h = q.try_pop().unwrap();
+    assert!(h.is_header());
+    assert_eq!(h.header_id(), Some(7), "bit 1 of id 5 flipped: 5 ^ 2 = 7, no detection");
+}
+
+/// With no header in flight the corruption hook reports a miss.
+#[test]
+fn header_corruption_misses_when_no_headers() {
+    let mut q = SimQueue::new(spec(PointerMode::Ecc));
+    q.try_push(Unit::Item(1)).unwrap();
+    q.flush();
+    assert!(!q.corrupt_random_header_payload(7, 3));
+}
+
+/// Buffer-slot corruption perturbs exactly the stored unit.
+#[test]
+fn buffer_corruption_localised() {
+    let mut q = SimQueue::new(spec(PointerMode::Ecc));
+    for i in 0..8u32 {
+        q.try_push(Unit::Item(i)).unwrap();
+    }
+    q.corrupt_buffer_slot(3, 0);
+    q.flush();
+    let drained: Vec<u32> = std::iter::from_fn(|| q.try_pop())
+        .filter_map(|u| u.item_value())
+        .collect();
+    assert_eq!(drained, vec![0, 1, 2, 2, 4, 5, 6, 7]); // 3 ^ 1 = 2
+}

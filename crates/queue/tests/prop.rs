@@ -1,0 +1,100 @@
+//! Property tests: the queue is a faithful FIFO under arbitrary
+//! interleavings of operations, as long as no faults are injected.
+
+use cg_queue::{PointerMode, QueueSpec, SimQueue, Unit};
+use proptest::prelude::*;
+
+/// An abstract queue operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u32>().prop_map(Op::Push),
+        3 => Just(Op::Pop),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    /// Against a `VecDeque` model: every popped unit matches FIFO order;
+    /// pops may lag (working-set visibility) but never reorder, duplicate,
+    /// or invent data.
+    #[test]
+    fn fifo_against_model(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        cap_pow in 3u32..7,
+        mode_ecc in any::<bool>(),
+    ) {
+        let capacity = 1usize << cap_pow;
+        let spec = QueueSpec {
+            capacity,
+            workset_size: capacity / 8,
+            pointer_mode: if mode_ecc { PointerMode::Ecc } else { PointerMode::Raw },
+        };
+        let mut q = SimQueue::new(spec);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut in_queue = 0usize;
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    if q.try_push(Unit::Item(v)).is_ok() {
+                        model.push_back(v);
+                        in_queue += 1;
+                    } else {
+                        // A rejected push means the queue is full up to
+                        // working-set visibility lag: the consumer may have
+                        // up to workset_size-1 unpublished pops.
+                        prop_assert!(
+                            in_queue > capacity - spec.workset_size,
+                            "spurious full at occupancy {in_queue}/{capacity}"
+                        );
+                    }
+                }
+                Op::Pop => {
+                    if let Some(u) = q.try_pop() {
+                        let expect = model.pop_front().expect("model empty but queue popped");
+                        prop_assert_eq!(u, Unit::Item(expect));
+                        in_queue -= 1;
+                    }
+                }
+                Op::Flush => q.flush(),
+            }
+        }
+        // After a flush, everything still buffered is poppable in order.
+        q.flush();
+        while let Some(u) = q.try_pop() {
+            let expect = model.pop_front().expect("model drained first");
+            prop_assert_eq!(u, Unit::Item(expect));
+        }
+        prop_assert!(model.is_empty(), "queue lost {} items", model.len());
+    }
+
+    /// Stats invariants: pops never exceed pushes; loads/stores are
+    /// consistent with the op counts.
+    #[test]
+    fn stats_are_consistent(pushes in 0usize..100, pops in 0usize..150) {
+        let mut q = SimQueue::new(QueueSpec::with_capacity(128));
+        let mut ok_push = 0u64;
+        for i in 0..pushes {
+            if q.try_push(Unit::Item(i as u32)).is_ok() {
+                ok_push += 1;
+            }
+        }
+        q.flush();
+        let mut ok_pop = 0u64;
+        for _ in 0..pops {
+            if q.try_pop().is_some() {
+                ok_pop += 1;
+            }
+        }
+        let s = *q.stats();
+        prop_assert_eq!(s.stores(), ok_push);
+        prop_assert_eq!(s.loads(), ok_pop);
+        prop_assert!(ok_pop <= ok_push);
+    }
+}

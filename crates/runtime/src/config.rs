@@ -1,0 +1,148 @@
+//! Simulation configuration.
+
+use cg_fault::{EffectModel, Mtbe};
+use commguard::Protection;
+
+/// Memory-event model: the fraction of committed instructions that are
+/// data loads/stores, used to estimate *all* processor memory events when
+/// relating header traffic to total traffic (paper Fig. 12). Values are
+/// typical x86 integer/FP mix ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemModel {
+    /// Loads per committed instruction.
+    pub loads_per_instr: f64,
+    /// Stores per committed instruction.
+    pub stores_per_instr: f64,
+}
+
+impl Default for MemModel {
+    fn default() -> Self {
+        MemModel {
+            loads_per_instr: 0.25,
+            stores_per_instr: 0.12,
+        }
+    }
+}
+
+/// Pipeline model for the frame-boundary serialisation overhead of §5.3 /
+/// Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Effective cycles lost per frame-boundary serialisation (the
+    /// `lfence`-style drain; small because frame boundaries rarely have
+    /// many instructions in flight).
+    pub serialize_cycles: f64,
+    /// Instruction-equivalents per header push or pop.
+    pub header_op_cost: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            serialize_cycles: 3.0,
+            header_op_cost: 2.0,
+        }
+    }
+}
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Protection mode (Fig. 3 configurations).
+    pub protection: Protection,
+    /// Master fault-injection switch: `false` runs the selected
+    /// protection hardware error-free (used to measure pure overheads).
+    pub inject: bool,
+    /// Mean time between errors per core; ignored when the protection
+    /// mode is [`Protection::ErrorFree`].
+    pub mtbe: Mtbe,
+    /// How faults manifest (defaults to the VM-calibrated rates).
+    pub effect_model: EffectModel,
+    /// Run seed; per-core RNGs derive from it.
+    pub seed: u64,
+    /// Steady-state iterations (frames at default scale) to execute.
+    pub frames: u64,
+    /// Capacity of every queue, in units.
+    pub queue_capacity: usize,
+    /// Consecutive blocked scheduler visits before a QM timeout fires.
+    pub timeout_rounds: u64,
+    /// Hard cap on scheduler rounds (safety net; reported as
+    /// `completed = false` when hit).
+    pub max_rounds: u64,
+    /// Memory-event estimation model.
+    pub mem_model: MemModel,
+    /// Pipeline serialisation model.
+    pub overhead_model: OverheadModel,
+}
+
+impl SimConfig {
+    /// An error-free run of `frames` steady iterations.
+    pub fn error_free(frames: u64) -> Self {
+        SimConfig {
+            protection: Protection::ErrorFree,
+            inject: true,
+            mtbe: Mtbe::kilo_instructions(1024),
+            effect_model: EffectModel::calibrated(),
+            seed: 1,
+            frames,
+            queue_capacity: 65_536,
+            timeout_rounds: 256,
+            max_rounds: u64::MAX,
+            mem_model: MemModel::default(),
+            overhead_model: OverheadModel::default(),
+        }
+    }
+
+    /// A run under `protection` with errors at `mtbe`.
+    pub fn with_errors(frames: u64, protection: Protection, mtbe: Mtbe, seed: u64) -> Self {
+        SimConfig {
+            protection,
+            inject: true,
+            mtbe,
+            seed,
+            ..SimConfig::error_free(frames)
+        }
+    }
+
+    /// Whether fault injectors will actually fire.
+    pub fn faults_enabled(&self) -> bool {
+        self.inject && self.protection.errors_enabled()
+    }
+
+    /// Sets the frame count (builder style).
+    #[must_use]
+    pub fn frames(mut self, frames: u64) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = SimConfig::error_free(10);
+        assert_eq!(c.frames, 10);
+        assert!(!c.protection.errors_enabled());
+        let e = SimConfig::with_errors(
+            5,
+            Protection::commguard(),
+            Mtbe::kilo_instructions(512),
+            7,
+        );
+        assert_eq!(e.seed, 7);
+        assert_eq!(e.frames, 5);
+        assert!(e.protection.guards_enabled());
+        let f = c.frames(3).seed(9);
+        assert_eq!((f.frames, f.seed), (3, 9));
+    }
+}

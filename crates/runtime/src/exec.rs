@@ -1,0 +1,506 @@
+//! The deterministic multicore executor.
+//!
+//! One stream-graph node runs per simulated core (the paper's layout).
+//! Cores are multiplexed in topological round-robin; each visit advances a
+//! node's micro-state machine (frame boundary → header drain → pop →
+//! fire → push) as far as it can before blocking on a queue. Blocking is
+//! resolved by later visits or, after a bounded number of fruitless
+//! visits, by a queue-manager timeout that forces (incorrect but
+//! progressing) data transfer — the PPU guarantee that nothing ever hangs.
+
+use cg_fault::{CoreInjector, EffectKind};
+use cg_graph::{EdgeId, NodeId, NodeKind};
+use cg_queue::{QueueSpec, SimQueue, Which};
+use commguard::qm::TimeoutTracker;
+use commguard::CoreGuard;
+use rand::Rng;
+
+use crate::config::SimConfig;
+use crate::faults::{apply_perturbation, flip_random_item, garble_random_item};
+use crate::program::Program;
+use crate::report::{NodeReport, RunReport};
+use crate::work::WorkFn;
+
+/// Errors that prevent a run from starting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A source/filter node has no work function bound.
+    UnboundNode(String),
+    /// The graph has no steady-state schedule.
+    Schedule(String),
+    /// The effect model is invalid.
+    BadEffectModel(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnboundNode(m) => write!(f, "unbound node: {m}"),
+            RunError::Schedule(m) => write!(f, "scheduling failed: {m}"),
+            RunError::BadEffectModel(m) => write!(f, "bad effect model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Boundary,
+    DrainHeaders,
+    PopInputs,
+    Fire,
+    PushOutputs,
+    Finishing,
+    Done,
+}
+
+/// Per-node (= per-core) runtime state.
+struct NodeRt {
+    id: NodeId,
+    kind: NodeKind,
+    name: String,
+    in_edges: Vec<EdgeId>,
+    out_edges: Vec<EdgeId>,
+    pop_rates: Vec<u32>,
+    push_rates: Vec<u32>,
+    reps: u64,
+    total_firings: u64,
+    firings_done: u64,
+    guard: CoreGuard,
+    injector: CoreInjector,
+    work: Option<Box<dyn WorkFn>>,
+    in_timeouts: Vec<TimeoutTracker>,
+    out_timeouts: Vec<TimeoutTracker>,
+    staged_in: Vec<Vec<u32>>,
+    staged_out: Vec<Vec<u32>>,
+    out_pos: Vec<usize>,
+    phase: Phase,
+    instructions: u64,
+    timeouts_fired: u64,
+    sink_buf: Vec<u32>,
+}
+
+impl NodeRt {
+    fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+}
+
+/// Runs `program` under `config` to completion (or the round cap).
+///
+/// # Errors
+///
+/// Returns [`RunError`] for unbound nodes, inconsistent schedules, or an
+/// invalid effect model. Error-prone execution itself never errors — that
+/// is the point — it only degrades output quality in the report.
+pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> {
+    program
+        .validate_bound()
+        .map_err(RunError::UnboundNode)?;
+    config
+        .effect_model
+        .validate()
+        .map_err(RunError::BadEffectModel)?;
+    let (graph, mut works) = program.into_parts();
+    let schedule = graph
+        .schedule()
+        .map_err(|e| RunError::Schedule(e.to_string()))?;
+
+    let guard_cfg = config.protection.guard_config();
+    let pointer_mode = config.protection.pointer_mode();
+    let errors_on = config.faults_enabled();
+
+    // Queues, one per edge.
+    let mut queues: Vec<SimQueue> = graph
+        .edges()
+        .map(|_| SimQueue::new(QueueSpec::with_capacity(config.queue_capacity).pointer_mode(pointer_mode)))
+        .collect();
+
+    // Per-node runtime state, one core per node.
+    let mut nodes: Vec<NodeRt> = graph
+        .nodes()
+        .map(|(id, node)| {
+            let in_edges = node.inputs().to_vec();
+            let out_edges = node.outputs().to_vec();
+            let reps = schedule.repetitions(id);
+            let guard = match &guard_cfg {
+                Some(cfg) => {
+                    // Promoted frames over the whole run (§5.4 scaling).
+                    let promoted = config.frames.div_ceil(u64::from(cfg.frame_scale));
+                    CoreGuard::new(
+                        in_edges.len(),
+                        out_edges.len(),
+                        cfg,
+                        u32::try_from(promoted).ok(),
+                    )
+                }
+                None => CoreGuard::disabled(in_edges.len(), out_edges.len()),
+            };
+            let injector = if errors_on {
+                CoreInjector::new(
+                    config.mtbe,
+                    config.effect_model,
+                    config.seed,
+                    id.index() as u64,
+                )
+            } else {
+                CoreInjector::disabled(config.seed, id.index() as u64)
+            };
+            NodeRt {
+                id,
+                kind: node.kind(),
+                name: node.name().to_string(),
+                pop_rates: in_edges.iter().map(|&e| graph.edge(e).pop_rate()).collect(),
+                push_rates: out_edges.iter().map(|&e| graph.edge(e).push_rate()).collect(),
+                staged_in: vec![Vec::new(); in_edges.len()],
+                staged_out: vec![Vec::new(); out_edges.len()],
+                out_pos: vec![0; out_edges.len()],
+                in_timeouts: vec![TimeoutTracker::new(config.timeout_rounds); in_edges.len()],
+                out_timeouts: vec![TimeoutTracker::new(config.timeout_rounds); out_edges.len()],
+                in_edges,
+                out_edges,
+                reps,
+                total_firings: reps * config.frames,
+                firings_done: 0,
+                guard,
+                injector,
+                work: works[id.index()].take(),
+                phase: Phase::Boundary,
+                instructions: 0,
+                timeouts_fired: 0,
+                sink_buf: Vec::new(),
+            }
+        })
+        .collect();
+
+    let order = graph.topo_order();
+    let mut rounds: u64 = 0;
+    let mut completed = false;
+    let cost_models: Vec<_> = graph.nodes().map(|(_, n)| *n.cost()).collect();
+
+    loop {
+        rounds += 1;
+        let mut all_done = true;
+        for &nid in &order {
+            step(
+                &mut nodes[nid.index()],
+                &mut queues,
+                &cost_models[nid.index()],
+                config,
+            );
+            all_done &= nodes[nid.index()].is_done();
+        }
+        if all_done {
+            completed = true;
+            break;
+        }
+        if rounds >= config.max_rounds {
+            break;
+        }
+    }
+
+    // Assemble the report.
+    let mut report = RunReport {
+        app: graph.name().to_string(),
+        rounds,
+        completed,
+        ..Default::default()
+    };
+    for q in &queues {
+        report.queues += *q.stats();
+    }
+    for n in nodes {
+        let frames = if n.reps > 0 { n.firings_done / n.reps } else { 0 };
+        if n.kind == NodeKind::Sink {
+            report.sinks.insert(n.id.index(), n.sink_buf);
+        }
+        report.nodes.push(NodeReport {
+            name: n.name,
+            instructions: n.instructions,
+            firings: n.firings_done,
+            frames,
+            instructions_per_frame: if frames > 0 {
+                n.instructions as f64 / frames as f64
+            } else {
+                0.0
+            },
+            subops: n.guard.into_subops(),
+            faults: *n.injector.stats(),
+            timeouts: n.timeouts_fired,
+        });
+    }
+    Ok(report)
+}
+
+/// Advances one node as far as possible this visit.
+fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, config: &SimConfig) {
+    loop {
+        match n.phase {
+            Phase::Done => return,
+            Phase::Boundary => {
+                if n.firings_done >= n.total_firings {
+                    n.guard.finish();
+                    n.phase = Phase::Finishing;
+                    continue;
+                }
+                if n.firings_done == 0 {
+                    n.guard.start();
+                } else {
+                    n.guard.scope_boundary();
+                    // Publish partial working sets so downstream frames are
+                    // visible promptly (the paper flushes at boundaries).
+                    for &e in &n.out_edges {
+                        queues[e.index()].flush();
+                    }
+                }
+                n.phase = Phase::DrainHeaders;
+            }
+            Phase::DrainHeaders => {
+                let mut clear = true;
+                for (port, &e) in n.out_edges.iter().enumerate() {
+                    let q = &mut queues[e.index()];
+                    if !n.guard.hi_tick(port, q) {
+                        if n.out_timeouts[port].on_block() {
+                            n.timeouts_fired += 1;
+                            n.guard.hi_force(port, q);
+                        } else {
+                            clear = false;
+                        }
+                    } else {
+                        n.out_timeouts[port].on_progress();
+                    }
+                }
+                if !clear {
+                    return;
+                }
+                n.phase = Phase::PopInputs;
+            }
+            Phase::PopInputs => {
+                for (port, &e) in n.in_edges.iter().enumerate() {
+                    let need = n.pop_rates[port] as usize;
+                    while n.staged_in[port].len() < need {
+                        let q = &mut queues[e.index()];
+                        match n.guard.pop(port, q) {
+                            Some(v) => {
+                                n.in_timeouts[port].on_progress();
+                                n.staged_in[port].push(v);
+                            }
+                            None => {
+                                if n.in_timeouts[port].on_block() {
+                                    // QM timeout: transfer the whole
+                                    // remaining firing's worth of (stale)
+                                    // data at once rather than grinding
+                                    // one forced item per timeout window.
+                                    n.timeouts_fired += 1;
+                                    while n.staged_in[port].len() < need {
+                                        let v = n.guard.timeout_pop(port, q);
+                                        n.staged_in[port].push(v);
+                                    }
+                                } else {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                n.phase = Phase::Fire;
+            }
+            Phase::Fire => {
+                fire(n, queues, cost, config);
+                n.phase = Phase::PushOutputs;
+            }
+            Phase::PushOutputs => {
+                for (port, &e) in n.out_edges.iter().enumerate() {
+                    while n.out_pos[port] < n.staged_out[port].len() {
+                        let q = &mut queues[e.index()];
+                        let v = n.staged_out[port][n.out_pos[port]];
+                        match n.guard.push(port, q, v) {
+                            Ok(()) => {
+                                n.out_timeouts[port].on_progress();
+                                n.out_pos[port] += 1;
+                            }
+                            Err(_) => {
+                                if n.out_timeouts[port].on_block() {
+                                    // QM timeout: force the rest of this
+                                    // firing's output out in one go.
+                                    n.timeouts_fired += 1;
+                                    while n.out_pos[port] < n.staged_out[port].len() {
+                                        let v = n.staged_out[port][n.out_pos[port]];
+                                        n.guard.timeout_push(port, q, v);
+                                        n.out_pos[port] += 1;
+                                    }
+                                } else {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                for (port, buf) in n.staged_out.iter_mut().enumerate() {
+                    buf.clear();
+                    n.out_pos[port] = 0;
+                }
+                for buf in &mut n.staged_in {
+                    buf.clear();
+                }
+                n.firings_done += 1;
+                n.phase = if n.firings_done % n.reps == 0 {
+                    Phase::Boundary
+                } else {
+                    Phase::PopInputs
+                };
+            }
+            Phase::Finishing => {
+                let mut clear = true;
+                for (port, &e) in n.out_edges.iter().enumerate() {
+                    let q = &mut queues[e.index()];
+                    if !n.guard.hi_tick(port, q) {
+                        if n.out_timeouts[port].on_block() {
+                            n.timeouts_fired += 1;
+                            n.guard.hi_force(port, q);
+                        } else {
+                            clear = false;
+                        }
+                    }
+                }
+                if !clear {
+                    return;
+                }
+                for &e in &n.out_edges {
+                    queues[e.index()].flush();
+                }
+                n.phase = Phase::Done;
+            }
+        }
+    }
+}
+
+/// Executes the firing body: charges instructions, collects fault events,
+/// runs the work function (or the structural behaviour), and applies the
+/// fault effects mechanically.
+fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, config: &SimConfig) {
+    let items_moved: u64 = n.pop_rates.iter().map(|&r| u64::from(r)).sum::<u64>()
+        + n.push_rates.iter().map(|&r| u64::from(r)).sum::<u64>();
+    let instr = cost.firing_cost(items_moved);
+    n.instructions += instr;
+    let events = n.injector.advance(instr);
+
+    // Partition events: data flips before/after compute, control
+    // perturbations after, addressing immediately.
+    let mut pre_flips = 0u32;
+    let mut post_flips = 0u32;
+    let mut perturbations = Vec::new();
+    let mut addressing = 0u32;
+    for ev in &events {
+        match ev.kind {
+            EffectKind::DataValue => {
+                if n.injector.rng_mut().gen::<bool>() {
+                    pre_flips += 1;
+                } else {
+                    post_flips += 1;
+                }
+            }
+            EffectKind::ControlFlow => {
+                let model = *n.injector.model();
+                perturbations.push(model.sample_perturbation(n.injector.rng_mut()));
+            }
+            EffectKind::Addressing => addressing += 1,
+            EffectKind::Silent => {}
+        }
+    }
+
+    for _ in 0..pre_flips {
+        let mut bufs: Vec<&mut Vec<u32>> = n.staged_in.iter_mut().collect();
+        flip_random_item(&mut bufs, n.injector.rng_mut());
+    }
+
+    // The compute body.
+    match n.kind {
+        NodeKind::Source | NodeKind::Filter => {
+            let work = n.work.as_mut().expect("validated: work bound");
+            work.fire(&n.staged_in, &mut n.staged_out);
+        }
+        NodeKind::SplitDuplicate => {
+            for out in &mut n.staged_out {
+                out.extend_from_slice(&n.staged_in[0]);
+            }
+        }
+        NodeKind::SplitRoundRobin => {
+            let mut off = 0usize;
+            for (port, out) in n.staged_out.iter_mut().enumerate() {
+                let take = n.push_rates[port] as usize;
+                let end = (off + take).min(n.staged_in[0].len());
+                out.extend_from_slice(&n.staged_in[0][off..end]);
+                // Short input (itself an upstream error effect): pad the
+                // distribution with zeros to keep rates structural.
+                out.resize(out.len() + take - (end - off), 0);
+                off = end;
+            }
+        }
+        NodeKind::JoinRoundRobin => {
+            for inp in &n.staged_in {
+                n.staged_out[0].extend_from_slice(inp);
+            }
+        }
+        NodeKind::Sink => {
+            for inp in &n.staged_in {
+                n.sink_buf.extend_from_slice(inp);
+            }
+        }
+    }
+
+    for _ in 0..post_flips {
+        let mut bufs: Vec<&mut Vec<u32>> = n.staged_out.iter_mut().collect();
+        if !flip_random_item(&mut bufs, n.injector.rng_mut()) && n.kind == NodeKind::Sink {
+            // Sinks have no outputs; the flip lands in the collected data.
+            let mut bufs = [&mut n.sink_buf];
+            flip_random_item(&mut bufs, n.injector.rng_mut());
+        }
+    }
+    for pert in perturbations {
+        apply_perturbation(&mut n.staged_out, pert, n.injector.rng_mut());
+    }
+    for _ in 0..addressing {
+        apply_addressing_fault(n, queues, config);
+    }
+}
+
+/// An addressing error: corrupts a shared queue pointer of a random
+/// attached queue (silently fatal when pointers are unprotected — the
+/// paper's QME class) or, when no queue is attached or on the local-buffer
+/// side of the coin flip, garbles a staged item.
+fn apply_addressing_fault(n: &mut NodeRt, queues: &mut [SimQueue], config: &SimConfig) {
+    let attached: Vec<EdgeId> = n
+        .in_edges
+        .iter()
+        .chain(&n.out_edges)
+        .copied()
+        .collect();
+    let rng = n.injector.rng_mut();
+    let hit_queue = !attached.is_empty() && rng.gen::<bool>();
+    if hit_queue {
+        let e = attached[rng.gen_range(0..attached.len())];
+        let which = if rng.gen::<bool>() { Which::Head } else { Which::Tail };
+        let bit = rng.gen_range(0..20u32); // pointers are small counters
+        queues[e.index()].corrupt_shared_pointer(which, bit);
+    } else {
+        let mut bufs: Vec<&mut Vec<u32>> = n
+            .staged_in
+            .iter_mut()
+            .chain(n.staged_out.iter_mut())
+            .collect();
+        garble_random_item(&mut bufs, rng);
+    }
+    // Unprotected-header ablation: addressing errors can also strike
+    // in-flight header words, silently changing their ids.
+    if let Some(cfg) = config.protection.guard_config() {
+        if !cfg.protect_headers && !attached.is_empty() {
+            let rng = n.injector.rng_mut();
+            let e = attached[rng.gen_range(0..attached.len())];
+            let slot_seed = rng.gen::<u32>();
+            let bit = rng.gen_range(0..8u32); // low id bits: nearby frames
+            queues[e.index()].corrupt_random_header_payload(slot_seed, bit);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Applying fault effects to a firing's live data.
+//!
+//! The effect-level injector (see `cg-fault`) decides *what class* of
+//! error a register flip manifests as; this module applies the class
+//! mechanically to the firing that was executing when the fault struck.
+
+use cg_fault::{ControlPerturbation, DetRng};
+use rand::Rng;
+
+/// Flips one random bit of one random item across the given buffers.
+/// Returns `false` when every buffer is empty (the flip was absorbed by
+/// dead state — effectively masked).
+pub(crate) fn flip_random_item(bufs: &mut [&mut Vec<u32>], rng: &mut DetRng) -> bool {
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    if total == 0 {
+        return false;
+    }
+    let mut idx = rng.gen_range(0..total);
+    for buf in bufs {
+        if idx < buf.len() {
+            let bit = rng.gen_range(0..32u32);
+            buf[idx] ^= 1 << bit;
+            return true;
+        }
+        idx -= buf.len();
+    }
+    unreachable!("index within total length")
+}
+
+/// Replaces one random item with an arbitrary word (a load/store that went
+/// to the wrong local address). Returns `false` when buffers are empty.
+pub(crate) fn garble_random_item(bufs: &mut [&mut Vec<u32>], rng: &mut DetRng) -> bool {
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    if total == 0 {
+        return false;
+    }
+    let mut idx = rng.gen_range(0..total);
+    for buf in bufs {
+        if idx < buf.len() {
+            buf[idx] = rng.gen();
+            return true;
+        }
+        idx -= buf.len();
+    }
+    unreachable!("index within total length")
+}
+
+/// Applies a control-flow perturbation to the firing's staged outputs:
+/// the firing pushes extra garbage items, loses trailing items, skips its
+/// body, or runs twice. Bounded by construction — the PPU guarantee that
+/// control errors cannot escape the firing.
+pub(crate) fn apply_perturbation(
+    outputs: &mut [Vec<u32>],
+    pert: ControlPerturbation,
+    rng: &mut DetRng,
+) {
+    if outputs.is_empty() {
+        return;
+    }
+    match pert {
+        ControlPerturbation::ExtraItems(k) => {
+            let port = rng.gen_range(0..outputs.len());
+            for _ in 0..k {
+                outputs[port].push(rng.gen());
+            }
+        }
+        ControlPerturbation::LostItems(k) => {
+            let port = rng.gen_range(0..outputs.len());
+            let keep = outputs[port].len().saturating_sub(k as usize);
+            outputs[port].truncate(keep);
+        }
+        ControlPerturbation::SkipFiring => {
+            for out in outputs.iter_mut() {
+                out.clear();
+            }
+        }
+        ControlPerturbation::ExtraFiring => {
+            for out in outputs.iter_mut() {
+                let copy = out.clone();
+                out.extend(copy);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_fault::core_rng;
+
+    #[test]
+    fn flip_changes_one_bit() {
+        let mut rng = core_rng(1, 0);
+        let mut a = vec![0u32; 4];
+        let mut b = vec![0u32; 4];
+        {
+            let mut bufs = [&mut a, &mut b];
+            assert!(flip_random_item(&mut bufs, &mut rng));
+        }
+        let ones: u32 = a.iter().chain(&b).map(|v| v.count_ones()).sum();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn flip_on_empty_is_masked() {
+        let mut rng = core_rng(1, 0);
+        let mut a: Vec<u32> = Vec::new();
+        let mut bufs = [&mut a];
+        assert!(!flip_random_item(&mut bufs, &mut rng));
+    }
+
+    #[test]
+    fn garble_replaces_one_item() {
+        let mut rng = core_rng(2, 0);
+        let mut a = vec![7u32; 8];
+        {
+            let mut bufs = [&mut a];
+            assert!(garble_random_item(&mut bufs, &mut rng));
+        }
+        let changed = a.iter().filter(|&&v| v != 7).count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn perturbations_change_counts() {
+        let mut rng = core_rng(3, 0);
+        let mut out = vec![vec![1, 2, 3], vec![4, 5]];
+        apply_perturbation(&mut out, ControlPerturbation::ExtraItems(2), &mut rng);
+        assert_eq!(out[0].len() + out[1].len(), 7);
+        apply_perturbation(&mut out, ControlPerturbation::LostItems(1), &mut rng);
+        assert_eq!(out[0].len() + out[1].len(), 6);
+        apply_perturbation(&mut out, ControlPerturbation::ExtraFiring, &mut rng);
+        assert_eq!(out[0].len() + out[1].len(), 12);
+        apply_perturbation(&mut out, ControlPerturbation::SkipFiring, &mut rng);
+        assert_eq!(out[0].len() + out[1].len(), 0);
+    }
+
+    #[test]
+    fn lost_items_saturates() {
+        let mut rng = core_rng(4, 0);
+        let mut out = vec![vec![1u32]];
+        apply_perturbation(&mut out, ControlPerturbation::LostItems(10), &mut rng);
+        assert!(out[0].is_empty());
+    }
+}

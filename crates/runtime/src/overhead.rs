@@ -1,0 +1,73 @@
+//! Analytic execution-time overhead model (paper §5.3 / Fig. 13).
+//!
+//! CommGuard's runtime cost has two parts: the extra queue traffic for
+//! headers, and pipeline serialisation at frame-computation boundaries
+//! (pushes/pops after a boundary stall until the boundary instruction
+//! commits — measured with `lfence` on real hardware in the paper). Both
+//! scale with frame *frequency*, so larger frame sizes shrink them.
+
+use crate::config::OverheadModel;
+use crate::report::RunReport;
+
+/// Breakdown of estimated execution-time overhead, as fractions of the
+/// baseline committed instructions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadEstimate {
+    /// Overhead from header pushes and pops.
+    pub header_fraction: f64,
+    /// Overhead from frame-boundary serialisation stalls.
+    pub serialize_fraction: f64,
+}
+
+impl OverheadEstimate {
+    /// Total overhead fraction (Fig. 13's y-axis).
+    pub fn total(&self) -> f64 {
+        self.header_fraction + self.serialize_fraction
+    }
+}
+
+/// Estimates CommGuard's execution-time overhead from a guarded run.
+pub fn estimate_overhead(report: &RunReport, model: &OverheadModel) -> OverheadEstimate {
+    let base = report.total_instructions() as f64;
+    if base == 0.0 {
+        return OverheadEstimate {
+            header_fraction: 0.0,
+            serialize_fraction: 0.0,
+        };
+    }
+    let header_ops = (report.queues.header_pushes + report.queues.header_pops) as f64;
+    let boundaries: f64 = report.nodes.iter().map(|n| n.frames as f64).sum();
+    OverheadEstimate {
+        header_fraction: header_ops * model.header_op_cost / base,
+        serialize_fraction: boundaries * model.serialize_cycles / base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::NodeReport;
+
+    #[test]
+    fn overhead_scales_with_headers_and_frames() {
+        let mut r = RunReport::default();
+        r.nodes.push(NodeReport {
+            instructions: 100_000,
+            frames: 100,
+            ..Default::default()
+        });
+        r.queues.header_pushes = 100;
+        r.queues.header_pops = 100;
+        let m = OverheadModel::default();
+        let e = estimate_overhead(&r, &m);
+        assert!((e.header_fraction - 200.0 * 2.0 / 100_000.0).abs() < 1e-12);
+        assert!((e.serialize_fraction - 100.0 * 3.0 / 100_000.0).abs() < 1e-12);
+        assert!(e.total() > 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let e = estimate_overhead(&RunReport::default(), &OverheadModel::default());
+        assert_eq!(e.total(), 0.0);
+    }
+}

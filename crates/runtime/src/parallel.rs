@@ -1,0 +1,290 @@
+//! A threaded executor: one OS thread per node, queues shared behind
+//! `parking_lot` mutexes.
+//!
+//! The deterministic executor ([`crate::run`]) is the measurement
+//! instrument — bit-reproducible, with fault injection. This executor
+//! exists to show the same guarded programs running with *real*
+//! parallelism (and to give the overhead benches a host-concurrency data
+//! point). It supports the guard modules but not fault injection:
+//! fault timing relative to queue state is scheduling-dependent on real
+//! threads, which would silently break reproducibility, so
+//! [`run_parallel`] rejects error-enabled configurations instead.
+
+use std::sync::Arc;
+
+use cg_graph::{NodeId, NodeKind};
+use cg_queue::{QueueSpec, SimQueue};
+use commguard::CoreGuard;
+use parking_lot::Mutex;
+
+use crate::config::SimConfig;
+use crate::program::Program;
+use crate::report::{NodeReport, RunReport};
+use crate::RunError;
+
+/// Runs `program` with one thread per node. Error-free only.
+///
+/// # Errors
+///
+/// Returns [`RunError`] for unbound nodes or inconsistent schedules, and
+/// [`RunError::BadEffectModel`] if the configuration enables errors
+/// (use the deterministic executor for fault experiments).
+pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, RunError> {
+    if config.faults_enabled() {
+        return Err(RunError::BadEffectModel(
+            "the threaded executor is error-free only; use cg_runtime::run".into(),
+        ));
+    }
+    program.validate_bound().map_err(RunError::UnboundNode)?;
+    let (graph, mut works) = program.into_parts();
+    let schedule = graph
+        .schedule()
+        .map_err(|e| RunError::Schedule(e.to_string()))?;
+    let guard_cfg = config.protection.guard_config();
+
+    let queues: Vec<Arc<Mutex<SimQueue>>> = graph
+        .edges()
+        .map(|_| {
+            Arc::new(Mutex::new(SimQueue::new(
+                QueueSpec::with_capacity(config.queue_capacity)
+                    .pointer_mode(config.protection.pointer_mode()),
+            )))
+        })
+        .collect();
+
+    struct ThreadResult {
+        node: NodeId,
+        report: NodeReport,
+        sink: Option<Vec<u32>>,
+    }
+
+    let mut results: Vec<ThreadResult> = Vec::with_capacity(graph.node_count());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (id, node) in graph.nodes() {
+            let work = works[id.index()].take();
+            let in_edges: Vec<_> = node.inputs().to_vec();
+            let out_edges: Vec<_> = node.outputs().to_vec();
+            let pop_rates: Vec<u32> =
+                in_edges.iter().map(|&e| graph.edge(e).pop_rate()).collect();
+            let push_rates: Vec<u32> =
+                out_edges.iter().map(|&e| graph.edge(e).push_rate()).collect();
+            let kind = node.kind();
+            let name = node.name().to_string();
+            let cost = *node.cost();
+            let reps = schedule.repetitions(id);
+            let frames = config.frames;
+            let queues = &queues;
+            let guard_cfg = guard_cfg;
+            handles.push(scope.spawn(move || {
+                let mut guard = match &guard_cfg {
+                    Some(cfg) => CoreGuard::new(
+                        in_edges.len(),
+                        out_edges.len(),
+                        cfg,
+                        u32::try_from(frames.div_ceil(u64::from(cfg.frame_scale))).ok(),
+                    ),
+                    None => CoreGuard::disabled(in_edges.len(), out_edges.len()),
+                };
+                let mut work = work;
+                let mut staged_in: Vec<Vec<u32>> = vec![Vec::new(); in_edges.len()];
+                let mut staged_out: Vec<Vec<u32>> = vec![Vec::new(); out_edges.len()];
+                let mut sink_buf: Vec<u32> = Vec::new();
+                let mut instructions = 0u64;
+                guard.start();
+                for firing in 0..reps * frames {
+                    if firing > 0 && firing % reps == 0 {
+                        for &e in &out_edges {
+                            queues[e.index()].lock().flush();
+                        }
+                        guard.scope_boundary();
+                    }
+                    // Drain pending headers (spin on full queues).
+                    for (port, &e) in out_edges.iter().enumerate() {
+                        while !guard.hi_tick(port, &mut queues[e.index()].lock()) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    // Pop inputs (spin on empty queues).
+                    for (port, &e) in in_edges.iter().enumerate() {
+                        while staged_in[port].len() < pop_rates[port] as usize {
+                            let popped = guard.pop(port, &mut queues[e.index()].lock());
+                            match popped {
+                                Some(v) => staged_in[port].push(v),
+                                None => std::thread::yield_now(),
+                            }
+                        }
+                    }
+                    // Fire.
+                    let items: u64 = staged_in.iter().map(|b| b.len() as u64).sum::<u64>();
+                    match kind {
+                        NodeKind::Source | NodeKind::Filter => {
+                            work.as_mut().expect("bound").fire(&staged_in, &mut staged_out);
+                        }
+                        NodeKind::SplitDuplicate => {
+                            for out in &mut staged_out {
+                                out.extend_from_slice(&staged_in[0]);
+                            }
+                        }
+                        NodeKind::SplitRoundRobin => {
+                            let mut off = 0usize;
+                            for (port, out) in staged_out.iter_mut().enumerate() {
+                                let take = push_rates[port] as usize;
+                                out.extend_from_slice(&staged_in[0][off..off + take]);
+                                off += take;
+                            }
+                        }
+                        NodeKind::JoinRoundRobin => {
+                            for inp in &staged_in {
+                                staged_out[0].extend_from_slice(inp);
+                            }
+                        }
+                        NodeKind::Sink => {
+                            for inp in &staged_in {
+                                sink_buf.extend_from_slice(inp);
+                            }
+                        }
+                    }
+                    let pushed: u64 = staged_out.iter().map(|b| b.len() as u64).sum::<u64>();
+                    instructions += cost.firing_cost(items + pushed);
+                    // Push outputs (spin on full queues).
+                    for (port, &e) in out_edges.iter().enumerate() {
+                        for i in 0..staged_out[port].len() {
+                            let v = staged_out[port][i];
+                            while guard.push(port, &mut queues[e.index()].lock(), v).is_err() {
+                                std::thread::yield_now();
+                            }
+                        }
+                        staged_out[port].clear();
+                    }
+                    for b in &mut staged_in {
+                        b.clear();
+                    }
+                }
+                guard.finish();
+                for (port, &e) in out_edges.iter().enumerate() {
+                    while !guard.hi_tick(port, &mut queues[e.index()].lock()) {
+                        std::thread::yield_now();
+                    }
+                    queues[e.index()].lock().flush();
+                }
+                let frames_done = frames;
+                ThreadResult {
+                    node: id,
+                    report: NodeReport {
+                        name,
+                        instructions,
+                        firings: reps * frames,
+                        frames: frames_done,
+                        instructions_per_frame: if frames_done > 0 {
+                            instructions as f64 / frames_done as f64
+                        } else {
+                            0.0
+                        },
+                        subops: guard.into_subops(),
+                        faults: Default::default(),
+                        timeouts: 0,
+                    },
+                    sink: if kind == NodeKind::Sink {
+                        Some(sink_buf)
+                    } else {
+                        None
+                    },
+                }
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker thread must not panic"));
+        }
+    });
+
+    results.sort_by_key(|r| r.node.index());
+    let mut report = RunReport {
+        app: graph.name().to_string(),
+        rounds: 0,
+        completed: true,
+        ..Default::default()
+    };
+    for q in &queues {
+        report.queues += *q.lock().stats();
+    }
+    for r in results {
+        if let Some(buf) = r.sink {
+            report.sinks.insert(r.node.index(), buf);
+        }
+        report.nodes.push(r.report);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run;
+    use cg_graph::GraphBuilder;
+    use commguard::Protection;
+
+    fn program() -> (Program, NodeId) {
+        let mut b = GraphBuilder::new("par");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        let g2 = b.add_node("g", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.pipeline(&[s, f, g2, k], 8).unwrap();
+        let graph = b.build().unwrap();
+        let mut p = Program::new(graph);
+        let mut next = 0u32;
+        p.set_source(s, move |out| {
+            for _ in 0..8 {
+                out.push(next);
+                next += 1;
+            }
+        });
+        p.set_filter(f, |inp, out| {
+            out[0].extend(inp[0].iter().map(|&v| v.wrapping_mul(7)));
+        });
+        p.set_filter(g2, |inp, out| {
+            out[0].extend(inp[0].iter().map(|&v| v ^ 0xFF));
+        });
+        (p, k)
+    }
+
+    #[test]
+    fn parallel_matches_deterministic_output() {
+        let (p, sink) = program();
+        let want = run(p, &SimConfig::error_free(200)).unwrap();
+        let (p, _) = program();
+        let got = run_parallel(p, &SimConfig::error_free(200)).unwrap();
+        assert_eq!(got.sink_output(sink), want.sink_output(sink));
+        assert!(got.completed);
+    }
+
+    #[test]
+    fn parallel_guarded_matches_too() {
+        let cfg = SimConfig {
+            protection: Protection::commguard(),
+            inject: false,
+            ..SimConfig::error_free(100)
+        };
+        let (p, sink) = program();
+        let want = run(p, &cfg).unwrap();
+        let (p, _) = program();
+        let got = run_parallel(p, &cfg).unwrap();
+        assert_eq!(got.sink_output(sink), want.sink_output(sink));
+        assert_eq!(
+            got.queues.header_pushes, want.queues.header_pushes,
+            "same header traffic either way"
+        );
+    }
+
+    #[test]
+    fn parallel_rejects_error_injection() {
+        let (p, _) = program();
+        let cfg = SimConfig {
+            protection: Protection::PpuReliableQueue,
+            inject: true,
+            ..SimConfig::error_free(10)
+        };
+        assert!(run_parallel(p, &cfg).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! A stream graph bound to its work functions.
+
+use cg_graph::{NodeId, NodeKind, StreamGraph};
+
+use crate::work::WorkFn;
+
+/// A runnable streaming program: a validated [`StreamGraph`] plus one work
+/// function per source/filter node. Splitters, joiners and sinks are
+/// executed by the runtime itself (duplication, round-robin distribution
+/// and collection are structural, not computational).
+pub struct Program {
+    graph: StreamGraph,
+    works: Vec<Option<Box<dyn WorkFn>>>,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("graph", &self.graph.name())
+            .field(
+                "bound",
+                &self.works.iter().filter(|w| w.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl Program {
+    /// Starts a program over `graph` with no work functions bound yet.
+    pub fn new(graph: StreamGraph) -> Self {
+        let n = graph.node_count();
+        Program {
+            graph,
+            works: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &StreamGraph {
+        &self.graph
+    }
+
+    /// Binds a general work function to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a splitter, joiner, or sink (the runtime owns
+    /// those), or if a work function is already bound.
+    pub fn set_work(&mut self, node: NodeId, work: impl WorkFn + 'static) {
+        let kind = self.graph.node(node).kind();
+        assert!(
+            matches!(kind, NodeKind::Source | NodeKind::Filter),
+            "node {node} has kind {kind:?}, which the runtime executes itself"
+        );
+        assert!(
+            self.works[node.index()].is_none(),
+            "node {node} already has a work function"
+        );
+        self.works[node.index()] = Some(Box::new(work));
+    }
+
+    /// Binds a source generator: called once per firing with the output
+    /// buffer of the source's single out-port.
+    ///
+    /// # Panics
+    ///
+    /// As [`Program::set_work`]; additionally if the source has more than
+    /// one output edge (use [`Program::set_work`] for multi-output
+    /// sources).
+    pub fn set_source(&mut self, node: NodeId, mut gen: impl FnMut(&mut Vec<u32>) + Send + 'static) {
+        assert_eq!(
+            self.graph.node(node).outputs().len(),
+            1,
+            "set_source requires a single-output source"
+        );
+        self.set_work(node, move |_inp: &[Vec<u32>], out: &mut [Vec<u32>]| {
+            gen(&mut out[0]);
+        });
+    }
+
+    /// Binds a single-in single-out filter body.
+    ///
+    /// # Panics
+    ///
+    /// As [`Program::set_work`].
+    pub fn set_filter(
+        &mut self,
+        node: NodeId,
+        work: impl FnMut(&[Vec<u32>], &mut [Vec<u32>]) + Send + 'static,
+    ) {
+        self.set_work(node, work);
+    }
+
+    /// Checks every source/filter node has a work function.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first unbound node.
+    pub fn validate_bound(&self) -> Result<(), String> {
+        for (id, node) in self.graph.nodes() {
+            let needs = matches!(node.kind(), NodeKind::Source | NodeKind::Filter);
+            if needs && self.works[id.index()].is_none() {
+                return Err(format!("node {} ({id}) has no work function", node.name()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Decomposes into graph and work table (runtime internal).
+    pub(crate) fn into_parts(self) -> (StreamGraph, Vec<Option<Box<dyn WorkFn>>>) {
+        (self.graph, self.works)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_graph::GraphBuilder;
+
+    fn graph() -> (StreamGraph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new("t");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.pipeline(&[s, f, k], 2).unwrap();
+        (b.build().unwrap(), s, f, k)
+    }
+
+    #[test]
+    fn binding_and_validation() {
+        let (g, s, f, _k) = graph();
+        let mut p = Program::new(g);
+        assert!(p.validate_bound().is_err());
+        p.set_source(s, |out| out.extend([1, 2]));
+        assert!(p.validate_bound().is_err());
+        p.set_filter(f, |inp, out| out[0].extend(inp[0].iter().copied()));
+        assert!(p.validate_bound().is_ok());
+        assert!(format!("{p:?}").contains("bound"));
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime executes itself")]
+    fn binding_sink_panics() {
+        let (g, _s, _f, k) = graph();
+        let mut p = Program::new(g);
+        p.set_work(k, |_: &[Vec<u32>], _: &mut [Vec<u32>]| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a work function")]
+    fn double_binding_panics() {
+        let (g, s, _f, _k) = graph();
+        let mut p = Program::new(g);
+        p.set_source(s, |_| {});
+        p.set_source(s, |_| {});
+    }
+}

@@ -1,0 +1,66 @@
+//! Work functions — the compute bodies of stream-graph nodes.
+
+/// The work function of a filter node.
+///
+/// On each firing the runtime stages `pop_rate` items from every incoming
+/// edge into `inputs` (one `Vec` per in-port, in the node's port order)
+/// and expects the implementation to append exactly `push_rate` items to
+/// every `outputs` buffer (one per out-port). Item counts are *not*
+/// enforced here — producing the wrong count is precisely the control-flow
+/// failure mode the fault injector exercises — but well-behaved filters
+/// must match their declared rates or the error-free run itself will
+/// misalign.
+///
+/// Items are raw `u32` words; floating-point filters move `f32` values via
+/// `to_bits`/`from_bits` so that injected bit flips hit real operand bits.
+pub trait WorkFn: Send {
+    /// Computes one firing.
+    fn fire(&mut self, inputs: &[Vec<u32>], outputs: &mut [Vec<u32>]);
+}
+
+impl<F> WorkFn for F
+where
+    F: FnMut(&[Vec<u32>], &mut [Vec<u32>]) + Send,
+{
+    fn fire(&mut self, inputs: &[Vec<u32>], outputs: &mut [Vec<u32>]) {
+        self(inputs, outputs)
+    }
+}
+
+/// Helpers for moving `f32` samples through word streams.
+pub mod f32s {
+    /// Encodes an `f32` slice into words.
+    pub fn to_words(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Decodes words into `f32`s.
+    pub fn from_words(ws: &[u32]) -> Vec<f32> {
+        ws.iter().map(|&w| f32::from_bits(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_work_fns() {
+        let mut doubler = |inp: &[Vec<u32>], out: &mut [Vec<u32>]| {
+            for &v in &inp[0] {
+                out[0].push(v * 2);
+            }
+        };
+        let inputs = vec![vec![1, 2, 3]];
+        let mut outputs = vec![Vec::new()];
+        doubler.fire(&inputs, &mut outputs);
+        assert_eq!(outputs[0], vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let xs = [1.5f32, -0.25, 1e-9];
+        let back = f32s::from_words(&f32s::to_words(&xs));
+        assert_eq!(back, xs);
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end executor tests across the paper's protection configurations.
+
+use cg_fault::{EffectModel, Mtbe};
+use cg_runtime::{run, Program, SimConfig};
+use commguard::graph::{CostModel, GraphBuilder, NodeId, NodeKind, StreamGraph};
+use commguard::Protection;
+
+/// A 5-node pipeline with a split-join, exercising every structural node
+/// kind: src → split(dup) → {a, b} → join → sink.
+fn splitjoin_graph() -> (StreamGraph, NodeId, NodeId) {
+    let mut b = GraphBuilder::new("sj-test");
+    let src = b.add_node("src", NodeKind::Source);
+    let a = b.add_node("a", NodeKind::Filter);
+    let c = b.add_node("c", NodeKind::Filter);
+    let post = b.add_node("post", NodeKind::Filter);
+    let snk = b.add_node("snk", NodeKind::Sink);
+    b.split_join_duplicate("sj", src, &[a, c], post, 4, 4).unwrap();
+    b.connect(post, snk, 8, 8).unwrap();
+    (b.build().unwrap(), src, snk)
+}
+
+fn splitjoin_program() -> (Program, NodeId) {
+    let (g, src, snk) = splitjoin_graph();
+    let mut p = Program::new(g);
+    let mut next = 0u32;
+    p.set_source(src, move |out| {
+        for _ in 0..4 {
+            out.push(next);
+            next += 1;
+        }
+    });
+    let pg = p.graph();
+    let a = pg.node_by_name("a").unwrap();
+    let c = pg.node_by_name("c").unwrap();
+    let post = pg.node_by_name("post").unwrap();
+    p.set_filter(a, |inp, out| {
+        out[0].extend(inp[0].iter().map(|&v| v + 1000));
+    });
+    p.set_filter(c, |inp, out| {
+        out[0].extend(inp[0].iter().map(|&v| v + 2000));
+    });
+    p.set_filter(post, |inp, out| {
+        out[0].extend(inp[0].iter().copied());
+    });
+    (p, snk)
+}
+
+/// Expected sink stream for `frames` error-free iterations.
+fn expected(frames: u64) -> Vec<u32> {
+    let mut v = Vec::new();
+    for f in 0..frames as u32 {
+        let base = f * 4;
+        // Join concatenates branch a then branch c, 4 items each.
+        v.extend((0..4).map(|i| base + i + 1000));
+        v.extend((0..4).map(|i| base + i + 2000));
+    }
+    v
+}
+
+#[test]
+fn error_free_run_is_exact() {
+    let (p, snk) = splitjoin_program();
+    let report = run(p, &SimConfig::error_free(10)).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.sink_output(snk), expected(10).as_slice());
+    assert_eq!(report.total_timeouts(), 0, "paper: no timeouts error-free");
+    assert_eq!(report.total_faults().total(), 0);
+    assert_eq!(report.loss_ratio(), 0.0);
+}
+
+#[test]
+fn error_free_commguard_run_is_exact_with_headers() {
+    let (p, snk) = splitjoin_program();
+    let cfg = SimConfig {
+        protection: Protection::commguard(),
+        ..SimConfig::error_free(10)
+    };
+    let report = run(p, &cfg).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.sink_output(snk), expected(10).as_slice());
+    // Headers: every node with outputs inserts 10 frame headers + 1 end
+    // header per out-edge; the graph has 7 edges.
+    assert_eq!(report.queues.header_pushes, 7 * 11);
+    assert_eq!(report.loss_ratio(), 0.0);
+    assert!(report.total_subops().total_subops() > 0);
+}
+
+#[test]
+fn commguard_survives_extreme_control_errors() {
+    let (p, snk) = splitjoin_program();
+    let cfg = SimConfig {
+        protection: Protection::commguard(),
+        effect_model: EffectModel::control_only(),
+        mtbe: Mtbe::instructions(300),
+        max_rounds: 2_000_000,
+        ..SimConfig::error_free(50)
+    };
+    let report = run(p, &cfg).unwrap();
+    assert!(report.completed, "CommGuard must keep the app running");
+    // The sink receives exactly its structural item count: alignment held.
+    assert_eq!(report.sink_output(snk).len(), 50 * 8);
+    assert!(report.total_faults().control > 0, "faults did fire");
+    let sub = report.total_subops();
+    assert!(
+        sub.padded_items + sub.discarded_items > 0,
+        "realignment actually happened"
+    );
+}
+
+#[test]
+fn reliable_queue_without_guard_misaligns_but_progresses() {
+    let (p, snk) = splitjoin_program();
+    let cfg = SimConfig {
+        protection: Protection::PpuReliableQueue,
+        effect_model: EffectModel::control_only(),
+        mtbe: Mtbe::instructions(300),
+        timeout_rounds: 64,
+        max_rounds: 2_000_000,
+        ..SimConfig::error_free(50)
+    };
+    let report = run(p, &cfg).unwrap();
+    assert!(report.completed, "timeouts must prevent hangs");
+    // The sink still collects its structural count (timeouts fabricate),
+    // but the content has drifted: compare against the clean stream.
+    let got = report.sink_output(snk);
+    let want = expected(50);
+    assert_eq!(got.len(), want.len());
+    let wrong = got.iter().zip(&want).filter(|(a, b)| a != b).count();
+    assert!(
+        wrong > want.len() / 10,
+        "expected heavy misalignment, got {wrong}/{} wrong",
+        want.len()
+    );
+}
+
+#[test]
+fn unprotected_queue_collapses_but_progresses() {
+    let (p, snk) = splitjoin_program();
+    let cfg = SimConfig {
+        protection: Protection::PpuUnprotectedQueue,
+        mtbe: Mtbe::instructions(200),
+        timeout_rounds: 64,
+        max_rounds: 2_000_000,
+        ..SimConfig::error_free(50)
+    };
+    let report = run(p, &cfg).unwrap();
+    assert!(report.completed, "timeouts must prevent hangs");
+    assert_eq!(report.sink_output(snk).len(), 50 * 8);
+}
+
+#[test]
+fn same_seed_same_result() {
+    let mk = |seed| {
+        let (p, snk) = splitjoin_program();
+        let cfg = SimConfig {
+            protection: Protection::commguard(),
+            mtbe: Mtbe::instructions(500),
+            seed,
+            max_rounds: 2_000_000,
+            ..SimConfig::error_free(20)
+        };
+        let r = run(p, &cfg).unwrap();
+        (r.sink_output(snk).to_vec(), r.total_instructions())
+    };
+    assert_eq!(mk(42), mk(42));
+    assert_ne!(mk(42).0, mk(43).0);
+}
+
+#[test]
+fn guarded_quality_beats_unguarded_under_control_errors() {
+    // Measure how many sink words survive exactly; CommGuard should keep
+    // strictly more of the stream intact than the reliable-queue baseline
+    // at the same error rate and seeds.
+    let run_mode = |protection, seed| {
+        let (p, snk) = splitjoin_program();
+        let cfg = SimConfig {
+            protection,
+            effect_model: EffectModel::control_only(),
+            mtbe: Mtbe::instructions(500),
+            seed,
+            timeout_rounds: 64,
+            max_rounds: 2_000_000,
+            ..SimConfig::error_free(60)
+        };
+        let r = run(p, &cfg).unwrap();
+        let want = expected(60);
+        let got = r.sink_output(snk);
+        got.iter()
+            .zip(&want)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / want.len() as f64
+    };
+    let mut guard_total = 0.0;
+    let mut base_total = 0.0;
+    for seed in 0..5 {
+        guard_total += run_mode(Protection::commguard(), seed);
+        base_total += run_mode(Protection::PpuReliableQueue, seed);
+    }
+    assert!(
+        guard_total > base_total,
+        "CommGuard {guard_total:.2} should beat baseline {base_total:.2}"
+    );
+}
+
+#[test]
+fn rate_converting_pipeline_runs() {
+    // Rates 2→3 and 5→4 exercise non-unit repetition vectors end to end.
+    let mut b = GraphBuilder::new("rc");
+    let s = b.add_node_with_cost("s", NodeKind::Source, CostModel::new(20, 3));
+    let f = b.add_node("f", NodeKind::Filter);
+    let k = b.add_node("k", NodeKind::Sink);
+    b.connect(s, f, 2, 3).unwrap();
+    b.connect(f, k, 5, 4).unwrap();
+    let g = b.build().unwrap();
+    // reps = (6, 4, 5): per frame, source emits 12 items, sink gets 20...
+    // no: f fires 4 times x5 push = 20, sink pops 4x5=20. Source 6x2=12?
+    // Balance: 6*2 = 4*3 ✓, 4*5 = 5*4 ✓.
+    let mut p = Program::new(g);
+    let mut next = 0u32;
+    p.set_source(s, move |out| {
+        for _ in 0..2 {
+            out.push(next);
+            next += 1;
+        }
+    });
+    p.set_filter(f, |inp, out| {
+        // 3 in → 5 out: emit inputs plus two interpolated values.
+        let v = &inp[0];
+        out[0].extend([v[0], v[1], v[2], v[0] + v[2], v[1] * 2]);
+    });
+    let report = run(p, &SimConfig::error_free(7)).unwrap();
+    assert!(report.completed);
+    let sink_id = NodeId::from_index(2);
+    assert_eq!(report.sink_output(sink_id).len(), 7 * 20);
+}

@@ -1,0 +1,122 @@
+//! A tiny two-pass assembler with symbolic labels.
+
+use std::collections::HashMap;
+
+use crate::isa::Instr;
+
+/// A forward-referenceable jump target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds an instruction vector with label fix-up.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    instrs: Vec<Instr>,
+    /// label id → resolved address.
+    resolved: HashMap<usize, usize>,
+    /// (instruction index, label id) pairs awaiting fix-up.
+    fixups: Vec<(usize, usize)>,
+    next_label: usize,
+}
+
+impl Assembler {
+    /// An empty program.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Allocates a fresh label (bind it later with [`Assembler::bind`]).
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.resolved.insert(label.0, self.instrs.len());
+        assert!(prev.is_none(), "label bound twice");
+    }
+
+    /// Emits a non-branching instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Emits a branch/jump towards `label` (resolved at [`Assembler::finish`]).
+    pub fn emit_branch(&mut self, template: Instr, label: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.0));
+        self.instrs.push(template);
+        self
+    }
+
+    /// Resolves all labels and returns the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound, or a fix-up targets a
+    /// non-branch instruction.
+    pub fn finish(mut self) -> Vec<Instr> {
+        for (at, label) in &self.fixups {
+            let target = *self
+                .resolved
+                .get(label)
+                .unwrap_or_else(|| panic!("unbound label {label}"));
+            use Instr::*;
+            self.instrs[*at] = match self.instrs[*at] {
+                Beq(a, b, _) => Beq(a, b, target),
+                Bne(a, b, _) => Bne(a, b, target),
+                Bltu(a, b, _) => Bltu(a, b, target),
+                Jmp(_) => Jmp(target),
+                other => panic!("fixup on non-branch {other:?}"),
+            };
+        }
+        self.instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        let top = a.label();
+        let end = a.label();
+        a.emit(Instr::Li(Reg(0), 3));
+        a.bind(top);
+        a.emit_branch(Instr::Beq(Reg(0), Reg(1), 0), end);
+        a.emit(Instr::Addi(Reg(0), Reg(0), -1));
+        a.emit_branch(Instr::Jmp(0), top);
+        a.bind(end);
+        a.emit(Instr::Halt);
+        let prog = a.finish();
+        assert_eq!(prog[1], Instr::Beq(Reg(0), Reg(1), 4));
+        assert_eq!(prog[3], Instr::Jmp(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.emit_branch(Instr::Jmp(0), l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

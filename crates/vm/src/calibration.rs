@@ -1,0 +1,141 @@
+//! Single-flip calibration: measuring how register bit flips manifest.
+//!
+//! For each trial a kernel runs once cleanly (golden output), then again
+//! with exactly one bit of one register flipped at a random point in the
+//! dynamic instruction stream. The manifestation is classified as the
+//! paper's §3 taxonomy:
+//!
+//! * output identical → **silent** (architecturally masked);
+//! * output length (item count) changed → **control flow** (the
+//!   alignment-error source);
+//! * otherwise, by the tainted register's first post-flip use:
+//!   address operand → **addressing**, branch operand → **control
+//!   flow**, else → **data value**.
+//!
+//! The aggregated rates are what `cg_fault::EffectModel::calibrated()`
+//! hard-codes for the app-scale effect injector.
+
+use rand::Rng;
+
+use cg_fault::{core_rng, splitmix64};
+
+use crate::core::Vm;
+use crate::isa::{Instr, Reg, RegUse, NUM_REGS};
+use crate::kernels;
+
+/// Measured manifestation rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EffectRates {
+    /// Fraction manifesting as data-value corruption.
+    pub data: f64,
+    /// Fraction manifesting as control-flow perturbation.
+    pub control: f64,
+    /// Fraction manifesting as addressing errors.
+    pub addressing: f64,
+    /// Fraction with no architectural effect.
+    pub silent: f64,
+    /// Trials behind the rates.
+    pub trials: u64,
+}
+
+impl std::fmt::Display for EffectRates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "data {:.3}, control {:.3}, addressing {:.3}, silent {:.3} ({} trials)",
+            self.data, self.control, self.addressing, self.silent, self.trials
+        )
+    }
+}
+
+/// Outcome classes of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Data,
+    Control,
+    Addressing,
+    Silent,
+}
+
+/// Runs one single-flip trial of `prog` over `input`.
+fn trial(prog: &[Instr], input: &[u32], golden: &[u32], at: u64, reg: Reg, bit: u32) -> Class {
+    let mut vm = Vm::new(prog.to_vec(), input.to_vec());
+    let _ = vm.run_until(u64::MAX, at);
+    vm.inject_flip(reg, bit);
+    // Generous fuel: the watchdog guarantees scoped progress.
+    let _ = vm.run_until(50_000_000, u64::MAX);
+    if vm.output() == golden {
+        return Class::Silent;
+    }
+    // Root-cause priority: a corrupted address register is an addressing
+    // error even when its downstream symptom is a changed item count
+    // (that is exactly how the paper's QME class cascades into AE).
+    match vm.taint_class() {
+        Some(RegUse::Address) => Class::Addressing,
+        Some(RegUse::Control) => Class::Control,
+        _ if vm.output().len() != golden.len() => Class::Control,
+        _ => Class::Data,
+    }
+}
+
+/// Measures effect rates over all bundled kernels with `trials_per_kernel`
+/// single-flip experiments each.
+pub fn measure_effect_rates(trials_per_kernel: u64, seed: u64) -> EffectRates {
+    let mut counts = [0u64; 4];
+    let mut total = 0u64;
+    for (k, (_name, prog)) in kernels::all().into_iter().enumerate() {
+        let input = kernels::input(96);
+        let mut clean = Vm::new(prog.clone(), input.clone());
+        let golden = clean.run(50_000_000).expect("kernels halt");
+        let span = clean.executed();
+        let mut rng = core_rng(splitmix64(seed, k as u64), 0);
+        for _ in 0..trials_per_kernel {
+            let at = rng.gen_range(1..span);
+            let reg = Reg(rng.gen_range(0..NUM_REGS as u8));
+            let bit = rng.gen_range(0..32u32);
+            let class = trial(&prog, &input, &golden, at, reg, bit);
+            counts[match class {
+                Class::Data => 0,
+                Class::Control => 1,
+                Class::Addressing => 2,
+                Class::Silent => 3,
+            }] += 1;
+            total += 1;
+        }
+    }
+    EffectRates {
+        data: counts[0] as f64 / total as f64,
+        control: counts[1] as f64 / total as f64,
+        addressing: counts[2] as f64 / total as f64,
+        silent: counts[3] as f64 / total as f64,
+        trials: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_form_a_distribution() {
+        let r = measure_effect_rates(40, 7);
+        let sum = r.data + r.control + r.addressing + r.silent;
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(r.trials, 4 * 40);
+        assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn every_class_occurs() {
+        let r = measure_effect_rates(60, 3);
+        assert!(r.data > 0.0, "data flips must occur: {r}");
+        assert!(r.control > 0.0, "control flips must occur: {r}");
+        assert!(r.addressing > 0.0, "addressing flips must occur: {r}");
+        assert!(r.silent > 0.0, "masked flips must occur: {r}");
+    }
+
+    #[test]
+    fn rates_are_deterministic_per_seed() {
+        assert_eq!(measure_effect_rates(25, 11), measure_effect_rates(25, 11));
+    }
+}

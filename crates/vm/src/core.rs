@@ -1,0 +1,365 @@
+//! The PPU-core interpreter.
+
+use std::collections::HashMap;
+
+use crate::isa::{Instr, Reg, RegUse, NUM_REGS};
+
+/// Local scratch memory size in words.
+const MEM_WORDS: usize = 1024;
+
+/// Per-scope instruction budget enforced by the PPU watchdog: a scope
+/// whose (possibly error-corrupted) control flow exceeds this is forced
+/// to its exit, guaranteeing forward progress through the scope sequence.
+const SCOPE_BUDGET: u64 = 65_536;
+
+/// Errors that stop a [`Vm`] run abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Global fuel exhausted before `Halt` (only possible for programs
+    /// that spin outside any scope — the kernels never do).
+    FuelExhausted,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::FuelExhausted => write!(f, "fuel exhausted before halt"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A single simulated PPU core executing one program over an input
+/// stream.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    prog: Vec<Instr>,
+    regs: [u32; NUM_REGS],
+    pc: usize,
+    mem: Vec<u32>,
+    input: Vec<u32>,
+    in_pos: usize,
+    output: Vec<u32>,
+    executed: u64,
+    /// (scope id, remaining budget) stack.
+    scopes: Vec<(u32, u64)>,
+    /// Scope id → address of its `ScopeExit`.
+    scope_exits: HashMap<u32, usize>,
+    /// Pops issued after the input ran dry (timeout zeros delivered).
+    pub input_underruns: u64,
+    /// Scope-watchdog interventions.
+    pub watchdog_fires: u64,
+    /// `(scope id, output length at entry)` for every `ScopeEnter`
+    /// executed — the PPU protection module's view of frame-computation
+    /// boundaries, used to segment the output stream into frames.
+    pub scope_entries: Vec<(u32, usize)>,
+    /// Register tainted by the last injected flip, tracked until it is
+    /// overwritten.
+    taint: Option<Reg>,
+    /// Strongest observed use of the tainted register
+    /// (Address > Control > Data).
+    taint_class: Option<RegUse>,
+}
+
+/// Merges taint-use observations with Address > Control > Data priority.
+fn merge_use(current: Option<RegUse>, new: RegUse) -> RegUse {
+    fn rank(u: RegUse) -> u8 {
+        match u {
+            RegUse::Address => 3,
+            RegUse::Control => 2,
+            RegUse::Data => 1,
+            RegUse::Overwritten => 0,
+        }
+    }
+    match current {
+        Some(c) if rank(c) >= rank(new) => c,
+        _ => new,
+    }
+}
+
+impl Vm {
+    /// A core ready to run `prog` over `input`.
+    pub fn new(prog: Vec<Instr>, input: Vec<u32>) -> Self {
+        let mut scope_exits = HashMap::new();
+        for (i, instr) in prog.iter().enumerate() {
+            if let Instr::ScopeExit(id) = instr {
+                scope_exits.entry(*id).or_insert(i);
+            }
+        }
+        Vm {
+            prog,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            mem: vec![0; MEM_WORDS],
+            input,
+            in_pos: 0,
+            output: Vec::new(),
+            executed: 0,
+            scopes: Vec::new(),
+            scope_exits,
+            input_underruns: 0,
+            watchdog_fires: 0,
+            scope_entries: Vec::new(),
+            taint: None,
+            taint_class: None,
+        }
+    }
+
+    /// Instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The output stream produced so far.
+    pub fn output(&self) -> &[u32] {
+        &self.output
+    }
+
+    /// Flips `bit` of register `r` (the paper's injection mechanism) and
+    /// begins taint tracking for effect classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `bit` is out of range.
+    pub fn inject_flip(&mut self, r: Reg, bit: u32) {
+        assert!(r.index() < NUM_REGS, "register out of range");
+        assert!(bit < 32, "bit out of range");
+        self.regs[r.index()] ^= 1 << bit;
+        self.taint = Some(r);
+        self.taint_class = None;
+    }
+
+    /// The strongest observed use of the tainted register so far
+    /// (Address > Control > Data); `None` if it was never read.
+    pub fn taint_class(&self) -> Option<RegUse> {
+        self.taint_class
+    }
+
+    /// Runs until `Halt` or `fuel` instructions, returning the output.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::FuelExhausted`] if the program did not halt; the output
+    /// produced so far is available via [`Vm::output`].
+    pub fn run(&mut self, fuel: u64) -> Result<Vec<u32>, VmError> {
+        self.run_until(fuel, u64::MAX)?;
+        Ok(self.output.clone())
+    }
+
+    /// Runs until `Halt`, `fuel` total instructions, or `stop_at` total
+    /// executed instructions (for mid-run fault injection). Returns
+    /// `true` when the program halted.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::FuelExhausted`] when `fuel` ran out before `Halt`.
+    pub fn run_until(&mut self, fuel: u64, stop_at: u64) -> Result<bool, VmError> {
+        let mut remaining = fuel;
+        while remaining > 0 && self.executed < stop_at {
+            if self.pc >= self.prog.len() {
+                // A corrupted sequence ran off the end: PPU semantics say
+                // the thread's outermost scope has exited — halt.
+                return Ok(true);
+            }
+            let instr = self.prog[self.pc];
+            if let Some(t) = self.taint {
+                match instr.classify_use(t) {
+                    Some(RegUse::Overwritten) => self.taint = None,
+                    Some(u) => {
+                        self.taint_class = Some(merge_use(self.taint_class, u));
+                    }
+                    None => {}
+                }
+            }
+            if self.step(instr) {
+                return Ok(true);
+            }
+            remaining -= 1;
+        }
+        if self.executed >= stop_at {
+            Ok(false)
+        } else {
+            Err(VmError::FuelExhausted)
+        }
+    }
+
+    /// Executes one instruction; returns `true` on `Halt`.
+    fn step(&mut self, instr: Instr) -> bool {
+        use Instr::*;
+        self.executed += 1;
+        // Scope watchdog: charge the innermost scope.
+        if let Some((id, budget)) = self.scopes.last_mut() {
+            if *budget == 0 {
+                let id = *id;
+                // Refresh the budget so the forced ScopeExit itself can
+                // execute (it pops the scope), then redirect control.
+                *budget = SCOPE_BUDGET;
+                self.watchdog_fires += 1;
+                if let Some(&exit) = self.scope_exits.get(&id) {
+                    self.pc = exit; // execute the ScopeExit next
+                } else {
+                    self.scopes.pop();
+                }
+                return false;
+            }
+            *budget -= 1;
+        }
+        let mut next = self.pc + 1;
+        match instr {
+            Li(d, v) => self.regs[d.index() % NUM_REGS] = v,
+            Mov(d, a) => self.regs[d.index() % NUM_REGS] = self.r(a),
+            Add(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_add(self.r(b)),
+            Addi(d, a, imm) => {
+                self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_add(imm as u32)
+            }
+            Sub(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_sub(self.r(b)),
+            Mul(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_mul(self.r(b)),
+            Xor(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a) ^ self.r(b),
+            Shri(d, a, s) => self.regs[d.index() % NUM_REGS] = self.r(a) >> (s % 32),
+            Load(d, a, off) => {
+                let addr = (self.r(a) as usize + off as usize) % MEM_WORDS;
+                self.regs[d.index() % NUM_REGS] = self.mem[addr];
+            }
+            Store(s, a, off) => {
+                let addr = (self.r(a) as usize + off as usize) % MEM_WORDS;
+                self.mem[addr] = self.r(s);
+            }
+            Beq(a, b, t) => {
+                if self.r(a) == self.r(b) {
+                    next = t;
+                }
+            }
+            Bne(a, b, t) => {
+                if self.r(a) != self.r(b) {
+                    next = t;
+                }
+            }
+            Bltu(a, b, t) => {
+                if self.r(a) < self.r(b) {
+                    next = t;
+                }
+            }
+            Jmp(t) => next = t,
+            Pop(d) => {
+                let v = if self.in_pos < self.input.len() {
+                    let v = self.input[self.in_pos];
+                    self.in_pos += 1;
+                    v
+                } else {
+                    self.input_underruns += 1;
+                    0
+                };
+                self.regs[d.index() % NUM_REGS] = v;
+            }
+            Push(s) => self.output.push(self.r(s)),
+            ScopeEnter(id) => {
+                self.scope_entries.push((id, self.output.len()));
+                self.scopes.push((id, SCOPE_BUDGET));
+            }
+            ScopeExit(id) => {
+                // Pop to (and including) the matching scope; tolerate
+                // corrupted nesting.
+                while let Some((top, _)) = self.scopes.pop() {
+                    if top == id {
+                        break;
+                    }
+                }
+            }
+            Halt => return true,
+        }
+        self.pc = next;
+        false
+    }
+
+    #[inline]
+    fn r(&self, reg: Reg) -> u32 {
+        self.regs[reg.index() % NUM_REGS]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    /// A loop that copies 5 inputs to the output.
+    fn copy5() -> Vec<Instr> {
+        use Instr::*;
+        let (c, lim, v) = (Reg(0), Reg(1), Reg(2));
+        let mut a = Assembler::new();
+        let top = a.label();
+        let end = a.label();
+        a.emit(ScopeEnter(1));
+        a.emit(Li(c, 0));
+        a.emit(Li(lim, 5));
+        a.bind(top);
+        a.emit_branch(Beq(c, lim, 0), end);
+        a.emit(Pop(v));
+        a.emit(Push(v));
+        a.emit(Addi(c, c, 1));
+        a.emit_branch(Jmp(0), top);
+        a.bind(end);
+        a.emit(ScopeExit(1));
+        a.emit(Halt);
+        a.finish()
+    }
+
+    #[test]
+    fn copy_loop_copies() {
+        let mut vm = Vm::new(copy5(), vec![10, 20, 30, 40, 50]);
+        let out = vm.run(10_000).unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+        assert_eq!(vm.input_underruns, 0);
+        assert!(vm.executed() > 0);
+    }
+
+    #[test]
+    fn pop_underrun_returns_zero() {
+        let mut vm = Vm::new(copy5(), vec![1, 2]);
+        let out = vm.run(10_000).unwrap();
+        assert_eq!(out, vec![1, 2, 0, 0, 0]);
+        assert_eq!(vm.input_underruns, 3);
+    }
+
+    /// Corrupting the loop limit register makes the loop run away; the
+    /// scope watchdog must force the exit — no hang (the PPU guarantee).
+    #[test]
+    fn watchdog_bounds_runaway_loop() {
+        let mut vm = Vm::new(copy5(), (0..100).collect());
+        // Run 4 instructions, then blast the limit register to u32::MAX.
+        vm.run_until(u64::MAX, 4).unwrap();
+        vm.inject_flip(Reg(1), 31);
+        let halted = vm.run_until(10 * SCOPE_BUDGET, u64::MAX).unwrap();
+        assert!(halted, "PPU cores never hang");
+        assert!(vm.watchdog_fires >= 1);
+        // Control-flow damage: way more than 5 items were pushed.
+        assert!(vm.output().len() > 5);
+    }
+
+    #[test]
+    fn flip_taint_classifies_first_use() {
+        let mut vm = Vm::new(copy5(), vec![1, 2, 3, 4, 5]);
+        vm.run_until(u64::MAX, 4).unwrap();
+        vm.inject_flip(Reg(1), 1); // loop limit: only used by the Beq
+        vm.run_until(u64::MAX, 10).unwrap();
+        assert_eq!(vm.taint_class(), Some(crate::isa::RegUse::Control));
+    }
+
+    #[test]
+    fn fuel_exhaustion_reported() {
+        use Instr::*;
+        // An unscoped infinite loop (not something kernels do).
+        let prog = vec![Jmp(0)];
+        let mut vm = Vm::new(prog, vec![]);
+        assert_eq!(vm.run(100), Err(VmError::FuelExhausted));
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        use Instr::*;
+        let prog = vec![Li(Reg(0), 1)];
+        let mut vm = Vm::new(prog, vec![]);
+        assert!(vm.run(100).is_ok());
+    }
+}

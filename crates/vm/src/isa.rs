@@ -1,0 +1,158 @@
+//! The PPU-core instruction set.
+
+/// A register index (0..16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 16;
+
+impl Reg {
+    /// The register's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if out of range when used; construction is
+    /// unchecked for assembler ergonomics.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One instruction. `usize` operands of branch/jump instructions are
+/// absolute instruction addresses (the assembler resolves labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = imm`.
+    Li(Reg, u32),
+    /// `rd = rs`.
+    Mov(Reg, Reg),
+    /// `rd = ra + rb` (wrapping).
+    Add(Reg, Reg, Reg),
+    /// `rd = ra + imm` (wrapping).
+    Addi(Reg, Reg, i32),
+    /// `rd = ra - rb` (wrapping).
+    Sub(Reg, Reg, Reg),
+    /// `rd = ra * rb` (wrapping).
+    Mul(Reg, Reg, Reg),
+    /// `rd = ra ^ rb`.
+    Xor(Reg, Reg, Reg),
+    /// `rd = ra >> imm`.
+    Shri(Reg, Reg, u32),
+    /// `rd = mem[ra + offset]` (address wraps modulo memory size — PPU
+    /// cores never fault on wild addresses).
+    Load(Reg, Reg, u32),
+    /// `mem[ra + offset] = rs`.
+    Store(Reg, Reg, u32),
+    /// Branch to `target` if `ra == rb`.
+    Beq(Reg, Reg, usize),
+    /// Branch to `target` if `ra != rb`.
+    Bne(Reg, Reg, usize),
+    /// Branch to `target` if `ra < rb` (unsigned).
+    Bltu(Reg, Reg, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Pop the next input item into `rd` (0 when input is exhausted —
+    /// the hardware-queue timeout path).
+    Pop(Reg),
+    /// Push `rs` to the output stream.
+    Push(Reg),
+    /// Enter a protected scope (PPU watchdog begins a fresh budget).
+    ScopeEnter(u32),
+    /// Leave a protected scope.
+    ScopeExit(u32),
+    /// Stop the core.
+    Halt,
+}
+
+/// How an instruction uses each register, for the calibration taint
+/// analysis: the manifestation class of a register flip is decided by the
+/// first post-flip use of that register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegUse {
+    /// Used as an arithmetic/data operand (or pushed).
+    Data,
+    /// Used as a memory address base.
+    Address,
+    /// Used as a branch comparison operand.
+    Control,
+    /// Overwritten without being read.
+    Overwritten,
+}
+
+impl Instr {
+    /// Reports how this instruction uses register `r`: the strongest use
+    /// wins in the order address > control > data; a pure overwrite
+    /// masks the old value.
+    pub fn classify_use(&self, r: Reg) -> Option<RegUse> {
+        use Instr::*;
+        let reads_data: &[Reg] = match self {
+            Mov(_, a) => &[*a],
+            Add(_, a, b) | Sub(_, a, b) | Mul(_, a, b) | Xor(_, a, b) => &[*a, *b],
+            Addi(_, a, _) | Shri(_, a, _) => &[*a],
+            Store(s, _, _) => &[*s],
+            Push(s) => &[*s],
+            _ => &[],
+        };
+        let reads_addr: &[Reg] = match self {
+            Load(_, a, _) | Store(_, a, _) => &[*a],
+            _ => &[],
+        };
+        let reads_ctrl: &[Reg] = match self {
+            Beq(a, b, _) | Bne(a, b, _) | Bltu(a, b, _) => &[*a, *b],
+            _ => &[],
+        };
+        if reads_addr.contains(&r) {
+            return Some(RegUse::Address);
+        }
+        if reads_ctrl.contains(&r) {
+            return Some(RegUse::Control);
+        }
+        if reads_data.contains(&r) {
+            return Some(RegUse::Data);
+        }
+        if self.dest() == Some(r) {
+            return Some(RegUse::Overwritten);
+        }
+        None
+    }
+
+    /// The register this instruction writes, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        use Instr::*;
+        match self {
+            Li(d, _) | Mov(d, _) | Add(d, _, _) | Addi(d, _, _) | Sub(d, _, _)
+            | Mul(d, _, _) | Xor(d, _, _) | Shri(d, _, _) | Load(d, _, _) | Pop(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_classification() {
+        let (a, b, c) = (Reg(1), Reg(2), Reg(3));
+        assert_eq!(Instr::Load(a, b, 0).classify_use(b), Some(RegUse::Address));
+        assert_eq!(Instr::Store(a, b, 0).classify_use(a), Some(RegUse::Data));
+        assert_eq!(Instr::Beq(a, b, 0).classify_use(a), Some(RegUse::Control));
+        assert_eq!(Instr::Add(c, a, b).classify_use(a), Some(RegUse::Data));
+        assert_eq!(
+            Instr::Li(a, 7).classify_use(a),
+            Some(RegUse::Overwritten)
+        );
+        assert_eq!(Instr::Add(c, a, b).classify_use(Reg(9)), None);
+        // Dest that is also read counts as a read, not an overwrite.
+        assert_eq!(Instr::Addi(a, a, 1).classify_use(a), Some(RegUse::Data));
+    }
+
+    #[test]
+    fn dest_reporting() {
+        assert_eq!(Instr::Pop(Reg(4)).dest(), Some(Reg(4)));
+        assert_eq!(Instr::Push(Reg(4)).dest(), None);
+        assert_eq!(Instr::Halt.dest(), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! # cg-vm — a mechanistic PPU-core model with register-file fault injection
+//!
+//! The CommGuard paper injects faults by flipping random bits in the
+//! architectural register file of its simulated x86 cores (§6), under the
+//! PPU execution model of Yetim et al. (DATE'13): coarse-grained scope
+//! sequencing is protected, everything else may go wrong, and nothing
+//! hangs or crashes. This crate reproduces that *mechanism* on a small
+//! word-sized register VM:
+//!
+//! * [`isa`] — a 16-register integer ISA with loads/stores, branches,
+//!   queue push/pop, and PPU scope markers;
+//! * [`asm`] — a tiny assembler with labels;
+//! * [`core`] — the interpreter: per-instruction execution, a scope
+//!   watchdog that bounds runaway control flow (forced scope exit), and
+//!   register bit-flip injection;
+//! * [`kernels`] — streaming kernels written against the ISA in the
+//!   software-queue idiom (pointer registers live across iterations, like
+//!   compiled StreamIt);
+//! * [`calibration`] — single-flip experiments that classify each flip's
+//!   architecture-level manifestation (data / control / addressing /
+//!   silent) by tainting the flipped register and observing its first
+//!   use. These measured rates are what
+//!   [`cg_fault::EffectModel::calibrated`] encodes, letting the
+//!   app-scale simulator inject *effects* at the rates the *mechanism*
+//!   produces.
+//!
+//! ```
+//! use cg_vm::kernels;
+//! use cg_vm::core::Vm;
+//!
+//! let prog = kernels::moving_average(4);
+//! let input = kernels::input(16); // 16 items behind a count prefix
+//! let mut vm = Vm::new(prog, input);
+//! let out = vm.run(100_000).expect("kernel halts");
+//! assert_eq!(out.len(), 16);
+//! ```
+
+pub mod asm;
+pub mod calibration;
+pub mod core;
+pub mod isa;
+pub mod kernels;
+
+pub use calibration::{measure_effect_rates, EffectRates};
+pub use core::{Vm, VmError};
+pub use isa::{Instr, Reg};

@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: every benchmark app, end to end,
+//! through the full stack (graph → schedule → queues → guards → fault
+//! injection → metrics). Workloads are deliberately tiny so the suite
+//! stays fast in debug builds.
+
+use cg_apps::beamformer::BeamformerApp;
+use cg_apps::complex_fir::ComplexFirApp;
+use cg_apps::fft_app::FftApp;
+use cg_apps::jpeg::JpegApp;
+use cg_apps::mp3::Mp3App;
+use cg_apps::vocoder::VocoderApp;
+use cg_fault::{EffectModel, Mtbe};
+use cg_runtime::{run, Program, RunReport, SimConfig};
+use commguard::graph::NodeId;
+use commguard::Protection;
+
+/// Runs a freshly built program under the given protection/error config.
+fn run_with(
+    build: impl Fn() -> (Program, NodeId),
+    frames: u64,
+    protection: Protection,
+    mtbe_k: u64,
+    seed: u64,
+) -> (RunReport, NodeId) {
+    let (p, sink) = build();
+    let cfg = SimConfig {
+        protection,
+        mtbe: Mtbe::kilo_instructions(mtbe_k),
+        seed,
+        max_rounds: 10_000_000,
+        ..SimConfig::error_free(frames)
+    };
+    (run(p, &cfg).expect("run starts"), sink)
+}
+
+/// Every protection mode completes on the image decoder at a harsh
+/// error rate, and the sink receives its exact structural item count
+/// whenever CommGuard is on.
+#[test]
+fn jpeg_full_stack_under_errors() {
+    let app = JpegApp::new(64, 32, 75);
+    for protection in [
+        Protection::ErrorFree,
+        Protection::PpuUnprotectedQueue,
+        Protection::PpuReliableQueue,
+        Protection::commguard(),
+    ] {
+        let (report, sink) = run_with(|| app.build(), app.frames(), protection, 64, 5);
+        assert!(report.completed, "{}: must not hang", protection.label());
+        if protection.guards_enabled() {
+            assert_eq!(
+                report.sink_output(sink).len(),
+                64 * 32 * 3,
+                "CommGuard keeps the output structurally complete"
+            );
+        }
+    }
+}
+
+#[test]
+fn mp3_full_stack_under_errors() {
+    let app = Mp3App::new(1024);
+    let (report, sink) = run_with(|| app.build(), app.frames(), Protection::commguard(), 64, 2);
+    assert!(report.completed);
+    let (l, r) = app.decode(report.sink_output(sink));
+    assert_eq!(l.len(), 1024);
+    assert_eq!(r.len(), 1024);
+    let snr = app.snr(report.sink_output(sink));
+    assert!(snr.is_finite());
+}
+
+#[test]
+fn kernels_full_stack_under_errors() {
+    let beam = BeamformerApp::new(256);
+    let (report, sink) = run_with(|| beam.build(), beam.frames(), Protection::commguard(), 64, 3);
+    assert!(report.completed);
+    assert_eq!(beam.decode(report.sink_output(sink)).len(), 256);
+
+    let voc = VocoderApp::new(256);
+    let (report, sink) = run_with(|| voc.build(), voc.frames(), Protection::commguard(), 64, 3);
+    assert!(report.completed);
+    assert_eq!(voc.decode(report.sink_output(sink)).len(), 256);
+
+    let cfir = ComplexFirApp::new(256);
+    let (report, sink) = run_with(|| cfir.build(), cfir.frames(), Protection::commguard(), 64, 3);
+    assert!(report.completed);
+    assert_eq!(cfir.decode(report.sink_output(sink)).len(), 256);
+
+    let fft = FftApp::new(8);
+    let (report, sink) = run_with(|| fft.build(), fft.frames(), Protection::commguard(), 64, 3);
+    assert!(report.completed);
+    assert_eq!(fft.decode(report.sink_output(sink)).len(), 8);
+}
+
+/// The whole stack is bit-deterministic for a fixed seed, and seeds
+/// matter.
+#[test]
+fn full_stack_determinism() {
+    let one = |seed| {
+        let app = JpegApp::new(64, 32, 75);
+        let (report, sink) = run_with(|| app.build(), app.frames(), Protection::commguard(), 128, seed);
+        report.sink_output(sink).to_vec()
+    };
+    assert_eq!(one(1), one(1));
+    assert_ne!(one(1), one(2));
+}
+
+/// Error-free guarded runs are bit-identical to unguarded ones at the
+/// output (guards are transparent when nothing goes wrong), and never
+/// time out.
+#[test]
+fn guards_transparent_when_error_free() {
+    let app = Mp3App::new(512);
+    let clean = |protection| {
+        let (p, sink) = app.build();
+        let cfg = SimConfig {
+            protection,
+            ..SimConfig::error_free(app.frames())
+        };
+        let r = run(p, &cfg).expect("runs");
+        assert!(r.completed);
+        assert_eq!(r.total_timeouts(), 0, "paper: no timeouts observed");
+        r.sink_output(sink).to_vec()
+    };
+    assert_eq!(
+        clean(Protection::ErrorFree),
+        clean(Protection::commguard())
+    );
+}
+
+/// Quality ordering at a harsh error rate, averaged over seeds:
+/// CommGuard ≥ reliable-queue baseline for the image decoder.
+#[test]
+fn commguard_quality_dominates_baseline() {
+    let app = JpegApp::new(64, 48, 75);
+    let mean_psnr = |protection: Protection| -> f64 {
+        (0..4)
+            .map(|seed| {
+                let (report, sink) =
+                    run_with(|| app.build(), app.frames(), protection, 256, seed);
+                app.psnr(report.sink_output(sink))
+            })
+            .sum::<f64>()
+            / 4.0
+    };
+    let guarded = mean_psnr(Protection::commguard());
+    let baseline = mean_psnr(Protection::PpuReliableQueue);
+    assert!(
+        guarded > baseline,
+        "CommGuard {guarded:.1} dB must beat baseline {baseline:.1} dB"
+    );
+}
+
+/// Control-flow-only faults cannot corrupt data values; every wrong
+/// output word must stem from padding/discarding — and the AM must have
+/// actually realigned.
+#[test]
+fn control_faults_produce_only_alignment_effects() {
+    let app = ComplexFirApp::new(512);
+    let (p, sink) = app.build();
+    let cfg = SimConfig {
+        protection: Protection::commguard(),
+        mtbe: Mtbe::kilo_instructions(16),
+        effect_model: EffectModel::control_only(),
+        seed: 9,
+        max_rounds: 10_000_000,
+        ..SimConfig::error_free(app.frames())
+    };
+    let report = run(p, &cfg).expect("runs");
+    assert!(report.completed);
+    assert!(report.total_faults().control > 0);
+    let sub = report.total_subops();
+    assert!(
+        sub.padded_items + sub.discarded_items > 0,
+        "control faults at this rate must trigger realignment"
+    );
+    assert_eq!(report.sink_output(sink).len(), 512);
+}
