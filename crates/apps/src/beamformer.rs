@@ -47,13 +47,19 @@ impl BeamformerApp {
         let join = b.add_node_with_cost("join", NodeKind::JoinRoundRobin, CostModel::new(16, 6));
         let sum = b.add_node_with_cost("sum", NodeKind::Filter, CostModel::new(30, 10));
         let snk = b.add_node("sink", NodeKind::Sink);
-        b.connect(src, split, CHANNELS as u32, CHANNELS as u32).unwrap();
+        b.connect(src, split, CHANNELS as u32, CHANNELS as u32)
+            .unwrap();
         for ch in 0..CHANNELS {
-            let f = b.add_node_with_cost(format!("chan{ch}"), NodeKind::Filter, CostModel::new(80, 500));
+            let f = b.add_node_with_cost(
+                format!("chan{ch}"),
+                NodeKind::Filter,
+                CostModel::new(80, 500),
+            );
             b.connect(split, f, 1, 1).unwrap();
             b.connect(f, join, 1, 1).unwrap();
         }
-        b.connect(join, sum, CHANNELS as u32, CHANNELS as u32).unwrap();
+        b.connect(join, sum, CHANNELS as u32, CHANNELS as u32)
+            .unwrap();
         b.connect(sum, snk, 1, 1).unwrap();
         b.build().unwrap()
     }
@@ -96,7 +102,11 @@ impl BeamformerApp {
             // Saturating output stage (fixed-point DAC semantics): bounds
             // the damage of exponent-bit corruption to one full-scale
             // sample.
-            let s = if s.is_finite() { s.clamp(-2.0, 2.0) } else { 0.0 };
+            let s = if s.is_finite() {
+                s.clamp(-2.0, 2.0)
+            } else {
+                0.0
+            };
             out[0].push(s.to_bits());
         });
         (p, snk)
@@ -115,7 +125,9 @@ impl BeamformerApp {
             .map(|ch| {
                 let delay = ch * 2;
                 let gain = 1.0 - ch as f32 * 0.05;
-                (0..n).map(|i| base[i + 2 * CHANNELS - delay] * gain).collect()
+                (0..n)
+                    .map(|i| base[i + 2 * CHANNELS - delay] * gain)
+                    .collect()
             })
             .collect()
     }

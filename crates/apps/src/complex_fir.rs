@@ -111,7 +111,11 @@ impl ComplexFirApp {
             let x = f32s::from_words(&inp[0]);
             let (re, im) = (x[0], x.get(1).copied().unwrap_or(0.0));
             let m = (re * re + im * im).sqrt();
-            let m = if m.is_finite() { m.clamp(0.0, 8.0) } else { 0.0 };
+            let m = if m.is_finite() {
+                m.clamp(0.0, 8.0)
+            } else {
+                0.0
+            };
             out[0].push(m.to_bits());
         });
         (p, snk)

@@ -177,7 +177,11 @@ mod tests {
     fn dct_of_constant_block_is_dc_only() {
         let block = [42.0f32; BLOCK];
         let c = dct2(&block);
-        assert!((c[0] - 42.0 * 8.0).abs() < 1e-3, "DC = 8·mean, got {}", c[0]);
+        assert!(
+            (c[0] - 42.0 * 8.0).abs() < 1e-3,
+            "DC = 8·mean, got {}",
+            c[0]
+        );
         for &v in &c[1..] {
             assert!(v.abs() < 1e-3);
         }

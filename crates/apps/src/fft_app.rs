@@ -120,7 +120,13 @@ impl FftApp {
                     // bin ≈ 16 for the test signal) — fixed-point FFT
                     // semantics — so exponent-bit flips cannot contribute
                     // astronomically wrong energies.
-                    let sat = |v: f32| if v.is_finite() { v.clamp(-32.0, 32.0) } else { 0.0 };
+                    let sat = |v: f32| {
+                        if v.is_finite() {
+                            v.clamp(-32.0, 32.0)
+                        } else {
+                            0.0
+                        }
+                    };
                     out[0].extend([sat(re).to_bits(), sat(im).to_bits()]);
                 }
             });

@@ -48,7 +48,7 @@ impl JpegApp {
     /// Panics if dimensions are zero or not multiples of 8.
     pub fn new(width: usize, height: usize, quality: u8) -> Self {
         assert!(
-            width > 0 && height > 0 && width % N == 0 && height % N == 0,
+            width > 0 && height > 0 && width.is_multiple_of(N) && height.is_multiple_of(N),
             "dimensions must be positive multiples of 8"
         );
         let raw = signal::test_image(width, height);
@@ -104,7 +104,8 @@ impl JpegApp {
         let f0 = b.add_node_with_cost("F0_source", NodeKind::Source, CostModel::new(100, 8));
         let f1 = b.add_node_with_cost("F1_dequant", NodeKind::Filter, CostModel::new(100, 20));
         let f2 = b.add_node_with_cost("F2_dezigzag", NodeKind::Filter, CostModel::new(100, 16));
-        let split = b.add_node_with_cost("F3_split", NodeKind::SplitDuplicate, CostModel::new(40, 8));
+        let split =
+            b.add_node_with_cost("F3_split", NodeKind::SplitDuplicate, CostModel::new(40, 8));
         let f3r = b.add_node_with_cost("F3R_idct", NodeKind::Filter, CostModel::new(1000, 160));
         let f3g = b.add_node_with_cost("F3G_idct", NodeKind::Filter, CostModel::new(1000, 160));
         let f3b = b.add_node_with_cost("F3B_idct", NodeKind::Filter, CostModel::new(1000, 160));

@@ -31,10 +31,7 @@ pub fn mdct(block: &[f32; W]) -> [f32; M] {
         for n in 0..W {
             acc += block[n]
                 * w[n]
-                * ((PI / M as f32)
-                    * (n as f32 + 0.5 + M as f32 / 2.0)
-                    * (k as f32 + 0.5))
-                    .cos();
+                * ((PI / M as f32) * (n as f32 + 0.5 + M as f32 / 2.0) * (k as f32 + 0.5)).cos();
         }
         *coeff = acc;
     }
@@ -49,11 +46,8 @@ pub fn imdct(coeffs: &[f32; M]) -> [f32; W] {
     for (n, sample) in out.iter_mut().enumerate() {
         let mut acc = 0.0f32;
         for (k, &c) in coeffs.iter().enumerate() {
-            acc += c
-                * ((PI / M as f32)
-                    * (n as f32 + 0.5 + M as f32 / 2.0)
-                    * (k as f32 + 0.5))
-                    .cos();
+            acc +=
+                c * ((PI / M as f32) * (n as f32 + 0.5 + M as f32 / 2.0) * (k as f32 + 0.5)).cos();
         }
         *sample = acc * w[n] * 2.0 / M as f32;
     }
@@ -180,7 +174,9 @@ mod tests {
     #[test]
     fn energy_compaction_on_tone() {
         // A pure subband-centred tone concentrates energy in few bins.
-        let signal: Vec<f32> = (0..W).map(|n| ((n as f32 + 0.5) * PI * 5.5 / M as f32).cos()).collect();
+        let signal: Vec<f32> = (0..W)
+            .map(|n| ((n as f32 + 0.5) * PI * 5.5 / M as f32).cos())
+            .collect();
         let mut block = [0.0f32; W];
         block.copy_from_slice(&signal);
         let coeffs = mdct(&block);

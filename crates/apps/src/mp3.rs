@@ -79,7 +79,8 @@ impl Mp3App {
         let m = M as u32;
         let mut b = GraphBuilder::new("mp3");
         let src = b.add_node_with_cost("source", NodeKind::Source, CostModel::new(60, 6));
-        let split = b.add_node_with_cost("split", NodeKind::SplitRoundRobin, CostModel::new(40, 10));
+        let split =
+            b.add_node_with_cost("split", NodeKind::SplitRoundRobin, CostModel::new(40, 10));
         let deq_l = b.add_node_with_cost("dequantL", NodeKind::Filter, CostModel::new(40, 12));
         let deq_r = b.add_node_with_cost("dequantR", NodeKind::Filter, CostModel::new(40, 12));
         let imdct_l = b.add_node_with_cost("imdctL", NodeKind::Filter, CostModel::new(600, 120));
@@ -94,7 +95,8 @@ impl Mp3App {
         b.connect(deq_r, imdct_r, m, m).unwrap();
         b.connect(imdct_l, join, m, m).unwrap();
         b.connect(imdct_r, join, m, m).unwrap();
-        b.connect(join, limit, GRANULE_WORDS, GRANULE_WORDS).unwrap();
+        b.connect(join, limit, GRANULE_WORDS, GRANULE_WORDS)
+            .unwrap();
         b.connect(limit, snk, GRANULE_WORDS, GRANULE_WORDS).unwrap();
         b.build().unwrap()
     }
@@ -147,7 +149,11 @@ impl Mp3App {
         p.set_filter(limit, |inp, out| {
             for &w in &inp[0] {
                 let v = f32::from_bits(w);
-                let v = if v.is_finite() { v.clamp(-1.0, 1.0) } else { 0.0 };
+                let v = if v.is_finite() {
+                    v.clamp(-1.0, 1.0)
+                } else {
+                    0.0
+                };
                 out[0].push(v.to_bits());
             }
         });
@@ -191,12 +197,7 @@ impl Mp3App {
     /// paper's mp3 quality metric).
     pub fn snr(&self, words: &[u32]) -> f64 {
         let (l, r) = self.decode(words);
-        let reference: Vec<f32> = self
-            .left
-            .iter()
-            .chain(&self.right)
-            .copied()
-            .collect();
+        let reference: Vec<f32> = self.left.iter().chain(&self.right).copied().collect();
         let got: Vec<f32> = l.into_iter().chain(r).collect();
         cg_metrics::snr_f32(&reference, &got)
     }

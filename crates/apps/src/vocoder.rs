@@ -60,7 +60,8 @@ impl VocoderApp {
             b.connect(split, f, HOP, HOP).unwrap();
             b.connect(f, join, HOP, HOP).unwrap();
         }
-        b.connect(join, comb, HOP * BANDS as u32, HOP * BANDS as u32).unwrap();
+        b.connect(join, comb, HOP * BANDS as u32, HOP * BANDS as u32)
+            .unwrap();
         b.connect(comb, snk, HOP, HOP).unwrap();
         b.build().unwrap()
     }
@@ -112,7 +113,11 @@ impl VocoderApp {
                     acc += envelope * carrier;
                 }
                 let y = acc * 2.0;
-                let y = if y.is_finite() { y.clamp(-4.0, 4.0) } else { 0.0 };
+                let y = if y.is_finite() {
+                    y.clamp(-4.0, 4.0)
+                } else {
+                    0.0
+                };
                 out[0].push(y.to_bits());
             }
             t += HOP as usize;

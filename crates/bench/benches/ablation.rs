@@ -15,7 +15,10 @@ fn bench_pad_policy(c: &mut Criterion) {
     let mut g = c.benchmark_group("pad_policy");
     g.sample_size(10);
     let w = Workload::new(BenchApp::Mp3, Size::Small);
-    for (label, policy) in [("zero", PadPolicy::Zero), ("repeat_last", PadPolicy::RepeatLast)] {
+    for (label, policy) in [
+        ("zero", PadPolicy::Zero),
+        ("repeat_last", PadPolicy::RepeatLast),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
             b.iter(|| {
                 let (p, _snk) = w.build();

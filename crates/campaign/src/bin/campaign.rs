@@ -1,0 +1,231 @@
+//! Fault-campaign CLI: sweeps fault class × MTBE × protection × seed,
+//! checks hard invariants, prints a summary table, and writes a JSON
+//! report.
+//!
+//! ```text
+//! campaign [--quick] [--seeds N] [--frames N] [--threads N]
+//!          [--classes a,b,..] [--mtbe n1,n2,..] [--out PATH]
+//! ```
+//!
+//! Exits nonzero when any CommGuard run violates an invariant.
+
+use std::process::ExitCode;
+
+use cg_campaign::json::Json;
+use cg_campaign::{run_campaign, CampaignReport, CampaignSpec, Outcome};
+use cg_fault::{FaultClass, Mtbe};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--quick] [--seeds N] [--frames N] [--threads N]\n\
+         \x20               [--classes a,b,..] [--mtbe n1,n2,..] [--out PATH]\n\
+         \n\
+         classes: baseline burst stuck-at pointer header (default: all)\n\
+         mtbe:    mean instructions between errors (default: 256,2048,16384)\n\
+         out:     JSON report path (default: campaign_report.json)"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    spec: CampaignSpec,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut spec = CampaignSpec::default();
+    let mut out = "campaign_report.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => {
+                let base = CampaignSpec::quick();
+                spec.seeds = base.seeds;
+                spec.frames = base.frames;
+            }
+            "--seeds" => {
+                spec.seeds = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--frames" => {
+                spec.frames = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                spec.threads = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--classes" => {
+                spec.classes = value(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        FaultClass::parse(s).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--mtbe" => {
+                spec.mtbes = value(&mut i)
+                    .split(',')
+                    .map(|s| Mtbe::instructions(s.parse().unwrap_or_else(|_| usage())))
+                    .collect();
+            }
+            "--out" => out = value(&mut i),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if spec.classes.is_empty() || spec.mtbes.is_empty() || spec.seeds == 0 {
+        usage()
+    }
+    Args { spec, out }
+}
+
+fn to_json(report: &CampaignReport) -> Json {
+    let spec = &report.spec;
+    let mut jspec = Json::object();
+    jspec
+        .set(
+            "classes",
+            spec.classes
+                .iter()
+                .map(|c| Json::from(c.label()))
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "mtbe_instructions",
+            spec.mtbes
+                .iter()
+                .map(|m| Json::from(m.as_instructions()))
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "protections",
+            spec.protections
+                .iter()
+                .map(|p| Json::from(p.label()))
+                .collect::<Vec<_>>(),
+        )
+        .set("seeds", spec.seeds)
+        .set("frames", spec.frames)
+        .set("queue_capacity", spec.queue_capacity)
+        .set("max_rounds", spec.max_rounds);
+
+    let runs: Vec<Json> = report
+        .runs
+        .iter()
+        .map(|r| {
+            let mut j = Json::object();
+            j.set("class", r.cell.class.label())
+                .set("mtbe_instructions", r.cell.mtbe.as_instructions())
+                .set("protection", r.cell.protection.label())
+                .set("seed", r.cell.seed)
+                .set("outcome", r.outcome.label())
+                .set("completed", r.completed)
+                .set("sink_len", r.sink_len)
+                .set("expected_len", r.expected_len)
+                .set("faults", r.faults)
+                .set("timeouts", r.timeouts)
+                .set("watchdog_escalations", r.watchdog_escalations)
+                .set("realign_events", r.realign_events)
+                .set(
+                    "violations",
+                    r.violations
+                        .iter()
+                        .map(|v| Json::from(v.as_str()))
+                        .collect::<Vec<_>>(),
+                );
+            j
+        })
+        .collect();
+
+    let mut doc = Json::object();
+    doc.set("spec", jspec)
+        .set("total_runs", report.runs.len())
+        .set("violations", report.violations().len())
+        .set("runs", runs);
+    doc
+}
+
+fn print_summary(report: &CampaignReport) {
+    println!(
+        "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>5}",
+        "class", "mtbe", "protection", "ok", "deg", "mis", "hang", "faults", "realgn", "wdog"
+    );
+    for &class in &report.spec.classes {
+        for &mtbe in &report.spec.mtbes {
+            for &protection in &report.spec.protections {
+                let sel = |r: &cg_campaign::RunRecord| {
+                    r.cell.class == class
+                        && r.cell.mtbe == mtbe
+                        && r.cell.protection.label() == protection.label()
+                };
+                let counts = report.outcome_counts(sel);
+                let rows: Vec<_> = report.runs.iter().filter(|r| sel(r)).collect();
+                let faults: u64 = rows.iter().map(|r| r.faults).sum();
+                let realign: u64 = rows.iter().map(|r| r.realign_events).sum();
+                let wdog: u64 = rows.iter().map(|r| r.watchdog_escalations).sum();
+                println!(
+                    "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>5}",
+                    class.label(),
+                    mtbe.as_instructions(),
+                    protection.label(),
+                    counts[Outcome::Ok as usize],
+                    counts[Outcome::DataDegraded as usize],
+                    counts[Outcome::StructuralMismatch as usize],
+                    counts[Outcome::Hang as usize],
+                    faults,
+                    realign,
+                    wdog,
+                );
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    eprintln!(
+        "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs",
+        args.spec.classes.len(),
+        args.spec.mtbes.len(),
+        args.spec.protections.len(),
+        args.spec.seeds,
+        args.spec.total_runs()
+    );
+    let report = run_campaign(&args.spec);
+    print_summary(&report);
+
+    let doc = to_json(&report);
+    if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("campaign: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    eprintln!("campaign: report written to {}", args.out);
+
+    let violations = report.violations();
+    if violations.is_empty() {
+        eprintln!("campaign: all CommGuard invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for (r, v) in &violations {
+            eprintln!(
+                "VIOLATION [{} mtbe={} {} seed={}]: {v}",
+                r.cell.class,
+                r.cell.mtbe.as_instructions(),
+                r.cell.protection.label(),
+                r.cell.seed
+            );
+        }
+        eprintln!("campaign: {} invariant violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,12 @@
+//! Fault-campaign engine for the CommGuard reproduction.
+//!
+//! Sweeps the cross product of fault class x MTBE x protection mode over
+//! many seeds in parallel, asserts hard per-run invariants, and emits a
+//! machine-readable JSON report plus a human-readable summary table.
+
+pub mod json;
+pub mod runner;
+pub mod spec;
+
+pub use runner::{run_campaign, CampaignReport, Outcome, RunRecord};
+pub use spec::{CampaignSpec, RunCell};

@@ -1,0 +1,355 @@
+//! Campaign execution: builds a deterministic rate-converting pipeline
+//! per seed, runs every sweep cell in parallel, checks hard invariants,
+//! and classifies every run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cg_runtime::{run, Program, RunReport, SimConfig};
+use commguard::graph::{GraphBuilder, NodeId, NodeKind, StreamGraph};
+
+use crate::spec::{CampaignSpec, RunCell};
+
+/// How one run ended, from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Bit-exact against the error-free golden output.
+    Ok,
+    /// Structurally exact (right sink length) but data differs.
+    DataDegraded,
+    /// Wrong sink length: stream structure was lost.
+    StructuralMismatch,
+    /// Hit the round cap without completing.
+    Hang,
+}
+
+impl Outcome {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::DataDegraded => "degraded",
+            Outcome::StructuralMismatch => "mismatch",
+            Outcome::Hang => "hang",
+        }
+    }
+}
+
+/// The result of one run of the sweep.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The sweep cell this run belongs to.
+    pub cell: RunCell,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Whether the run finished before the round cap.
+    pub completed: bool,
+    /// Items collected at the sink.
+    pub sink_len: usize,
+    /// Items the schedule says the sink must collect.
+    pub expected_len: usize,
+    /// Faults injected across all cores.
+    pub faults: u64,
+    /// QM timeouts fired across all cores.
+    pub timeouts: u64,
+    /// Watchdog escalations (all rungs).
+    pub watchdog_escalations: u64,
+    /// AM pad + discard events across all cores.
+    pub realign_events: u64,
+    /// Hard-invariant violations (always empty for a passing campaign).
+    pub violations: Vec<String>,
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The sweep that was run.
+    pub spec: CampaignSpec,
+    /// One record per run, in cell order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// All invariant violations across the campaign.
+    pub fn violations(&self) -> Vec<(&RunRecord, &str)> {
+        self.runs
+            .iter()
+            .flat_map(|r| r.violations.iter().map(move |v| (r, v.as_str())))
+            .collect()
+    }
+
+    /// Outcome counts as (ok, degraded, mismatch, hang).
+    pub fn outcome_counts(&self, filter: impl Fn(&RunRecord) -> bool) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for r in self.runs.iter().filter(|r| filter(r)) {
+            c[r.outcome as usize] += 1;
+        }
+        c
+    }
+}
+
+/// A tiny deterministic generator for per-seed pipeline shapes
+/// (split-mix style; no external RNG needed here).
+struct ShapeRng(u64);
+
+impl ShapeRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Per-seed pipeline shape: `src → f1 → … → fk → snk` with
+/// rate-converting hops.
+fn shape(seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = ShapeRng(seed ^ 0xc0ff_ee00);
+    let hops = rng.range(2, 4) as usize;
+    (0..hops)
+        .map(|_| (rng.range(1, 6) as u32, rng.range(1, 6) as u32))
+        .collect()
+}
+
+fn build_graph(rates: &[(u32, u32)]) -> (StreamGraph, Vec<NodeId>) {
+    let mut b = GraphBuilder::new("campaign");
+    let mut ids = vec![b.add_node("src", NodeKind::Source)];
+    for i in 1..rates.len() {
+        ids.push(b.add_node(format!("f{i}"), NodeKind::Filter));
+    }
+    ids.push(b.add_node("snk", NodeKind::Sink));
+    for (i, &(push, pop)) in rates.iter().enumerate() {
+        b.connect(ids[i], ids[i + 1], push, pop)
+            .expect("pipeline edge");
+    }
+    (b.build().expect("valid pipeline"), ids)
+}
+
+/// Binds deterministic work: the source counts up; filters fold their
+/// pops into their push rate with a stage salt.
+fn program(rates: &[(u32, u32)]) -> (Program, NodeId) {
+    let (graph, ids) = build_graph(rates);
+    let mut p = Program::new(graph);
+    let src_push = rates[0].0;
+    let mut next = 0u32;
+    p.set_source(ids[0], move |out| {
+        for _ in 0..src_push {
+            out.push(next);
+            next = next.wrapping_add(1);
+        }
+    });
+    for (i, id) in ids.iter().enumerate().skip(1).take(ids.len() - 2) {
+        let (push, _pop) = rates[i];
+        let salt = i as u32 * 1000;
+        p.set_filter(*id, move |inp, out| {
+            let sum: u32 = inp[0].iter().fold(0, |a, &b| a.wrapping_add(b));
+            for k in 0..push {
+                let v = inp[0].get(k as usize).copied().unwrap_or(sum);
+                out[0].push(v.wrapping_add(salt));
+            }
+        });
+    }
+    (p, *ids.last().expect("sink"))
+}
+
+/// Error-free golden output for this seed's pipeline.
+fn golden(spec: &CampaignSpec, seed: u64) -> Vec<u32> {
+    let rates = shape(seed);
+    let (p, snk) = program(&rates);
+    let cfg = SimConfig::error_free(spec.frames)
+        .seed(seed)
+        .frames(spec.frames);
+    let report = run(p, &cfg).expect("error-free golden run");
+    assert!(report.completed, "golden run must complete");
+    report.sink_output(snk).to_vec()
+}
+
+fn total_realign_events(report: &RunReport) -> u64 {
+    let subops = report.total_subops();
+    subops.pad_events + subops.discard_events
+}
+
+/// Executes one sweep cell and evaluates its invariants.
+fn run_cell(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
+    let rates = shape(cell.seed);
+    let (p, snk) = program(&rates);
+    let cfg = SimConfig {
+        protection: cell.protection,
+        inject: true,
+        mtbe: cell.mtbe,
+        fault_class: cell.class,
+        queue_capacity: spec.queue_capacity,
+        max_rounds: spec.max_rounds,
+        ..SimConfig::error_free(spec.frames)
+    }
+    .seed(cell.seed);
+    // Invariant: every run terminates. `run` itself is bounded by
+    // `max_rounds`, so returning at all proves termination; anything
+    // else (a panic) aborts the campaign loudly.
+    let report = run(p, &cfg).expect("runs never error at runtime");
+
+    let sink = report.sink_output(snk);
+    let outcome = if !report.completed {
+        Outcome::Hang
+    } else if sink.len() != expected.len() {
+        Outcome::StructuralMismatch
+    } else if sink != expected {
+        Outcome::DataDegraded
+    } else {
+        Outcome::Ok
+    };
+
+    let realign_events = total_realign_events(&report);
+    // Structural bound on realignment work: each in-port decides pad vs
+    // discard at most once per frame transition (plus start/finish), and
+    // a discard episode can split across a frame's header+data. Edges ==
+    // in-ports in a pipeline.
+    let realign_bound = (spec.frames + 2) * rates.len() as u64 * 2;
+
+    let mut violations = Vec::new();
+    if cell.protection.guards_enabled() {
+        if !report.completed {
+            violations.push("commguard run hit the round cap".to_string());
+        }
+        if sink.len() != expected.len() {
+            violations.push(format!(
+                "commguard sink length {} != scheduled {}",
+                sink.len(),
+                expected.len()
+            ));
+        }
+        if realign_events > realign_bound {
+            violations.push(format!(
+                "realignment events {realign_events} exceed structural bound {realign_bound}"
+            ));
+        }
+    }
+
+    RunRecord {
+        cell,
+        outcome,
+        completed: report.completed,
+        sink_len: sink.len(),
+        expected_len: expected.len(),
+        faults: report.total_faults().total(),
+        timeouts: report.total_timeouts(),
+        watchdog_escalations: report.watchdog.total_escalations(),
+        realign_events,
+        violations,
+    }
+}
+
+/// Runs the whole sweep on `spec.threads` workers.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    let cells = spec.cells();
+    // One golden run per distinct seed, shared by every cell.
+    let goldens: Vec<Vec<u32>> = (1..=spec.seeds).map(|s| golden(spec, s)).collect();
+
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        spec.threads
+    }
+    .min(cells.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; cells.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell) = cells.get(i) else { break };
+                let expected = &goldens[(cell.seed - 1) as usize];
+                let record = run_cell(spec, cell, expected);
+                results.lock().expect("no poisoned workers")[i] = Some(record);
+            });
+        }
+    });
+
+    let runs = results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect();
+    CampaignReport {
+        spec: spec.clone(),
+        runs,
+    }
+}
+
+/// A tiny sweep usable from unit tests.
+pub fn smoke_spec() -> CampaignSpec {
+    CampaignSpec {
+        seeds: 2,
+        frames: 8,
+        ..CampaignSpec::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_fault::FaultClass;
+    use commguard::Protection;
+
+    #[test]
+    fn shapes_are_deterministic_and_varied() {
+        assert_eq!(shape(1), shape(1));
+        assert_ne!(shape(1), shape(2));
+        for seed in 1..=20 {
+            for (push, pop) in shape(seed) {
+                assert!((1..=6).contains(&push) && (1..=6).contains(&pop));
+            }
+        }
+    }
+
+    #[test]
+    fn golden_is_reproducible() {
+        let spec = smoke_spec();
+        assert_eq!(golden(&spec, 1), golden(&spec, 1));
+        assert!(!golden(&spec, 1).is_empty());
+    }
+
+    #[test]
+    fn error_free_cell_is_bit_exact() {
+        let spec = smoke_spec();
+        let expected = golden(&spec, 1);
+        let cell = RunCell {
+            class: FaultClass::Baseline,
+            mtbe: cg_fault::Mtbe::instructions(256),
+            protection: Protection::ErrorFree,
+            seed: 1,
+        };
+        let r = run_cell(&spec, cell, &expected);
+        assert_eq!(r.outcome, Outcome::Ok);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn smoke_campaign_upholds_commguard_invariants() {
+        let report = run_campaign(&smoke_spec());
+        assert_eq!(report.runs.len(), report.spec.total_runs());
+        let bad = report.violations();
+        assert!(
+            bad.is_empty(),
+            "invariant violations: {:?}",
+            bad.iter()
+                .map(|(r, v)| format!(
+                    "[{} mtbe={} {} seed={}] {v}",
+                    r.cell.class,
+                    r.cell.mtbe.as_instructions(),
+                    r.cell.protection.label(),
+                    r.cell.seed
+                ))
+                .collect::<Vec<_>>()
+        );
+        // Every run terminated (hang is a classification, not a panic).
+        assert!(report.runs.iter().all(|r| r.sink_len <= 1_000_000));
+    }
+}

@@ -1,0 +1,126 @@
+//! Campaign specification: the sweep's axes and per-run parameters.
+
+use cg_fault::{FaultClass, Mtbe};
+use commguard::Protection;
+
+/// The full cross product swept by a campaign: every fault class ×
+/// every MTBE × every protection mode × every seed.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Fault classes to inject.
+    pub classes: Vec<FaultClass>,
+    /// Error rates (mean instructions between errors).
+    pub mtbes: Vec<Mtbe>,
+    /// Protection modes under test.
+    pub protections: Vec<Protection>,
+    /// Seeds per cell; runs use seeds `1..=seeds`.
+    pub seeds: u64,
+    /// Steady-state frames per run.
+    pub frames: u64,
+    /// Queue capacity per run — small enough that cores genuinely block
+    /// on each other, so pointer/stall classes have teeth.
+    pub queue_capacity: usize,
+    /// Hard scheduler-round cap; hitting it classifies the run as a hang.
+    pub max_rounds: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for CampaignSpec {
+    /// The acceptance sweep: all five fault classes × three MTBEs ×
+    /// three protection modes × ten seeds.
+    fn default() -> Self {
+        CampaignSpec {
+            classes: FaultClass::all().to_vec(),
+            // Instruction-level MTBEs: campaign pipelines run a few
+            // thousand instructions per core, so these yield roughly
+            // "storm", "frequent", and "occasional" fault regimes.
+            mtbes: vec![
+                Mtbe::instructions(256),
+                Mtbe::instructions(2048),
+                Mtbe::instructions(16_384),
+            ],
+            protections: vec![
+                Protection::PpuUnprotectedQueue,
+                Protection::PpuReliableQueue,
+                Protection::commguard(),
+            ],
+            seeds: 10,
+            frames: 40,
+            queue_capacity: 16,
+            max_rounds: 4_000_000,
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// A fast smoke-test sweep (CI / `--quick`).
+    pub fn quick() -> Self {
+        CampaignSpec {
+            seeds: 3,
+            frames: 16,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of runs in the sweep.
+    pub fn total_runs(&self) -> usize {
+        self.classes.len() * self.mtbes.len() * self.protections.len() * self.seeds as usize
+    }
+
+    /// Flattens the cross product into per-run cells.
+    pub fn cells(&self) -> Vec<RunCell> {
+        let mut out = Vec::with_capacity(self.total_runs());
+        for &class in &self.classes {
+            for &mtbe in &self.mtbes {
+                for &protection in &self.protections {
+                    for seed in 1..=self.seeds {
+                        out.push(RunCell {
+                            class,
+                            mtbe,
+                            protection,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCell {
+    /// Fault class injected.
+    pub class: FaultClass,
+    /// Error rate.
+    pub mtbe: Mtbe,
+    /// Protection mode.
+    pub protection: Protection,
+    /// Run seed.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_meets_acceptance_floor() {
+        let s = CampaignSpec::default();
+        assert!(s.classes.len() >= 3);
+        assert!(s.mtbes.len() >= 3);
+        assert_eq!(s.protections.len(), 3);
+        assert!(s.seeds >= 10);
+        assert_eq!(s.total_runs(), s.cells().len());
+        assert_eq!(s.total_runs(), 5 * 3 * 3 * 10);
+    }
+
+    #[test]
+    fn quick_sweep_is_smaller() {
+        let q = CampaignSpec::quick();
+        assert!(q.total_runs() < CampaignSpec::default().total_runs());
+    }
+}

@@ -36,7 +36,12 @@ pub struct Reliability {
 /// `cg_fault::CoreInjector`), so the probability that a frame's
 /// `I` instructions on one core see no visible fault is
 /// `exp(-I·(1-p_silent)/mtbe)`, and cores are independent.
-pub fn analyze(graph: &StreamGraph, schedule: &Schedule, mtbe: Mtbe, model: &EffectModel) -> Reliability {
+pub fn analyze(
+    graph: &StreamGraph,
+    schedule: &Schedule,
+    mtbe: Mtbe,
+    model: &EffectModel,
+) -> Reliability {
     let visible = 1.0 - model.p_silent;
     let mtbe = mtbe.as_instructions() as f64;
     let mut faults = 0.0f64;
@@ -104,7 +109,12 @@ mod tests {
         mostly_silent.p_data = 0.01;
         mostly_silent.p_control = 0.0;
         mostly_silent.p_addressing = 0.0;
-        let harsh = analyze(&g, &sched, Mtbe::instructions(100), &EffectModel::data_only());
+        let harsh = analyze(
+            &g,
+            &sched,
+            Mtbe::instructions(100),
+            &EffectModel::data_only(),
+        );
         let soft = analyze(&g, &sched, Mtbe::instructions(100), &mostly_silent);
         assert!(soft.frame_reliability > harsh.frame_reliability);
     }
@@ -112,7 +122,12 @@ mod tests {
     #[test]
     fn unguarded_reliability_decays_to_zero() {
         let (g, sched) = toy();
-        let r = analyze(&g, &sched, Mtbe::instructions(10_000), &EffectModel::calibrated());
+        let r = analyze(
+            &g,
+            &sched,
+            Mtbe::instructions(10_000),
+            &EffectModel::calibrated(),
+        );
         let early = unguarded_stream_reliability(&r, 0);
         let late = unguarded_stream_reliability(&r, 100_000);
         assert!(early > late);

@@ -111,7 +111,10 @@ mod tests {
             Protection::PpuUnprotectedQueue.pointer_mode(),
             PointerMode::Raw
         );
-        assert_eq!(Protection::PpuReliableQueue.pointer_mode(), PointerMode::Ecc);
+        assert_eq!(
+            Protection::PpuReliableQueue.pointer_mode(),
+            PointerMode::Ecc
+        );
         assert_eq!(Protection::commguard().pointer_mode(), PointerMode::Ecc);
     }
 

@@ -52,6 +52,12 @@ impl TimeoutTracker {
         self.blocked = 0;
     }
 
+    /// Arms the tracker so its next blocked attempt fires immediately,
+    /// regardless of the configured threshold (watchdog escalation).
+    pub fn arm(&mut self) {
+        self.blocked = self.threshold - 1;
+    }
+
     /// Number of timeouts fired so far.
     pub fn fired(&self) -> u64 {
         self.fired
@@ -96,5 +102,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_panics() {
         let _ = TimeoutTracker::new(0);
+    }
+
+    #[test]
+    fn armed_tracker_fires_on_next_block() {
+        let mut t = TimeoutTracker::new(1_000_000);
+        assert!(!t.on_block());
+        t.arm();
+        assert!(t.on_block());
+        assert_eq!(t.fired(), 1);
+        // Firing resets the streak as usual.
+        assert!(!t.on_block());
     }
 }

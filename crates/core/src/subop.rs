@@ -65,7 +65,10 @@ impl SubopCounters {
 
     /// Total CommGuard suboperations, the numerator of Fig. 14's "Total".
     pub fn total_subops(&self) -> u64 {
-        self.fsm_ops + self.counter_ops + self.ecc_ops + self.header_bit_ops
+        self.fsm_ops
+            + self.counter_ops
+            + self.ecc_ops
+            + self.header_bit_ops
             + self.prepare_header_ops
     }
 
@@ -115,8 +118,7 @@ impl AddAssign<&SubopCounters> for SubopCounters {
         self.pad_events += rhs.pad_events;
         self.discard_events += rhs.discard_events;
         let room = Self::MAX_EVENTS.saturating_sub(self.events.len());
-        self.events
-            .extend(rhs.events.iter().take(room).copied());
+        self.events.extend(rhs.events.iter().take(room).copied());
     }
 }
 
@@ -181,8 +183,10 @@ mod tests {
     fn add_assign_merges() {
         let mut a = SubopCounters::default();
         a.record_event(1, RealignKind::Discard);
-        let mut b = SubopCounters::default();
-        b.fsm_ops = 7;
+        let mut b = SubopCounters {
+            fsm_ops: 7,
+            ..Default::default()
+        };
         b.record_event(2, RealignKind::Pad);
         a += &b;
         assert_eq!(a.fsm_ops, 7);

@@ -7,7 +7,7 @@
 //! producer streams and assert exactly that.
 
 use commguard::queue::{QueueSpec, SimQueue, Unit};
-use commguard::{AlignmentManager, PadPolicy, SubopCounters};
+use commguard::{AlignmentManager, AmState, PadPolicy, SubopCounters};
 use proptest::prelude::*;
 
 /// Per-frame corruption applied to the producer's stream.
@@ -120,10 +120,10 @@ proptest! {
         // (2) every frame after the last corruption is exact.
         let last_bad = plan.iter().rposition(|c| !c.is_clean());
         let first_checked = last_bad.map_or(0, |i| i + 1);
-        for f in first_checked..frames as usize {
+        for (f, got) in delivered.iter().enumerate().skip(first_checked) {
             let expect: Vec<u32> = (0..n).map(|i| f as u32 * 1000 + i).collect();
             prop_assert_eq!(
-                &delivered[f], &expect,
+                got, &expect,
                 "frame {} not realigned (plan {:?})", f, plan
             );
         }
@@ -133,6 +133,74 @@ proptest! {
             prop_assert_eq!(sub.padded_items, 0);
             prop_assert_eq!(sub.discarded_items, 0);
             prop_assert_eq!(sub.accepted_items as u32, frames * n);
+        }
+    }
+
+    /// Single-error recovery bound (paper §4.2): after exactly one
+    /// injected surplus or deficit, the AM is back in `RcvCmp` and
+    /// delivering bit-exact frames within one frame boundary — for every
+    /// pad policy.
+    #[test]
+    fn single_error_realigns_within_one_frame(
+        n in 1u32..8,
+        frames in 4u32..12,
+        // Frame receiving the single injection; at least two clean frames
+        // follow so the recovery bound is observable.
+        bad in 0u32..9,
+        k in 1u32..4,
+        surplus in any::<bool>(),
+        repeat_last in any::<bool>(),
+    ) {
+        let bad = bad.min(frames - 3);
+        let policy = if repeat_last { PadPolicy::RepeatLast } else { PadPolicy::Zero };
+        let mut q = SimQueue::new(QueueSpec::with_capacity(4096));
+        for f in 0..frames {
+            let c = if f == bad {
+                if surplus { Corrupt::ExtraItems(k) } else { Corrupt::LoseItems(k) }
+            } else {
+                Corrupt::Clean
+            };
+            emit_frame(&mut q, f, n, c);
+        }
+        q.try_push(Unit::end_header()).unwrap();
+        q.flush();
+
+        let mut am = AlignmentManager::new(policy);
+        let mut sub = SubopCounters::default();
+        for f in 0..frames {
+            if f > 0 {
+                am.new_frame_computation(f, &mut sub);
+            }
+            let mut got = Vec::new();
+            for _ in 0..n {
+                let v = am.pop(&mut q, &mut sub);
+                prop_assert!(v.is_some(), "pop blocked at frame {f}");
+                got.push(v.unwrap());
+            }
+            if f > bad {
+                // Within one frame boundary of the injection the AM is
+                // realigned: every following frame is bit-exact and the
+                // FSM is back in its aligned state.
+                let expect: Vec<u32> = (0..n).map(|i| f * 1000 + i).collect();
+                prop_assert_eq!(
+                    &got, &expect,
+                    "frame {} not exact after single error at frame {} \
+                     (surplus={}, k={}, policy={:?})",
+                    f, bad, surplus, k, policy
+                );
+                prop_assert_eq!(am.state(), AmState::RcvCmp);
+            }
+        }
+
+        // The single error produced bounded realignment work: at most one
+        // pad episode or one discard episode, never both kinds of loss.
+        prop_assert!(sub.pad_events + sub.discard_events <= 2);
+        if surplus {
+            prop_assert_eq!(sub.padded_items, 0);
+            prop_assert_eq!(u32::try_from(sub.discarded_items).unwrap(), k);
+        } else {
+            prop_assert_eq!(u32::try_from(sub.padded_items).unwrap(), k.min(n));
+            prop_assert_eq!(sub.discarded_items, 0);
         }
     }
 

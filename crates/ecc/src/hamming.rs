@@ -89,7 +89,7 @@ fn data_position(data_idx: u32) -> u32 {
     // Positions 3,5,6,7,9,...: skip 1,2,4,8,16,32.
     debug_assert!(data_idx < DATA_BITS);
     let mut pos = data_idx + 3; // account for positions 1 and 2 up front
-    // Each power of two <= pos shifts data positions up by one.
+                                // Each power of two <= pos shifts data positions up by one.
     for p in [4u32, 8, 16, 32] {
         if pos >= p {
             pos += 1;
@@ -164,7 +164,7 @@ pub fn decode(cw: Codeword) -> Decoded {
         let p = (bits & mask).count_ones() & 1;
         syndrome |= p << k;
     }
-    let overall_ok = (bits.count_ones() % 2) == 0;
+    let overall_ok = bits.count_ones().is_multiple_of(2);
 
     let corrected_bits = match (syndrome, overall_ok) {
         (0, true) => return Decoded::Clean(extract(bits)),

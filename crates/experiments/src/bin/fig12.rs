@@ -11,7 +11,11 @@ fn main() {
     let cli = Cli::parse();
     let workloads = all_workloads(cli.size());
     let mem = MemModel::default();
-    let mut csv = Csv::create(&cli.out, "fig12.csv", "app,header_load_pct,header_store_pct");
+    let mut csv = Csv::create(
+        &cli.out,
+        "fig12.csv",
+        "app,header_load_pct,header_store_pct",
+    );
 
     println!("Fig. 12: header memory events / all memory events (error-free)\n");
     println!("{:>18} {:>10} {:>10}", "app", "loads", "stores");
@@ -46,10 +50,7 @@ fn main() {
          (≈0.66% loads / 0.75% stores) because some threads have 1-item \
          frames."
     );
-    let worst = loads
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let worst = loads.iter().cloned().fold(0.0f64, f64::max);
     assert!(gl < 0.5 && gs < 0.5, "geomean must stay well under 1%");
     assert!(
         (worst - loads[0]).abs() < 1e-12,

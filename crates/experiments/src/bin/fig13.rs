@@ -58,7 +58,10 @@ fn main() {
          complex-fir still < 4%; mean ≈ 1%; larger frames shrink the \
          already-small overheads."
     );
-    assert!(gm < 5.0, "mean overhead should be a few percent, got {gm:.2}%");
+    assert!(
+        gm < 5.0,
+        "mean overhead should be a few percent, got {gm:.2}%"
+    );
     assert!(
         defaults.iter().all(|&d| d < 0.25),
         "every app must stay well under 25% overhead"

@@ -47,7 +47,8 @@ fn main() {
         if cli.has_flag("--detail") {
             println!(
                 "{:>18} median instructions/frame-computation: {:.0}",
-                "", report.median_instructions_per_frame()
+                "",
+                report.median_instructions_per_frame()
             );
             for n in &report.nodes {
                 if n.frames > 0 {

@@ -19,7 +19,11 @@ fn main() {
         ("fig3d", Protection::commguard()),
     ];
 
-    let mut csv = Csv::create(&cli.out, "fig3.csv", "panel,protection,psnr_db,completed,timeouts");
+    let mut csv = Csv::create(
+        &cli.out,
+        "fig3.csv",
+        "panel,protection,psnr_db,completed,timeouts",
+    );
     println!("Fig. 3: jpeg on 10 cores, MTBE = {mtbe_k}k instructions\n");
     let mut psnrs = Vec::new();
     for (panel, protection) in modes {
@@ -52,6 +56,10 @@ fn main() {
         psnrs[3] > psnrs[1] && psnrs[3] > psnrs[2],
         "CommGuard must beat both unprotected baselines"
     );
-    println!("✓ CommGuard ({}) beats unprotected ({}) and reliable-queue ({})",
-        db(psnrs[3]), db(psnrs[1]), db(psnrs[2]));
+    println!(
+        "✓ CommGuard ({}) beats unprotected ({}) and reliable-queue ({})",
+        db(psnrs[3]),
+        db(psnrs[1]),
+        db(psnrs[2])
+    );
 }

@@ -24,7 +24,10 @@ fn main() {
          (paper example: 16 pad+discard operations)",
         sub.pad_events, sub.discard_events
     );
-    println!("  padded items: {}, discarded items: {}", sub.padded_items, sub.discarded_items);
+    println!(
+        "  padded items: {}, discarded items: {}",
+        sub.padded_items, sub.discarded_items
+    );
 
     let mut csv = Csv::create(&cli.out, "fig7.csv", "frame_band,kind");
     println!("\n  per-band annotations (frame = one 8-pixel-high band):");

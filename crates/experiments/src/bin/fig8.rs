@@ -25,7 +25,10 @@ fn main() {
     let sweep = mtbe_sweep(cli.quick);
     let mut csv = Csv::create(&cli.out, "fig8.csv", "app,mtbe_k,loss_ratio");
 
-    println!("Fig. 8: lost/accepted data ratio vs MTBE ({})", protection.label());
+    println!(
+        "Fig. 8: lost/accepted data ratio vs MTBE ({})",
+        protection.label()
+    );
     print!("{:>18}", "MTBE(k):");
     for m in &sweep {
         print!("{m:>11}");

@@ -12,7 +12,10 @@ fn main() {
     let mut csv = Csv::create(&cli.out, "fig9.csv", "mtbe_k,psnr_db");
 
     println!("Fig. 9: jpeg with CommGuard at rising MTBE");
-    println!("  error-free PSNR: {} dB (paper: 35.6 dB)\n", db(error_free));
+    println!(
+        "  error-free PSNR: {} dB (paper: 35.6 dB)\n",
+        db(error_free)
+    );
     let paper = [(128u64, 14.7), (512, 18.6), (2048, 28.6), (8192, 35.6)];
     let mut last = 0.0;
     for (mtbe_k, paper_db) in paper {

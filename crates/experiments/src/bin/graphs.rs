@@ -13,8 +13,7 @@ fn main() {
         let g = program.graph();
         println!("{}", g.describe());
         // Graphviz rendering of the topology (Fig. 1 style).
-        std::fs::write(format!("results/graph_{app}.dot"), g.to_dot())
-            .expect("write dot file");
+        std::fs::write(format!("results/graph_{app}.dot"), g.to_dot()).expect("write dot file");
         let sched = g.schedule().expect("consistent");
         let fa = g.frame_analysis().expect("consistent");
         println!("  repetition vector: {:?}", sched.repetition_vector());

@@ -6,16 +6,35 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "graphs", "table1", "table23", "calibrate", "fig3", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "graphs",
+        "table1",
+        "table23",
+        "calibrate",
+        "fig3",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
     ];
     for bin in bins {
-        println!("\n=== {bin} {}", "=".repeat(60_usize.saturating_sub(bin.len())));
-        let status = Command::new(std::env::current_exe().expect("self path")
-                .parent().expect("bin dir").join(bin))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        println!(
+            "\n=== {bin} {}",
+            "=".repeat(60_usize.saturating_sub(bin.len()))
+        );
+        let status = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .parent()
+                .expect("bin dir")
+                .join(bin),
+        )
+        .args(&args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
     }
     println!("\nAll experiments completed. Artifacts are in results/.");

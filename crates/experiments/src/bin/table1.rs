@@ -53,16 +53,13 @@ fn check(
 ) {
     let (mut am, mut q, mut sub) = am_in(from);
     drive(&mut am, &mut q, &mut sub);
-    assert_eq!(
-        am.state(),
-        expect,
-        "Table 1 row {from:?} / event '{event}'"
-    );
+    assert_eq!(am.state(), expect, "Table 1 row {from:?} / event '{event}'");
     println!("  {from:?} --[{event}]--> {expect:?}   ✓");
 }
 
-fn push_and_pop(unit: Unit) -> impl FnOnce(&mut AlignmentManager, &mut SimQueue, &mut SubopCounters)
-{
+fn push_and_pop(
+    unit: Unit,
+) -> impl FnOnce(&mut AlignmentManager, &mut SimQueue, &mut SubopCounters) {
     move |am, q, sub| {
         q.try_push(unit).unwrap();
         q.flush();

@@ -26,7 +26,8 @@ fn main() {
         }
         q.flush();
         for _ in 0..items_per_frame {
-            cons.pop(0, &mut q).expect("aligned stream never blocks here");
+            cons.pop(0, &mut q)
+                .expect("aligned stream never blocks here");
         }
     }
     prod.finish();
@@ -39,17 +40,35 @@ fn main() {
     println!("Table 2/3: observed CommGuard suboperations");
     println!("  workload: {frames} frames x {items_per_frame} items, one edge\n");
     println!("producer (push + new-frame-computation events):");
-    println!("  prepare-header ops : {:>8}  (1 per frame boundary incl. end)", ps.prepare_header_ops);
+    println!(
+        "  prepare-header ops : {:>8}  (1 per frame boundary incl. end)",
+        ps.prepare_header_ops
+    );
     println!("  compute-ECC ops    : {:>8}  (1 per header)", ps.ecc_ops);
     println!("  header-bit sets    : {:>8}", ps.header_bit_ops);
-    println!("  FSM updates        : {:>8}  (1 per out-queue per boundary)", ps.fsm_ops);
-    println!("  counter ops        : {:>8}  (active-fc + saturating counter)", ps.counter_ops);
+    println!(
+        "  FSM updates        : {:>8}  (1 per out-queue per boundary)",
+        ps.fsm_ops
+    );
+    println!(
+        "  counter ops        : {:>8}  (active-fc + saturating counter)",
+        ps.counter_ops
+    );
     assert_eq!(ps.prepare_header_ops, u64::from(frames) + 1);
 
     println!("\nconsumer (pop events):");
-    println!("  FSM check/updates  : {:>8}  ({} pops issued)", cs.fsm_ops, total_pops);
-    println!("  header-bit tests   : {:>8}  (1 per unit examined)", cs.header_bit_ops);
-    println!("  check-ECC ops      : {:>8}  (1 per header examined)", cs.ecc_ops);
+    println!(
+        "  FSM check/updates  : {:>8}  ({} pops issued)",
+        cs.fsm_ops, total_pops
+    );
+    println!(
+        "  header-bit tests   : {:>8}  (1 per unit examined)",
+        cs.header_bit_ops
+    );
+    println!(
+        "  check-ECC ops      : {:>8}  (1 per header examined)",
+        cs.ecc_ops
+    );
     println!("  accepted items     : {:>8}", cs.accepted_items);
     assert_eq!(cs.accepted_items, total_pops);
     assert_eq!(cs.ecc_ops, u64::from(frames), "one header check per frame");

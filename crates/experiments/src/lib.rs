@@ -93,12 +93,7 @@ pub fn mtbe_sweep(quick: bool) -> Vec<u64> {
 }
 
 /// Runs one configuration of a prepared workload.
-pub fn run_once(
-    w: &Workload,
-    protection: Protection,
-    mtbe_k: u64,
-    seed: u64,
-) -> (RunReport, f64) {
+pub fn run_once(w: &Workload, protection: Protection, mtbe_k: u64, seed: u64) -> (RunReport, f64) {
     let (program, sink) = w.build();
     let cfg = SimConfig {
         max_rounds: 50_000_000,

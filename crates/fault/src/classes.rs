@@ -1,0 +1,198 @@
+//! Injectable fault classes for campaign sweeps.
+//!
+//! The baseline injector models *independent* single-event upsets whose
+//! manifestation follows the [`crate::EffectModel`]. Real error-prone
+//! silicon also exhibits structured failure modes; each [`FaultClass`]
+//! selects one such mode for the runtime to apply mechanically:
+//!
+//! * **Baseline** — independent upsets per the effect model (the paper's
+//!   §6 methodology).
+//! * **Burst** — spatially correlated upsets: one event flips a run of
+//!   adjacent bits (and may spill into neighbouring items), as a particle
+//!   strike across adjacent cells would.
+//! * **StuckAt** — a permanent fault: the first event latches one bit of
+//!   the core's datapath at a fixed value; every item produced afterwards
+//!   passes through the stuck bit.
+//! * **PointerCorruption** — every event lands in queue-management state,
+//!   flipping bits of the shared head/tail pointers (the paper's QME
+//!   class, concentrated).
+//! * **HeaderCorruption** — every event strikes an in-flight frame-header
+//!   word, stressing the HI/AM ECC path end to end.
+
+use rand::Rng;
+
+use crate::rng::DetRng;
+
+/// A structured fault mode swept by the campaign engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultClass {
+    /// Independent upsets following the effect model.
+    #[default]
+    Baseline,
+    /// Correlated multi-bit bursts in live data.
+    Burst,
+    /// A latched stuck-at bit on the producing datapath.
+    StuckAt,
+    /// Shared queue head/tail pointer corruption.
+    PointerCorruption,
+    /// In-flight frame-header codeword corruption.
+    HeaderCorruption,
+}
+
+impl FaultClass {
+    /// Every class, in sweep order.
+    pub fn all() -> [FaultClass; 5] {
+        [
+            FaultClass::Baseline,
+            FaultClass::Burst,
+            FaultClass::StuckAt,
+            FaultClass::PointerCorruption,
+            FaultClass::HeaderCorruption,
+        ]
+    }
+
+    /// Stable machine-readable label (CLI and report key).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Baseline => "baseline",
+            FaultClass::Burst => "burst",
+            FaultClass::StuckAt => "stuck-at",
+            FaultClass::PointerCorruption => "pointer",
+            FaultClass::HeaderCorruption => "header",
+        }
+    }
+
+    /// Parses a [`Self::label`] string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised input.
+    pub fn parse(s: &str) -> Result<FaultClass, String> {
+        FaultClass::all()
+            .into_iter()
+            .find(|c| c.label() == s)
+            .ok_or_else(|| format!("unknown fault class `{s}`"))
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for FaultClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultClass::parse(s)
+    }
+}
+
+/// A latched stuck-at fault: `bit` of every word passing the faulty
+/// datapath reads as `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckAtState {
+    /// Bit position in the 32-bit word.
+    pub bit: u32,
+    /// The latched value of the bit.
+    pub value: bool,
+}
+
+impl StuckAtState {
+    /// Samples a random stuck bit and polarity.
+    pub fn sample(rng: &mut DetRng) -> Self {
+        StuckAtState {
+            bit: rng.gen_range(0..32u32),
+            value: rng.gen(),
+        }
+    }
+
+    /// Applies the stuck bit to one word.
+    pub fn apply(self, word: u32) -> u32 {
+        if self.value {
+            word | (1 << self.bit)
+        } else {
+            word & !(1 << self.bit)
+        }
+    }
+}
+
+/// Samples the length of a correlated burst: geometric on {2, 3, ...}
+/// with mean 3, capped at 8 adjacent bits (multi-cell upsets are short).
+pub fn sample_burst_len(rng: &mut DetRng) -> u32 {
+    let mut n = 2u32;
+    while n < 8 && rng.gen::<f64>() >= 0.5 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::core_rng;
+
+    #[test]
+    fn labels_round_trip() {
+        for class in FaultClass::all() {
+            assert_eq!(FaultClass::parse(class.label()), Ok(class));
+            assert_eq!(class.label().parse::<FaultClass>(), Ok(class));
+        }
+        assert!(FaultClass::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let mut labels: Vec<_> = FaultClass::all().iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn stuck_at_forces_the_bit() {
+        let hi = StuckAtState {
+            bit: 5,
+            value: true,
+        };
+        assert_eq!(hi.apply(0), 32);
+        assert_eq!(hi.apply(u32::MAX), u32::MAX);
+        let lo = StuckAtState {
+            bit: 5,
+            value: false,
+        };
+        assert_eq!(lo.apply(u32::MAX), !32);
+        assert_eq!(lo.apply(0), 0);
+        // Idempotent: a latched bit stays latched.
+        assert_eq!(hi.apply(hi.apply(123)), hi.apply(123));
+    }
+
+    #[test]
+    fn stuck_at_sampling_covers_positions_and_polarities() {
+        let mut rng = core_rng(13, 0);
+        let mut bits = std::collections::HashSet::new();
+        let (mut ones, mut zeros) = (0, 0);
+        for _ in 0..500 {
+            let s = StuckAtState::sample(&mut rng);
+            assert!(s.bit < 32);
+            bits.insert(s.bit);
+            if s.value {
+                ones += 1;
+            } else {
+                zeros += 1;
+            }
+        }
+        assert!(bits.len() > 20, "covered {} positions", bits.len());
+        assert!(ones > 100 && zeros > 100);
+    }
+
+    #[test]
+    fn burst_lengths_bounded_with_sane_mean() {
+        let mut rng = core_rng(17, 0);
+        let lens: Vec<u32> = (0..10_000).map(|_| sample_burst_len(&mut rng)).collect();
+        assert!(lens.iter().all(|&n| (2..=8).contains(&n)));
+        let mean = lens.iter().sum::<u32>() as f64 / lens.len() as f64;
+        assert!((2.5..3.5).contains(&mean), "mean {mean}");
+    }
+}

@@ -261,7 +261,9 @@ mod tests {
     fn geometric_mean_close_to_inverse_p() {
         let mut rng = core_rng(9, 0);
         let n = 50_000;
-        let sum: u64 = (0..n).map(|_| u64::from(sample_geometric(0.5, &mut rng))).sum();
+        let sum: u64 = (0..n)
+            .map(|_| u64::from(sample_geometric(0.5, &mut rng)))
+            .sum();
         let mean = sum as f64 / f64::from(n);
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
     }

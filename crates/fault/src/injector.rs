@@ -48,7 +48,7 @@ impl Mtbe {
 
 impl std::fmt::Display for Mtbe {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.0 % 1000 == 0 {
+        if self.0.is_multiple_of(1000) {
             write!(f, "{}k", self.0 / 1000)
         } else {
             write!(f, "{}", self.0)
@@ -200,12 +200,7 @@ mod tests {
 
     #[test]
     fn fault_rate_matches_mtbe() {
-        let mut inj = CoreInjector::new(
-            Mtbe::instructions(1000),
-            EffectModel::calibrated(),
-            99,
-            0,
-        );
+        let mut inj = CoreInjector::new(Mtbe::instructions(1000), EffectModel::calibrated(), 99, 0);
         let events = inj.advance(10_000_000);
         let n = events.len() as f64;
         // Expect ~10_000 events; allow 5% tolerance.
@@ -221,8 +216,12 @@ mod tests {
     #[test]
     fn injection_is_deterministic_per_seed_and_core() {
         let run = |seed, core| {
-            let mut inj =
-                CoreInjector::new(Mtbe::instructions(500), EffectModel::calibrated(), seed, core);
+            let mut inj = CoreInjector::new(
+                Mtbe::instructions(500),
+                EffectModel::calibrated(),
+                seed,
+                core,
+            );
             inj.advance(100_000)
         };
         assert_eq!(run(5, 1), run(5, 1));

@@ -32,12 +32,14 @@
 //! assert!(!events.is_empty());
 //! ```
 
+mod classes;
 mod effect;
 mod flip;
 mod injector;
 mod rng;
 mod stats;
 
+pub use classes::{sample_burst_len, FaultClass, StuckAtState};
 pub use effect::{ControlPerturbation, EffectKind, EffectModel};
 pub use flip::{flip_random_bit_u32, flip_word_bit};
 pub use injector::{CoreInjector, FaultEvent, Mtbe};

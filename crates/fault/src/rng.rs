@@ -57,7 +57,9 @@ mod tests {
     fn core_rng_streams_are_independent() {
         let mut r1 = core_rng(7, 0);
         let mut r2 = core_rng(7, 1);
-        let same = (0..64).filter(|_| r1.gen::<u64>() == r2.gen::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| r1.gen::<u64>() == r2.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 }

@@ -1,0 +1,76 @@
+//! Property tests for the per-core fault injector.
+//!
+//! The executor charges a firing's instructions in one `advance` call,
+//! but nothing in the design depends on that granularity: the injected
+//! fault sequence must be a function of the *instruction timeline alone*,
+//! not of how the timeline is chopped into advances.
+
+use cg_fault::{CoreInjector, EffectModel, Mtbe};
+use proptest::prelude::*;
+
+fn events_of(mtbe: u64, seed: u64, core: u64, chunks: &[u64]) -> Vec<(u64, cg_fault::EffectKind)> {
+    let mut inj = CoreInjector::new(
+        Mtbe::instructions(mtbe),
+        EffectModel::calibrated(),
+        seed,
+        core,
+    );
+    let mut out = Vec::new();
+    for &c in chunks {
+        for ev in inj.advance(c) {
+            out.push((ev.at_instruction, ev.kind));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Chunking invariance: advancing the instruction clock in arbitrary
+    /// chunks produces exactly the events (same strike times, same kinds,
+    /// same order) as advancing it in a single call.
+    #[test]
+    fn advance_is_chunking_invariant(
+        mtbe in 1u64..1000,
+        seed in any::<u64>(),
+        core in 0u64..16,
+        chunks in prop::collection::vec(0u64..500, 1..40),
+    ) {
+        let total: u64 = chunks.iter().sum();
+        let whole = events_of(mtbe, seed, core, &[total]);
+        let split = events_of(mtbe, seed, core, &chunks);
+        prop_assert_eq!(whole, split);
+    }
+
+    /// Strike times are strictly increasing and within the advanced
+    /// window, no matter the chunking.
+    #[test]
+    fn strikes_are_ordered_and_in_window(
+        mtbe in 1u64..200,
+        seed in any::<u64>(),
+        chunks in prop::collection::vec(1u64..300, 1..20),
+    ) {
+        let total: u64 = chunks.iter().sum();
+        let events = events_of(mtbe, seed, 0, &chunks);
+        for w in events.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "strike times must increase");
+        }
+        for (at, _) in events {
+            prop_assert!(at < total);
+        }
+    }
+
+    /// Zero-length advances are free: they produce no events and do not
+    /// perturb the subsequent stream.
+    #[test]
+    fn zero_advances_are_inert(
+        mtbe in 1u64..500,
+        seed in any::<u64>(),
+        n in 1u64..2000,
+    ) {
+        let plain = events_of(mtbe, seed, 3, &[n]);
+        let padded = events_of(mtbe, seed, 3, &[0, 0, n, 0]);
+        prop_assert_eq!(plain, padded);
+    }
+}

@@ -107,7 +107,12 @@ impl GraphBuilder {
             });
         }
         let eid = EdgeId::from_index(self.edges.len());
-        self.edges.push(Edge { src, dst, push, pop });
+        self.edges.push(Edge {
+            src,
+            dst,
+            push,
+            pop,
+        });
         self.nodes[src.index()].outputs.push(eid);
         self.nodes[dst.index()].inputs.push(eid);
         Ok(eid)
@@ -193,7 +198,10 @@ mod tests {
         let mut b = GraphBuilder::new("t");
         let s = b.add_node("s", NodeKind::Source);
         let ghost = NodeId::from_index(99);
-        assert_eq!(b.connect(s, ghost, 1, 1), Err(GraphError::UnknownNode(ghost)));
+        assert_eq!(
+            b.connect(s, ghost, 1, 1),
+            Err(GraphError::UnknownNode(ghost))
+        );
     }
 
     #[test]
@@ -220,7 +228,10 @@ mod tests {
 
     #[test]
     fn build_rejects_empty() {
-        assert_eq!(GraphBuilder::new("t").build().unwrap_err(), GraphError::Empty);
+        assert_eq!(
+            GraphBuilder::new("t").build().unwrap_err(),
+            GraphError::Empty
+        );
     }
 
     #[test]
@@ -232,10 +243,7 @@ mod tests {
         let s2 = b.add_node("s2", NodeKind::Source);
         let k2 = b.add_node("k2", NodeKind::Sink);
         b.connect(s2, k2, 1, 1).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(GraphError::Disconnected { .. })
-        ));
+        assert!(matches!(b.build(), Err(GraphError::Disconnected { .. })));
     }
 
     #[test]
@@ -258,10 +266,7 @@ mod tests {
         let s = b.add_node("s", NodeKind::Source);
         let f = b.add_node("f", NodeKind::Filter);
         b.connect(s, f, 1, 1).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(GraphError::MissingEndpoint { .. })
-        ));
+        assert!(matches!(b.build(), Err(GraphError::MissingEndpoint { .. })));
     }
 
     #[test]

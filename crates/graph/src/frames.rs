@@ -100,7 +100,6 @@ impl FrameAnalysis {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::graph::NodeKind;
     use crate::GraphBuilder;
 

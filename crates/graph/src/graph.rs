@@ -303,7 +303,13 @@ impl StreamGraph {
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "graph {} ({} nodes, {} edges)", self.name, self.nodes.len(), self.edges.len());
+        let _ = writeln!(
+            s,
+            "graph {} ({} nodes, {} edges)",
+            self.name,
+            self.nodes.len(),
+            self.edges.len()
+        );
         for (id, node) in self.nodes() {
             let ins: Vec<String> = node
                 .inputs
@@ -326,8 +332,16 @@ impl StreamGraph {
                 "  {id} {:>18} <{:?}>  in: {}  out: {}",
                 node.name,
                 node.kind,
-                if ins.is_empty() { "-".to_string() } else { ins.join(", ") },
-                if outs.is_empty() { "-".to_string() } else { outs.join(", ") },
+                if ins.is_empty() {
+                    "-".to_string()
+                } else {
+                    ins.join(", ")
+                },
+                if outs.is_empty() {
+                    "-".to_string()
+                } else {
+                    outs.join(", ")
+                },
             );
         }
         s
@@ -344,12 +358,17 @@ impl StreamGraph {
         for (id, node) in self.nodes() {
             let shape = match node.kind() {
                 NodeKind::Source | NodeKind::Sink => "ellipse",
-                NodeKind::SplitDuplicate
-                | NodeKind::SplitRoundRobin
-                | NodeKind::JoinRoundRobin => "diamond",
+                NodeKind::SplitDuplicate | NodeKind::SplitRoundRobin | NodeKind::JoinRoundRobin => {
+                    "diamond"
+                }
                 NodeKind::Filter => "box",
             };
-            let _ = writeln!(s, "  {} [label=\"{}\", shape={shape}];", id.index(), node.name());
+            let _ = writeln!(
+                s,
+                "  {} [label=\"{}\", shape={shape}];",
+                id.index(),
+                node.name()
+            );
         }
         for (_, e) in self.edges() {
             let _ = writeln!(
@@ -377,7 +396,10 @@ impl StreamGraph {
         }
         for e in &self.edges {
             if e.push == 0 || e.pop == 0 {
-                return Err(GraphError::ZeroRate { src: e.src, dst: e.dst });
+                return Err(GraphError::ZeroRate {
+                    src: e.src,
+                    dst: e.dst,
+                });
             }
         }
         for (id, node) in self.nodes() {

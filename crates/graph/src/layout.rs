@@ -50,11 +50,7 @@ impl Layout {
             graph.node_count(),
             "assignment must cover every node"
         );
-        let num_cores = assignment
-            .iter()
-            .map(|c| c.index() + 1)
-            .max()
-            .unwrap_or(1);
+        let num_cores = assignment.iter().map(|c| c.index() + 1).max().unwrap_or(1);
         Layout {
             assignment,
             num_cores,

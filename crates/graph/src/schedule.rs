@@ -89,9 +89,15 @@ impl Schedule {
                 let e = graph.edge(eid);
                 // Balance: r[src] * push = r[dst] * pop.
                 let (other, expected) = if e.src().index() == i {
-                    (e.dst().index(), fi.mul(u64::from(e.push_rate()), u64::from(e.pop_rate())))
+                    (
+                        e.dst().index(),
+                        fi.mul(u64::from(e.push_rate()), u64::from(e.pop_rate())),
+                    )
                 } else {
-                    (e.src().index(), fi.mul(u64::from(e.pop_rate()), u64::from(e.push_rate())))
+                    (
+                        e.src().index(),
+                        fi.mul(u64::from(e.pop_rate()), u64::from(e.push_rate())),
+                    )
                 };
                 match frac[other] {
                     None => {
@@ -165,7 +171,11 @@ impl Schedule {
                     .inputs()
                     .iter()
                     .map(|&e| u64::from(graph.edge(e).pop_rate()))
-                    .chain(node.outputs().iter().map(|&e| u64::from(graph.edge(e).push_rate())))
+                    .chain(
+                        node.outputs()
+                            .iter()
+                            .map(|&e| u64::from(graph.edge(e).push_rate())),
+                    )
                     .sum();
                 self.repetitions(id) * node.cost().firing_cost(items)
             })

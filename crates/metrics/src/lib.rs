@@ -9,8 +9,8 @@
 
 mod image;
 mod snr;
-pub mod wav;
 mod stats;
+pub mod wav;
 
 pub use image::Image;
 pub use snr::{psnr_images, psnr_u8, snr_db, snr_f32};

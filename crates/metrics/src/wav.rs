@@ -78,10 +78,7 @@ pub fn save_wav(
 /// Panics if the channel lengths differ.
 pub fn interleave(left: &[f32], right: &[f32]) -> Vec<f32> {
     assert_eq!(left.len(), right.len(), "channel length mismatch");
-    left.iter()
-        .zip(right)
-        .flat_map(|(&l, &r)| [l, r])
-        .collect()
+    left.iter().zip(right).flat_map(|(&l, &r)| [l, r]).collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,5 @@
 //! The bounded FIFO implementing one stream-graph edge.
 
-
-
 use crate::ptr::{PointerMode, PtrCell, Which};
 use crate::stats::QueueStats;
 use crate::unit::Unit;
@@ -169,7 +167,7 @@ impl SimQueue {
         self.buf[idx] = unit;
         self.tail = self.tail.wrapping_add(1);
         self.stats.record_push(unit.is_header());
-        if self.tail % self.spec.workset_size as u32 == 0 {
+        if self.tail.is_multiple_of(self.spec.workset_size as u32) {
             self.publish_tail();
         }
         Ok(())
@@ -221,7 +219,7 @@ impl SimQueue {
         let unit = self.buf[idx];
         self.head = self.head.wrapping_add(1);
         self.stats.record_pop(unit.is_header());
-        if self.head % self.spec.workset_size as u32 == 0 {
+        if self.head.is_multiple_of(self.spec.workset_size as u32) {
             self.publish_head();
         }
         Some(unit)
@@ -288,6 +286,38 @@ impl SimQueue {
         if let Some(id) = self.buf[slot].header_id() {
             self.buf[slot] = Unit::header(id ^ (1 << (bit % 32)));
         }
+        true
+    }
+
+    /// Fault hook for the *header-corruption* fault class: picks one
+    /// in-flight header (using `slot_seed` to select among them) and flips
+    /// `bits` distinct bits of its stored **codeword**, exercising the
+    /// HI/AM ECC path — one flipped bit is corrected, two are detected
+    /// (SECDED) and the AM recovers conservatively. Returns `false` when
+    /// no header is in flight.
+    pub fn corrupt_random_header_codeword(&mut self, slot_seed: u32, bits: u32) -> bool {
+        let cap = self.spec.capacity;
+        // Same bounded scan as `corrupt_random_header_payload`: faults
+        // strike the in-flight region near the head.
+        let len = self.len().min(cap).min(1024);
+        let headers: Vec<usize> = (0..len)
+            .map(|i| (self.head as usize + i) % cap)
+            .filter(|&s| self.buf[s].is_header())
+            .collect();
+        if headers.is_empty() {
+            return false;
+        }
+        let slot = headers[slot_seed as usize % headers.len()];
+        if let Unit::Header(cw) = &mut self.buf[slot] {
+            // Derive distinct bit positions from the seed: a stride
+            // coprime to the width walks every position.
+            let width = cg_ecc::CODEWORD_BITS;
+            let start = slot_seed % width;
+            for k in 0..bits.min(width) {
+                *cw = cw.with_flipped_bit((start + k * 7) % width);
+            }
+        }
+        self.stats.header_corruptions += 1;
         true
     }
 
@@ -457,6 +487,36 @@ mod tests {
         q.corrupt_buffer_slot(0, 11);
         let h = q.try_pop().unwrap();
         assert_eq!(h.header_id(), Some(7));
+    }
+
+    #[test]
+    fn single_bit_codeword_corruption_is_corrected() {
+        let mut q = small();
+        q.try_push(Unit::header(5)).unwrap();
+        q.try_push(Unit::Item(1)).unwrap();
+        assert!(q.corrupt_random_header_codeword(3, 1));
+        assert_eq!(q.stats().header_corruptions, 1);
+        assert_eq!(q.try_pop().unwrap().header_id(), Some(5));
+    }
+
+    #[test]
+    fn double_bit_codeword_corruption_is_detected_not_miscorrected() {
+        let mut q = small();
+        q.try_push(Unit::header(5)).unwrap();
+        q.try_push(Unit::Item(1)).unwrap();
+        assert!(q.corrupt_random_header_codeword(3, 2));
+        let h = q.try_pop().unwrap();
+        assert!(h.is_header());
+        assert_eq!(h.header_id(), None, "SECDED detects, id withheld");
+    }
+
+    #[test]
+    fn codeword_corruption_without_headers_reports_false() {
+        let mut q = small();
+        q.try_push(Unit::Item(1)).unwrap();
+        q.try_push(Unit::Item(2)).unwrap();
+        assert!(!q.corrupt_random_header_codeword(0, 1));
+        assert_eq!(q.stats().header_corruptions, 0);
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub struct QueueStats {
     pub workset_publishes: u64,
     /// Fault-injection events targeting shared pointers.
     pub pointer_corruptions: u64,
+    /// Fault-injection events targeting in-flight header codewords.
+    pub header_corruptions: u64,
     /// ECC activity on the shared pointers.
     pub ecc: EccStats,
 }
@@ -81,6 +83,7 @@ impl AddAssign for QueueStats {
         self.shared_ptr_writes += rhs.shared_ptr_writes;
         self.workset_publishes += rhs.workset_publishes;
         self.pointer_corruptions += rhs.pointer_corruptions;
+        self.header_corruptions += rhs.header_corruptions;
         self.ecc += rhs.ecc;
     }
 }

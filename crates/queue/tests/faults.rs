@@ -51,7 +51,10 @@ fn raw_pointer_corruption_floods() {
             garbage += 1;
         }
     }
-    assert_eq!(garbage, 1000, "unprotected queues keep transmitting garbage");
+    assert_eq!(
+        garbage, 1000,
+        "unprotected queues keep transmitting garbage"
+    );
 }
 
 /// Header payload corruption flips the decoded frame id silently (no
@@ -65,7 +68,11 @@ fn header_payload_corruption_is_silent() {
     assert!(q.corrupt_random_header_payload(0, 1));
     let h = q.try_pop().unwrap();
     assert!(h.is_header());
-    assert_eq!(h.header_id(), Some(7), "bit 1 of id 5 flipped: 5 ^ 2 = 7, no detection");
+    assert_eq!(
+        h.header_id(),
+        Some(7),
+        "bit 1 of id 5 flipped: 5 ^ 2 = 7, no detection"
+    );
 }
 
 /// With no header in flight the corruption hook reports a miss.

@@ -1,7 +1,9 @@
 //! Simulation configuration.
 
-use cg_fault::{EffectModel, Mtbe};
+use cg_fault::{EffectModel, FaultClass, Mtbe};
 use commguard::Protection;
+
+use crate::watchdog::WatchdogConfig;
 
 /// Memory-event model: the fraction of committed instructions that are
 /// data loads/stores, used to estimate *all* processor memory events when
@@ -58,6 +60,8 @@ pub struct SimConfig {
     pub mtbe: Mtbe,
     /// How faults manifest (defaults to the VM-calibrated rates).
     pub effect_model: EffectModel,
+    /// Structured fault mode applied by the runtime (campaign sweeps).
+    pub fault_class: FaultClass,
     /// Run seed; per-core RNGs derive from it.
     pub seed: u64,
     /// Steady-state iterations (frames at default scale) to execute.
@@ -73,16 +77,23 @@ pub struct SimConfig {
     pub mem_model: MemModel,
     /// Pipeline serialisation model.
     pub overhead_model: OverheadModel,
+    /// Cross-core stall watchdog.
+    pub watchdog: WatchdogConfig,
 }
 
 impl SimConfig {
     /// An error-free run of `frames` steady iterations.
+    ///
+    /// `inject` is off, so overriding `protection` via struct update
+    /// still yields a genuinely error-free run; use [`Self::with_errors`]
+    /// (or set `inject: true`) when faults are wanted.
     pub fn error_free(frames: u64) -> Self {
         SimConfig {
             protection: Protection::ErrorFree,
-            inject: true,
+            inject: false,
             mtbe: Mtbe::kilo_instructions(1024),
             effect_model: EffectModel::calibrated(),
+            fault_class: FaultClass::Baseline,
             seed: 1,
             frames,
             queue_capacity: 65_536,
@@ -90,6 +101,7 @@ impl SimConfig {
             max_rounds: u64::MAX,
             mem_model: MemModel::default(),
             overhead_model: OverheadModel::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -133,12 +145,7 @@ mod tests {
         let c = SimConfig::error_free(10);
         assert_eq!(c.frames, 10);
         assert!(!c.protection.errors_enabled());
-        let e = SimConfig::with_errors(
-            5,
-            Protection::commguard(),
-            Mtbe::kilo_instructions(512),
-            7,
-        );
+        let e = SimConfig::with_errors(5, Protection::commguard(), Mtbe::kilo_instructions(512), 7);
         assert_eq!(e.seed, 7);
         assert_eq!(e.frames, 5);
         assert!(e.protection.guards_enabled());

@@ -8,7 +8,7 @@
 //! visits, by a queue-manager timeout that forces (incorrect but
 //! progressing) data transfer — the PPU guarantee that nothing ever hangs.
 
-use cg_fault::{CoreInjector, EffectKind};
+use cg_fault::{CoreInjector, EffectKind, FaultClass, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
 use cg_queue::{QueueSpec, SimQueue, Which};
 use commguard::qm::TimeoutTracker;
@@ -16,9 +16,12 @@ use commguard::CoreGuard;
 use rand::Rng;
 
 use crate::config::SimConfig;
-use crate::faults::{apply_perturbation, flip_random_item, garble_random_item};
+use crate::faults::{
+    apply_perturbation, burst_flip_random_item, flip_random_item, garble_random_item,
+};
 use crate::program::Program;
 use crate::report::{NodeReport, RunReport};
+use crate::watchdog::{Watchdog, WatchdogAction};
 use crate::work::WorkFn;
 
 /// Errors that prevent a run from starting.
@@ -77,13 +80,23 @@ struct NodeRt {
     out_pos: Vec<usize>,
     phase: Phase,
     instructions: u64,
-    timeouts_fired: u64,
+    /// Latched stuck-at fault (the `StuckAt` fault class).
+    stuck: Option<StuckAtState>,
     sink_buf: Vec<u32>,
 }
 
 impl NodeRt {
     fn is_done(&self) -> bool {
         self.phase == Phase::Done
+    }
+
+    /// QM timeouts fired across this core's ports (tracker-derived).
+    fn timeouts_fired(&self) -> u64 {
+        self.in_timeouts
+            .iter()
+            .chain(&self.out_timeouts)
+            .map(TimeoutTracker::fired)
+            .sum()
     }
 }
 
@@ -95,9 +108,7 @@ impl NodeRt {
 /// invalid effect model. Error-prone execution itself never errors — that
 /// is the point — it only degrades output quality in the report.
 pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> {
-    program
-        .validate_bound()
-        .map_err(RunError::UnboundNode)?;
+    program.validate_bound().map_err(RunError::UnboundNode)?;
     config
         .effect_model
         .validate()
@@ -114,7 +125,11 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
     // Queues, one per edge.
     let mut queues: Vec<SimQueue> = graph
         .edges()
-        .map(|_| SimQueue::new(QueueSpec::with_capacity(config.queue_capacity).pointer_mode(pointer_mode)))
+        .map(|_| {
+            SimQueue::new(
+                QueueSpec::with_capacity(config.queue_capacity).pointer_mode(pointer_mode),
+            )
+        })
         .collect();
 
     // Per-node runtime state, one core per node.
@@ -152,7 +167,10 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
                 kind: node.kind(),
                 name: node.name().to_string(),
                 pop_rates: in_edges.iter().map(|&e| graph.edge(e).pop_rate()).collect(),
-                push_rates: out_edges.iter().map(|&e| graph.edge(e).push_rate()).collect(),
+                push_rates: out_edges
+                    .iter()
+                    .map(|&e| graph.edge(e).push_rate())
+                    .collect(),
                 staged_in: vec![Vec::new(); in_edges.len()],
                 staged_out: vec![Vec::new(); out_edges.len()],
                 out_pos: vec![0; out_edges.len()],
@@ -168,7 +186,7 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
                 work: works[id.index()].take(),
                 phase: Phase::Boundary,
                 instructions: 0,
-                timeouts_fired: 0,
+                stuck: None,
                 sink_buf: Vec::new(),
             }
         })
@@ -178,6 +196,8 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
     let mut rounds: u64 = 0;
     let mut completed = false;
     let cost_models: Vec<_> = graph.nodes().map(|(_, n)| *n.cost()).collect();
+    let mut watchdog = Watchdog::new(config.watchdog);
+    let mut last_fp = None;
 
     loop {
         rounds += 1;
@@ -198,6 +218,29 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
         if rounds >= config.max_rounds {
             break;
         }
+        let fp = progress_fingerprint(&nodes, &queues);
+        let progressed = last_fp != Some(fp);
+        last_fp = Some(fp);
+        match watchdog.on_round(progressed) {
+            WatchdogAction::None => {}
+            WatchdogAction::ArmTimeouts => {
+                for n in &mut nodes {
+                    for t in n.in_timeouts.iter_mut().chain(&mut n.out_timeouts) {
+                        t.arm();
+                    }
+                }
+            }
+            WatchdogAction::ForceProgress => {
+                for n in &mut nodes {
+                    force_phase(n, &mut queues);
+                }
+            }
+            WatchdogAction::AbortFrame => {
+                for n in &mut nodes {
+                    abort_frame(n);
+                }
+            }
+        }
     }
 
     // Assemble the report.
@@ -205,13 +248,15 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
         app: graph.name().to_string(),
         rounds,
         completed,
+        watchdog: watchdog.stats(),
         ..Default::default()
     };
     for q in &queues {
         report.queues += *q.stats();
     }
     for n in nodes {
-        let frames = if n.reps > 0 { n.firings_done / n.reps } else { 0 };
+        let frames = n.firings_done.checked_div(n.reps).unwrap_or(0);
+        let timeouts = n.timeouts_fired();
         if n.kind == NodeKind::Sink {
             report.sinks.insert(n.id.index(), n.sink_buf);
         }
@@ -227,7 +272,7 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
             },
             subops: n.guard.into_subops(),
             faults: *n.injector.stats(),
-            timeouts: n.timeouts_fired,
+            timeouts,
         });
     }
     Ok(report)
@@ -262,7 +307,6 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                     let q = &mut queues[e.index()];
                     if !n.guard.hi_tick(port, q) {
                         if n.out_timeouts[port].on_block() {
-                            n.timeouts_fired += 1;
                             n.guard.hi_force(port, q);
                         } else {
                             clear = false;
@@ -292,7 +336,6 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                                     // remaining firing's worth of (stale)
                                     // data at once rather than grinding
                                     // one forced item per timeout window.
-                                    n.timeouts_fired += 1;
                                     while n.staged_in[port].len() < need {
                                         let v = n.guard.timeout_pop(port, q);
                                         n.staged_in[port].push(v);
@@ -324,7 +367,6 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                                 if n.out_timeouts[port].on_block() {
                                     // QM timeout: force the rest of this
                                     // firing's output out in one go.
-                                    n.timeouts_fired += 1;
                                     while n.out_pos[port] < n.staged_out[port].len() {
                                         let v = n.staged_out[port][n.out_pos[port]];
                                         n.guard.timeout_push(port, q, v);
@@ -345,7 +387,7 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                     buf.clear();
                 }
                 n.firings_done += 1;
-                n.phase = if n.firings_done % n.reps == 0 {
+                n.phase = if n.firings_done.is_multiple_of(n.reps) {
                     Phase::Boundary
                 } else {
                     Phase::PopInputs
@@ -357,7 +399,6 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                     let q = &mut queues[e.index()];
                     if !n.guard.hi_tick(port, q) {
                         if n.out_timeouts[port].on_block() {
-                            n.timeouts_fired += 1;
                             n.guard.hi_force(port, q);
                         } else {
                             clear = false;
@@ -386,27 +427,44 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
     n.instructions += instr;
     let events = n.injector.advance(instr);
 
-    // Partition events: data flips before/after compute, control
-    // perturbations after, addressing immediately.
+    // Partition events per the configured fault class. The baseline
+    // follows the effect model (data flips before/after compute, control
+    // perturbations after, addressing immediately); the structured
+    // classes concentrate every non-masked event into their mode.
     let mut pre_flips = 0u32;
     let mut post_flips = 0u32;
+    let mut bursts = 0u32;
+    let mut pointer_hits = 0u32;
+    let mut header_hits = 0u32;
     let mut perturbations = Vec::new();
     let mut addressing = 0u32;
     for ev in &events {
-        match ev.kind {
-            EffectKind::DataValue => {
+        match (config.fault_class, ev.kind) {
+            (_, EffectKind::Silent) => {}
+            (FaultClass::PointerCorruption, _) => pointer_hits += 1,
+            (FaultClass::HeaderCorruption, _) => header_hits += 1,
+            (FaultClass::StuckAt, _) => {
+                // The first event latches the defect permanently; later
+                // events land on an already-stuck datapath.
+                if n.stuck.is_none() {
+                    n.stuck = Some(StuckAtState::sample(n.injector.rng_mut()));
+                }
+            }
+            (FaultClass::Burst, EffectKind::DataValue) => bursts += 1,
+            (FaultClass::Baseline, EffectKind::DataValue) => {
                 if n.injector.rng_mut().gen::<bool>() {
                     pre_flips += 1;
                 } else {
                     post_flips += 1;
                 }
             }
-            EffectKind::ControlFlow => {
+            (FaultClass::Baseline | FaultClass::Burst, EffectKind::ControlFlow) => {
                 let model = *n.injector.model();
                 perturbations.push(model.sample_perturbation(n.injector.rng_mut()));
             }
-            EffectKind::Addressing => addressing += 1,
-            EffectKind::Silent => {}
+            (FaultClass::Baseline | FaultClass::Burst, EffectKind::Addressing) => {
+                addressing += 1;
+            }
         }
     }
 
@@ -414,6 +472,7 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
         let mut bufs: Vec<&mut Vec<u32>> = n.staged_in.iter_mut().collect();
         flip_random_item(&mut bufs, n.injector.rng_mut());
     }
+    let sink_mark = n.sink_buf.len();
 
     // The compute body.
     match n.kind {
@@ -458,11 +517,35 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
             flip_random_item(&mut bufs, n.injector.rng_mut());
         }
     }
+    for _ in 0..bursts {
+        let mut bufs: Vec<&mut Vec<u32>> = n.staged_out.iter_mut().collect();
+        if !burst_flip_random_item(&mut bufs, n.injector.rng_mut()) && n.kind == NodeKind::Sink {
+            let mut bufs = [&mut n.sink_buf];
+            burst_flip_random_item(&mut bufs, n.injector.rng_mut());
+        }
+    }
+    if let Some(st) = n.stuck {
+        // A latched defect distorts every word the core produces.
+        for out in &mut n.staged_out {
+            for v in out.iter_mut() {
+                *v = st.apply(*v);
+            }
+        }
+        for v in n.sink_buf[sink_mark..].iter_mut() {
+            *v = st.apply(*v);
+        }
+    }
     for pert in perturbations {
         apply_perturbation(&mut n.staged_out, pert, n.injector.rng_mut());
     }
     for _ in 0..addressing {
         apply_addressing_fault(n, queues, config);
+    }
+    for _ in 0..pointer_hits {
+        apply_pointer_fault(n, queues);
+    }
+    for _ in 0..header_hits {
+        apply_header_fault(n, queues);
     }
 }
 
@@ -471,17 +554,16 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
 /// paper's QME class) or, when no queue is attached or on the local-buffer
 /// side of the coin flip, garbles a staged item.
 fn apply_addressing_fault(n: &mut NodeRt, queues: &mut [SimQueue], config: &SimConfig) {
-    let attached: Vec<EdgeId> = n
-        .in_edges
-        .iter()
-        .chain(&n.out_edges)
-        .copied()
-        .collect();
+    let attached: Vec<EdgeId> = n.in_edges.iter().chain(&n.out_edges).copied().collect();
     let rng = n.injector.rng_mut();
     let hit_queue = !attached.is_empty() && rng.gen::<bool>();
     if hit_queue {
         let e = attached[rng.gen_range(0..attached.len())];
-        let which = if rng.gen::<bool>() { Which::Head } else { Which::Tail };
+        let which = if rng.gen::<bool>() {
+            Which::Head
+        } else {
+            Which::Tail
+        };
         let bit = rng.gen_range(0..20u32); // pointers are small counters
         queues[e.index()].corrupt_shared_pointer(which, bit);
     } else {
@@ -502,5 +584,152 @@ fn apply_addressing_fault(n: &mut NodeRt, queues: &mut [SimQueue], config: &SimC
             let bit = rng.gen_range(0..8u32); // low id bits: nearby frames
             queues[e.index()].corrupt_random_header_payload(slot_seed, bit);
         }
+    }
+}
+
+/// The `PointerCorruption` fault class: every event strikes the shared
+/// head/tail pointer of a random attached queue (QME, concentrated).
+/// Falls back to garbling a staged item when the node has no queues.
+fn apply_pointer_fault(n: &mut NodeRt, queues: &mut [SimQueue]) {
+    let attached: Vec<EdgeId> = n.in_edges.iter().chain(&n.out_edges).copied().collect();
+    let rng = n.injector.rng_mut();
+    if attached.is_empty() {
+        let mut bufs: Vec<&mut Vec<u32>> = n
+            .staged_in
+            .iter_mut()
+            .chain(n.staged_out.iter_mut())
+            .collect();
+        garble_random_item(&mut bufs, rng);
+        return;
+    }
+    let e = attached[rng.gen_range(0..attached.len())];
+    let which = if rng.gen::<bool>() {
+        Which::Head
+    } else {
+        Which::Tail
+    };
+    let bit = rng.gen_range(0..20u32);
+    queues[e.index()].corrupt_shared_pointer(which, bit);
+}
+
+/// The `HeaderCorruption` fault class: every event flips one or two bits
+/// of an in-flight frame-header codeword on a random attached queue,
+/// stressing the HI/AM SECDED path. When no header is in flight (or no
+/// queue is attached) the event degrades to a plain item flip.
+fn apply_header_fault(n: &mut NodeRt, queues: &mut [SimQueue]) {
+    let attached: Vec<EdgeId> = n.in_edges.iter().chain(&n.out_edges).copied().collect();
+    let rng = n.injector.rng_mut();
+    let mut struck = false;
+    if !attached.is_empty() {
+        let e = attached[rng.gen_range(0..attached.len())];
+        let slot_seed = rng.gen::<u32>();
+        // Mostly single-bit (ECC corrects); occasionally double-bit
+        // (SECDED detects, AM recovers conservatively).
+        let bits = if rng.gen::<f64>() < 0.25 { 2 } else { 1 };
+        struck = queues[e.index()].corrupt_random_header_codeword(slot_seed, bits);
+    }
+    if !struck {
+        let rng = n.injector.rng_mut();
+        let mut bufs: Vec<&mut Vec<u32>> = n
+            .staged_in
+            .iter_mut()
+            .chain(n.staged_out.iter_mut())
+            .collect();
+        flip_random_item(&mut bufs, rng);
+    }
+}
+
+/// Watchdog rung 2: forcibly completes the blocking phase of one node
+/// with timeout semantics. Phase bookkeeping is left to the next
+/// `step()` visit, which finds the phase satisfied and moves on.
+fn force_phase(n: &mut NodeRt, queues: &mut [SimQueue]) {
+    match n.phase {
+        Phase::DrainHeaders | Phase::Finishing => {
+            for (port, &e) in n.out_edges.iter().enumerate() {
+                let q = &mut queues[e.index()];
+                if !n.guard.hi_tick(port, q) {
+                    n.guard.hi_force(port, q);
+                }
+            }
+        }
+        Phase::PopInputs => {
+            for (port, &e) in n.in_edges.iter().enumerate() {
+                let need = n.pop_rates[port] as usize;
+                while n.staged_in[port].len() < need {
+                    let v = n.guard.timeout_pop(port, &mut queues[e.index()]);
+                    n.staged_in[port].push(v);
+                }
+            }
+        }
+        Phase::PushOutputs => {
+            for (port, &e) in n.out_edges.iter().enumerate() {
+                while n.out_pos[port] < n.staged_out[port].len() {
+                    let v = n.staged_out[port][n.out_pos[port]];
+                    n.guard.timeout_push(port, &mut queues[e.index()], v);
+                    n.out_pos[port] += 1;
+                }
+            }
+        }
+        Phase::Boundary | Phase::Fire | Phase::Done => {}
+    }
+}
+
+/// Watchdog rung 3: abandons the node's current frame computation.
+/// Staged data is dropped and the node skips to its next frame boundary,
+/// where the HI/AM machinery re-establishes alignment.
+fn abort_frame(n: &mut NodeRt) {
+    if matches!(n.phase, Phase::Done | Phase::Finishing | Phase::Boundary) {
+        return;
+    }
+    for buf in &mut n.staged_in {
+        buf.clear();
+    }
+    for (port, buf) in n.staged_out.iter_mut().enumerate() {
+        buf.clear();
+        n.out_pos[port] = 0;
+    }
+    let into_frame = n.firings_done % n.reps;
+    n.firings_done = (n.firings_done + (n.reps - into_frame)).min(n.total_firings);
+    n.phase = Phase::Boundary;
+}
+
+/// A cheap digest of all externally observable execution state, compared
+/// round over round by the watchdog. Deliberately excludes blocked-attempt
+/// counters: spinning on a full/empty queue is not progress.
+fn progress_fingerprint(nodes: &[NodeRt], queues: &[SimQueue]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mix = |acc: u64, v: u64| (acc ^ v).wrapping_mul(FNV_PRIME);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for n in nodes {
+        h = mix(h, n.firings_done);
+        h = mix(h, n.instructions);
+        h = mix(h, phase_rank(n.phase));
+        h = mix(h, n.staged_in.iter().map(|b| b.len() as u64).sum());
+        h = mix(h, n.out_pos.iter().map(|&p| p as u64).sum());
+    }
+    for q in queues {
+        let s = q.stats();
+        h = mix(
+            h,
+            s.item_pushes
+                + s.header_pushes
+                + s.item_pops
+                + s.header_pops
+                + s.timeout_pushes
+                + s.timeout_pops,
+        );
+    }
+    h
+}
+
+fn phase_rank(p: Phase) -> u64 {
+    match p {
+        Phase::Boundary => 0,
+        Phase::DrainHeaders => 1,
+        Phase::PopInputs => 2,
+        Phase::Fire => 3,
+        Phase::PushOutputs => 4,
+        Phase::Finishing => 5,
+        Phase::Done => 6,
     }
 }

@@ -4,7 +4,7 @@
 //! error a register flip manifests as; this module applies the class
 //! mechanically to the firing that was executing when the fault struck.
 
-use cg_fault::{ControlPerturbation, DetRng};
+use cg_fault::{sample_burst_len, ControlPerturbation, DetRng};
 use rand::Rng;
 
 /// Flips one random bit of one random item across the given buffers.
@@ -20,6 +20,33 @@ pub(crate) fn flip_random_item(bufs: &mut [&mut Vec<u32>], rng: &mut DetRng) -> 
         if idx < buf.len() {
             let bit = rng.gen_range(0..32u32);
             buf[idx] ^= 1 << bit;
+            return true;
+        }
+        idx -= buf.len();
+    }
+    unreachable!("index within total length")
+}
+
+/// Applies a correlated burst to one random item: a run of adjacent bits
+/// flips together, and with probability ½ the burst spills into the next
+/// item at the same bit positions (a strike across adjacent cells).
+/// Returns `false` when every buffer is empty.
+pub(crate) fn burst_flip_random_item(bufs: &mut [&mut Vec<u32>], rng: &mut DetRng) -> bool {
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    if total == 0 {
+        return false;
+    }
+    let len = sample_burst_len(rng);
+    let start = rng.gen_range(0..32u32.saturating_sub(len - 1).max(1));
+    let mask = (((1u64 << len) - 1) as u32) << start;
+    let spill = rng.gen::<bool>();
+    let mut idx = rng.gen_range(0..total);
+    for buf in bufs {
+        if idx < buf.len() {
+            buf[idx] ^= mask;
+            if spill && idx + 1 < buf.len() {
+                buf[idx + 1] ^= mask;
+            }
             return true;
         }
         idx -= buf.len();
@@ -107,6 +134,38 @@ mod tests {
         let mut a: Vec<u32> = Vec::new();
         let mut bufs = [&mut a];
         assert!(!flip_random_item(&mut bufs, &mut rng));
+    }
+
+    #[test]
+    fn burst_flips_adjacent_bits() {
+        let mut rng = core_rng(8, 0);
+        for _ in 0..200 {
+            let mut a = vec![0u32; 6];
+            {
+                let mut bufs = [&mut a];
+                assert!(burst_flip_random_item(&mut bufs, &mut rng));
+            }
+            let hit: Vec<u32> = a.iter().copied().filter(|&v| v != 0).collect();
+            // One item (or two adjacent with identical masks on spill).
+            assert!((1..=2).contains(&hit.len()));
+            for &v in &hit {
+                let ones = v.count_ones();
+                assert!((2..=8).contains(&ones), "burst width {ones}");
+                // Contiguous run: v is a shifted block of ones.
+                assert_eq!(v >> v.trailing_zeros(), (1 << ones) - 1);
+            }
+            if hit.len() == 2 {
+                assert_eq!(hit[0], hit[1], "spill reuses the mask");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_on_empty_is_masked() {
+        let mut rng = core_rng(8, 0);
+        let mut a: Vec<u32> = Vec::new();
+        let mut bufs = [&mut a];
+        assert!(!burst_flip_random_item(&mut bufs, &mut rng));
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod overhead;
 mod parallel;
 mod program;
 mod report;
+pub mod watchdog;
 pub mod work;
 
 pub use config::{MemModel, OverheadModel, SimConfig};
@@ -65,4 +66,5 @@ pub use overhead::{estimate_overhead, OverheadEstimate};
 pub use parallel::run_parallel;
 pub use program::Program;
 pub use report::{NodeReport, RunReport};
+pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogStats};
 pub use work::{f32s, WorkFn};

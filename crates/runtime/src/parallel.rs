@@ -65,17 +65,17 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
             let work = works[id.index()].take();
             let in_edges: Vec<_> = node.inputs().to_vec();
             let out_edges: Vec<_> = node.outputs().to_vec();
-            let pop_rates: Vec<u32> =
-                in_edges.iter().map(|&e| graph.edge(e).pop_rate()).collect();
-            let push_rates: Vec<u32> =
-                out_edges.iter().map(|&e| graph.edge(e).push_rate()).collect();
+            let pop_rates: Vec<u32> = in_edges.iter().map(|&e| graph.edge(e).pop_rate()).collect();
+            let push_rates: Vec<u32> = out_edges
+                .iter()
+                .map(|&e| graph.edge(e).push_rate())
+                .collect();
             let kind = node.kind();
             let name = node.name().to_string();
             let cost = *node.cost();
             let reps = schedule.repetitions(id);
             let frames = config.frames;
             let queues = &queues;
-            let guard_cfg = guard_cfg;
             handles.push(scope.spawn(move || {
                 let mut guard = match &guard_cfg {
                     Some(cfg) => CoreGuard::new(
@@ -119,7 +119,9 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                     let items: u64 = staged_in.iter().map(|b| b.len() as u64).sum::<u64>();
                     match kind {
                         NodeKind::Source | NodeKind::Filter => {
-                            work.as_mut().expect("bound").fire(&staged_in, &mut staged_out);
+                            work.as_mut()
+                                .expect("bound")
+                                .fire(&staged_in, &mut staged_out);
                         }
                         NodeKind::SplitDuplicate => {
                             for out in &mut staged_out {
@@ -149,8 +151,7 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                     instructions += cost.firing_cost(items + pushed);
                     // Push outputs (spin on full queues).
                     for (port, &e) in out_edges.iter().enumerate() {
-                        for i in 0..staged_out[port].len() {
-                            let v = staged_out[port][i];
+                        for &v in staged_out[port].iter() {
                             while guard.push(port, &mut queues[e.index()].lock(), v).is_err() {
                                 std::thread::yield_now();
                             }

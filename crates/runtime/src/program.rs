@@ -17,10 +17,7 @@ impl std::fmt::Debug for Program {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Program")
             .field("graph", &self.graph.name())
-            .field(
-                "bound",
-                &self.works.iter().filter(|w| w.is_some()).count(),
-            )
+            .field("bound", &self.works.iter().filter(|w| w.is_some()).count())
             .finish()
     }
 }
@@ -67,7 +64,11 @@ impl Program {
     /// As [`Program::set_work`]; additionally if the source has more than
     /// one output edge (use [`Program::set_work`] for multi-output
     /// sources).
-    pub fn set_source(&mut self, node: NodeId, mut gen: impl FnMut(&mut Vec<u32>) + Send + 'static) {
+    pub fn set_source(
+        &mut self,
+        node: NodeId,
+        mut gen: impl FnMut(&mut Vec<u32>) + Send + 'static,
+    ) {
         assert_eq!(
             self.graph.node(node).outputs().len(),
             1,

@@ -9,6 +9,7 @@ use cg_queue::QueueStats;
 use commguard::SubopCounters;
 
 use crate::config::MemModel;
+use crate::watchdog::WatchdogStats;
 
 /// Per-node (= per-core) results.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +47,8 @@ pub struct RunReport {
     pub rounds: u64,
     /// Whether every node ran to completion (false = hit `max_rounds`).
     pub completed: bool,
+    /// Cross-core stall watchdog escalations.
+    pub watchdog: WatchdogStats,
 }
 
 impl RunReport {

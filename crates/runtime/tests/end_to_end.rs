@@ -14,7 +14,8 @@ fn splitjoin_graph() -> (StreamGraph, NodeId, NodeId) {
     let c = b.add_node("c", NodeKind::Filter);
     let post = b.add_node("post", NodeKind::Filter);
     let snk = b.add_node("snk", NodeKind::Sink);
-    b.split_join_duplicate("sj", src, &[a, c], post, 4, 4).unwrap();
+    b.split_join_duplicate("sj", src, &[a, c], post, 4, 4)
+        .unwrap();
     b.connect(post, snk, 8, 8).unwrap();
     (b.build().unwrap(), src, snk)
 }
@@ -90,6 +91,7 @@ fn commguard_survives_extreme_control_errors() {
     let (p, snk) = splitjoin_program();
     let cfg = SimConfig {
         protection: Protection::commguard(),
+        inject: true,
         effect_model: EffectModel::control_only(),
         mtbe: Mtbe::instructions(300),
         max_rounds: 2_000_000,
@@ -112,6 +114,7 @@ fn reliable_queue_without_guard_misaligns_but_progresses() {
     let (p, snk) = splitjoin_program();
     let cfg = SimConfig {
         protection: Protection::PpuReliableQueue,
+        inject: true,
         effect_model: EffectModel::control_only(),
         mtbe: Mtbe::instructions(300),
         timeout_rounds: 64,
@@ -138,6 +141,7 @@ fn unprotected_queue_collapses_but_progresses() {
     let (p, snk) = splitjoin_program();
     let cfg = SimConfig {
         protection: Protection::PpuUnprotectedQueue,
+        inject: true,
         mtbe: Mtbe::instructions(200),
         timeout_rounds: 64,
         max_rounds: 2_000_000,
@@ -154,6 +158,7 @@ fn same_seed_same_result() {
         let (p, snk) = splitjoin_program();
         let cfg = SimConfig {
             protection: Protection::commguard(),
+            inject: true,
             mtbe: Mtbe::instructions(500),
             seed,
             max_rounds: 2_000_000,
@@ -175,6 +180,7 @@ fn guarded_quality_beats_unguarded_under_control_errors() {
         let (p, snk) = splitjoin_program();
         let cfg = SimConfig {
             protection,
+            inject: true,
             effect_model: EffectModel::control_only(),
             mtbe: Mtbe::instructions(500),
             seed,
@@ -185,11 +191,7 @@ fn guarded_quality_beats_unguarded_under_control_errors() {
         let r = run(p, &cfg).unwrap();
         let want = expected(60);
         let got = r.sink_output(snk);
-        got.iter()
-            .zip(&want)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / want.len() as f64
+        got.iter().zip(&want).filter(|(a, b)| a == b).count() as f64 / want.len() as f64
     };
     let mut guard_total = 0.0;
     let mut base_total = 0.0;

@@ -1,0 +1,207 @@
+//! Run-level tests for the structured fault classes and the stall
+//! watchdog: every class must terminate under every protection mode, and
+//! CommGuard must keep sink lengths structural under all of them.
+
+use cg_fault::{FaultClass, Mtbe};
+use cg_runtime::{run, Program, SimConfig, WatchdogConfig};
+use commguard::graph::{GraphBuilder, NodeId, NodeKind};
+use commguard::Protection;
+
+const FRAMES: u64 = 40;
+
+/// src → inc → dbl → snk, 4 items per firing.
+fn pipeline() -> (Program, NodeId) {
+    let mut b = GraphBuilder::new("fc-test");
+    let src = b.add_node("src", NodeKind::Source);
+    let inc = b.add_node("inc", NodeKind::Filter);
+    let dbl = b.add_node("dbl", NodeKind::Filter);
+    let snk = b.add_node("snk", NodeKind::Sink);
+    b.connect(src, inc, 4, 4).unwrap();
+    b.connect(inc, dbl, 4, 4).unwrap();
+    b.connect(dbl, snk, 4, 4).unwrap();
+    let g = b.build().unwrap();
+    let mut p = Program::new(g);
+    let mut next = 0u32;
+    p.set_source(src, move |out| {
+        for _ in 0..4 {
+            out.push(next);
+            next = next.wrapping_add(1);
+        }
+    });
+    p.set_filter(inc, |inp, out| {
+        out[0].extend(inp[0].iter().map(|&v| v.wrapping_add(7)));
+    });
+    p.set_filter(dbl, |inp, out| {
+        out[0].extend(inp[0].iter().map(|&v| v.wrapping_mul(2)));
+    });
+    (p, snk)
+}
+
+fn config(protection: Protection, class: FaultClass, seed: u64) -> SimConfig {
+    SimConfig {
+        protection,
+        inject: true,
+        fault_class: class,
+        mtbe: Mtbe::instructions(64), // brutal rate
+        max_rounds: 2_000_000,
+        ..SimConfig::error_free(FRAMES)
+    }
+    .seed(seed)
+}
+
+#[test]
+fn every_class_terminates_under_every_protection() {
+    for class in FaultClass::all() {
+        for protection in [
+            Protection::PpuUnprotectedQueue,
+            Protection::PpuReliableQueue,
+            Protection::commguard(),
+        ] {
+            for seed in 1..=3u64 {
+                let (p, _snk) = pipeline();
+                let report = run(p, &config(protection, class, seed)).unwrap();
+                assert!(
+                    report.completed,
+                    "{class} under {protection:?} seed {seed} hit the round cap"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn commguard_keeps_sink_structural_under_every_class() {
+    for class in FaultClass::all() {
+        for seed in 1..=5u64 {
+            let (p, snk) = pipeline();
+            let report = run(p, &config(Protection::commguard(), class, seed)).unwrap();
+            assert!(report.completed, "{class} seed {seed}");
+            assert_eq!(
+                report.sink_output(snk).len(),
+                (FRAMES * 4) as usize,
+                "{class} seed {seed}: CommGuard sink length must match the schedule"
+            );
+        }
+    }
+}
+
+#[test]
+fn structured_classes_actually_fire() {
+    // Each structured class leaves its fingerprint in the statistics.
+    let (p, _snk) = pipeline();
+    let r = run(
+        p,
+        &config(
+            Protection::PpuUnprotectedQueue,
+            FaultClass::PointerCorruption,
+            9,
+        ),
+    )
+    .unwrap();
+    assert!(
+        r.queues.pointer_corruptions > 0,
+        "pointer class must strike pointers"
+    );
+
+    let (p, _snk) = pipeline();
+    let r = run(
+        p,
+        &config(Protection::commguard(), FaultClass::HeaderCorruption, 9),
+    )
+    .unwrap();
+    assert!(
+        r.queues.header_corruptions > 0,
+        "header class must strike codewords"
+    );
+
+    let (p, snk) = pipeline();
+    let r = run(p, &config(Protection::commguard(), FaultClass::StuckAt, 9)).unwrap();
+    // A latched stuck-at bit distorts the output stream but not its shape.
+    assert_eq!(r.sink_output(snk).len(), (FRAMES * 4) as usize);
+    assert!(r.total_faults().total() > 0);
+}
+
+#[test]
+fn watchdog_rescues_a_defeated_qm_layer() {
+    // Raw (unprotected) shared pointers + concentrated pointer strikes can
+    // wedge a queue in a full/empty lie. With QM timeouts effectively
+    // disabled (huge threshold), only the watchdog can restore progress.
+    let (p, _snk) = pipeline();
+    let cfg = SimConfig {
+        // Small queues force real cross-core blocking; corrupted raw
+        // pointers then wedge full/empty views until the watchdog acts.
+        queue_capacity: 8,
+        timeout_rounds: u64::MAX / 2,
+        watchdog: WatchdogConfig {
+            enabled: true,
+            stall_rounds: 64,
+            escalation_rounds: 32,
+        },
+        max_rounds: 4_000_000,
+        ..config(
+            Protection::PpuUnprotectedQueue,
+            FaultClass::PointerCorruption,
+            3,
+        )
+    };
+    let report = run(p, &cfg).unwrap();
+    assert!(
+        report.completed,
+        "watchdog must drive the run to completion"
+    );
+    assert!(
+        report.watchdog.total_escalations() > 0,
+        "the QM layer was disabled; completion requires watchdog action"
+    );
+    assert!(report.watchdog.stall_events > 0);
+    assert!(report.watchdog.max_stall_rounds >= 64);
+}
+
+#[test]
+fn watchdog_timeouts_surface_in_node_reports() {
+    // Rung 1 arms the per-port trackers; the forced operations then show
+    // up as QM timeouts in the per-node reports.
+    let (p, _snk) = pipeline();
+    let cfg = SimConfig {
+        // Small queues force real cross-core blocking; corrupted raw
+        // pointers then wedge full/empty views until the watchdog acts.
+        queue_capacity: 8,
+        timeout_rounds: u64::MAX / 2,
+        watchdog: WatchdogConfig {
+            enabled: true,
+            stall_rounds: 64,
+            escalation_rounds: 32,
+        },
+        max_rounds: 4_000_000,
+        ..config(
+            Protection::PpuUnprotectedQueue,
+            FaultClass::PointerCorruption,
+            3,
+        )
+    };
+    let report = run(p, &cfg).unwrap();
+    if report.watchdog.timeout_escalations > 0 {
+        assert!(
+            report.total_timeouts() > 0,
+            "armed trackers must fire and be reported"
+        );
+    }
+}
+
+#[test]
+fn quiet_runs_never_wake_the_watchdog() {
+    // Default watchdog thresholds sit far above the QM timeout: ordinary
+    // error-free and guarded runs must never escalate.
+    let (p, _snk) = pipeline();
+    let r = run(p, &SimConfig::error_free(FRAMES)).unwrap();
+    assert_eq!(r.watchdog.total_escalations(), 0);
+    assert_eq!(r.watchdog.stall_events, 0);
+
+    let (p, _snk) = pipeline();
+    let r = run(
+        p,
+        &config(Protection::commguard(), FaultClass::Baseline, 11),
+    )
+    .unwrap();
+    assert_eq!(r.watchdog.total_escalations(), 0);
+}

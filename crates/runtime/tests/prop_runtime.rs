@@ -71,6 +71,7 @@ proptest! {
         let p = bind(graph, &ids, &rates);
         let cfg = SimConfig {
             protection: Protection::commguard(),
+            inject: true,
             mtbe: Mtbe::kilo_instructions(mtbe_k),
             effect_model: EffectModel::calibrated(),
             seed,

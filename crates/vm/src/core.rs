@@ -210,9 +210,7 @@ impl Vm {
             Li(d, v) => self.regs[d.index() % NUM_REGS] = v,
             Mov(d, a) => self.regs[d.index() % NUM_REGS] = self.r(a),
             Add(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_add(self.r(b)),
-            Addi(d, a, imm) => {
-                self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_add(imm as u32)
-            }
+            Addi(d, a, imm) => self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_add(imm as u32),
             Sub(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_sub(self.r(b)),
             Mul(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a).wrapping_mul(self.r(b)),
             Xor(d, a, b) => self.regs[d.index() % NUM_REGS] = self.r(a) ^ self.r(b),

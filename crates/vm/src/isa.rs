@@ -122,8 +122,16 @@ impl Instr {
     pub fn dest(&self) -> Option<Reg> {
         use Instr::*;
         match self {
-            Li(d, _) | Mov(d, _) | Add(d, _, _) | Addi(d, _, _) | Sub(d, _, _)
-            | Mul(d, _, _) | Xor(d, _, _) | Shri(d, _, _) | Load(d, _, _) | Pop(d) => Some(*d),
+            Li(d, _)
+            | Mov(d, _)
+            | Add(d, _, _)
+            | Addi(d, _, _)
+            | Sub(d, _, _)
+            | Mul(d, _, _)
+            | Xor(d, _, _)
+            | Shri(d, _, _)
+            | Load(d, _, _)
+            | Pop(d) => Some(*d),
             _ => None,
         }
     }
@@ -140,10 +148,7 @@ mod tests {
         assert_eq!(Instr::Store(a, b, 0).classify_use(a), Some(RegUse::Data));
         assert_eq!(Instr::Beq(a, b, 0).classify_use(a), Some(RegUse::Control));
         assert_eq!(Instr::Add(c, a, b).classify_use(a), Some(RegUse::Data));
-        assert_eq!(
-            Instr::Li(a, 7).classify_use(a),
-            Some(RegUse::Overwritten)
-        );
+        assert_eq!(Instr::Li(a, 7).classify_use(a), Some(RegUse::Overwritten));
         assert_eq!(Instr::Add(c, a, b).classify_use(Reg(9)), None);
         // Dest that is also read counts as a read, not an overwrite.
         assert_eq!(Instr::Addi(a, a, 1).classify_use(a), Some(RegUse::Data));

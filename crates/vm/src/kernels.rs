@@ -27,7 +27,10 @@ const R_ADDR: Reg = Reg(8);
 ///
 /// Panics if `taps` is 0 or not a power of two (the divide is a shift).
 pub fn moving_average(taps: u32) -> Vec<crate::isa::Instr> {
-    assert!(taps.is_power_of_two() && taps > 0, "taps must be a power of two");
+    assert!(
+        taps.is_power_of_two() && taps > 0,
+        "taps must be a power of two"
+    );
     let shift = taps.trailing_zeros();
     let mut a = Assembler::new();
     let top = a.label();

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app.snr(clean.sink_output(sink))
     );
 
-    println!("{:>10} {:>10} {:>14} {:>12}", "MTBE", "SNR (dB)", "loss ratio", "realigns");
+    println!(
+        "{:>10} {:>10} {:>14} {:>12}",
+        "MTBE", "SNR (dB)", "loss ratio", "realigns"
+    );
     for mtbe_k in [64u64, 128, 256, 512, 1024, 2048, 4096, 8192] {
         let (program, sink) = app.build();
         let cfg = SimConfig {

@@ -63,8 +63,5 @@ fn main() {
         sub.accepted_items, sub.padded_items
     );
     assert_eq!(sub.padded_items, 1);
-    assert_eq!(
-        sub.accepted_items,
-        u64::from(frames * items_per_frame) - 1
-    );
+    assert_eq!(sub.accepted_items, u64::from(frames * items_per_frame) - 1);
 }

@@ -25,6 +25,7 @@ fn run_with(
     let (p, sink) = build();
     let cfg = SimConfig {
         protection,
+        inject: true,
         mtbe: Mtbe::kilo_instructions(mtbe_k),
         seed,
         max_rounds: 10_000_000,
@@ -72,7 +73,13 @@ fn mp3_full_stack_under_errors() {
 #[test]
 fn kernels_full_stack_under_errors() {
     let beam = BeamformerApp::new(256);
-    let (report, sink) = run_with(|| beam.build(), beam.frames(), Protection::commguard(), 64, 3);
+    let (report, sink) = run_with(
+        || beam.build(),
+        beam.frames(),
+        Protection::commguard(),
+        64,
+        3,
+    );
     assert!(report.completed);
     assert_eq!(beam.decode(report.sink_output(sink)).len(), 256);
 
@@ -82,7 +89,13 @@ fn kernels_full_stack_under_errors() {
     assert_eq!(voc.decode(report.sink_output(sink)).len(), 256);
 
     let cfir = ComplexFirApp::new(256);
-    let (report, sink) = run_with(|| cfir.build(), cfir.frames(), Protection::commguard(), 64, 3);
+    let (report, sink) = run_with(
+        || cfir.build(),
+        cfir.frames(),
+        Protection::commguard(),
+        64,
+        3,
+    );
     assert!(report.completed);
     assert_eq!(cfir.decode(report.sink_output(sink)).len(), 256);
 
@@ -98,7 +111,13 @@ fn kernels_full_stack_under_errors() {
 fn full_stack_determinism() {
     let one = |seed| {
         let app = JpegApp::new(64, 32, 75);
-        let (report, sink) = run_with(|| app.build(), app.frames(), Protection::commguard(), 128, seed);
+        let (report, sink) = run_with(
+            || app.build(),
+            app.frames(),
+            Protection::commguard(),
+            128,
+            seed,
+        );
         report.sink_output(sink).to_vec()
     };
     assert_eq!(one(1), one(1));
@@ -122,10 +141,7 @@ fn guards_transparent_when_error_free() {
         assert_eq!(r.total_timeouts(), 0, "paper: no timeouts observed");
         r.sink_output(sink).to_vec()
     };
-    assert_eq!(
-        clean(Protection::ErrorFree),
-        clean(Protection::commguard())
-    );
+    assert_eq!(clean(Protection::ErrorFree), clean(Protection::commguard()));
 }
 
 /// Quality ordering at a harsh error rate, averaged over seeds:
@@ -136,8 +152,7 @@ fn commguard_quality_dominates_baseline() {
     let mean_psnr = |protection: Protection| -> f64 {
         (0..4)
             .map(|seed| {
-                let (report, sink) =
-                    run_with(|| app.build(), app.frames(), protection, 256, seed);
+                let (report, sink) = run_with(|| app.build(), app.frames(), protection, 256, seed);
                 app.psnr(report.sink_output(sink))
             })
             .sum::<f64>()
@@ -160,6 +175,7 @@ fn control_faults_produce_only_alignment_effects() {
     let (p, sink) = app.build();
     let cfg = SimConfig {
         protection: Protection::commguard(),
+        inject: true,
         mtbe: Mtbe::kilo_instructions(16),
         effect_model: EffectModel::control_only(),
         seed: 9,

@@ -11,6 +11,7 @@ fn jpeg_run(protection: Protection, mtbe_k: u64, seed: u64) -> (cg_runtime::RunR
     let (p, _sink) = app.build();
     let cfg = SimConfig {
         protection,
+        inject: true,
         mtbe: Mtbe::kilo_instructions(mtbe_k),
         seed,
         max_rounds: 10_000_000,
@@ -29,7 +30,10 @@ fn executes_without_crashing_at_extreme_rates() {
     let (report, _) = jpeg_run(Protection::commguard(), 64, 0);
     assert!(report.completed);
     let sub = report.total_subops();
-    assert!(sub.pad_events + sub.discard_events > 0, "realignment active");
+    assert!(
+        sub.pad_events + sub.discard_events > 0,
+        "realignment active"
+    );
 }
 
 /// §7.1 / Fig. 8: "Even at extreme error rates (MTBE of 64K
@@ -92,7 +96,10 @@ fn overheads_are_low() {
     let (report, _) = jpeg_run(Protection::commguard(), 1_000_000, 0);
     // Memory events.
     let (lr, sr) = report.header_memory_ratios(&MemModel::default());
-    assert!(lr < 0.02 && sr < 0.02, "header memory overhead {lr:.4}/{sr:.4}");
+    assert!(
+        lr < 0.02 && sr < 0.02,
+        "header memory overhead {lr:.4}/{sr:.4}"
+    );
     // Hardware suboperations.
     assert!(
         report.subop_ratio() < 0.10,

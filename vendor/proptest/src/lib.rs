@@ -1,0 +1,288 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this vendored shim
+//! implements the subset of the proptest 1.x API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`, integer
+//! ranges and tuples as strategies, [`strategy::Just`], `any::<T>()`,
+//! `prop::collection::vec`, weighted `prop_oneof!`, the `proptest!`
+//! macro with `#![proptest_config(...)]`, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   printed; minimisation is up to the reader.
+//! - **Deterministic seeding.** Case `i` of every test derives from a
+//!   fixed seed mixed with `i`, so failures reproduce across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude every property test imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{}\n  both: `{:?}`", format!($($fmt)+), l);
+    }};
+}
+
+/// Weighted (or unweighted) union of strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Rejects the current case without failing it (the body simply moves
+/// on to the next generated input).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over `ProptestConfig::cases`
+/// generated inputs. Parameters may be `name in strategy` or `name: Type`
+/// (shorthand for `name in any::<Type>()`), freely mixed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{($config) $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{($crate::test_runner::ProptestConfig::default()) $($rest)*}
+    };
+}
+
+/// Splits a `proptest!` block into individual test functions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_one!{($config) $(#[$meta])* fn $name [] ($($params)*) $body}
+        $crate::__proptest_fns!{($config) $($rest)*}
+    };
+}
+
+/// Normalises one test's parameter list into `(name, strategy)` pairs,
+/// then emits the test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    // `name in strategy`, more parameters follow.
+    (($config:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident in $strategy:expr, $($params:tt)*) $body:block) => {
+        $crate::__proptest_one!{($config) $(#[$meta])* fn $name
+            [$($acc)* ($arg, ($strategy))] ($($params)*) $body}
+    };
+    // `name in strategy`, last parameter.
+    (($config:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident in $strategy:expr $(,)?) $body:block) => {
+        $crate::__proptest_one!{($config) $(#[$meta])* fn $name
+            [$($acc)* ($arg, ($strategy))] () $body}
+    };
+    // `name: Type`, more parameters follow.
+    (($config:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident : $ty:ty, $($params:tt)*) $body:block) => {
+        $crate::__proptest_one!{($config) $(#[$meta])* fn $name
+            [$($acc)* ($arg, ($crate::arbitrary::any::<$ty>()))] ($($params)*) $body}
+    };
+    // `name: Type`, last parameter.
+    (($config:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($arg:ident : $ty:ty $(,)?) $body:block) => {
+        $crate::__proptest_one!{($config) $(#[$meta])* fn $name
+            [$($acc)* ($arg, ($crate::arbitrary::any::<$ty>()))] () $body}
+    };
+    // All parameters normalised: emit the test function.
+    (($config:expr) $(#[$meta:meta])* fn $name:ident
+        [$(($arg:ident, $strategy:tt))+] () $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(
+                    &$strategy,
+                    &mut __proptest_rng,
+                );)+
+                let __proptest_inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        __proptest_inputs
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..7, y in 0usize..100, z in 1u64..64) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!(y < 100);
+            prop_assert!((1..64).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_vec(pairs in prop::collection::vec((1u32..6, 1u32..6), 1..5)) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 5);
+            for (a, b) in pairs {
+                prop_assert!((1..6).contains(&a), "a = {a}");
+                prop_assert!((1..6).contains(&b));
+            }
+        }
+
+        #[test]
+        fn typed_and_strategy_params_mix(word: u32, bit in 0u32..32, flag: bool) {
+            prop_assume!(bit != 31 || flag);
+            let flipped = word ^ (1 << bit);
+            prop_assert_ne!(flipped, word);
+            prop_assert_eq!(flipped ^ (1 << bit), word);
+        }
+
+        #[test]
+        fn map_and_oneof(v in prop_oneof![
+            2 => (1u32..5).prop_map(|x| x * 10),
+            1 => Just(77u32),
+        ]) {
+            prop_assert!(v == 77 || (v % 10 == 0 && v < 50), "v = {v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_applies(b in any::<bool>()) {
+            // 17 cases of a trivially true property.
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![
+            1 => Just(1u32),
+            1 => Just(2u32),
+            1 => Just(3u32),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        let mut rng = crate::test_runner::case_rng("oneof_hits_every_arm", 0);
+        for _ in 0..200 {
+            seen.insert(Strategy::generate(&strat, &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x = {x} is never > 100");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,44 @@
+//! Test-runner configuration and deterministic per-case RNGs.
+
+use rand::{RngCore, SeedableRng, SmallRng};
+
+/// The RNG driving value generation.
+pub type TestRng = SmallRng;
+
+/// A failed property case: the formatted assertion message.
+pub type TestCaseError = String;
+
+/// Runner configuration (only the case count is meaningful here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derives the deterministic RNG for case `case` of the test named
+/// `test_path`: a stable FNV-1a hash of the name mixed with the case
+/// index, so every test gets an independent, reproducible stream.
+pub fn case_rng(test_path: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = SmallRng::seed_from_u64(h ^ (u64::from(case) << 32));
+    // Warm one step so adjacent case indices decorrelate fully.
+    let _ = rng.next_u64();
+    rng
+}
