@@ -5,6 +5,7 @@
 //! ```text
 //! campaign [--quick] [--seeds N] [--frames N] [--threads N]
 //!          [--classes a,b,..] [--mtbe n1,n2,..] [--out PATH]
+//!          [--trace] [--trace-dir DIR]
 //! ```
 //!
 //! Exits nonzero when any CommGuard run violates an invariant.
@@ -19,10 +20,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign [--quick] [--seeds N] [--frames N] [--threads N]\n\
          \x20               [--classes a,b,..] [--mtbe n1,n2,..] [--out PATH]\n\
+         \x20               [--trace] [--trace-dir DIR]\n\
          \n\
-         classes: baseline burst stuck-at pointer header (default: all)\n\
-         mtbe:    mean instructions between errors (default: 256,2048,16384)\n\
-         out:     JSON report path (default: campaign_report.json)"
+         classes:   baseline burst stuck-at pointer header (default: all)\n\
+         mtbe:      mean instructions between errors (default: 256,2048,16384)\n\
+         out:       JSON report path (default: campaign_report.json)\n\
+         trace:     record event traces; violating/mismatching/hanging runs\n\
+         \x20          dump .trace/.chrome.json/.propagation.txt files\n\
+         trace-dir: where dumps go (default: traces; implies --trace)"
     );
     std::process::exit(2)
 }
@@ -75,6 +80,12 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--out" => out = value(&mut i),
+            "--trace" => {
+                if spec.trace_dir.is_none() {
+                    spec.trace_dir = Some("traces".to_string());
+                }
+            }
+            "--trace-dir" => spec.trace_dir = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -117,7 +128,11 @@ fn to_json(report: &CampaignReport) -> Json {
         .set("seeds", spec.seeds)
         .set("frames", spec.frames)
         .set("queue_capacity", spec.queue_capacity)
-        .set("max_rounds", spec.max_rounds);
+        .set("max_rounds", spec.max_rounds)
+        .set(
+            "trace_dir",
+            spec.trace_dir.as_deref().map_or(Json::Null, Json::from),
+        );
 
     let runs: Vec<Json> = report
         .runs
@@ -141,6 +156,17 @@ fn to_json(report: &CampaignReport) -> Json {
                     r.violations
                         .iter()
                         .map(|v| Json::from(v.as_str()))
+                        .collect::<Vec<_>>(),
+                )
+                .set(
+                    "trace_file",
+                    r.trace_file.as_deref().map_or(Json::Null, Json::from),
+                )
+                .set(
+                    "propagation",
+                    r.propagation
+                        .iter()
+                        .map(|p| Json::from(p.as_str()))
                         .collect::<Vec<_>>(),
                 );
             j
@@ -203,6 +229,18 @@ fn main() -> ExitCode {
     );
     let report = run_campaign(&args.spec);
     print_summary(&report);
+    if let Some(dir) = &report.spec.trace_dir {
+        let dumped = report
+            .runs
+            .iter()
+            .filter(|r| r.trace_file.is_some())
+            .count();
+        let chains: usize = report.runs.iter().map(|r| r.propagation.len()).sum();
+        eprintln!(
+            "campaign: {dumped} trace dump(s) in {dir}/ ({chains} propagation chain(s); \
+             inspect with `cargo run -p cg-trace -- analyze <file>`)"
+        );
+    }
 
     let doc = to_json(&report);
     if let Err(e) = std::fs::write(&args.out, doc.pretty()) {

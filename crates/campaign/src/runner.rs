@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use cg_runtime::{run, Program, RunReport, SimConfig};
+use cg_trace::{analyze, text, to_chrome_json, TraceConfig};
 use commguard::graph::{GraphBuilder, NodeId, NodeKind, StreamGraph};
 
 use crate::spec::{CampaignSpec, RunCell};
@@ -58,6 +59,12 @@ pub struct RunRecord {
     pub realign_events: u64,
     /// Hard-invariant violations (always empty for a passing campaign).
     pub violations: Vec<String>,
+    /// Path of the dumped trace, when this run was bad enough to keep one
+    /// (tracing enabled and the run violated, mismatched, or hung).
+    pub trace_file: Option<String>,
+    /// Fault-propagation chains from the post-mortem analyzer, one
+    /// rendered line per chain (only filled alongside `trace_file`).
+    pub propagation: Vec<String>,
 }
 
 /// Everything a finished campaign produced.
@@ -185,6 +192,11 @@ fn run_cell(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
         fault_class: cell.class,
         queue_capacity: spec.queue_capacity,
         max_rounds: spec.max_rounds,
+        trace: if spec.trace_dir.is_some() {
+            TraceConfig::ring()
+        } else {
+            TraceConfig::Off
+        },
         ..SimConfig::error_free(spec.frames)
     }
     .seed(cell.seed);
@@ -230,22 +242,93 @@ fn run_cell(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
         }
     }
 
+    let sink_len = sink.len();
+    let mut trace_file = None;
+    let mut propagation = Vec::new();
+    if let Some(dir) = &spec.trace_dir {
+        // Keep a trace for every run that violated an invariant or whose
+        // output mismatches the golden run (degraded, structural, hang);
+        // bit-exact runs have nothing to post-mortem.
+        let keep = !violations.is_empty() || outcome != Outcome::Ok;
+        if keep {
+            let data = report.trace.as_ref().expect("tracing was enabled");
+            let analysis = analyze(&data.records);
+            propagation = analysis.chains.iter().map(|c| c.to_string()).collect();
+            trace_file = dump_trace(dir, cell, &data.records, &analysis);
+        }
+    }
+
     RunRecord {
         cell,
         outcome,
         completed: report.completed,
-        sink_len: sink.len(),
+        sink_len,
         expected_len: expected.len(),
         faults: report.total_faults().total(),
         timeouts: report.total_timeouts(),
         watchdog_escalations: report.watchdog.total_escalations(),
         realign_events,
         violations,
+        trace_file,
+        propagation,
     }
+}
+
+/// Writes a bad run's trace as text, Chrome JSON, and a propagation
+/// summary. Returns the text-trace path, or `None` (with a stderr note)
+/// when the directory is unwritable — a diagnostics failure must not
+/// abort the campaign.
+fn dump_trace(
+    dir: &str,
+    cell: RunCell,
+    records: &[cg_trace::TraceRecord],
+    analysis: &cg_trace::Analysis,
+) -> Option<String> {
+    let stem = format!(
+        "trace_{}_{}_{}_{}",
+        slug(cell.class.label()),
+        cell.mtbe.as_instructions(),
+        slug(cell.protection.label()),
+        cell.seed
+    );
+    let base = std::path::Path::new(dir).join(&stem);
+    let trace_path = base.with_extension("trace");
+    let write = |path: &std::path::Path, body: String| -> bool {
+        std::fs::write(path, body).map_or_else(
+            |e| {
+                eprintln!("campaign: cannot write {}: {e}", path.display());
+                false
+            },
+            |()| true,
+        )
+    };
+    if !write(&trace_path, text::to_text(records)) {
+        return None;
+    }
+    write(
+        &base.with_extension("chrome.json"),
+        to_chrome_json(&stem, records),
+    );
+    write(
+        &base.with_extension("propagation.txt"),
+        analysis.to_string(),
+    );
+    Some(trace_path.to_string_lossy().into_owned())
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
 }
 
 /// Runs the whole sweep on `spec.threads` workers.
 pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    if let Some(dir) = &spec.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("campaign: cannot create trace dir {dir}: {e}");
+        }
+    }
     let cells = spec.cells();
     // One golden run per distinct seed, shared by every cell.
     let goldens: Vec<Vec<u32>> = (1..=spec.seeds).map(|s| golden(spec, s)).collect();
@@ -351,5 +434,41 @@ mod tests {
         );
         // Every run terminated (hang is a classification, not a panic).
         assert!(report.runs.iter().all(|r| r.sink_len <= 1_000_000));
+        // Untraced campaigns never dump.
+        assert!(report.runs.iter().all(|r| r.trace_file.is_none()));
+    }
+
+    #[test]
+    fn traced_campaign_dumps_bad_runs_only() {
+        let dir =
+            std::env::temp_dir().join(format!("cg-campaign-trace-test-{}", std::process::id()));
+        let spec = CampaignSpec {
+            classes: vec![FaultClass::PointerCorruption],
+            mtbes: vec![cg_fault::Mtbe::instructions(256)],
+            protections: vec![Protection::PpuUnprotectedQueue],
+            seeds: 3,
+            frames: 8,
+            trace_dir: Some(dir.to_string_lossy().into_owned()),
+            ..CampaignSpec::default()
+        };
+        let report = run_campaign(&spec);
+        let mut dumped = 0;
+        for r in &report.runs {
+            let bad = !r.violations.is_empty() || r.outcome != Outcome::Ok;
+            assert_eq!(r.trace_file.is_some(), bad, "dump iff the run went bad");
+            if let Some(path) = &r.trace_file {
+                dumped += 1;
+                let body = std::fs::read_to_string(path).expect("dumped trace readable");
+                assert!(!body.is_empty());
+                let base = path.strip_suffix(".trace").expect("trace extension");
+                assert!(std::path::Path::new(&format!("{base}.chrome.json")).exists());
+                assert!(std::path::Path::new(&format!("{base}.propagation.txt")).exists());
+            }
+        }
+        assert!(
+            dumped > 0,
+            "unprotected pointer corruption at MTBE 256 must break at least one of 3 seeds"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

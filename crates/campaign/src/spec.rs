@@ -24,6 +24,10 @@ pub struct CampaignSpec {
     pub max_rounds: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// When set, runs are traced (ring buffer) and violating, mismatching
+    /// or hanging runs dump their trace + propagation summary into this
+    /// directory. `None` (the default) keeps the zero-cost untraced path.
+    pub trace_dir: Option<String>,
 }
 
 impl Default for CampaignSpec {
@@ -50,6 +54,7 @@ impl Default for CampaignSpec {
             queue_capacity: 16,
             max_rounds: 4_000_000,
             threads: 0,
+            trace_dir: None,
         }
     }
 }

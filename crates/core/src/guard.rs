@@ -8,12 +8,73 @@
 //! thread end.
 
 use cg_queue::{PushError, SimQueue, Unit};
+use cg_trace::{AmTag, Event, RealignTag, Tracer};
 
 use crate::align::{AlignmentManager, AmState};
 use crate::config::GuardConfig;
 use crate::fc::{ActiveFc, FrameScale};
 use crate::hi::HeaderInserter;
 use crate::subop::SubopCounters;
+
+/// The trace tag mirroring an [`AmState`].
+pub fn am_tag(state: AmState) -> AmTag {
+    match state {
+        AmState::RcvCmp => AmTag::RcvCmp,
+        AmState::ExpHdr => AmTag::ExpHdr,
+        AmState::DiscFr => AmTag::DiscFr,
+        AmState::Disc => AmTag::Disc,
+        AmState::Pdg => AmTag::Pdg,
+    }
+}
+
+/// Runs one AM operation and emits the state transition plus any
+/// realignment-episode events it caused. Episode starts are detected by
+/// diffing the pad/discard event counters around the call — they mirror
+/// `SubopCounters::record_event` exactly, which fires on *entries into*
+/// pad/discard handling, not merely on aligned→abnormal transitions (an
+/// AM can hop between abnormal flavours and record a fresh episode).
+fn traced_am<R>(
+    tracer: &Tracer,
+    am: &mut AlignmentManager,
+    sub: &mut SubopCounters,
+    port: u32,
+    frame: u32,
+    f: impl FnOnce(&mut AlignmentManager, &mut SubopCounters) -> R,
+) -> R {
+    if !tracer.is_enabled() {
+        return f(am, sub);
+    }
+    let before = am.state();
+    let pads = sub.pad_events;
+    let discards = sub.discard_events;
+    let out = f(am, sub);
+    let after = am.state();
+    if before != after {
+        tracer.emit(Event::AmTransition {
+            port,
+            from: am_tag(before),
+            to: am_tag(after),
+        });
+    }
+    for _ in discards..sub.discard_events {
+        tracer.emit(Event::RealignStart {
+            port,
+            kind: RealignTag::Discard,
+            frame,
+        });
+    }
+    for _ in pads..sub.pad_events {
+        tracer.emit(Event::RealignStart {
+            port,
+            kind: RealignTag::Pad,
+            frame,
+        });
+    }
+    if !am_tag(before).is_aligned() && am_tag(after).is_aligned() {
+        tracer.emit(Event::RealignEnd { port, frame });
+    }
+    out
+}
 
 /// The CommGuard modules of one core, or a pass-through stub for
 /// configurations without CommGuard.
@@ -25,6 +86,7 @@ pub struct CoreGuard {
     his: Vec<HeaderInserter>,
     ams: Vec<AlignmentManager>,
     sub: SubopCounters,
+    tracer: Tracer,
 }
 
 impl CoreGuard {
@@ -40,6 +102,7 @@ impl CoreGuard {
             his: vec![HeaderInserter::new(); num_out],
             ams: vec![AlignmentManager::new(cfg.pad_policy); num_in],
             sub: SubopCounters::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -53,7 +116,14 @@ impl CoreGuard {
             his: vec![HeaderInserter::new(); num_out],
             ams: vec![AlignmentManager::default(); num_in],
             sub: SubopCounters::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Connects this guard to a trace stream: AM transitions,
+    /// realignment episodes, and header insertions are emitted.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Whether the guard modules are active.
@@ -111,8 +181,15 @@ impl CoreGuard {
         }
         let fc = self.fc.increment();
         self.sub.counter_ops += 1; // active-fc increment
-        for am in &mut self.ams {
-            am.new_frame_computation(fc, &mut self.sub);
+        for (port, am) in self.ams.iter_mut().enumerate() {
+            traced_am(
+                &self.tracer,
+                am,
+                &mut self.sub,
+                port as u32,
+                fc,
+                |am, sub| am.new_frame_computation(fc, sub),
+            );
         }
         for hi in &mut self.his {
             hi.begin_frame(fc, &mut self.sub);
@@ -138,7 +215,18 @@ impl CoreGuard {
     ///
     /// Panics if `port` is out of range.
     pub fn hi_tick(&mut self, port: usize, q: &mut SimQueue) -> bool {
-        self.his[port].tick(q, &mut self.sub)
+        let pending = self.his[port].pending();
+        let clear = self.his[port].tick(q, &mut self.sub);
+        if clear {
+            if let Some(frame) = pending {
+                self.tracer.emit(Event::HeaderInserted {
+                    port: port as u32,
+                    frame,
+                    forced: false,
+                });
+            }
+        }
+        clear
     }
 
     /// Forces the pending header of `port` into `q` after a QM timeout.
@@ -147,7 +235,15 @@ impl CoreGuard {
     ///
     /// Panics if `port` is out of range.
     pub fn hi_force(&mut self, port: usize, q: &mut SimQueue) {
+        let pending = self.his[port].pending();
         self.his[port].force(q, &mut self.sub);
+        if let Some(frame) = pending {
+            self.tracer.emit(Event::HeaderInserted {
+                port: port as u32,
+                frame,
+                forced: true,
+            });
+        }
     }
 
     /// `true` when no outgoing port has a pending header (pushes may
@@ -165,7 +261,15 @@ impl CoreGuard {
     /// Panics if `port` is out of range.
     pub fn pop(&mut self, port: usize, q: &mut SimQueue) -> Option<u32> {
         if self.enabled {
-            self.ams[port].pop(q, &mut self.sub)
+            let fc = self.fc.value();
+            traced_am(
+                &self.tracer,
+                &mut self.ams[port],
+                &mut self.sub,
+                port as u32,
+                fc,
+                |am, sub| am.pop(q, sub),
+            )
         } else {
             let unit = q.try_pop()?;
             self.sub.accepted_items += 1;
@@ -344,5 +448,96 @@ mod tests {
         let cons = CoreGuard::new(2, 0, &GuardConfig::default(), None);
         assert_eq!(cons.am_state(0), AmState::ExpHdr);
         assert_eq!(cons.am_state(1), AmState::ExpHdr);
+    }
+
+    /// A traced run of the lost-item scenario emits the full story:
+    /// header insertions, AM transitions, a pad episode, and its end.
+    #[test]
+    fn tracer_sees_pad_episode_and_headers() {
+        use cg_trace::{EventKind, TraceConfig};
+        let tracer = TraceConfig::ring().tracer();
+        let mut q = queue();
+        let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), Some(2));
+        let mut cons = CoreGuard::new(1, 0, &GuardConfig::default(), Some(2));
+        prod.attach_tracer(tracer.clone());
+        cons.attach_tracer(tracer.clone());
+        prod.start();
+        cons.start();
+        assert!(prod.hi_tick(0, &mut q));
+        prod.push(0, &mut q, 100).unwrap();
+        prod.scope_boundary();
+        assert!(prod.hi_tick(0, &mut q));
+        prod.push(0, &mut q, 200).unwrap();
+        prod.push(0, &mut q, 201).unwrap();
+        q.flush();
+
+        assert_eq!(cons.pop(0, &mut q), Some(100));
+        assert_eq!(cons.pop(0, &mut q), Some(0), "lost item padded");
+        cons.scope_boundary();
+        assert_eq!(cons.pop(0, &mut q), Some(200));
+        assert_eq!(cons.pop(0, &mut q), Some(201));
+
+        let data = tracer.finish().expect("enabled");
+        assert_eq!(data.counts.count(EventKind::HeaderInserted), 2);
+        assert_eq!(data.counts.realign_episodes(), 1, "one pad episode");
+        assert_eq!(
+            data.counts.realign_episodes(),
+            cons.subops().pad_events + cons.subops().discard_events,
+            "trace episodes mirror the subop counters"
+        );
+        assert!(data.counts.count(EventKind::AmTransition) >= 2);
+        assert_eq!(
+            data.counts.count(EventKind::RealignEnd),
+            1,
+            "the AM realigned after the pad episode"
+        );
+        let starts: Vec<_> = data
+            .records
+            .iter()
+            .filter(|r| r.event.kind() == EventKind::RealignStart)
+            .collect();
+        assert_eq!(
+            starts[0].event,
+            Event::RealignStart {
+                port: 0,
+                kind: RealignTag::Pad,
+                frame: 0
+            }
+        );
+    }
+
+    /// Forced header insertion is emitted with the `forced` flag.
+    #[test]
+    fn forced_header_is_traced() {
+        use cg_trace::{EventKind, TraceConfig};
+        let tracer = TraceConfig::ring().tracer();
+        let mut q = SimQueue::new(QueueSpec {
+            capacity: 8,
+            workset_size: 1,
+            pointer_mode: PointerMode::Ecc,
+        });
+        for i in 0..8u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), None);
+        prod.attach_tracer(tracer.clone());
+        prod.start();
+        assert!(!prod.hi_tick(0, &mut q), "queue full, header pends");
+        prod.hi_force(0, &mut q);
+        let data = tracer.finish().expect("enabled");
+        let inserted: Vec<_> = data
+            .records
+            .iter()
+            .filter(|r| r.event.kind() == EventKind::HeaderInserted)
+            .collect();
+        assert_eq!(inserted.len(), 1);
+        assert_eq!(
+            inserted[0].event,
+            Event::HeaderInserted {
+                port: 0,
+                frame: 0,
+                forced: true
+            }
+        );
     }
 }

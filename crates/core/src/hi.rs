@@ -82,6 +82,11 @@ impl HeaderInserter {
     pub fn is_clear(&self) -> bool {
         self.pending.is_none()
     }
+
+    /// The frame id awaiting insertion, if any.
+    pub fn pending(&self) -> Option<FrameId> {
+        self.pending
+    }
 }
 
 #[cfg(test)]

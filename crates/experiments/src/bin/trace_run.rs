@@ -1,0 +1,170 @@
+//! Traces one faulty benchmark run end to end: executes the app under
+//! CommGuard with fault injection and a ring-buffer tracer, then writes
+//! the text trace, the Chrome-trace/Perfetto JSON, and the propagation
+//! post-mortem. The CI trace smoke test drives this binary.
+//!
+//! ```text
+//! trace_run [--app NAME] [--mtbe K] [--seed N] [--paper] [--ring N]
+//!           [--out DIR] [--expect-chains N]
+//! ```
+//!
+//! Exits nonzero when the analyzer finds fewer propagation chains than
+//! `--expect-chains` (default 1), so a silent tracing regression fails CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cg_apps::{BenchApp, Size, Workload};
+use cg_fault::Mtbe;
+use cg_runtime::{run, SimConfig, TraceConfig};
+use cg_trace::{analyze, json_check, text, to_chrome_json};
+use commguard::Protection;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_run [--app NAME] [--mtbe K] [--seed N] [--paper] [--ring N]\n\
+         \x20                [--out DIR] [--expect-chains N]\n\
+         \n\
+         app:           benchmark name (default: complex-fir)\n\
+         mtbe:          mean kilo-instructions between errors (default: 32)\n\
+         seed:          run seed (default: 1)\n\
+         ring:          trace ring capacity in records (default: 1048576)\n\
+         out:           artifact directory (default: results)\n\
+         expect-chains: minimum propagation chains, else exit 1 (default: 1)"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    app: BenchApp,
+    mtbe_k: u64,
+    seed: u64,
+    size: Size,
+    ring: usize,
+    out: PathBuf,
+    expect_chains: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: BenchApp::ComplexFir,
+        mtbe_k: 32,
+        seed: 1,
+        size: Size::Small,
+        ring: 1 << 20,
+        out: PathBuf::from("results"),
+        expect_chains: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--app" => {
+                let name = value(&mut i);
+                args.app = BenchApp::all()
+                    .into_iter()
+                    .find(|a| a.name() == name)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown app: {name}");
+                        usage()
+                    });
+            }
+            "--mtbe" => args.mtbe_k = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--paper" => args.size = Size::Paper,
+            "--ring" => args.ring = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = PathBuf::from(value(&mut i)),
+            "--expect-chains" => {
+                args.expect_chains = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    eprintln!(
+        "trace_run: {} mtbe={}k seed={} under {}",
+        args.app,
+        args.mtbe_k,
+        args.seed,
+        Protection::commguard().label()
+    );
+    let w = Workload::new(args.app, args.size);
+    let (program, sink) = w.build();
+    let cfg = SimConfig {
+        max_rounds: 50_000_000,
+        trace: TraceConfig::Ring {
+            capacity: args.ring,
+        },
+        ..SimConfig::with_errors(
+            w.frames(),
+            Protection::commguard(),
+            Mtbe::kilo_instructions(args.mtbe_k),
+            args.seed,
+        )
+    };
+    let report = run(program, &cfg).expect("traced run starts");
+    let data = report.trace.as_ref().expect("tracing was enabled");
+    println!(
+        "run: completed={} rounds={} quality={:.2}dB realign_episodes={} \
+         max_queue_occupancy={}",
+        report.completed,
+        report.rounds,
+        w.quality_db(report.sink_output(sink)),
+        report.realignment_episodes,
+        report.max_queue_occupancy(),
+    );
+    println!(
+        "trace: {} events recorded ({} retained, {} dropped)",
+        data.counts.events,
+        data.records.len(),
+        data.dropped
+    );
+
+    let stem = format!("trace_{}_{}k_{}", args.app.name(), args.mtbe_k, args.seed);
+    let base = args.out.join(&stem);
+
+    let trace_path = base.with_extension("trace");
+    std::fs::write(&trace_path, text::to_text(&data.records)).expect("write text trace");
+
+    let chrome = to_chrome_json(&stem, &data.records);
+    json_check::validate(&chrome).expect("emitted Chrome trace must be valid JSON");
+    let chrome_path = base.with_extension("chrome.json");
+    std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
+
+    let analysis = analyze(&data.records);
+    let prop_path = base.with_extension("propagation.txt");
+    std::fs::write(&prop_path, analysis.to_string()).expect("write propagation summary");
+
+    println!("{analysis}");
+    println!("wrote {}", trace_path.display());
+    println!(
+        "wrote {} (load in Perfetto / chrome://tracing)",
+        chrome_path.display()
+    );
+    println!("wrote {}", prop_path.display());
+
+    if analysis.chains.len() < args.expect_chains {
+        eprintln!(
+            "trace_run: FAIL — {} propagation chain(s), expected >= {}",
+            analysis.chains.len(),
+            args.expect_chains
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

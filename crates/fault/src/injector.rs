@@ -1,5 +1,6 @@
 //! Per-core fault scheduling.
 
+use cg_trace::{Event, FaultKindTag, Tracer};
 use rand::Rng;
 
 use crate::effect::{EffectKind, EffectModel};
@@ -81,6 +82,20 @@ pub struct CoreInjector {
     /// Instruction count of the next fault.
     next_at: u64,
     stats: FaultStats,
+    /// Trace stream; every scheduled strike is emitted (disabled by
+    /// default).
+    tracer: Tracer,
+}
+
+/// The trace tag for an [`EffectKind`] (the trace crate sits below this
+/// one in the dependency order, so the mirror mapping lives here).
+pub fn effect_tag(kind: EffectKind) -> FaultKindTag {
+    match kind {
+        EffectKind::DataValue => FaultKindTag::Data,
+        EffectKind::ControlFlow => FaultKindTag::Control,
+        EffectKind::Addressing => FaultKindTag::Addressing,
+        EffectKind::Silent => FaultKindTag::Silent,
+    }
 }
 
 impl CoreInjector {
@@ -98,6 +113,7 @@ impl CoreInjector {
             now: 0,
             next_at: 0,
             stats: FaultStats::default(),
+            tracer: Tracer::disabled(),
         };
         inj.next_at = inj.draw_next(0);
         inj
@@ -112,7 +128,13 @@ impl CoreInjector {
             now: 0,
             next_at: u64::MAX,
             stats: FaultStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Connects this injector to a trace stream.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Whether this injector can ever produce faults.
@@ -139,6 +161,10 @@ impl CoreInjector {
         while self.next_at < end {
             let kind = self.model.sample_kind(&mut self.rng);
             self.stats.record(kind);
+            self.tracer.emit(Event::Fault {
+                kind: effect_tag(kind),
+                at_instruction: self.next_at,
+            });
             events.push(FaultEvent {
                 at_instruction: self.next_at,
                 kind,
@@ -241,5 +267,24 @@ mod tests {
         }
         assert_eq!(whole, chunked);
         assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn chunked_and_whole_advance_emit_identical_trace() {
+        use cg_trace::TraceConfig;
+        let run = |chunks: &[u64]| {
+            let tracer = TraceConfig::ring().tracer();
+            let mut inj =
+                CoreInjector::new(Mtbe::instructions(100), EffectModel::calibrated(), 4, 7);
+            inj.attach_tracer(tracer.clone());
+            for &c in chunks {
+                let _ = inj.advance(c);
+            }
+            tracer.finish().expect("enabled")
+        };
+        let whole = run(&[50_000]);
+        let chunked = run(&[1000; 50]);
+        assert!(!whole.records.is_empty());
+        assert_eq!(whole, chunked, "trace must be chunking-invariant");
     }
 }

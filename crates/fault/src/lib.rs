@@ -42,6 +42,6 @@ mod stats;
 pub use classes::{sample_burst_len, FaultClass, StuckAtState};
 pub use effect::{ControlPerturbation, EffectKind, EffectModel};
 pub use flip::{flip_random_bit_u32, flip_word_bit};
-pub use injector::{CoreInjector, FaultEvent, Mtbe};
+pub use injector::{effect_tag, CoreInjector, FaultEvent, Mtbe};
 pub use rng::{core_rng, splitmix64, DetRng};
 pub use stats::FaultStats;

@@ -1,5 +1,7 @@
 //! The bounded FIFO implementing one stream-graph edge.
 
+use cg_trace::{Event, PtrTag, Tracer};
+
 use crate::ptr::{PointerMode, PtrCell, Which};
 use crate::stats::QueueStats;
 use crate::unit::Unit;
@@ -85,6 +87,10 @@ pub struct SimQueue {
     seen_head: u32,
     seen_tail: u32,
     stats: QueueStats,
+    /// Trace stream (disabled by default) and the edge id stamped onto
+    /// emitted queue events.
+    tracer: Tracer,
+    edge: u32,
 }
 
 impl SimQueue {
@@ -100,12 +106,33 @@ impl SimQueue {
             seen_head: 0,
             seen_tail: 0,
             stats: QueueStats::default(),
+            tracer: Tracer::disabled(),
+            edge: 0,
         }
+    }
+
+    /// Connects this queue to a trace stream, stamping its events with
+    /// `edge` (the stream-graph edge index).
+    pub fn attach_tracer(&mut self, tracer: Tracer, edge: u32) {
+        self.tracer = tracer;
+        self.edge = edge;
     }
 
     /// The queue's configuration.
     pub fn spec(&self) -> &QueueSpec {
         &self.spec
+    }
+
+    /// Exact current occupancy, clamped to `[0, capacity]`: timeout pops
+    /// can run the head past the tail, which would otherwise wrap the
+    /// unsigned difference to a huge value.
+    pub fn occupancy(&self) -> u32 {
+        let d = self.tail.wrapping_sub(self.head);
+        if d > self.spec.capacity as u32 {
+            0
+        } else {
+            d
+        }
     }
 
     /// Units currently buffered according to the exact local pointers.
@@ -167,6 +194,13 @@ impl SimQueue {
         self.buf[idx] = unit;
         self.tail = self.tail.wrapping_add(1);
         self.stats.record_push(unit.is_header());
+        let depth = self.occupancy();
+        self.stats.note_occupancy(depth);
+        self.tracer.emit(Event::Push {
+            edge: self.edge,
+            header: unit.is_header(),
+            depth,
+        });
         if self.tail.is_multiple_of(self.spec.workset_size as u32) {
             self.publish_tail();
         }
@@ -188,6 +222,13 @@ impl SimQueue {
         self.tail = self.tail.wrapping_add(1);
         self.stats.timeout_pushes += 1;
         self.stats.record_push(unit.is_header());
+        let depth = self.occupancy();
+        self.stats.note_occupancy(depth);
+        self.tracer.emit(Event::TimeoutPush {
+            edge: self.edge,
+            header: unit.is_header(),
+            depth,
+        });
         self.publish_tail();
     }
 
@@ -219,6 +260,11 @@ impl SimQueue {
         let unit = self.buf[idx];
         self.head = self.head.wrapping_add(1);
         self.stats.record_pop(unit.is_header());
+        self.tracer.emit(Event::Pop {
+            edge: self.edge,
+            header: unit.is_header(),
+            depth: self.occupancy(),
+        });
         if self.head.is_multiple_of(self.spec.workset_size as u32) {
             self.publish_head();
         }
@@ -233,6 +279,10 @@ impl SimQueue {
         self.head = self.head.wrapping_add(1);
         self.stats.timeout_pops += 1;
         self.stats.record_pop(unit.is_header());
+        self.tracer.emit(Event::TimeoutPop {
+            edge: self.edge,
+            depth: self.occupancy(),
+        });
         self.publish_head();
         unit
     }
@@ -251,6 +301,14 @@ impl SimQueue {
             Which::Tail => self.shared_tail.inject_flip(bit),
         }
         self.stats.pointer_corruptions += 1;
+        self.tracer.emit(Event::PointerCorrupt {
+            edge: self.edge,
+            which: match which {
+                Which::Head => PtrTag::Head,
+                Which::Tail => PtrTag::Tail,
+            },
+            bit,
+        });
     }
 
     /// Fault hook: flips `bit` within the buffered unit at buffer slot
@@ -318,6 +376,10 @@ impl SimQueue {
             }
         }
         self.stats.header_corruptions += 1;
+        self.tracer.emit(Event::HeaderCorrupt {
+            edge: self.edge,
+            bits,
+        });
         true
     }
 
@@ -547,5 +609,54 @@ mod tests {
     #[should_panic(expected = "at least 8")]
     fn tiny_capacity_panics() {
         let _ = QueueSpec::with_capacity(4);
+    }
+
+    #[test]
+    fn max_occupancy_is_a_high_water_mark() {
+        let mut q = small();
+        for i in 0..5u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        q.flush();
+        for _ in 0..4 {
+            let _ = q.try_pop();
+        }
+        q.try_push(Unit::Item(9)).unwrap();
+        assert_eq!(q.stats().max_occupancy, 5, "peak, not current, occupancy");
+        assert_eq!(q.occupancy(), 2);
+    }
+
+    #[test]
+    fn occupancy_clamps_when_head_passes_tail() {
+        let mut q = small();
+        let _ = q.timeout_pop();
+        assert_eq!(q.occupancy(), 0, "overdrained queue reads as empty");
+    }
+
+    #[test]
+    fn tracer_records_queue_events_with_edge_id() {
+        use cg_trace::{EventKind, TraceConfig};
+        let t = TraceConfig::ring().tracer();
+        let mut q = small();
+        q.attach_tracer(t.clone(), 7);
+        q.try_push(Unit::header(1)).unwrap();
+        q.try_push(Unit::Item(2)).unwrap();
+        let _ = q.try_pop();
+        let _ = q.timeout_pop();
+        q.corrupt_shared_pointer(Which::Tail, 3);
+        let data = t.finish().expect("enabled");
+        assert_eq!(data.counts.count(EventKind::Push), 2);
+        assert_eq!(data.counts.count(EventKind::Pop), 1);
+        assert_eq!(data.counts.count(EventKind::TimeoutPop), 1);
+        assert_eq!(data.counts.count(EventKind::PointerCorrupt), 1);
+        assert_eq!(
+            data.records[0].event,
+            Event::Push {
+                edge: 7,
+                header: true,
+                depth: 1
+            }
+        );
+        assert_eq!(data.counts.max_queue_depth, 2);
     }
 }

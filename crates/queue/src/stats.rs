@@ -35,6 +35,8 @@ pub struct QueueStats {
     pub pointer_corruptions: u64,
     /// Fault-injection events targeting in-flight header codewords.
     pub header_corruptions: u64,
+    /// Highest occupancy observed after any push (exact local pointers).
+    pub max_occupancy: u64,
     /// ECC activity on the shared pointers.
     pub ecc: EccStats,
 }
@@ -57,6 +59,11 @@ impl QueueStats {
         } else {
             self.item_pushes += 1;
         }
+    }
+
+    /// Tracks the high-water occupancy mark.
+    pub(crate) fn note_occupancy(&mut self, depth: u32) {
+        self.max_occupancy = self.max_occupancy.max(depth as u64);
     }
 
     /// Records a successful pop.
@@ -84,6 +91,8 @@ impl AddAssign for QueueStats {
         self.workset_publishes += rhs.workset_publishes;
         self.pointer_corruptions += rhs.pointer_corruptions;
         self.header_corruptions += rhs.header_corruptions;
+        // A high-water mark merges by max, not by sum.
+        self.max_occupancy = self.max_occupancy.max(rhs.max_occupancy);
         self.ecc += rhs.ecc;
     }
 }
@@ -138,6 +147,20 @@ mod tests {
         assert_eq!(a.item_pushes, 4);
         assert_eq!(a.blocked_pops, 6);
         assert_eq!(a.timeout_pops, 5);
+    }
+
+    #[test]
+    fn max_occupancy_merges_by_max_not_sum() {
+        let mut a = QueueStats {
+            max_occupancy: 7,
+            ..Default::default()
+        };
+        let b = QueueStats {
+            max_occupancy: 5,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.max_occupancy, 7);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use cg_fault::{EffectModel, FaultClass, Mtbe};
+use cg_trace::TraceConfig;
 use commguard::Protection;
 
 use crate::watchdog::WatchdogConfig;
@@ -79,6 +80,9 @@ pub struct SimConfig {
     pub overhead_model: OverheadModel,
     /// Cross-core stall watchdog.
     pub watchdog: WatchdogConfig,
+    /// Event tracing. `Off` (the default) takes the untraced fast path:
+    /// no tracer is constructed and every emit site is one `None` check.
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -102,6 +106,7 @@ impl SimConfig {
             mem_model: MemModel::default(),
             overhead_model: OverheadModel::default(),
             watchdog: WatchdogConfig::default(),
+            trace: TraceConfig::Off,
         }
     }
 
@@ -134,6 +139,13 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the trace mode (builder style).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +163,13 @@ mod tests {
         assert!(e.protection.guards_enabled());
         let f = c.frames(3).seed(9);
         assert_eq!((f.frames, f.seed), (3, 9));
+    }
+
+    #[test]
+    fn tracing_defaults_off() {
+        let c = SimConfig::error_free(1);
+        assert_eq!(c.trace, TraceConfig::Off);
+        let t = c.trace(TraceConfig::ring());
+        assert!(t.trace.is_enabled());
     }
 }

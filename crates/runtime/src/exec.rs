@@ -11,6 +11,7 @@
 use cg_fault::{CoreInjector, EffectKind, FaultClass, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
 use cg_queue::{QueueSpec, SimQueue, Which};
+use cg_trace::{DirTag, Event, Tracer, MACHINE_CORE};
 use commguard::qm::TimeoutTracker;
 use commguard::CoreGuard;
 use rand::Rng;
@@ -121,6 +122,7 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
     let guard_cfg = config.protection.guard_config();
     let pointer_mode = config.protection.pointer_mode();
     let errors_on = config.faults_enabled();
+    let tracer = config.trace.tracer();
 
     // Queues, one per edge.
     let mut queues: Vec<SimQueue> = graph
@@ -131,6 +133,11 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
             )
         })
         .collect();
+    if tracer.is_enabled() {
+        for (edge, q) in queues.iter_mut().enumerate() {
+            q.attach_tracer(tracer.clone(), edge as u32);
+        }
+    }
 
     // Per-node runtime state, one core per node.
     let mut nodes: Vec<NodeRt> = graph
@@ -191,6 +198,12 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
             }
         })
         .collect();
+    if tracer.is_enabled() {
+        for n in &mut nodes {
+            n.guard.attach_tracer(tracer.clone());
+            n.injector.attach_tracer(tracer.clone());
+        }
+    }
 
     let order = graph.topo_order();
     let mut rounds: u64 = 0;
@@ -203,12 +216,9 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
         rounds += 1;
         let mut all_done = true;
         for &nid in &order {
-            step(
-                &mut nodes[nid.index()],
-                &mut queues,
-                &cost_models[nid.index()],
-                config,
-            );
+            let n = &mut nodes[nid.index()];
+            tracer.set_context(nid.index() as u32, rounds, n.guard.active_fc());
+            step(n, &mut queues, &cost_models[nid.index()], config, &tracer);
             all_done &= nodes[nid.index()].is_done();
         }
         if all_done {
@@ -224,6 +234,8 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
         match watchdog.on_round(progressed) {
             WatchdogAction::None => {}
             WatchdogAction::ArmTimeouts => {
+                tracer.set_context(MACHINE_CORE, rounds, 0);
+                tracer.emit(Event::Watchdog { rung: 1 });
                 for n in &mut nodes {
                     for t in n.in_timeouts.iter_mut().chain(&mut n.out_timeouts) {
                         t.arm();
@@ -231,11 +243,16 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
                 }
             }
             WatchdogAction::ForceProgress => {
-                for n in &mut nodes {
+                tracer.set_context(MACHINE_CORE, rounds, 0);
+                tracer.emit(Event::Watchdog { rung: 2 });
+                for (idx, n) in nodes.iter_mut().enumerate() {
+                    tracer.set_context(idx as u32, rounds, n.guard.active_fc());
                     force_phase(n, &mut queues);
                 }
             }
             WatchdogAction::AbortFrame => {
+                tracer.set_context(MACHINE_CORE, rounds, 0);
+                tracer.emit(Event::Watchdog { rung: 3 });
                 for n in &mut nodes {
                     abort_frame(n);
                 }
@@ -243,12 +260,16 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
         }
     }
 
+    tracer.set_context(MACHINE_CORE, rounds, 0);
+    tracer.emit(Event::RunEnd { completed });
+
     // Assemble the report.
     let mut report = RunReport {
         app: graph.name().to_string(),
         rounds,
         completed,
         watchdog: watchdog.stats(),
+        trace: tracer.finish(),
         ..Default::default()
     };
     for q in &queues {
@@ -257,9 +278,19 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
     for n in nodes {
         let frames = n.firings_done.checked_div(n.reps).unwrap_or(0);
         let timeouts = n.timeouts_fired();
+        // High-water occupancy across the queues this core consumes
+        // (queues are attributed to their consumer side).
+        let max_queue_occupancy = n
+            .in_edges
+            .iter()
+            .map(|&e| queues[e.index()].stats().max_occupancy)
+            .max()
+            .unwrap_or(0);
         if n.kind == NodeKind::Sink {
             report.sinks.insert(n.id.index(), n.sink_buf);
         }
+        let subops = n.guard.into_subops();
+        report.realignment_episodes += subops.pad_events + subops.discard_events;
         report.nodes.push(NodeReport {
             name: n.name,
             instructions: n.instructions,
@@ -270,16 +301,23 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
             } else {
                 0.0
             },
-            subops: n.guard.into_subops(),
+            subops,
             faults: *n.injector.stats(),
             timeouts,
+            max_queue_occupancy,
         });
     }
     Ok(report)
 }
 
 /// Advances one node as far as possible this visit.
-fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, config: &SimConfig) {
+fn step(
+    n: &mut NodeRt,
+    queues: &mut [SimQueue],
+    cost: &cg_graph::CostModel,
+    config: &SimConfig,
+    tracer: &Tracer,
+) {
     loop {
         match n.phase {
             Phase::Done => return,
@@ -299,6 +337,9 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                         queues[e.index()].flush();
                     }
                 }
+                tracer.emit(Event::FrameBoundary {
+                    frame: n.guard.active_fc(),
+                });
                 n.phase = Phase::DrainHeaders;
             }
             Phase::DrainHeaders => {
@@ -307,6 +348,10 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                     let q = &mut queues[e.index()];
                     if !n.guard.hi_tick(port, q) {
                         if n.out_timeouts[port].on_block() {
+                            tracer.emit(Event::QmTimeout {
+                                port: port as u32,
+                                dir: DirTag::Out,
+                            });
                             n.guard.hi_force(port, q);
                         } else {
                             clear = false;
@@ -332,6 +377,10 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                             }
                             None => {
                                 if n.in_timeouts[port].on_block() {
+                                    tracer.emit(Event::QmTimeout {
+                                        port: port as u32,
+                                        dir: DirTag::In,
+                                    });
                                     // QM timeout: transfer the whole
                                     // remaining firing's worth of (stale)
                                     // data at once rather than grinding
@@ -365,6 +414,10 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                             }
                             Err(_) => {
                                 if n.out_timeouts[port].on_block() {
+                                    tracer.emit(Event::QmTimeout {
+                                        port: port as u32,
+                                        dir: DirTag::Out,
+                                    });
                                     // QM timeout: force the rest of this
                                     // firing's output out in one go.
                                     while n.out_pos[port] < n.staged_out[port].len() {
@@ -399,6 +452,10 @@ fn step(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
                     let q = &mut queues[e.index()];
                     if !n.guard.hi_tick(port, q) {
                         if n.out_timeouts[port].on_block() {
+                            tracer.emit(Event::QmTimeout {
+                                port: port as u32,
+                                dir: DirTag::Out,
+                            });
                             n.guard.hi_force(port, q);
                         } else {
                             clear = false;

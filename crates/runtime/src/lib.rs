@@ -60,6 +60,7 @@ mod report;
 pub mod watchdog;
 pub mod work;
 
+pub use cg_trace::{TraceConfig, TraceData};
 pub use config::{MemModel, OverheadModel, SimConfig};
 pub use exec::{run, RunError};
 pub use overhead::{estimate_overhead, OverheadEstimate};

@@ -54,6 +54,7 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
 
     struct ThreadResult {
         node: NodeId,
+        in_edges: Vec<cg_graph::EdgeId>,
         report: NodeReport,
         sink: Option<Vec<u32>>,
     }
@@ -172,6 +173,7 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                 let frames_done = frames;
                 ThreadResult {
                     node: id,
+                    in_edges: in_edges.clone(),
                     report: NodeReport {
                         name,
                         instructions,
@@ -185,6 +187,7 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                         subops: guard.into_subops(),
                         faults: Default::default(),
                         timeouts: 0,
+                        max_queue_occupancy: 0,
                     },
                     sink: if kind == NodeKind::Sink {
                         Some(sink_buf)
@@ -209,7 +212,15 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
     for q in &queues {
         report.queues += *q.lock().stats();
     }
-    for r in results {
+    for mut r in results {
+        // Consumer-side attribution, matching the deterministic executor.
+        r.report.max_queue_occupancy = r
+            .in_edges
+            .iter()
+            .map(|&e| queues[e.index()].lock().stats().max_occupancy)
+            .max()
+            .unwrap_or(0);
+        report.realignment_episodes += r.report.subops.pad_events + r.report.subops.discard_events;
         if let Some(buf) = r.sink {
             report.sinks.insert(r.node.index(), buf);
         }

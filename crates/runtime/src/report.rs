@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use cg_fault::FaultStats;
 use cg_graph::NodeId;
 use cg_queue::QueueStats;
+use cg_trace::TraceData;
 use commguard::SubopCounters;
 
 use crate::config::MemModel;
@@ -30,6 +31,10 @@ pub struct NodeReport {
     pub faults: FaultStats,
     /// QM timeouts fired on this core's ports.
     pub timeouts: u64,
+    /// High-water occupancy (in units) over the queues this core
+    /// consumes. Queues are attributed to their consumer side, so source
+    /// nodes report 0.
+    pub max_queue_occupancy: u64,
 }
 
 /// The complete result of one simulated run.
@@ -49,6 +54,10 @@ pub struct RunReport {
     pub completed: bool,
     /// Cross-core stall watchdog escalations.
     pub watchdog: WatchdogStats,
+    /// AM realignment episodes (pad + discard entries) across all cores.
+    pub realignment_episodes: u64,
+    /// The drained event trace, when the run was configured with one.
+    pub trace: Option<TraceData>,
 }
 
 impl RunReport {
@@ -137,6 +146,15 @@ impl RunReport {
     pub fn total_timeouts(&self) -> u64 {
         self.nodes.iter().map(|n| n.timeouts).sum()
     }
+
+    /// Deepest any queue ever got, across all edges (units).
+    pub fn max_queue_occupancy(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.max_queue_occupancy)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +179,7 @@ mod tests {
             n.subops.fsm_ops = 10;
             n.subops.accepted_items = 100;
             n.subops.padded_items = 1;
+            n.max_queue_occupancy = 40 + i as u64;
             r.nodes.push(n);
         }
         r.queues.item_pushes = 200;
@@ -199,5 +218,19 @@ mod tests {
     fn sink_output_empty_for_unknown() {
         let r = report();
         assert!(r.sink_output(NodeId::from_index(5)).is_empty());
+    }
+
+    #[test]
+    fn max_queue_occupancy_is_the_max_over_nodes() {
+        let r = report();
+        assert_eq!(r.max_queue_occupancy(), 41);
+        assert_eq!(RunReport::default().max_queue_occupancy(), 0);
+    }
+
+    #[test]
+    fn realignment_episodes_and_trace_default_empty() {
+        let r = report();
+        assert_eq!(r.realignment_episodes, 0);
+        assert!(r.trace.is_none());
     }
 }

@@ -1,0 +1,116 @@
+//! Determinism guarantees of the event-trace layer (ISSUE 3):
+//! identical seed + config must yield a byte-identical trace, and
+//! enabling tracing must not perturb execution at all.
+
+use cg_fault::Mtbe;
+use cg_runtime::{run, Program, SimConfig, TraceConfig};
+use cg_trace::text;
+use commguard::graph::{GraphBuilder, NodeKind};
+use commguard::Protection;
+
+fn program() -> Program {
+    let mut b = GraphBuilder::new("det");
+    let s = b.add_node("s", NodeKind::Source);
+    let f = b.add_node("f", NodeKind::Filter);
+    let k = b.add_node("k", NodeKind::Sink);
+    b.pipeline(&[s, f, k], 8).unwrap();
+    let graph = b.build().unwrap();
+    let mut p = Program::new(graph);
+    let mut next = 0u32;
+    p.set_source(s, move |out| {
+        for _ in 0..8 {
+            out.push(next);
+            next = next.wrapping_add(1);
+        }
+    });
+    p.set_filter(f, |inp, out| {
+        out[0].extend(inp[0].iter().map(|&v| v.wrapping_mul(3)));
+    });
+    p
+}
+
+fn faulty_config() -> SimConfig {
+    SimConfig::with_errors(40, Protection::commguard(), Mtbe::instructions(700), 11)
+}
+
+#[test]
+fn same_seed_yields_byte_identical_trace() {
+    let trace = |()| {
+        let report = run(program(), &faulty_config().trace(TraceConfig::ring())).unwrap();
+        let data = report.trace.expect("tracing was enabled");
+        assert!(!data.records.is_empty(), "a faulty run must trace events");
+        text::to_text(&data.records)
+    };
+    let a = trace(());
+    let b = trace(());
+    assert_eq!(a, b, "identical seed + config must replay identically");
+}
+
+#[test]
+fn different_seeds_yield_different_traces() {
+    let trace = |seed| {
+        let cfg = faulty_config().seed(seed).trace(TraceConfig::ring());
+        let report = run(program(), &cfg).unwrap();
+        text::to_text(&report.trace.expect("enabled").records)
+    };
+    assert_ne!(trace(11), trace(12));
+}
+
+#[test]
+fn tracing_does_not_perturb_execution() {
+    let run_with = |trace| run(program(), &faulty_config().trace(trace)).unwrap();
+    let off = run_with(TraceConfig::Off);
+    let ring = run_with(TraceConfig::ring());
+    let counting = run_with(TraceConfig::Counting);
+
+    assert!(off.trace.is_none());
+    for traced in [&ring, &counting] {
+        assert!(traced.trace.is_some());
+        assert_eq!(traced.rounds, off.rounds);
+        assert_eq!(traced.completed, off.completed);
+        assert_eq!(traced.sinks, off.sinks);
+        assert_eq!(traced.queues, off.queues);
+        assert_eq!(traced.realignment_episodes, off.realignment_episodes);
+        assert_eq!(traced.max_queue_occupancy(), off.max_queue_occupancy());
+        for (a, b) in traced.nodes.iter().zip(&off.nodes) {
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.firings, b.firings);
+            assert_eq!(a.subops, b.subops);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.timeouts, b.timeouts);
+            assert_eq!(a.max_queue_occupancy, b.max_queue_occupancy);
+        }
+    }
+}
+
+#[test]
+fn trace_counts_cross_check_report_figures() {
+    let report = run(program(), &faulty_config().trace(TraceConfig::Counting)).unwrap();
+    let counts = report.trace.as_ref().expect("enabled").counts.clone();
+    assert_eq!(
+        counts.realign_episodes(),
+        report.realignment_episodes,
+        "trace-side episode count must agree with the subop counters"
+    );
+    assert_eq!(counts.faults(), report.total_faults().total());
+    assert_eq!(
+        u64::from(counts.max_queue_depth),
+        report.max_queue_occupancy(),
+        "trace-side high-water mark must agree with queue stats"
+    );
+}
+
+#[test]
+fn realignment_episodes_match_subop_counters() {
+    let report = run(program(), &faulty_config()).unwrap();
+    let expect: u64 = report
+        .nodes
+        .iter()
+        .map(|n| n.subops.pad_events + n.subops.discard_events)
+        .sum();
+    assert_eq!(report.realignment_episodes, expect);
+    assert!(
+        report.realignment_episodes > 0,
+        "this MTBE must force at least one realignment"
+    );
+}

@@ -1,0 +1,444 @@
+//! Post-mortem fault-propagation analysis.
+//!
+//! Walks a recorded trace and reconstructs, for every realignment
+//! episode, the *propagation chain* the paper reasons about (§4, §7):
+//! fault injection → first misaligned pop (the AM leaves an aligned
+//! state) → discard/pad episode → the round the AM realigned. Also
+//! aggregates realignment-latency and per-edge queue-occupancy
+//! histograms, so a campaign summary can show not just *how many*
+//! episodes occurred but how long recovery took and how full the queues
+//! ran.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::{CoreId, Event, FaultKindTag, RealignTag, TraceRecord};
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts (index = log2 bucket).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub total: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: u64,
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+        self.sum += v;
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    fn bucket_label(i: usize) -> String {
+        if i == 0 {
+            "0".to_string()
+        } else {
+            format!("{}..{}", 1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total == 0 {
+            return write!(f, "  (no samples)");
+        }
+        writeln!(
+            f,
+            "  samples={} mean={:.1} max={}",
+            self.total,
+            self.mean(),
+            self.max
+        )?;
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+            writeln!(f, "  {:>12} | {:<40} {}", Self::bucket_label(i), bar, n)?;
+        }
+        Ok(())
+    }
+}
+
+/// One reconstructed injection→recovery chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropagationChain {
+    /// Core whose AM ran the episode (the consumer side).
+    pub core: CoreId,
+    /// Incoming port on that core.
+    pub port: u32,
+    /// Pad or discard.
+    pub kind: RealignTag,
+    /// The most recent injection before the episode began:
+    /// (faulted core, round, manifestation, instruction). `None` when the
+    /// episode has no recorded injection upstream of it (e.g. ring
+    /// overflow dropped it, or the episode was timeout-induced).
+    pub injection: Option<(CoreId, u64, FaultKindTag, u64)>,
+    /// Round the AM left alignment — the first misaligned pop.
+    pub detect_round: u64,
+    /// Consumer frame computation at detection.
+    pub start_frame: u32,
+    /// Round the AM re-entered an aligned state (`None` = never, within
+    /// the recorded window).
+    pub realign_round: Option<u64>,
+}
+
+impl PropagationChain {
+    /// Rounds from detection to realignment, when the episode closed.
+    pub fn latency_rounds(&self) -> Option<u64> {
+        self.realign_round
+            .map(|r| r.saturating_sub(self.detect_round))
+    }
+}
+
+impl fmt::Display for PropagationChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.injection {
+            Some((core, round, kind, at)) => write!(
+                f,
+                "{} fault on core {} @ round {} (instr {}) -> ",
+                kind.label(),
+                core,
+                round,
+                at
+            )?,
+            None => write!(f, "(no recorded injection) -> ")?,
+        }
+        write!(
+            f,
+            "first misaligned pop core {} port {} @ round {} -> {} episode (frame {})",
+            self.core,
+            self.port,
+            self.detect_round,
+            self.kind.label(),
+            self.start_frame
+        )?;
+        match self.realign_round {
+            Some(r) => write!(
+                f,
+                " -> realigned @ round {} (latency {} rounds)",
+                r,
+                self.latency_rounds().unwrap_or(0)
+            ),
+            None => write!(f, " -> never realigned in recorded window"),
+        }
+    }
+}
+
+/// Full analysis of one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Analysis {
+    /// Reconstructed chains, in detection order.
+    pub chains: Vec<PropagationChain>,
+    /// Latency (rounds) of the chains that closed.
+    pub realign_latency: Histogram,
+    /// Queue occupancy after each push/pop, per edge.
+    pub occupancy: BTreeMap<u32, Histogram>,
+    /// Total recorded injections.
+    pub faults: u64,
+    /// Injections that were architecturally silent.
+    pub silent_faults: u64,
+    /// Watchdog rungs fired.
+    pub watchdog_actions: u64,
+    /// QM timeouts fired.
+    pub qm_timeouts: u64,
+}
+
+impl Analysis {
+    /// Chains with a linked upstream injection.
+    pub fn linked_chains(&self) -> usize {
+        self.chains.iter().filter(|c| c.injection.is_some()).count()
+    }
+}
+
+/// Reconstructs propagation chains and aggregate histograms from a
+/// record stream (must be in emission order, as drained from a sink).
+pub fn analyze(records: &[TraceRecord]) -> Analysis {
+    let mut out = Analysis::default();
+    // Most recent non-silent injection seen so far, trace-wide: a fault on
+    // a producer core surfaces as misalignment on its *consumers*, so the
+    // link is deliberately cross-core.
+    let mut last_injection: Option<(CoreId, u64, FaultKindTag, u64)> = None;
+    // Open episode per (core, port): index into out.chains.
+    let mut open: BTreeMap<(CoreId, u32), usize> = BTreeMap::new();
+
+    for rec in records {
+        match rec.event {
+            Event::Fault {
+                kind,
+                at_instruction,
+            } => {
+                out.faults += 1;
+                if kind == FaultKindTag::Silent {
+                    out.silent_faults += 1;
+                } else {
+                    last_injection = Some((rec.core, rec.round, kind, at_instruction));
+                }
+            }
+            Event::Push { edge, depth, .. }
+            | Event::Pop { edge, depth, .. }
+            | Event::TimeoutPush { edge, depth, .. }
+            | Event::TimeoutPop { edge, depth } => {
+                out.occupancy.entry(edge).or_default().record(depth as u64);
+            }
+            Event::RealignStart { port, kind, frame } => {
+                // A fresh start on an already-open port means the AM moved
+                // between abnormal flavours; keep the original chain open
+                // (it tracks the full outage) and note nothing new.
+                if let std::collections::btree_map::Entry::Vacant(e) = open.entry((rec.core, port))
+                {
+                    e.insert(out.chains.len());
+                    out.chains.push(PropagationChain {
+                        core: rec.core,
+                        port,
+                        kind,
+                        injection: last_injection,
+                        detect_round: rec.round,
+                        start_frame: frame,
+                        realign_round: None,
+                    });
+                }
+            }
+            Event::RealignEnd { port, .. } => {
+                if let Some(idx) = open.remove(&(rec.core, port)) {
+                    let chain = &mut out.chains[idx];
+                    chain.realign_round = Some(rec.round);
+                    out.realign_latency
+                        .record(rec.round.saturating_sub(chain.detect_round));
+                }
+            }
+            Event::Watchdog { .. } => out.watchdog_actions += 1,
+            Event::QmTimeout { .. } => out.qm_timeouts += 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "faults={} (silent={})  chains={} (linked={})  qm-timeouts={}  watchdog={}",
+            self.faults,
+            self.silent_faults,
+            self.chains.len(),
+            self.linked_chains(),
+            self.qm_timeouts,
+            self.watchdog_actions
+        )?;
+        for (i, chain) in self.chains.iter().enumerate() {
+            writeln!(f, "chain {}: {}", i + 1, chain)?;
+        }
+        writeln!(f, "realignment latency (rounds):")?;
+        write!(f, "{}", self.realign_latency)?;
+        for (edge, hist) in &self.occupancy {
+            writeln!(f, "queue occupancy, edge {edge}:")?;
+            write!(f, "{hist}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, round: u64, core: CoreId, frame: u32, event: Event) -> TraceRecord {
+        TraceRecord {
+            seq,
+            round,
+            core,
+            frame,
+            event,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 2, 3, 4, 7, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.total, 9);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 2); // 1,1
+        assert_eq!(h.buckets[2], 2); // 2,3
+        assert_eq!(h.buckets[3], 2); // 4,7
+        assert_eq!(h.buckets[4], 1); // 8
+        assert_eq!(h.buckets[7], 1); // 100 in 64..127
+        assert!((h.mean() - 126.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_links_injection_to_episode_and_realignment() {
+        let records = vec![
+            rec(
+                0,
+                5,
+                0,
+                1,
+                Event::Fault {
+                    kind: FaultKindTag::Control,
+                    at_instruction: 777,
+                },
+            ),
+            rec(
+                1,
+                9,
+                1,
+                1,
+                Event::RealignStart {
+                    port: 0,
+                    kind: RealignTag::Discard,
+                    frame: 1,
+                },
+            ),
+            rec(2, 16, 1, 2, Event::RealignEnd { port: 0, frame: 2 }),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.faults, 1);
+        assert_eq!(a.chains.len(), 1);
+        let c = &a.chains[0];
+        assert_eq!(c.injection, Some((0, 5, FaultKindTag::Control, 777)));
+        assert_eq!(c.detect_round, 9);
+        assert_eq!(c.realign_round, Some(16));
+        assert_eq!(c.latency_rounds(), Some(7));
+        assert_eq!(a.realign_latency.total, 1);
+        let line = c.to_string();
+        assert!(line.contains("control fault on core 0 @ round 5"), "{line}");
+        assert!(line.contains("latency 7 rounds"), "{line}");
+    }
+
+    #[test]
+    fn silent_faults_do_not_link() {
+        let records = vec![
+            rec(
+                0,
+                1,
+                0,
+                0,
+                Event::Fault {
+                    kind: FaultKindTag::Silent,
+                    at_instruction: 1,
+                },
+            ),
+            rec(
+                1,
+                2,
+                1,
+                0,
+                Event::RealignStart {
+                    port: 0,
+                    kind: RealignTag::Pad,
+                    frame: 0,
+                },
+            ),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.silent_faults, 1);
+        assert_eq!(a.chains.len(), 1);
+        assert_eq!(a.chains[0].injection, None);
+        assert_eq!(a.chains[0].realign_round, None);
+        assert_eq!(a.linked_chains(), 0);
+    }
+
+    #[test]
+    fn nested_starts_keep_one_chain_open() {
+        let records = vec![
+            rec(
+                0,
+                3,
+                2,
+                0,
+                Event::RealignStart {
+                    port: 1,
+                    kind: RealignTag::Discard,
+                    frame: 0,
+                },
+            ),
+            rec(
+                1,
+                4,
+                2,
+                0,
+                Event::RealignStart {
+                    port: 1,
+                    kind: RealignTag::Pad,
+                    frame: 0,
+                },
+            ),
+            rec(2, 8, 2, 1, Event::RealignEnd { port: 1, frame: 1 }),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.chains.len(), 1, "abnormal->abnormal keeps chain open");
+        assert_eq!(a.chains[0].kind, RealignTag::Discard);
+        assert_eq!(a.chains[0].latency_rounds(), Some(5));
+    }
+
+    #[test]
+    fn occupancy_is_per_edge() {
+        let records = vec![
+            rec(
+                0,
+                1,
+                0,
+                0,
+                Event::Push {
+                    edge: 0,
+                    header: false,
+                    depth: 3,
+                },
+            ),
+            rec(
+                1,
+                2,
+                1,
+                0,
+                Event::Pop {
+                    edge: 1,
+                    header: false,
+                    depth: 9,
+                },
+            ),
+        ];
+        let a = analyze(&records);
+        assert_eq!(a.occupancy.len(), 2);
+        assert_eq!(a.occupancy[&0].max, 3);
+        assert_eq!(a.occupancy[&1].max, 9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Trace-file inspection CLI.
+//!
+//! ```text
+//! cg-trace dump FILE [--core N] [--kind K] [--from-round R] [--to-round R] [--limit N]
+//! cg-trace summary FILE
+//! cg-trace analyze FILE
+//! cg-trace chrome FILE --out OUT.json [--name NAME]
+//! cg-trace check FILE.json
+//! ```
+//!
+//! `FILE` is a text trace as written by the campaign `--trace` flag or
+//! the `trace_run` experiment binary. `check` validates that a JSON file
+//! (e.g. an exported Chrome trace) is well-formed.
+
+use std::process::ExitCode;
+
+use cg_trace::event::EventKind;
+use cg_trace::{analyze, json_check, text, to_chrome_json, TraceRecord};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cg-trace dump FILE [--core N] [--kind K] [--from-round R] [--to-round R] [--limit N]\n\
+         \x20      cg-trace summary FILE\n\
+         \x20      cg-trace analyze FILE\n\
+         \x20      cg-trace chrome FILE --out OUT.json [--name NAME]\n\
+         \x20      cg-trace check FILE.json\n\
+         \n\
+         kinds: {}",
+        EventKind::all().map(|k| k.label()).join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn read_trace(path: &str) -> Vec<TraceRecord> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cg-trace: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    text::parse(&body).unwrap_or_else(|e| {
+        eprintln!("cg-trace: {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+struct DumpFilter {
+    core: Option<u32>,
+    kind: Option<EventKind>,
+    from_round: u64,
+    to_round: u64,
+    limit: usize,
+}
+
+fn dump(path: &str, rest: &[String]) -> ExitCode {
+    let mut f = DumpFilter {
+        core: None,
+        kind: None,
+        from_round: 0,
+        to_round: u64::MAX,
+        limit: usize::MAX,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> &String {
+        *i += 1;
+        rest.get(*i).unwrap_or_else(|| usage())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--core" => f.core = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--kind" => {
+                f.kind = Some(EventKind::parse(value(&mut i)).unwrap_or_else(|| usage()));
+            }
+            "--from-round" => f.from_round = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--to-round" => f.to_round = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--limit" => f.limit = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let records = read_trace(path);
+    let mut shown = 0usize;
+    for rec in &records {
+        if shown >= f.limit {
+            break;
+        }
+        if f.core.is_some_and(|c| rec.core != c)
+            || f.kind.is_some_and(|k| rec.event.kind() != k)
+            || rec.round < f.from_round
+            || rec.round > f.to_round
+        {
+            continue;
+        }
+        println!("{}", text::record_to_line(rec));
+        shown += 1;
+    }
+    eprintln!("cg-trace: {shown} of {} records shown", records.len());
+    ExitCode::SUCCESS
+}
+
+fn summary(path: &str) -> ExitCode {
+    let records = read_trace(path);
+    let rounds = records.iter().map(|r| r.round).max().unwrap_or(0);
+    let mut cores: Vec<u32> = records.iter().map(|r| r.core).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    println!(
+        "{path}: {} records, {} cores, {} rounds",
+        records.len(),
+        cores.len(),
+        rounds
+    );
+    for kind in EventKind::all() {
+        let n = records.iter().filter(|r| r.event.kind() == kind).count();
+        if n > 0 {
+            println!("  {:<14} {n}", kind.label());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn analyze_cmd(path: &str) -> ExitCode {
+    let records = read_trace(path);
+    let analysis = analyze(&records);
+    print!("{analysis}");
+    if analysis.chains.is_empty() {
+        eprintln!("cg-trace: no propagation chains found");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn chrome(path: &str, rest: &[String]) -> ExitCode {
+    let mut out = None;
+    let mut name = "commguard-run".to_string();
+    let mut i = 0;
+    let value = |i: &mut usize| -> &String {
+        *i += 1;
+        rest.get(*i).unwrap_or_else(|| usage())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => out = Some(value(&mut i).clone()),
+            "--name" => name = value(&mut i).clone(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let out = out.unwrap_or_else(|| usage());
+    let records = read_trace(path);
+    let json = to_chrome_json(&name, &records);
+    json_check::validate(&json).unwrap_or_else(|e| {
+        eprintln!("cg-trace: internal error, emitted invalid JSON: {e}");
+        std::process::exit(1)
+    });
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cg-trace: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "cg-trace: {} records -> {out} (open at https://ui.perfetto.dev)",
+        records.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn check(path: &str) -> ExitCode {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cg-trace: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    match json_check::validate(&body) {
+        Ok(()) => {
+            eprintln!("cg-trace: {path}: valid JSON ({} bytes)", body.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cg-trace: {path}: INVALID JSON: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (argv.first(), argv.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => usage(),
+    };
+    let rest = &argv[2..];
+    match cmd {
+        "dump" => dump(file, rest),
+        "summary" if rest.is_empty() => summary(file),
+        "analyze" if rest.is_empty() => analyze_cmd(file),
+        "chrome" => chrome(file, rest),
+        "check" if rest.is_empty() => check(file),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,344 @@
+//! Chrome Trace Event / Perfetto JSON exporter.
+//!
+//! Converts a trace into the Trace Event Format consumed by
+//! `ui.perfetto.dev` and `chrome://tracing`: one process, one thread per
+//! core, scheduler rounds as the microsecond timestamp axis. Faults,
+//! header insertions, QM timeouts, frame boundaries and watchdog rungs
+//! become instant events; realignment episodes become duration ("X")
+//! slices so pad/discard windows are visible as bars on the offending
+//! core's track; queue occupancy becomes counter tracks (one per edge).
+//!
+//! Output is hand-rolled JSON (the workspace is offline — no serde) and
+//! deterministic: same records in, byte-identical JSON out.
+
+use crate::event::{CoreId, Event, TraceRecord, MACHINE_CORE};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn tid(core: CoreId) -> u64 {
+    core as u64
+}
+
+fn meta_thread(core: CoreId, name: &str, out: &mut Vec<String>) {
+    out.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+        tid(core),
+        esc(name)
+    ));
+    // sort_index keeps core tracks in core order with the machine track last.
+    let sort = if core == MACHINE_CORE {
+        u32::MAX as u64
+    } else {
+        core as u64
+    };
+    out.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{}}}}}",
+        tid(core),
+        sort
+    ));
+}
+
+fn instant(core: CoreId, ts: u64, name: &str, args: &str, out: &mut Vec<String>) {
+    out.push(format!(
+        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\"args\":{{{}}}}}",
+        tid(core),
+        ts,
+        esc(name),
+        args
+    ));
+}
+
+fn counter(ts: u64, name: &str, value: u32, out: &mut Vec<String>) {
+    out.push(format!(
+        "{{\"ph\":\"C\",\"pid\":0,\"ts\":{},\"name\":\"{}\",\"args\":{{\"depth\":{}}}}}",
+        ts,
+        esc(name),
+        value
+    ));
+}
+
+/// An open realignment slice, keyed by (core, port).
+struct OpenEpisode {
+    start_round: u64,
+    name: String,
+    frame: u32,
+}
+
+/// Renders records as a Chrome Trace Event JSON document.
+///
+/// `process_name` labels the single process track (use the app name).
+pub fn to_chrome_json(process_name: &str, records: &[TraceRecord]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+        esc(process_name)
+    ));
+
+    // Thread metadata for every core that appears, in deterministic order.
+    let mut cores: Vec<CoreId> = records.iter().map(|r| r.core).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    for &core in &cores {
+        if core == MACHINE_CORE {
+            meta_thread(core, "machine", &mut events);
+        } else {
+            meta_thread(core, &format!("core {core}"), &mut events);
+        }
+    }
+
+    let mut open: std::collections::HashMap<(CoreId, u32), OpenEpisode> =
+        std::collections::HashMap::new();
+    let mut last_round = 0u64;
+
+    for rec in records {
+        let ts = rec.round;
+        last_round = last_round.max(ts);
+        match rec.event {
+            Event::Fault {
+                kind,
+                at_instruction,
+            } => instant(
+                rec.core,
+                ts,
+                &format!("fault:{}", kind.label()),
+                &format!("\"at_instruction\":{at_instruction}"),
+                &mut events,
+            ),
+            Event::Push { edge, .. }
+            | Event::Pop { edge, .. }
+            | Event::TimeoutPush { edge, .. }
+            | Event::TimeoutPop { edge, .. } => {
+                let depth = match rec.event {
+                    Event::Push { depth, .. }
+                    | Event::Pop { depth, .. }
+                    | Event::TimeoutPush { depth, .. }
+                    | Event::TimeoutPop { depth, .. } => depth,
+                    _ => unreachable!(),
+                };
+                counter(ts, &format!("q{edge}"), depth, &mut events);
+            }
+            Event::PointerCorrupt { edge, which, bit } => instant(
+                rec.core,
+                ts,
+                &format!("ptr-corrupt:{}", which.label()),
+                &format!("\"edge\":{edge},\"bit\":{bit}"),
+                &mut events,
+            ),
+            Event::HeaderCorrupt { edge, bits } => instant(
+                rec.core,
+                ts,
+                "hdr-corrupt",
+                &format!("\"edge\":{edge},\"bits\":{bits}"),
+                &mut events,
+            ),
+            Event::HeaderInserted {
+                port,
+                frame,
+                forced,
+            } => instant(
+                rec.core,
+                ts,
+                "hdr-insert",
+                &format!("\"port\":{port},\"frame\":{frame},\"forced\":{forced}"),
+                &mut events,
+            ),
+            Event::AmTransition { .. } => {
+                // Transitions are visible through the realignment slices;
+                // as instants they would flood the timeline.
+            }
+            Event::RealignStart { port, kind, frame } => {
+                // A new episode on the same port implicitly closes the
+                // previous one (the AM jumped between abnormal states).
+                if let Some(ep) = open.remove(&(rec.core, port)) {
+                    close_episode(rec.core, port, ep, ts, &mut events);
+                }
+                open.insert(
+                    (rec.core, port),
+                    OpenEpisode {
+                        start_round: ts,
+                        name: format!("realign:{} p{}", kind.label(), port),
+                        frame,
+                    },
+                );
+            }
+            Event::RealignEnd { port, .. } => {
+                if let Some(ep) = open.remove(&(rec.core, port)) {
+                    close_episode(rec.core, port, ep, ts, &mut events);
+                }
+            }
+            Event::FrameBoundary { frame } => instant(
+                rec.core,
+                ts,
+                "frame",
+                &format!("\"frame\":{frame}"),
+                &mut events,
+            ),
+            Event::QmTimeout { port, dir } => instant(
+                rec.core,
+                ts,
+                &format!("qm-timeout:{}", dir.label()),
+                &format!("\"port\":{port}"),
+                &mut events,
+            ),
+            Event::Watchdog { rung } => instant(
+                rec.core,
+                ts,
+                &format!("watchdog:rung{rung}"),
+                &format!("\"rung\":{rung}"),
+                &mut events,
+            ),
+            Event::RunEnd { completed } => instant(
+                rec.core,
+                ts,
+                "run-end",
+                &format!("\"completed\":{completed}"),
+                &mut events,
+            ),
+        }
+    }
+
+    // Close episodes still open at the end of the trace, in deterministic
+    // key order.
+    let mut leftovers: Vec<((CoreId, u32), OpenEpisode)> = open.drain().collect();
+    leftovers.sort_by_key(|(k, _)| *k);
+    for ((core, port), ep) in leftovers {
+        close_episode(core, port, ep, last_round + 1, &mut events);
+    }
+
+    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
+fn close_episode(core: CoreId, port: u32, ep: OpenEpisode, end: u64, out: &mut Vec<String>) {
+    let dur = end.saturating_sub(ep.start_round).max(1);
+    out.push(format!(
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"args\":{{\"port\":{},\"frame\":{}}}}}",
+        tid(core),
+        ep.start_round,
+        dur,
+        esc(&ep.name),
+        port,
+        ep.frame
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FaultKindTag, RealignTag};
+    use crate::json_check::validate;
+
+    fn rec(seq: u64, round: u64, core: CoreId, event: Event) -> TraceRecord {
+        TraceRecord {
+            seq,
+            round,
+            core,
+            frame: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn exporter_produces_valid_json() {
+        let records = vec![
+            rec(
+                0,
+                1,
+                0,
+                Event::Fault {
+                    kind: FaultKindTag::Data,
+                    at_instruction: 42,
+                },
+            ),
+            rec(
+                1,
+                2,
+                1,
+                Event::RealignStart {
+                    port: 0,
+                    kind: RealignTag::Pad,
+                    frame: 3,
+                },
+            ),
+            rec(2, 5, 1, Event::RealignEnd { port: 0, frame: 4 }),
+            rec(
+                3,
+                6,
+                0,
+                Event::Push {
+                    edge: 0,
+                    header: false,
+                    depth: 2,
+                },
+            ),
+            rec(4, 7, MACHINE_CORE, Event::Watchdog { rung: 1 }),
+        ];
+        let json = to_chrome_json("complex-fir", &records);
+        validate(&json).expect("valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("fault:data"));
+        assert!(json.contains("realign:pad p0"));
+        assert!(json.contains("\"dur\":3"));
+        assert!(json.contains("\"name\":\"machine\""));
+        assert!(json.contains("\"name\":\"q0\""));
+    }
+
+    #[test]
+    fn unclosed_episode_is_flushed() {
+        let records = vec![rec(
+            0,
+            10,
+            2,
+            Event::RealignStart {
+                port: 1,
+                kind: RealignTag::Discard,
+                frame: 0,
+            },
+        )];
+        let json = to_chrome_json("app", &records);
+        validate(&json).expect("valid JSON");
+        assert!(json.contains("realign:discard p1"));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let records: Vec<TraceRecord> = (0..20)
+            .map(|i| {
+                rec(
+                    i,
+                    i,
+                    (i % 3) as u32,
+                    Event::RealignStart {
+                        port: (i % 2) as u32,
+                        kind: RealignTag::Pad,
+                        frame: i as u32,
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(
+            to_chrome_json("app", &records),
+            to_chrome_json("app", &records)
+        );
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(esc("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

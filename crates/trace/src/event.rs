@@ -1,0 +1,578 @@
+//! The structured event vocabulary of the trace layer.
+//!
+//! One [`Event`] describes one observable action somewhere in the stack —
+//! a fault injection (`cg-fault`), a queue operation (`cg-queue`), an AM
+//! FSM transition or header insertion (`cg-core`), or a scheduler /
+//! watchdog action (`cg-runtime`). The emitting site never stamps
+//! context itself: the [`crate::Tracer`] wraps each event into a
+//! [`TraceRecord`] carrying (core, scheduler round, frame counter) plus a
+//! global sequence number, so records from every module interleave into
+//! one totally ordered, deterministic stream.
+
+/// Core identifier: the stream-graph node index (one node per core).
+pub type CoreId = u32;
+
+/// Pseudo-core for machine-wide events (watchdog rungs, run end).
+pub const MACHINE_CORE: CoreId = u32::MAX;
+
+/// Architecture-level fault manifestation, mirroring
+/// `cg_fault::EffectKind` without depending on it (this crate sits below
+/// `cg-fault` in the dependency order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKindTag {
+    /// A live data value was corrupted.
+    Data,
+    /// Fine-grained control flow was perturbed.
+    Control,
+    /// A memory address (possibly a shared queue pointer) was corrupted.
+    Addressing,
+    /// The flip was architecturally masked.
+    Silent,
+}
+
+impl FaultKindTag {
+    /// Stable short label (also the trace-file token).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKindTag::Data => "data",
+            FaultKindTag::Control => "control",
+            FaultKindTag::Addressing => "addressing",
+            FaultKindTag::Silent => "silent",
+        }
+    }
+
+    /// Inverse of [`FaultKindTag::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "data" => FaultKindTag::Data,
+            "control" => FaultKindTag::Control,
+            "addressing" => FaultKindTag::Addressing,
+            "silent" => FaultKindTag::Silent,
+            _ => return None,
+        })
+    }
+}
+
+/// Which shared queue pointer a corruption struck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtrTag {
+    /// The consumer-progress (head) pointer.
+    Head,
+    /// The producer-progress (tail) pointer.
+    Tail,
+}
+
+impl PtrTag {
+    /// Stable short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PtrTag::Head => "head",
+            PtrTag::Tail => "tail",
+        }
+    }
+
+    /// Inverse of [`PtrTag::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "head" => PtrTag::Head,
+            "tail" => PtrTag::Tail,
+            _ => return None,
+        })
+    }
+}
+
+/// Port direction for QM timeouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirTag {
+    /// An incoming (pop-side) port.
+    In,
+    /// An outgoing (push-side) port.
+    Out,
+}
+
+impl DirTag {
+    /// Stable short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DirTag::In => "in",
+            DirTag::Out => "out",
+        }
+    }
+
+    /// Inverse of [`DirTag::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "in" => DirTag::In,
+            "out" => DirTag::Out,
+            _ => return None,
+        })
+    }
+}
+
+/// AM FSM state, mirroring `commguard::AmState` (paper Table 1) without
+/// depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmTag {
+    /// Receiving and computing (aligned).
+    RcvCmp,
+    /// Expecting the next frame header (aligned).
+    ExpHdr,
+    /// Discarding whole frames.
+    DiscFr,
+    /// Discarding items and frames.
+    Disc,
+    /// Padding pops for lost data.
+    Pdg,
+}
+
+impl AmTag {
+    /// `true` for the two aligned (non-realigning) states.
+    pub fn is_aligned(self) -> bool {
+        matches!(self, AmTag::RcvCmp | AmTag::ExpHdr)
+    }
+
+    /// Stable short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AmTag::RcvCmp => "rcvcmp",
+            AmTag::ExpHdr => "exphdr",
+            AmTag::DiscFr => "discfr",
+            AmTag::Disc => "disc",
+            AmTag::Pdg => "pdg",
+        }
+    }
+
+    /// Inverse of [`AmTag::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "rcvcmp" => AmTag::RcvCmp,
+            "exphdr" => AmTag::ExpHdr,
+            "discfr" => AmTag::DiscFr,
+            "disc" => AmTag::Disc,
+            "pdg" => AmTag::Pdg,
+            _ => return None,
+        })
+    }
+}
+
+/// Realignment flavour (paper §4.2): pad fabricates lost data,
+/// discard drops extra data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RealignTag {
+    /// Computation realignment: pops padded.
+    Pad,
+    /// Communication realignment: queued units discarded.
+    Discard,
+}
+
+impl RealignTag {
+    /// Stable short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RealignTag::Pad => "pad",
+            RealignTag::Discard => "discard",
+        }
+    }
+
+    /// Inverse of [`RealignTag::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "pad" => RealignTag::Pad,
+            "discard" => RealignTag::Discard,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace event. Compact (`Copy`, word-sized payloads) so
+/// ring-buffer recording stays cheap on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A fault struck this core (`cg-fault`).
+    Fault {
+        /// Manifestation class.
+        kind: FaultKindTag,
+        /// Core-local committed-instruction count at the strike.
+        at_instruction: u64,
+    },
+    /// A successful queue push (`cg-queue`).
+    Push {
+        /// Edge (queue) index.
+        edge: u32,
+        /// Whether the unit was a frame header.
+        header: bool,
+        /// Queue occupancy after the operation.
+        depth: u32,
+    },
+    /// A successful queue pop (`cg-queue`).
+    Pop {
+        /// Edge (queue) index.
+        edge: u32,
+        /// Whether the unit was a frame header.
+        header: bool,
+        /// Queue occupancy after the operation.
+        depth: u32,
+    },
+    /// A forced push past a full condition (QM timeout path).
+    TimeoutPush {
+        /// Edge (queue) index.
+        edge: u32,
+        /// Whether the unit was a frame header.
+        header: bool,
+        /// Queue occupancy after the operation.
+        depth: u32,
+    },
+    /// A forced pop past an empty condition (QM timeout path).
+    TimeoutPop {
+        /// Edge (queue) index.
+        edge: u32,
+        /// Queue occupancy after the operation.
+        depth: u32,
+    },
+    /// A shared queue pointer was corrupted by fault injection.
+    PointerCorrupt {
+        /// Edge (queue) index.
+        edge: u32,
+        /// Head or tail.
+        which: PtrTag,
+        /// Bit flipped.
+        bit: u32,
+    },
+    /// An in-flight header codeword was corrupted by fault injection.
+    HeaderCorrupt {
+        /// Edge (queue) index.
+        edge: u32,
+        /// Distinct bits flipped (1 = ECC corrects, 2 = SECDED detects).
+        bits: u32,
+    },
+    /// The HI pushed a frame header into its queue (`cg-core`).
+    HeaderInserted {
+        /// Outgoing port index on the emitting core.
+        port: u32,
+        /// Frame id carried by the header.
+        frame: u32,
+        /// `true` when forced past a full queue (timeout path).
+        forced: bool,
+    },
+    /// An AM FSM state transition (`cg-core`, paper Table 1).
+    AmTransition {
+        /// Incoming port index on the emitting core.
+        port: u32,
+        /// State before.
+        from: AmTag,
+        /// State after.
+        to: AmTag,
+    },
+    /// A realignment episode began (mirrors `SubopCounters::record_event`).
+    RealignStart {
+        /// Incoming port index on the emitting core.
+        port: u32,
+        /// Pad or discard.
+        kind: RealignTag,
+        /// The consumer's active frame computation at episode start.
+        frame: u32,
+    },
+    /// A realignment episode ended: the AM re-entered an aligned state.
+    RealignEnd {
+        /// Incoming port index on the emitting core.
+        port: u32,
+        /// The consumer's active frame computation at episode end.
+        frame: u32,
+    },
+    /// A core crossed a frame-computation boundary (`cg-runtime`).
+    FrameBoundary {
+        /// The frame computation now beginning.
+        frame: u32,
+    },
+    /// A per-port QM timeout fired (`cg-runtime`).
+    QmTimeout {
+        /// Port index on the emitting core.
+        port: u32,
+        /// Pop side or push side.
+        dir: DirTag,
+    },
+    /// The cross-core watchdog fired a rung (`cg-runtime`).
+    Watchdog {
+        /// Escalation rung (1 = arm timeouts, 2 = force progress,
+        /// 3 = abort frame).
+        rung: u32,
+    },
+    /// The run finished (or hit the round cap).
+    RunEnd {
+        /// Whether every core completed.
+        completed: bool,
+    },
+}
+
+/// Event category, for counting sinks and filters. Keep in sync with
+/// [`Event`]: one variant per event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`Event::Fault`].
+    Fault,
+    /// [`Event::Push`].
+    Push,
+    /// [`Event::Pop`].
+    Pop,
+    /// [`Event::TimeoutPush`].
+    TimeoutPush,
+    /// [`Event::TimeoutPop`].
+    TimeoutPop,
+    /// [`Event::PointerCorrupt`].
+    PointerCorrupt,
+    /// [`Event::HeaderCorrupt`].
+    HeaderCorrupt,
+    /// [`Event::HeaderInserted`].
+    HeaderInserted,
+    /// [`Event::AmTransition`].
+    AmTransition,
+    /// [`Event::RealignStart`].
+    RealignStart,
+    /// [`Event::RealignEnd`].
+    RealignEnd,
+    /// [`Event::FrameBoundary`].
+    FrameBoundary,
+    /// [`Event::QmTimeout`].
+    QmTimeout,
+    /// [`Event::Watchdog`].
+    Watchdog,
+    /// [`Event::RunEnd`].
+    RunEnd,
+}
+
+impl EventKind {
+    /// Number of categories (sizes the counting arrays).
+    pub const COUNT: usize = 15;
+
+    /// All categories, in declaration order (index == discriminant).
+    pub fn all() -> [EventKind; Self::COUNT] {
+        [
+            EventKind::Fault,
+            EventKind::Push,
+            EventKind::Pop,
+            EventKind::TimeoutPush,
+            EventKind::TimeoutPop,
+            EventKind::PointerCorrupt,
+            EventKind::HeaderCorrupt,
+            EventKind::HeaderInserted,
+            EventKind::AmTransition,
+            EventKind::RealignStart,
+            EventKind::RealignEnd,
+            EventKind::FrameBoundary,
+            EventKind::QmTimeout,
+            EventKind::Watchdog,
+            EventKind::RunEnd,
+        ]
+    }
+
+    /// Stable name (also the trace-file event token).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Fault => "fault",
+            EventKind::Push => "push",
+            EventKind::Pop => "pop",
+            EventKind::TimeoutPush => "tpush",
+            EventKind::TimeoutPop => "tpop",
+            EventKind::PointerCorrupt => "ptr-corrupt",
+            EventKind::HeaderCorrupt => "hdr-corrupt",
+            EventKind::HeaderInserted => "hdr-insert",
+            EventKind::AmTransition => "am",
+            EventKind::RealignStart => "realign-start",
+            EventKind::RealignEnd => "realign-end",
+            EventKind::FrameBoundary => "boundary",
+            EventKind::QmTimeout => "qm-timeout",
+            EventKind::Watchdog => "watchdog",
+            EventKind::RunEnd => "run-end",
+        }
+    }
+
+    /// Inverse of [`EventKind::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        EventKind::all().into_iter().find(|k| k.label() == s)
+    }
+}
+
+impl Event {
+    /// This event's category.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::Fault { .. } => EventKind::Fault,
+            Event::Push { .. } => EventKind::Push,
+            Event::Pop { .. } => EventKind::Pop,
+            Event::TimeoutPush { .. } => EventKind::TimeoutPush,
+            Event::TimeoutPop { .. } => EventKind::TimeoutPop,
+            Event::PointerCorrupt { .. } => EventKind::PointerCorrupt,
+            Event::HeaderCorrupt { .. } => EventKind::HeaderCorrupt,
+            Event::HeaderInserted { .. } => EventKind::HeaderInserted,
+            Event::AmTransition { .. } => EventKind::AmTransition,
+            Event::RealignStart { .. } => EventKind::RealignStart,
+            Event::RealignEnd { .. } => EventKind::RealignEnd,
+            Event::FrameBoundary { .. } => EventKind::FrameBoundary,
+            Event::QmTimeout { .. } => EventKind::QmTimeout,
+            Event::Watchdog { .. } => EventKind::Watchdog,
+            Event::RunEnd { .. } => EventKind::RunEnd,
+        }
+    }
+}
+
+/// One fully stamped trace record: an [`Event`] plus the execution
+/// context the tracer captured when it was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global emission sequence number (total order over the run).
+    pub seq: u64,
+    /// Scheduler round at emission.
+    pub round: u64,
+    /// Emitting core (node index), or [`MACHINE_CORE`].
+    pub core: CoreId,
+    /// The emitting core's frame counter (`active-fc`) at emission.
+    pub frame: u32,
+    /// The event itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for k in EventKind::all() {
+            assert_eq!(EventKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(EventKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn tag_labels_roundtrip() {
+        for t in [
+            FaultKindTag::Data,
+            FaultKindTag::Control,
+            FaultKindTag::Addressing,
+            FaultKindTag::Silent,
+        ] {
+            assert_eq!(FaultKindTag::parse(t.label()), Some(t));
+        }
+        for t in [
+            AmTag::RcvCmp,
+            AmTag::ExpHdr,
+            AmTag::DiscFr,
+            AmTag::Disc,
+            AmTag::Pdg,
+        ] {
+            assert_eq!(AmTag::parse(t.label()), Some(t));
+        }
+        for t in [RealignTag::Pad, RealignTag::Discard] {
+            assert_eq!(RealignTag::parse(t.label()), Some(t));
+        }
+        for t in [PtrTag::Head, PtrTag::Tail] {
+            assert_eq!(PtrTag::parse(t.label()), Some(t));
+        }
+        for t in [DirTag::In, DirTag::Out] {
+            assert_eq!(DirTag::parse(t.label()), Some(t));
+        }
+    }
+
+    #[test]
+    fn aligned_states() {
+        assert!(AmTag::RcvCmp.is_aligned());
+        assert!(AmTag::ExpHdr.is_aligned());
+        assert!(!AmTag::Pdg.is_aligned());
+        assert!(!AmTag::Disc.is_aligned());
+        assert!(!AmTag::DiscFr.is_aligned());
+    }
+
+    #[test]
+    fn every_event_maps_to_its_kind() {
+        let cases: [(Event, EventKind); 15] = [
+            (
+                Event::Fault {
+                    kind: FaultKindTag::Data,
+                    at_instruction: 1,
+                },
+                EventKind::Fault,
+            ),
+            (
+                Event::Push {
+                    edge: 0,
+                    header: false,
+                    depth: 1,
+                },
+                EventKind::Push,
+            ),
+            (
+                Event::Pop {
+                    edge: 0,
+                    header: true,
+                    depth: 0,
+                },
+                EventKind::Pop,
+            ),
+            (
+                Event::TimeoutPush {
+                    edge: 0,
+                    header: false,
+                    depth: 2,
+                },
+                EventKind::TimeoutPush,
+            ),
+            (
+                Event::TimeoutPop { edge: 0, depth: 0 },
+                EventKind::TimeoutPop,
+            ),
+            (
+                Event::PointerCorrupt {
+                    edge: 0,
+                    which: PtrTag::Head,
+                    bit: 3,
+                },
+                EventKind::PointerCorrupt,
+            ),
+            (
+                Event::HeaderCorrupt { edge: 0, bits: 2 },
+                EventKind::HeaderCorrupt,
+            ),
+            (
+                Event::HeaderInserted {
+                    port: 0,
+                    frame: 1,
+                    forced: false,
+                },
+                EventKind::HeaderInserted,
+            ),
+            (
+                Event::AmTransition {
+                    port: 0,
+                    from: AmTag::ExpHdr,
+                    to: AmTag::RcvCmp,
+                },
+                EventKind::AmTransition,
+            ),
+            (
+                Event::RealignStart {
+                    port: 0,
+                    kind: RealignTag::Pad,
+                    frame: 2,
+                },
+                EventKind::RealignStart,
+            ),
+            (
+                Event::RealignEnd { port: 0, frame: 3 },
+                EventKind::RealignEnd,
+            ),
+            (Event::FrameBoundary { frame: 4 }, EventKind::FrameBoundary),
+            (
+                Event::QmTimeout {
+                    port: 1,
+                    dir: DirTag::In,
+                },
+                EventKind::QmTimeout,
+            ),
+            (Event::Watchdog { rung: 1 }, EventKind::Watchdog),
+            (Event::RunEnd { completed: true }, EventKind::RunEnd),
+        ];
+        for (ev, kind) in cases {
+            assert_eq!(ev.kind(), kind);
+        }
+    }
+}

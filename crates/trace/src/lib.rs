@@ -1,0 +1,49 @@
+//! # cg-trace — structured event tracing for the CommGuard simulator
+//!
+//! CommGuard's argument (paper §4, §7) is about *sequences*: a fault
+//! strikes, a frame header goes missing or arrives early, the consumer's
+//! Alignment Manager leaves its aligned states, pops are discarded or
+//! padded, and some rounds later alignment is restored. End-of-run
+//! aggregate counters cannot show that story. This crate records it.
+//!
+//! The pieces:
+//!
+//! * [`Event`] / [`TraceRecord`] — a compact, `Copy` event vocabulary
+//!   covering fault injections, queue operations, AM/HI activity, and
+//!   scheduler/watchdog actions, each stamped with (core, scheduler
+//!   round, frame counter) and a global sequence number;
+//! * [`Tracer`] — the cloneable handle threaded through queues, guards,
+//!   injectors and the executor; zero-cost when disabled (one branch),
+//!   deterministic when enabled;
+//! * [`TraceSink`] with [`RingSink`] (bounded, keeps the recent past)
+//!   and [`NoopSink`] (counts only — the overhead-ablation point);
+//! * [`text`] — a line-oriented, byte-deterministic trace-file format
+//!   with a full parser;
+//! * [`chrome`] — a Chrome-trace / Perfetto JSON exporter
+//!   (open the file at `ui.perfetto.dev` for a per-core timeline);
+//! * [`analyze`] — a post-mortem pass reconstructing per-fault
+//!   propagation chains (injection → first misaligned pop →
+//!   discard/pad episode → realignment round) plus realignment-latency
+//!   and queue-occupancy histograms;
+//! * the `cg-trace` binary — dump, filter, summarize, analyze, and
+//!   export recorded trace files.
+//!
+//! This crate sits at the bottom of the workspace dependency order (it
+//! depends on nothing), so every other crate can emit events through it.
+
+pub mod analyze;
+pub mod chrome;
+pub mod event;
+pub mod json_check;
+pub mod sink;
+pub mod text;
+pub mod tracer;
+
+pub use analyze::{analyze, Analysis, Histogram, PropagationChain};
+pub use chrome::to_chrome_json;
+pub use event::{
+    AmTag, CoreId, DirTag, Event, EventKind, FaultKindTag, PtrTag, RealignTag, TraceRecord,
+    MACHINE_CORE,
+};
+pub use sink::{NoopSink, RingSink, TraceCounts, TraceData, TraceSink};
+pub use tracer::{TraceConfig, Tracer};

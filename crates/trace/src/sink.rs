@@ -1,0 +1,217 @@
+//! Trace sinks: where stamped records go.
+//!
+//! The [`crate::Tracer`] maintains aggregate [`TraceCounts`] itself and
+//! forwards every record to exactly one [`TraceSink`]. Two sinks are
+//! provided: [`NoopSink`] (discards records — measures pure dispatch
+//! cost, and backs the counting-only trace mode) and [`RingSink`] (a
+//! bounded ring buffer that keeps the most recent records and counts
+//! what it had to drop).
+
+use crate::event::{EventKind, TraceRecord};
+
+/// Aggregate per-category counters, maintained for every enabled tracer
+/// regardless of sink.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// Total events observed.
+    pub events: u64,
+    /// Events per [`EventKind`], indexed by declaration order.
+    pub by_kind: [u64; EventKind::COUNT],
+    /// Maximum queue depth observed across all push/pop events.
+    pub max_queue_depth: u32,
+}
+
+impl TraceCounts {
+    /// Records one event into the counters.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        self.events += 1;
+        self.by_kind[rec.event.kind() as usize] += 1;
+        match rec.event {
+            crate::Event::Push { depth, .. }
+            | crate::Event::Pop { depth, .. }
+            | crate::Event::TimeoutPush { depth, .. }
+            | crate::Event::TimeoutPop { depth, .. } => {
+                self.max_queue_depth = self.max_queue_depth.max(depth);
+            }
+            _ => {}
+        }
+    }
+
+    /// Count for one category.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.by_kind[kind as usize]
+    }
+
+    /// Realignment episodes started (one per AM pad/discard entry — the
+    /// figure `RunReport::realignment_episodes` is cross-checked against).
+    pub fn realign_episodes(&self) -> u64 {
+        self.count(EventKind::RealignStart)
+    }
+
+    /// Fault injections observed.
+    pub fn faults(&self) -> u64 {
+        self.count(EventKind::Fault)
+    }
+}
+
+/// Everything a drained tracer hands back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// Retained records, in emission order.
+    pub records: Vec<TraceRecord>,
+    /// Aggregate counters over **all** events, including dropped ones.
+    pub counts: TraceCounts,
+    /// Records the sink discarded (ring-buffer overflow).
+    pub dropped: u64,
+}
+
+/// Destination for stamped trace records.
+pub trait TraceSink: Send + std::fmt::Debug {
+    /// Accepts one record.
+    fn record(&mut self, rec: &TraceRecord);
+    /// Removes and returns everything retained so far, plus the count of
+    /// records discarded along the way.
+    fn drain(&mut self) -> (Vec<TraceRecord>, u64);
+}
+
+/// A sink that discards every record. Exists to measure the cost of the
+/// tracing *dispatch path* (context stamping + counting) in isolation:
+/// the ablation bench compares a fully disabled tracer against a
+/// `NoopSink`-backed one and flags any regression of the disabled path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&mut self, _rec: &TraceRecord) {}
+
+    fn drain(&mut self) -> (Vec<TraceRecord>, u64) {
+        (Vec::new(), 0)
+    }
+}
+
+/// A bounded ring buffer keeping the most recent `capacity` records.
+///
+/// Overflow drops the *oldest* records (the interesting tail of a failing
+/// run is the recent past) and counts every drop, so the post-mortem
+/// analyzer can state exactly how much history it is missing.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: std::collections::VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            capacity,
+            buf: std::collections::VecDeque::with_capacity(capacity.min(1 << 16)),
+            dropped: 0,
+        }
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*rec);
+    }
+
+    fn drain(&mut self) -> (Vec<TraceRecord>, u64) {
+        let dropped = self.dropped;
+        self.dropped = 0;
+        (std::mem::take(&mut self.buf).into(), dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn rec(seq: u64, event: Event) -> TraceRecord {
+        TraceRecord {
+            seq,
+            round: seq,
+            core: 0,
+            frame: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn counts_by_kind_and_depth() {
+        let mut c = TraceCounts::default();
+        c.observe(&rec(
+            0,
+            Event::Push {
+                edge: 0,
+                header: false,
+                depth: 7,
+            },
+        ));
+        c.observe(&rec(
+            1,
+            Event::Pop {
+                edge: 0,
+                header: false,
+                depth: 6,
+            },
+        ));
+        c.observe(&rec(2, Event::Watchdog { rung: 1 }));
+        assert_eq!(c.events, 3);
+        assert_eq!(c.count(EventKind::Push), 1);
+        assert_eq!(c.count(EventKind::Watchdog), 1);
+        assert_eq!(c.max_queue_depth, 7);
+        assert_eq!(c.realign_episodes(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut s = RingSink::new(3);
+        for i in 0..5u64 {
+            s.record(&rec(i, Event::Watchdog { rung: 1 }));
+        }
+        assert_eq!(s.len(), 3);
+        let (records, dropped) = s.drain();
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest records dropped first"
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn noop_discards() {
+        let mut s = NoopSink;
+        s.record(&rec(0, Event::Watchdog { rung: 1 }));
+        assert_eq!(s.drain(), (Vec::new(), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_ring_panics() {
+        let _ = RingSink::new(0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Line-oriented text serialization for trace files.
+//!
+//! One record per line: `seq round core frame event-token k=v ...`,
+//! fields space-separated, keys in a fixed per-event order. The format
+//! is deterministic byte-for-byte (the determinism tests compare
+//! serialized traces directly) and grep-friendly, and `parse` is the
+//! exact inverse of `to_text` so the `cg-trace` binary can re-analyze
+//! dumped files.
+
+use crate::event::{
+    AmTag, DirTag, Event, EventKind, FaultKindTag, PtrTag, RealignTag, TraceRecord,
+};
+
+/// Serializes one record to its line form (no trailing newline).
+pub fn record_to_line(rec: &TraceRecord) -> String {
+    let head = format!("{} {} {} {}", rec.seq, rec.round, rec.core, rec.frame);
+    let tail = match rec.event {
+        Event::Fault {
+            kind,
+            at_instruction,
+        } => format!("fault kind={} at={}", kind.label(), at_instruction),
+        Event::Push {
+            edge,
+            header,
+            depth,
+        } => format!("push edge={edge} header={header} depth={depth}"),
+        Event::Pop {
+            edge,
+            header,
+            depth,
+        } => format!("pop edge={edge} header={header} depth={depth}"),
+        Event::TimeoutPush {
+            edge,
+            header,
+            depth,
+        } => format!("tpush edge={edge} header={header} depth={depth}"),
+        Event::TimeoutPop { edge, depth } => format!("tpop edge={edge} depth={depth}"),
+        Event::PointerCorrupt { edge, which, bit } => {
+            format!(
+                "ptr-corrupt edge={} which={} bit={}",
+                edge,
+                which.label(),
+                bit
+            )
+        }
+        Event::HeaderCorrupt { edge, bits } => format!("hdr-corrupt edge={edge} bits={bits}"),
+        Event::HeaderInserted {
+            port,
+            frame,
+            forced,
+        } => format!("hdr-insert port={port} frame={frame} forced={forced}"),
+        Event::AmTransition { port, from, to } => {
+            format!("am port={} from={} to={}", port, from.label(), to.label())
+        }
+        Event::RealignStart { port, kind, frame } => {
+            format!(
+                "realign-start port={} kind={} frame={}",
+                port,
+                kind.label(),
+                frame
+            )
+        }
+        Event::RealignEnd { port, frame } => format!("realign-end port={port} frame={frame}"),
+        Event::FrameBoundary { frame } => format!("boundary frame={frame}"),
+        Event::QmTimeout { port, dir } => {
+            format!("qm-timeout port={} dir={}", port, dir.label())
+        }
+        Event::Watchdog { rung } => format!("watchdog rung={rung}"),
+        Event::RunEnd { completed } => format!("run-end completed={completed}"),
+    };
+    format!("{head} {tail}")
+}
+
+/// Serializes a whole trace, one record per line, trailing newline.
+pub fn to_text(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&record_to_line(rec));
+        out.push('\n');
+    }
+    out
+}
+
+fn field<'a>(
+    fields: &'a std::collections::HashMap<&str, &str>,
+    key: &str,
+) -> Result<&'a str, String> {
+    fields
+        .get(key)
+        .copied()
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn num<T: std::str::FromStr>(
+    fields: &std::collections::HashMap<&str, &str>,
+    key: &str,
+) -> Result<T, String> {
+    field(fields, key)?
+        .parse()
+        .map_err(|_| format!("bad value for `{key}`"))
+}
+
+/// Parses one line produced by [`record_to_line`].
+pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let mut it = line.split_whitespace();
+    let mut next_num = |name: &str| -> Result<u64, String> {
+        it.next()
+            .ok_or_else(|| format!("missing {name}"))?
+            .parse()
+            .map_err(|_| format!("bad {name}"))
+    };
+    let seq = next_num("seq")?;
+    let round = next_num("round")?;
+    let core = next_num("core")? as u32;
+    let frame = next_num("frame")? as u32;
+    let token = it.next().ok_or_else(|| "missing event token".to_string())?;
+    let kind = EventKind::parse(token).ok_or_else(|| format!("unknown event `{token}`"))?;
+    let fields: std::collections::HashMap<&str, &str> =
+        it.filter_map(|kv| kv.split_once('=')).collect();
+
+    let event = match kind {
+        EventKind::Fault => Event::Fault {
+            kind: FaultKindTag::parse(field(&fields, "kind")?)
+                .ok_or_else(|| "bad fault kind".to_string())?,
+            at_instruction: num(&fields, "at")?,
+        },
+        EventKind::Push => Event::Push {
+            edge: num(&fields, "edge")?,
+            header: num(&fields, "header")?,
+            depth: num(&fields, "depth")?,
+        },
+        EventKind::Pop => Event::Pop {
+            edge: num(&fields, "edge")?,
+            header: num(&fields, "header")?,
+            depth: num(&fields, "depth")?,
+        },
+        EventKind::TimeoutPush => Event::TimeoutPush {
+            edge: num(&fields, "edge")?,
+            header: num(&fields, "header")?,
+            depth: num(&fields, "depth")?,
+        },
+        EventKind::TimeoutPop => Event::TimeoutPop {
+            edge: num(&fields, "edge")?,
+            depth: num(&fields, "depth")?,
+        },
+        EventKind::PointerCorrupt => Event::PointerCorrupt {
+            edge: num(&fields, "edge")?,
+            which: PtrTag::parse(field(&fields, "which")?)
+                .ok_or_else(|| "bad pointer tag".to_string())?,
+            bit: num(&fields, "bit")?,
+        },
+        EventKind::HeaderCorrupt => Event::HeaderCorrupt {
+            edge: num(&fields, "edge")?,
+            bits: num(&fields, "bits")?,
+        },
+        EventKind::HeaderInserted => Event::HeaderInserted {
+            port: num(&fields, "port")?,
+            frame: num(&fields, "frame")?,
+            forced: num(&fields, "forced")?,
+        },
+        EventKind::AmTransition => Event::AmTransition {
+            port: num(&fields, "port")?,
+            from: AmTag::parse(field(&fields, "from")?)
+                .ok_or_else(|| "bad AM state".to_string())?,
+            to: AmTag::parse(field(&fields, "to")?).ok_or_else(|| "bad AM state".to_string())?,
+        },
+        EventKind::RealignStart => Event::RealignStart {
+            port: num(&fields, "port")?,
+            kind: RealignTag::parse(field(&fields, "kind")?)
+                .ok_or_else(|| "bad realign kind".to_string())?,
+            frame: num(&fields, "frame")?,
+        },
+        EventKind::RealignEnd => Event::RealignEnd {
+            port: num(&fields, "port")?,
+            frame: num(&fields, "frame")?,
+        },
+        EventKind::FrameBoundary => Event::FrameBoundary {
+            frame: num(&fields, "frame")?,
+        },
+        EventKind::QmTimeout => Event::QmTimeout {
+            port: num(&fields, "port")?,
+            dir: DirTag::parse(field(&fields, "dir")?)
+                .ok_or_else(|| "bad direction".to_string())?,
+        },
+        EventKind::Watchdog => Event::Watchdog {
+            rung: num(&fields, "rung")?,
+        },
+        EventKind::RunEnd => Event::RunEnd {
+            completed: num(&fields, "completed")?,
+        },
+    };
+
+    Ok(TraceRecord {
+        seq,
+        round,
+        core,
+        frame,
+        event,
+    })
+}
+
+/// Parses a whole trace file (blank lines and `#` comments skipped).
+pub fn parse(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MACHINE_CORE;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let events = [
+            Event::Fault {
+                kind: FaultKindTag::Control,
+                at_instruction: 12345,
+            },
+            Event::Push {
+                edge: 2,
+                header: true,
+                depth: 5,
+            },
+            Event::Pop {
+                edge: 2,
+                header: false,
+                depth: 4,
+            },
+            Event::TimeoutPush {
+                edge: 1,
+                header: false,
+                depth: 8,
+            },
+            Event::TimeoutPop { edge: 0, depth: 0 },
+            Event::PointerCorrupt {
+                edge: 3,
+                which: PtrTag::Tail,
+                bit: 7,
+            },
+            Event::HeaderCorrupt { edge: 3, bits: 2 },
+            Event::HeaderInserted {
+                port: 0,
+                frame: 9,
+                forced: true,
+            },
+            Event::AmTransition {
+                port: 1,
+                from: AmTag::RcvCmp,
+                to: AmTag::Disc,
+            },
+            Event::RealignStart {
+                port: 1,
+                kind: RealignTag::Discard,
+                frame: 9,
+            },
+            Event::RealignEnd { port: 1, frame: 10 },
+            Event::FrameBoundary { frame: 10 },
+            Event::QmTimeout {
+                port: 2,
+                dir: DirTag::Out,
+            },
+            Event::Watchdog { rung: 3 },
+            Event::RunEnd { completed: false },
+        ];
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TraceRecord {
+                seq: i as u64,
+                round: 100 + i as u64,
+                core: if i == 13 { MACHINE_CORE } else { i as u32 % 4 },
+                frame: i as u32 / 3,
+                event,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_event_roundtrips() {
+        let records = sample_records();
+        let text = to_text(&records);
+        let parsed = parse(&text).expect("parse");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let records = sample_records();
+        assert_eq!(to_text(&records), to_text(&records));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# a comment\n\n0 1 2 3 watchdog rung=1\n";
+        let parsed = parse(text).expect("parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].event, Event::Watchdog { rung: 1 });
+    }
+
+    #[test]
+    fn bad_lines_report_line_numbers() {
+        let err = parse("0 1 2 3 watchdog rung=1\n0 1 2 3 bogus x=1\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,230 @@
+//! The [`Tracer`] handle threaded through the stack.
+//!
+//! Every traced component (queues, injectors, guards, the executor)
+//! holds a clone of one `Tracer`. A disabled tracer is a `None` — the
+//! emit path is a single branch, so tracing is zero-cost when off (the
+//! ablation bench verifies this). An enabled tracer shares one inner
+//! state: the execution context (core, scheduler round, frame counter)
+//! that the executor updates as it multiplexes cores, a global sequence
+//! counter, aggregate [`TraceCounts`], and the configured [`TraceSink`].
+//!
+//! The handle is `Send + Sync` (`Arc<Mutex<…>>`) because the threaded
+//! executor shares queues and guards across OS threads; the
+//! deterministic executor is single-threaded, so the lock is always
+//! uncontended where determinism matters.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::{CoreId, Event, TraceRecord, MACHINE_CORE};
+use crate::sink::{NoopSink, RingSink, TraceCounts, TraceData, TraceSink};
+
+/// How a run should be traced. Part of the runtime `SimConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceConfig {
+    /// No tracer at all: the zero-cost default.
+    #[default]
+    Off,
+    /// Stamp and count every event but retain no records
+    /// ([`NoopSink`] — the dispatch-cost ablation point).
+    Counting,
+    /// Retain the most recent `capacity` records in a ring buffer.
+    Ring {
+        /// Maximum records retained.
+        capacity: usize,
+    },
+}
+
+impl TraceConfig {
+    /// The default ring capacity used by `--trace` flags (2^16 records —
+    /// a few MiB, enough for thousands of rounds of history).
+    pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// A ring-buffer config at the default capacity.
+    pub fn ring() -> Self {
+        TraceConfig::Ring {
+            capacity: Self::DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Builds the tracer this configuration describes.
+    pub fn tracer(self) -> Tracer {
+        match self {
+            TraceConfig::Off => Tracer::disabled(),
+            TraceConfig::Counting => Tracer::new(Box::new(NoopSink)),
+            TraceConfig::Ring { capacity } => Tracer::new(Box::new(RingSink::new(capacity))),
+        }
+    }
+
+    /// `true` unless this is [`TraceConfig::Off`].
+    pub fn is_enabled(self) -> bool {
+        self != TraceConfig::Off
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    seq: u64,
+    core: CoreId,
+    round: u64,
+    frame: u32,
+    counts: TraceCounts,
+    sink: Box<dyn TraceSink>,
+}
+
+/// A cloneable handle to one run's trace stream (or to nothing).
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The zero-cost disabled tracer.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer feeding `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                seq: 0,
+                core: MACHINE_CORE,
+                round: 0,
+                frame: 0,
+                counts: TraceCounts::default(),
+                sink,
+            }))),
+        }
+    }
+
+    /// Whether events will be recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Updates the execution context stamped onto subsequent events.
+    /// The executor calls this once per core visit (and around watchdog
+    /// interventions); emitting sites never need to know their context.
+    #[inline]
+    pub fn set_context(&self, core: CoreId, round: u64, frame: u32) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = inner.lock().expect("tracer lock");
+        g.core = core;
+        g.round = round;
+        g.frame = frame;
+    }
+
+    /// Stamps and records one event. A no-op when disabled.
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = inner.lock().expect("tracer lock");
+        let rec = TraceRecord {
+            seq: g.seq,
+            round: g.round,
+            core: g.core,
+            frame: g.frame,
+            event,
+        };
+        g.seq += 1;
+        g.counts.observe(&rec);
+        g.sink.record(&rec);
+    }
+
+    /// Drains the sink, returning everything recorded. `None` when the
+    /// tracer is disabled.
+    pub fn finish(&self) -> Option<TraceData> {
+        let inner = self.inner.as_ref()?;
+        let mut g = inner.lock().expect("tracer lock");
+        let (records, dropped) = g.sink.drain();
+        Some(TraceData {
+            records,
+            counts: g.counts.clone(),
+            dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.set_context(3, 9, 1);
+        t.emit(Event::Watchdog { rung: 1 });
+        assert_eq!(t.finish(), None);
+    }
+
+    #[test]
+    fn context_is_stamped_onto_records() {
+        let t = TraceConfig::ring().tracer();
+        t.set_context(2, 41, 7);
+        t.emit(Event::FrameBoundary { frame: 7 });
+        t.set_context(MACHINE_CORE, 42, 0);
+        t.emit(Event::Watchdog { rung: 2 });
+        let data = t.finish().expect("enabled");
+        assert_eq!(data.records.len(), 2);
+        let a = data.records[0];
+        assert_eq!((a.seq, a.round, a.core, a.frame), (0, 41, 2, 7));
+        let b = data.records[1];
+        assert_eq!((b.seq, b.round, b.core, b.frame), (1, 42, MACHINE_CORE, 0));
+        assert_eq!(data.counts.events, 2);
+        assert_eq!(data.dropped, 0);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let t = TraceConfig::ring().tracer();
+        let u = t.clone();
+        t.emit(Event::Watchdog { rung: 1 });
+        u.emit(Event::Watchdog { rung: 2 });
+        let data = t.finish().expect("enabled");
+        assert_eq!(data.records.len(), 2);
+        assert_eq!(
+            data.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn counting_mode_counts_without_retaining() {
+        let t = TraceConfig::Counting.tracer();
+        for _ in 0..10 {
+            t.emit(Event::Watchdog { rung: 3 });
+        }
+        let data = t.finish().expect("enabled");
+        assert!(data.records.is_empty());
+        assert_eq!(data.counts.count(EventKind::Watchdog), 10);
+    }
+
+    #[test]
+    fn ring_overflow_is_reported() {
+        let t = TraceConfig::Ring { capacity: 4 }.tracer();
+        for _ in 0..10 {
+            t.emit(Event::Watchdog { rung: 1 });
+        }
+        let data = t.finish().expect("enabled");
+        assert_eq!(data.records.len(), 4);
+        assert_eq!(data.dropped, 6);
+        assert_eq!(data.counts.events, 10, "counts cover dropped records");
+    }
+
+    #[test]
+    fn tracer_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Tracer>();
+    }
+}
