@@ -1,0 +1,313 @@
+//! Host-concurrency throughput bench: deterministic executor vs. the
+//! threaded executor's per-item and batched transports.
+//!
+//! ```text
+//! parallel_throughput [--quick] [--check] [--out PATH]
+//! ```
+//!
+//! Runs synthetic pipelines at 2/4/8 stages (= threads) plus the full app
+//! suite, measures wall time for each executor, cross-checks that all
+//! three produce identical sink output, and writes `BENCH_parallel.json`
+//! (items/sec, wall times, speedups). `--check` exits nonzero when the
+//! batched transport fails its speedup floor against per-item locking;
+//! `--quick` shrinks inputs for CI smoke runs.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use cg_apps::beamformer::BeamformerApp;
+use cg_apps::complex_fir::ComplexFirApp;
+use cg_apps::fft_app::FftApp;
+use cg_apps::jpeg::JpegApp;
+use cg_apps::mp3::Mp3App;
+use cg_apps::vocoder::VocoderApp;
+use cg_campaign::json::Json;
+use cg_runtime::{run, run_parallel_with, ParTransport, Program, RunReport, SimConfig};
+use commguard::graph::{GraphBuilder, NodeId, NodeKind};
+use commguard::Protection;
+
+/// Units per firing on every pipeline hop: large enough that the batched
+/// transport has real batches to amortize.
+const PIPELINE_RATE: u32 = 64;
+
+struct Args {
+    quick: bool,
+    check: bool,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: parallel_throughput [--quick] [--check] [--out PATH]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        check: false,
+        out: "BENCH_parallel.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// One benchmark case: a program factory plus its run configuration.
+struct Case {
+    name: String,
+    kind: &'static str,
+    guarded: bool,
+    frames: u64,
+    build: Box<dyn Fn() -> (Program, NodeId)>,
+}
+
+impl Case {
+    fn config(&self) -> SimConfig {
+        if self.guarded {
+            SimConfig {
+                protection: Protection::commguard(),
+                inject: false,
+                ..SimConfig::error_free(self.frames)
+            }
+        } else {
+            SimConfig::error_free(self.frames)
+        }
+    }
+}
+
+/// A transport-dominated pipeline: `stages` nodes moving
+/// [`PIPELINE_RATE`] units per hop per firing with trivial compute.
+fn pipeline_case(stages: usize, frames: u64, guarded: bool) -> Case {
+    let build = move || -> (Program, NodeId) {
+        let mut b = GraphBuilder::new("pipeline");
+        let ids: Vec<NodeId> = (0..stages)
+            .map(|i| {
+                let kind = if i == 0 {
+                    NodeKind::Source
+                } else if i == stages - 1 {
+                    NodeKind::Sink
+                } else {
+                    NodeKind::Filter
+                };
+                b.add_node(format!("n{i}"), kind)
+            })
+            .collect();
+        b.pipeline(&ids, PIPELINE_RATE).unwrap();
+        let mut p = Program::new(b.build().unwrap());
+        let mut next = 0u32;
+        p.set_source(ids[0], move |out| {
+            for _ in 0..PIPELINE_RATE {
+                out.push(next);
+                next = next.wrapping_add(1);
+            }
+        });
+        for &id in &ids[1..stages - 1] {
+            p.set_filter(id, |inp, out| {
+                out[0].extend(inp[0].iter().map(|&v| v.wrapping_mul(0x9E37_79B1)));
+            });
+        }
+        (p, ids[stages - 1])
+    };
+    Case {
+        name: format!("pipeline-{stages}{}", if guarded { "-guarded" } else { "" }),
+        kind: "pipeline",
+        guarded,
+        frames,
+        build: Box::new(build),
+    }
+}
+
+fn app_cases(quick: bool) -> Vec<Case> {
+    // Direct app constructors (not `Workload`) so input sizes — and with
+    // them the bench duration — scale with `--quick`.
+    let mut cases: Vec<Case> = Vec::new();
+    let mut app = |name: &str, build: Box<dyn Fn() -> (Program, NodeId)>, frames: u64| {
+        cases.push(Case {
+            name: name.to_string(),
+            kind: "app",
+            guarded: true,
+            frames,
+            build,
+        });
+    };
+    let beam = BeamformerApp::new(if quick { 512 } else { 4096 });
+    let frames = beam.frames();
+    app("audiobeamformer", Box::new(move || beam.build()), frames);
+    let voc = VocoderApp::new(if quick { 512 } else { 4096 });
+    let frames = voc.frames();
+    app("channelvocoder", Box::new(move || voc.build()), frames);
+    let cfir = ComplexFirApp::new(if quick { 512 } else { 4096 });
+    let frames = cfir.frames();
+    app("complex-fir", Box::new(move || cfir.build()), frames);
+    let fft = FftApp::new(if quick { 16 } else { 128 });
+    let frames = fft.frames();
+    app("fft", Box::new(move || fft.build()), frames);
+    let jpeg = if quick {
+        JpegApp::new(64, 32, 75)
+    } else {
+        JpegApp::small()
+    };
+    let frames = jpeg.frames();
+    app("jpeg", Box::new(move || jpeg.build()), frames);
+    let mp3 = Mp3App::new(if quick { 1024 } else { 8192 });
+    let frames = mp3.frames();
+    app("mp3", Box::new(move || mp3.build()), frames);
+    cases
+}
+
+/// Best-of-`repeats` wall time; returns the last report for accounting.
+fn time_best(repeats: u32, mut f: impl FnMut() -> RunReport) -> (Duration, RunReport) {
+    let mut best = Duration::MAX;
+    let mut report = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed());
+        report = Some(r);
+    }
+    (best, report.expect("repeats >= 1"))
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn items_per_sec(items: u64, d: Duration) -> f64 {
+    items as f64 / d.as_secs_f64().max(1e-9)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let repeats: u32 = if args.quick { 2 } else { 3 };
+    let (pipe_frames, pipe_frames_guarded) = if args.quick {
+        (2_000, 1_000)
+    } else {
+        (20_000, 10_000)
+    };
+
+    let mut cases = vec![
+        pipeline_case(2, pipe_frames, false),
+        pipeline_case(4, pipe_frames, false),
+        pipeline_case(8, pipe_frames, false),
+        pipeline_case(4, pipe_frames_guarded, true),
+    ];
+    cases.extend(app_cases(args.quick));
+
+    let mut runs: Vec<Json> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for case in &cases {
+        let cfg = case.config();
+        let threads = (case.build)().0.graph().node_count();
+        let (sink, name) = ((case.build)().1, &case.name);
+
+        let (det_time, det) = time_best(repeats, || run((case.build)().0, &cfg).expect("run"));
+        let (pi_time, pi) = time_best(repeats, || {
+            run_parallel_with((case.build)().0, &cfg, ParTransport::PerItem).expect("per-item run")
+        });
+        let (ba_time, ba) = time_best(repeats, || {
+            run_parallel_with((case.build)().0, &cfg, ParTransport::Batched).expect("batched run")
+        });
+
+        // The numbers only mean something if all three executors computed
+        // the same stream.
+        assert_eq!(
+            ba.sink_output(sink),
+            det.sink_output(sink),
+            "{name}: batched output diverged from deterministic"
+        );
+        assert_eq!(
+            pi.sink_output(sink),
+            ba.sink_output(sink),
+            "{name}: per-item output diverged from batched"
+        );
+
+        let items = ba.queues.item_pushes;
+        let vs_per_item = ms(pi_time) / ms(ba_time).max(1e-9);
+        let vs_det = ms(det_time) / ms(ba_time).max(1e-9);
+        eprintln!(
+            "{name:<22} threads={threads} frames={} det={:.1}ms per-item={:.1}ms \
+             batched={:.1}ms batched-vs-per-item={vs_per_item:.2}x",
+            case.frames,
+            ms(det_time),
+            ms(pi_time),
+            ms(ba_time),
+        );
+
+        let mut j = Json::object();
+        j.set("name", name.as_str())
+            .set("kind", case.kind)
+            .set("guarded", case.guarded)
+            .set("threads", threads)
+            .set("frames", case.frames)
+            .set("items_moved", items)
+            .set("deterministic_ms", ms(det_time))
+            .set("per_item_ms", ms(pi_time))
+            .set("batched_ms", ms(ba_time))
+            .set("per_item_items_per_sec", items_per_sec(items, pi_time))
+            .set("batched_items_per_sec", items_per_sec(items, ba_time))
+            .set("speedup_batched_vs_per_item", vs_per_item)
+            .set("speedup_batched_vs_deterministic", vs_det)
+            .set(
+                "speedup_per_item_vs_deterministic",
+                ms(det_time) / ms(pi_time).max(1e-9),
+            );
+        runs.push(j);
+
+        // Speedup floors, enforced under --check: the unguarded 4-stage
+        // pipeline is the acceptance case (>= 2x); every transport-bound
+        // pipeline must at least not regress.
+        if case.kind == "pipeline" {
+            let floor = if case.name == "pipeline-4" { 2.0 } else { 1.0 };
+            if vs_per_item < floor {
+                failures.push(format!(
+                    "{name}: batched-vs-per-item speedup {vs_per_item:.2}x < {floor:.1}x floor"
+                ));
+            }
+        }
+    }
+
+    let mut doc = Json::object();
+    doc.set("schema", "commguard-parallel-bench-v1")
+        .set("mode", if args.quick { "quick" } else { "full" })
+        .set("repeats", repeats)
+        .set(
+            "host_parallelism",
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+        )
+        .set("pipeline_rate", PIPELINE_RATE)
+        .set("runs", runs);
+    if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("parallel_throughput: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    eprintln!("parallel_throughput: report written to {}", args.out);
+
+    if args.check && !failures.is_empty() {
+        for f in &failures {
+            eprintln!("SPEEDUP FLOOR VIOLATED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("warning (not enforced without --check): {f}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -175,6 +175,7 @@ fn to_json(report: &CampaignReport) -> Json {
 
     let mut doc = Json::object();
     doc.set("spec", jspec)
+        .set("workers", report.workers)
         .set("total_runs", report.runs.len())
         .set("violations", report.violations().len())
         .set("runs", runs);
@@ -182,6 +183,15 @@ fn to_json(report: &CampaignReport) -> Json {
 }
 
 fn print_summary(report: &CampaignReport) {
+    println!(
+        "workers: {} ({})",
+        report.workers,
+        if report.spec.threads == 0 {
+            "auto-resolved"
+        } else {
+            "requested"
+        }
+    );
     println!(
         "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>5}",
         "class", "mtbe", "protection", "ok", "deg", "mis", "hang", "faults", "realgn", "wdog"

@@ -74,6 +74,11 @@ pub struct CampaignReport {
     pub spec: CampaignSpec,
     /// One record per run, in cell order.
     pub runs: Vec<RunRecord>,
+    /// Worker threads the sweep actually ran on. `spec.threads == 0`
+    /// means "auto", which resolves to `available_parallelism()` — or
+    /// silently to 4 when that probe fails — so the resolved count is
+    /// recorded here rather than left implicit.
+    pub workers: usize,
 }
 
 impl CampaignReport {
@@ -363,6 +368,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
     CampaignReport {
         spec: spec.clone(),
         runs,
+        workers: threads,
     }
 }
 
@@ -436,6 +442,19 @@ mod tests {
         assert!(report.runs.iter().all(|r| r.sink_len <= 1_000_000));
         // Untraced campaigns never dump.
         assert!(report.runs.iter().all(|r| r.trace_file.is_none()));
+        // The auto-resolved worker count is recorded, never left implicit.
+        assert!(report.workers >= 1);
+        assert!(report.workers <= report.spec.total_runs());
+    }
+
+    #[test]
+    fn explicit_thread_count_is_recorded_as_given() {
+        let spec = CampaignSpec {
+            threads: 2,
+            ..smoke_spec()
+        };
+        let report = run_campaign(&spec);
+        assert_eq!(report.workers, 2);
     }
 
     #[test]

@@ -278,6 +278,49 @@ impl CoreGuard {
         }
     }
 
+    /// Pops up to `max` items on incoming port `port`, appending them to
+    /// `out`, and returns how many were delivered. Every unit still runs
+    /// the full per-unit [`Self::pop`] path — AM FSM transitions, subop
+    /// counters, and queue statistics are bit-identical to popping one at
+    /// a time. The batch exists so a caller holding the queue lock pays
+    /// for it once per firing instead of once per unit. A short count
+    /// means the queue has nothing more visible: block and retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn pop_batch(
+        &mut self,
+        port: usize,
+        q: &mut SimQueue,
+        out: &mut Vec<u32>,
+        max: usize,
+    ) -> usize {
+        for i in 0..max {
+            match self.pop(port, q) {
+                Some(v) => out.push(v),
+                None => return i,
+            }
+        }
+        max
+    }
+
+    /// Pushes items from `values` on outgoing port `port` until the queue
+    /// appears full, returning how many were accepted. Unit-accurate for
+    /// the same reason as [`Self::pop_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn push_batch(&mut self, port: usize, q: &mut SimQueue, values: &[u32]) -> usize {
+        for (i, &v) in values.iter().enumerate() {
+            if self.push(port, q, v).is_err() {
+                return i;
+            }
+        }
+        values.len()
+    }
+
     /// Forces a pop after a QM timeout, delivering whatever stale unit is
     /// at the head (incorrect data, but forward progress).
     ///
@@ -372,6 +415,65 @@ mod tests {
         assert_eq!(cons.pop(0, &mut q), Some(200));
         assert_eq!(cons.pop(0, &mut q), Some(201));
         assert_eq!(cons.subops().padded_items, 1);
+    }
+
+    /// Batch entry points are bit-identical to the per-item path, even
+    /// across a realignment episode (the scenario of
+    /// [`lost_items_padded_and_realigned`] replayed through batches).
+    #[test]
+    fn batch_ops_match_per_item_under_realignment() {
+        let run = |batched: bool| {
+            let mut q = queue();
+            let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), Some(2));
+            let mut cons = CoreGuard::new(1, 0, &GuardConfig::default(), Some(2));
+            prod.start();
+            cons.start();
+            assert!(prod.hi_tick(0, &mut q));
+            // Frame 0: control error — only 1 of 2 items pushed.
+            assert_eq!(prod.push_batch(0, &mut q, &[100]), 1);
+            prod.scope_boundary();
+            assert!(prod.hi_tick(0, &mut q));
+            if batched {
+                assert_eq!(prod.push_batch(0, &mut q, &[200, 201]), 2);
+            } else {
+                prod.push(0, &mut q, 200).unwrap();
+                prod.push(0, &mut q, 201).unwrap();
+            }
+            q.flush();
+            let mut got = Vec::new();
+            if batched {
+                assert_eq!(cons.pop_batch(0, &mut q, &mut got, 2), 2);
+            } else {
+                got.push(cons.pop(0, &mut q).unwrap());
+                got.push(cons.pop(0, &mut q).unwrap());
+            }
+            cons.scope_boundary();
+            cons.pop_batch(0, &mut q, &mut got, 2);
+            (got, cons.subops().clone(), *q.stats())
+        };
+        let (batched, per_item) = (run(true), run(false));
+        assert_eq!(batched.0, vec![100, 0, 200, 201], "lost item padded");
+        assert_eq!(batched.0, per_item.0);
+        assert_eq!(batched.1, per_item.1, "identical subop counters");
+        assert_eq!(batched.2, per_item.2, "identical queue statistics");
+    }
+
+    /// `pop_batch` stops at visible-empty with a short count;
+    /// `push_batch` stops at full.
+    #[test]
+    fn batch_ops_stop_at_queue_limits() {
+        let mut q = SimQueue::new(QueueSpec {
+            capacity: 8,
+            workset_size: 1,
+            pointer_mode: PointerMode::Ecc,
+        });
+        let mut prod = CoreGuard::disabled(0, 1);
+        let mut cons = CoreGuard::disabled(1, 0);
+        let vals: Vec<u32> = (0..12).collect();
+        assert_eq!(prod.push_batch(0, &mut q, &vals), 8, "full after 8");
+        let mut out = Vec::new();
+        assert_eq!(cons.pop_batch(0, &mut q, &mut out, 64), 8, "drained dry");
+        assert_eq!(out, (0..8).collect::<Vec<u32>>());
     }
 
     /// Disabled guards pass raw values with no headers.

@@ -18,7 +18,11 @@
 //!   ([`PointerMode::Raw`] vs [`PointerMode::Ecc`]), working-set
 //!   accounting, and fault-injection hooks for pointer corruption;
 //! * [`QueueStats`] — the load/store/header/workset counters behind the
-//!   paper's Fig. 12 memory-event overheads.
+//!   paper's Fig. 12 memory-event overheads;
+//! * [`SharedQueue`] — a blocking SPSC wrapper used by the threaded
+//!   executor: condvar parking on empty/full, closable endpoints so a
+//!   dead peer is an error instead of a hang, and a stall-timeout
+//!   backstop.
 //!
 //! ```
 //! use cg_queue::{QueueSpec, SimQueue, Unit};
@@ -32,10 +36,12 @@
 
 mod ptr;
 mod ring;
+mod shared;
 mod stats;
 mod unit;
 
 pub use ptr::{PointerMode, PtrCell, Which};
 pub use ring::{PushError, QueueSpec, SimQueue};
+pub use shared::{SharedQueue, Side, WaitError};
 pub use stats::QueueStats;
 pub use unit::{FrameId, Unit, END_FRAME_ID};

@@ -207,6 +207,34 @@ impl SimQueue {
         Ok(())
     }
 
+    /// Pushes units from `slice` until the queue appears full, returning
+    /// how many were accepted. Each unit goes through [`Self::try_push`],
+    /// so per-unit statistics, ECC pointer handling, header accounting,
+    /// and workset publication are identical to pushing one at a time —
+    /// batching only saves the *caller's* per-unit overhead (e.g. one lock
+    /// acquisition for the whole slice).
+    pub fn push_slice(&mut self, slice: &[Unit]) -> usize {
+        for (i, &unit) in slice.iter().enumerate() {
+            if self.try_push(unit).is_err() {
+                return i;
+            }
+        }
+        slice.len()
+    }
+
+    /// Pops up to `max` units into `out`, stopping early when the queue
+    /// appears empty, and returns how many were delivered. Per-unit
+    /// semantics match [`Self::try_pop`] exactly (see [`Self::push_slice`]).
+    pub fn pop_slice(&mut self, out: &mut Vec<Unit>, max: usize) -> usize {
+        for i in 0..max {
+            match self.try_pop() {
+                Some(u) => out.push(u),
+                None => return i,
+            }
+        }
+        max
+    }
+
     /// Forces a push past a full condition, overwriting (dropping) the
     /// oldest unconsumed unit. Models the queue-manager timeout of §5.1
     /// ("a timeout may cause incorrect data to be transmitted"): the
@@ -473,6 +501,49 @@ mod tests {
         assert_eq!(q.stats().item_pushes, 1);
         assert_eq!(q.stats().header_pops, 1);
         assert_eq!(q.stats().item_pops, 1);
+    }
+
+    #[test]
+    fn push_slice_stops_at_full_and_keeps_per_unit_stats() {
+        let mut q = small();
+        let units: Vec<Unit> = (0..10u32).map(Unit::Item).collect();
+        assert_eq!(q.push_slice(&units), 8, "capacity 8 accepts 8");
+        assert_eq!(q.stats().item_pushes, 8);
+        assert_eq!(q.stats().blocked_pushes, 1, "the ninth unit blocked");
+        // Identical counters to the one-at-a-time path.
+        let mut per_item = small();
+        for &u in &units {
+            if per_item.try_push(u).is_err() {
+                break;
+            }
+        }
+        assert_eq!(q.stats(), per_item.stats());
+    }
+
+    #[test]
+    fn pop_slice_stops_at_visible_empty() {
+        let mut q = small();
+        for i in 0..5u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        q.flush();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_slice(&mut out, 3), 3);
+        assert_eq!(q.pop_slice(&mut out, 10), 2, "only 5 were visible");
+        assert_eq!(out, (0..5u32).map(Unit::Item).collect::<Vec<_>>());
+        assert_eq!(q.stats().blocked_pops, 1);
+    }
+
+    #[test]
+    fn slice_ops_respect_workset_visibility() {
+        let mut q = small();
+        // Three units: one full 2-unit workset published, one unit pending.
+        assert_eq!(
+            q.push_slice(&[Unit::Item(1), Unit::Item(2), Unit::Item(3)]),
+            3
+        );
+        let mut out = Vec::new();
+        assert_eq!(q.pop_slice(&mut out, 8), 2, "unpublished tail invisible");
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Blocking SPSC handoff for [`SimQueue`]s shared between two threads.
+//!
+//! The threaded executor used to guard every queue behind a bare mutex and
+//! busy-spin with `yield_now` whenever an operation could not make
+//! progress. [`SharedQueue`] replaces that with condvar parking: a blocked
+//! producer sleeps until the consumer makes space (and vice versa), each
+//! side can *close* its endpoint so a dead or finished peer turns a
+//! would-be hang into an error, and a stall timeout bounds every wait as a
+//! backstop against bugs that would otherwise deadlock silently.
+//!
+//! The wrapper is deliberately transport-only: all queue semantics
+//! (working-set visibility, ECC pointers, per-unit statistics) stay inside
+//! [`SimQueue`]; `SharedQueue` adds blocking, wakeup, and peer liveness.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::ring::SimQueue;
+
+/// Which endpoint of the SPSC queue a thread owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The pushing endpoint.
+    Producer,
+    /// The popping endpoint.
+    Consumer,
+}
+
+/// Why a blocking operation gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The opposite endpoint was closed (peer finished or died) while this
+    /// side could not make progress.
+    PeerClosed,
+    /// No progress within the stall timeout, with the peer still open —
+    /// the backstop against silent deadlock.
+    TimedOut,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::PeerClosed => write!(f, "peer endpoint closed"),
+            WaitError::TimedOut => write!(f, "stalled past the timeout"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+struct State {
+    q: SimQueue,
+    producer_open: bool,
+    consumer_open: bool,
+}
+
+/// A [`SimQueue`] shared between one producer thread and one consumer
+/// thread, with condvar-based blocking instead of spin-yield.
+///
+/// Operations take a closure over the inner queue that returns
+/// `Some(result)` on progress and `None` when it would block; the wrapper
+/// handles parking, wakeup, peer-death detection, and the stall timeout.
+/// Closures run under the lock, so a closure that moves a whole batch
+/// costs one lock acquisition for the entire batch.
+pub struct SharedQueue {
+    state: Mutex<State>,
+    /// Signalled when the consumer frees space (or closes).
+    can_push: Condvar,
+    /// Signalled when the producer makes units visible (or closes).
+    can_pop: Condvar,
+    stall_timeout: Duration,
+}
+
+impl SharedQueue {
+    /// Default bound on any single blocking wait.
+    pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+    /// Wraps `q` with the default stall timeout.
+    pub fn new(q: SimQueue) -> Self {
+        Self::with_stall_timeout(q, Self::DEFAULT_STALL_TIMEOUT)
+    }
+
+    /// Wraps `q`, bounding every blocking wait by `stall_timeout`.
+    pub fn with_stall_timeout(q: SimQueue, stall_timeout: Duration) -> Self {
+        SharedQueue {
+            state: Mutex::new(State {
+                q,
+                producer_open: true,
+                consumer_open: true,
+            }),
+            can_push: Condvar::new(),
+            can_pop: Condvar::new(),
+            stall_timeout,
+        }
+    }
+
+    /// Runs `f` on the producer side: retries until `f` reports progress,
+    /// parking on the condvar between attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::PeerClosed`] if the consumer endpoint is closed while
+    /// no progress is possible; [`WaitError::TimedOut`] if the stall
+    /// timeout elapses first.
+    pub fn produce<R>(&self, f: impl FnMut(&mut SimQueue) -> Option<R>) -> Result<R, WaitError> {
+        self.blocking_op(Side::Producer, f)
+    }
+
+    /// Runs `f` on the consumer side; the mirror of [`Self::produce`].
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::PeerClosed`] if the producer endpoint is closed while
+    /// no progress is possible; [`WaitError::TimedOut`] on stall.
+    pub fn consume<R>(&self, f: impl FnMut(&mut SimQueue) -> Option<R>) -> Result<R, WaitError> {
+        self.blocking_op(Side::Consumer, f)
+    }
+
+    /// Runs `f` once under the lock (no blocking) and wakes both sides —
+    /// for operations like `flush` that change visibility either way, and
+    /// for reading statistics.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimQueue) -> R) -> R {
+        let r = f(&mut self.lock().q);
+        self.can_push.notify_all();
+        self.can_pop.notify_all();
+        r
+    }
+
+    /// Closes one endpoint and wakes both sides so any parked peer
+    /// re-checks liveness. Closing is idempotent and is how a finished
+    /// (or unwinding) thread converts a neighbour's would-be hang into
+    /// [`WaitError::PeerClosed`].
+    pub fn close(&self, side: Side) {
+        {
+            let mut st = self.lock();
+            match side {
+                Side::Producer => st.producer_open = false,
+                Side::Consumer => st.consumer_open = false,
+            }
+        }
+        self.can_push.notify_all();
+        self.can_pop.notify_all();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A peer that panicked mid-operation poisons the mutex; the queue
+        // state is still internally consistent (SimQueue mutations are
+        // single-assignment per unit), and close() during unwind reports
+        // the death, so recover the guard rather than propagate the panic.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn blocking_op<R>(
+        &self,
+        side: Side,
+        mut f: impl FnMut(&mut SimQueue) -> Option<R>,
+    ) -> Result<R, WaitError> {
+        let mut st = self.lock();
+        let mut deadline: Option<Instant> = None;
+        loop {
+            if let Some(r) = f(&mut st.q) {
+                drop(st);
+                // SPSC: at most one thread parks on the opposite condvar.
+                match side {
+                    Side::Producer => self.can_pop.notify_one(),
+                    Side::Consumer => self.can_push.notify_one(),
+                }
+                return Ok(r);
+            }
+            // Check liveness only after a no-progress attempt: a peer that
+            // finished normally but left data behind must stay drainable.
+            let peer_open = match side {
+                Side::Producer => st.consumer_open,
+                Side::Consumer => st.producer_open,
+            };
+            if !peer_open {
+                return Err(WaitError::PeerClosed);
+            }
+            let dl = *deadline.get_or_insert_with(|| Instant::now() + self.stall_timeout);
+            let now = Instant::now();
+            if now >= dl {
+                return Err(WaitError::TimedOut);
+            }
+            let cv = match side {
+                Side::Producer => &self.can_push,
+                Side::Consumer => &self.can_pop,
+            };
+            st = match cv.wait_timeout(st, dl - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::QueueSpec;
+    use crate::unit::Unit;
+    use crate::PointerMode;
+
+    fn shared(capacity: usize) -> SharedQueue {
+        SharedQueue::new(SimQueue::new(QueueSpec {
+            capacity,
+            workset_size: (capacity / 8).max(1),
+            pointer_mode: PointerMode::Ecc,
+        }))
+    }
+
+    #[test]
+    fn blocking_roundtrip_preserves_order() {
+        const N: u32 = 10_000;
+        let sq = shared(64);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..N {
+                    sq.produce(|q| q.try_push(Unit::Item(i)).ok()).unwrap();
+                }
+                sq.with(|q| q.flush());
+                sq.close(Side::Producer);
+            });
+            for i in 0..N {
+                assert_eq!(sq.consume(|q| q.try_pop()), Ok(Unit::Item(i)));
+            }
+        });
+    }
+
+    #[test]
+    fn batched_roundtrip_preserves_order() {
+        const N: usize = 4096;
+        const BATCH: usize = 17; // deliberately coprime to the workset size
+        let sq = shared(64);
+        let items: Vec<Unit> = (0..N as u32).map(Unit::Item).collect();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut pos = 0;
+                while pos < N {
+                    let end = (pos + BATCH).min(N);
+                    let n = sq
+                        .produce(|q| {
+                            let n = q.push_slice(&items[pos..end]);
+                            (n > 0).then_some(n)
+                        })
+                        .unwrap();
+                    pos += n;
+                }
+                sq.with(|q| q.flush());
+                sq.close(Side::Producer);
+            });
+            let mut got: Vec<Unit> = Vec::new();
+            while got.len() < N {
+                let max = N - got.len();
+                sq.consume(|q| {
+                    let n = q.pop_slice(&mut got, max);
+                    (n > 0).then_some(n)
+                })
+                .unwrap();
+            }
+            assert_eq!(got, items);
+        });
+    }
+
+    #[test]
+    fn dead_producer_is_an_error_not_a_hang() {
+        let sq = shared(8);
+        sq.close(Side::Producer);
+        assert_eq!(sq.consume(|q| q.try_pop()), Err(WaitError::PeerClosed));
+    }
+
+    #[test]
+    fn dead_consumer_on_full_queue_is_an_error_not_a_hang() {
+        let sq = shared(8);
+        sq.with(|q| {
+            for i in 0..8u32 {
+                q.try_push(Unit::Item(i)).unwrap();
+            }
+        });
+        sq.close(Side::Consumer);
+        assert_eq!(
+            sq.produce(|q| q.try_push(Unit::Item(9)).ok()),
+            Err(WaitError::PeerClosed)
+        );
+    }
+
+    #[test]
+    fn finished_producer_leaves_queue_drainable() {
+        let sq = shared(8);
+        sq.with(|q| {
+            q.try_push(Unit::Item(7)).unwrap();
+            q.flush();
+        });
+        sq.close(Side::Producer);
+        // Data first, then PeerClosed once truly dry.
+        assert_eq!(sq.consume(|q| q.try_pop()), Ok(Unit::Item(7)));
+        assert_eq!(sq.consume(|q| q.try_pop()), Err(WaitError::PeerClosed));
+    }
+
+    #[test]
+    fn stall_timeout_bounds_the_wait() {
+        let sq = SharedQueue::with_stall_timeout(
+            SimQueue::new(QueueSpec::with_capacity(8)),
+            Duration::from_millis(40),
+        );
+        let start = Instant::now();
+        assert_eq!(sq.consume(|q| q.try_pop()), Err(WaitError::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn close_wakes_a_parked_peer() {
+        let sq = shared(8);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                sq.close(Side::Producer);
+            });
+            // Parks on empty, then the close wakes it into PeerClosed well
+            // before the 10 s stall timeout.
+            let start = Instant::now();
+            assert_eq!(sq.consume(|q| q.try_pop()), Err(WaitError::PeerClosed));
+            assert!(start.elapsed() < Duration::from_secs(5));
+        });
+    }
+
+    /// Seeded interleaving stress: random batch sizes on both sides, a
+    /// tiny queue to force constant blocking, and occasional forced
+    /// reschedules. The stream must arrive intact for every seed.
+    #[test]
+    fn seeded_interleaving_stress() {
+        const N: usize = 20_000;
+        for seed in [1u64, 7, 42, 1234] {
+            let sq = shared(16);
+            let items: Vec<Unit> = (0..N as u32).map(Unit::Item).collect();
+            let mut prng = seed;
+            let mut next = move |m: usize| {
+                // xorshift64*; plenty for schedule jitter.
+                prng ^= prng << 13;
+                prng ^= prng >> 7;
+                prng ^= prng << 17;
+                (prng as usize) % m
+            };
+            let mut cons_rng = next(1 << 30) as u64 + 1;
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut pos = 0;
+                    while pos < N {
+                        let end = (pos + 1 + next(31)).min(N);
+                        let n = sq
+                            .produce(|q| {
+                                let n = q.push_slice(&items[pos..end]);
+                                (n > 0).then_some(n)
+                            })
+                            .unwrap();
+                        pos += n;
+                        if next(8) == 0 {
+                            sq.with(|q| q.flush());
+                            std::thread::yield_now();
+                        }
+                    }
+                    sq.with(|q| q.flush());
+                    sq.close(Side::Producer);
+                });
+                let mut got: Vec<Unit> = Vec::new();
+                while got.len() < N {
+                    cons_rng ^= cons_rng << 13;
+                    cons_rng ^= cons_rng >> 7;
+                    cons_rng ^= cons_rng << 17;
+                    let max = (1 + (cons_rng as usize) % 31).min(N - got.len());
+                    sq.consume(|q| {
+                        let n = q.pop_slice(&mut got, max);
+                        (n > 0).then_some(n)
+                    })
+                    .unwrap();
+                    if cons_rng % 16 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                assert_eq!(got, items, "seed {seed} reordered or lost units");
+            });
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_reports_peer_death() {
+        let sq = shared(8);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                // Panic while holding the lock; a drop-guard in real
+                // workers calls close() during unwind — emulate that here.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sq.with(|_| panic!("worker died"))
+                }));
+                assert!(r.is_err());
+                sq.close(Side::Producer);
+            });
+            h.join().unwrap();
+        });
+        assert_eq!(sq.consume(|q| q.try_pop()), Err(WaitError::PeerClosed));
+    }
+}

@@ -34,6 +34,10 @@ pub enum RunError {
     Schedule(String),
     /// The effect model is invalid.
     BadEffectModel(String),
+    /// The threaded executor failed: a worker stalled past the transport
+    /// timeout, found its peer dead, or panicked. The message names the
+    /// node and edge involved.
+    Parallel(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for RunError {
             RunError::UnboundNode(m) => write!(f, "unbound node: {m}"),
             RunError::Schedule(m) => write!(f, "scheduling failed: {m}"),
             RunError::BadEffectModel(m) => write!(f, "bad effect model: {m}"),
+            RunError::Parallel(m) => write!(f, "threaded executor: {m}"),
         }
     }
 }

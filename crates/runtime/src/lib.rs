@@ -64,7 +64,7 @@ pub use cg_trace::{TraceConfig, TraceData};
 pub use config::{MemModel, OverheadModel, SimConfig};
 pub use exec::{run, RunError};
 pub use overhead::{estimate_overhead, OverheadEstimate};
-pub use parallel::run_parallel;
+pub use parallel::{run_parallel, run_parallel_with, ParTransport};
 pub use program::Program;
 pub use report::{NodeReport, RunReport};
 pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogStats};

@@ -1,5 +1,5 @@
-//! A threaded executor: one OS thread per node, queues shared behind
-//! `parking_lot` mutexes.
+//! A threaded executor: one OS thread per node, edges carried by
+//! blocking [`SharedQueue`]s with a batched transport.
 //!
 //! The deterministic executor ([`crate::run`]) is the measurement
 //! instrument — bit-reproducible, with fault injection. This executor
@@ -9,27 +9,96 @@
 //! fault timing relative to queue state is scheduling-dependent on real
 //! threads, which would silently break reproducibility, so
 //! [`run_parallel`] rejects error-enabled configurations instead.
+//!
+//! ## Transport
+//!
+//! Workers never spin: a blocked push or pop parks on a condvar inside
+//! [`SharedQueue`] and is woken when the peer makes progress. Each worker
+//! closes its queue endpoints on exit — including panic unwinds — so a
+//! dead neighbour surfaces as [`RunError::Parallel`] naming the stuck
+//! edge instead of hanging the run; a stall timeout backstops everything
+//! else. The default [`ParTransport::Batched`] mode moves a whole
+//! firing's worth of units per lock acquisition through
+//! [`CoreGuard::pop_batch`]/[`CoreGuard::push_batch`], which keep AM/HI
+//! transitions unit-accurate; [`ParTransport::PerItem`] (one unit per
+//! acquisition) is kept as the benchmark baseline.
 
-use std::sync::Arc;
+use std::time::Duration;
 
-use cg_graph::{NodeId, NodeKind};
-use cg_queue::{QueueSpec, SimQueue};
+use cg_graph::{EdgeId, NodeId, NodeKind};
+use cg_queue::{QueueSpec, SharedQueue, Side, SimQueue, WaitError};
 use commguard::CoreGuard;
-use parking_lot::Mutex;
 
 use crate::config::SimConfig;
 use crate::program::Program;
 use crate::report::{NodeReport, RunReport};
 use crate::RunError;
 
-/// Runs `program` with one thread per node. Error-free only.
+/// How the threaded executor moves units between worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParTransport {
+    /// One queue-lock acquisition per unit — the historical transport,
+    /// kept as the benchmark baseline.
+    PerItem,
+    /// One lock acquisition per firing per port, moving whole batches.
+    Batched,
+}
+
+/// Bound on any single blocking wait; generous so loaded CI machines do
+/// not trip it, since peer-death detection (not the timeout) is the fast
+/// path for every real failure.
+const STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Closes a worker's queue endpoints when it exits — on success, on a
+/// transport error, and on panic unwind alike — so blocked neighbours
+/// observe a dead peer instead of waiting out the stall timeout.
+struct PortCloser<'a> {
+    queues: &'a [SharedQueue],
+    in_edges: &'a [EdgeId],
+    out_edges: &'a [EdgeId],
+}
+
+impl Drop for PortCloser<'_> {
+    fn drop(&mut self) {
+        for &e in self.in_edges {
+            self.queues[e.index()].close(Side::Consumer);
+        }
+        for &e in self.out_edges {
+            self.queues[e.index()].close(Side::Producer);
+        }
+    }
+}
+
+fn stall_error(node: &str, action: &str, edge: &str, err: WaitError) -> RunError {
+    RunError::Parallel(format!("node '{node}' {action} on edge {edge}: {err}"))
+}
+
+/// Runs `program` with one thread per node and the batched transport.
+/// Error-free only.
 ///
 /// # Errors
 ///
-/// Returns [`RunError`] for unbound nodes or inconsistent schedules, and
+/// Returns [`RunError`] for unbound nodes or inconsistent schedules,
 /// [`RunError::BadEffectModel`] if the configuration enables errors
-/// (use the deterministic executor for fault experiments).
+/// (use the deterministic executor for fault experiments), and
+/// [`RunError::Parallel`] when a worker dies or stalls past the
+/// transport timeout.
 pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, RunError> {
+    run_parallel_with(program, config, ParTransport::Batched)
+}
+
+/// [`run_parallel`] with an explicit transport choice (the benchmark
+/// harness compares [`ParTransport::PerItem`] against
+/// [`ParTransport::Batched`]).
+///
+/// # Errors
+///
+/// As for [`run_parallel`].
+pub fn run_parallel_with(
+    program: Program,
+    config: &SimConfig,
+    transport: ParTransport,
+) -> Result<RunReport, RunError> {
     if config.faults_enabled() {
         return Err(RunError::BadEffectModel(
             "the threaded executor is error-free only; use cg_runtime::run".into(),
@@ -42,24 +111,46 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
         .map_err(|e| RunError::Schedule(e.to_string()))?;
     let guard_cfg = config.protection.guard_config();
 
-    let queues: Vec<Arc<Mutex<SimQueue>>> = graph
+    let queues: Vec<SharedQueue> = graph
         .edges()
         .map(|_| {
-            Arc::new(Mutex::new(SimQueue::new(
-                QueueSpec::with_capacity(config.queue_capacity)
-                    .pointer_mode(config.protection.pointer_mode()),
-            )))
+            SharedQueue::with_stall_timeout(
+                SimQueue::new(
+                    QueueSpec::with_capacity(config.queue_capacity)
+                        .pointer_mode(config.protection.pointer_mode()),
+                ),
+                STALL_TIMEOUT,
+            )
         })
         .collect();
+    // Human-readable edge labels for stuck-edge errors.
+    let edge_labels: Vec<String> = graph
+        .edges()
+        .map(|(id, e)| {
+            format!(
+                "e{} ({}\u{2192}{})",
+                id.index(),
+                graph.node(e.src()).name(),
+                graph.node(e.dst()).name()
+            )
+        })
+        .collect();
+    // A batch never needs to exceed one firing's rate; `PerItem` degrades
+    // every batch to a single unit.
+    let chunk_limit: usize = match transport {
+        ParTransport::PerItem => 1,
+        ParTransport::Batched => usize::MAX,
+    };
 
     struct ThreadResult {
         node: NodeId,
-        in_edges: Vec<cg_graph::EdgeId>,
+        in_edges: Vec<EdgeId>,
         report: NodeReport,
         sink: Option<Vec<u32>>,
     }
 
     let mut results: Vec<ThreadResult> = Vec::with_capacity(graph.node_count());
+    let mut errors: Vec<RunError> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (id, node) in graph.nodes() {
@@ -77,7 +168,13 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
             let reps = schedule.repetitions(id);
             let frames = config.frames;
             let queues = &queues;
-            handles.push(scope.spawn(move || {
+            let edge_labels = &edge_labels;
+            let worker = move || -> Result<ThreadResult, RunError> {
+                let _closer = PortCloser {
+                    queues,
+                    in_edges: &in_edges,
+                    out_edges: &out_edges,
+                };
                 let mut guard = match &guard_cfg {
                     Some(cfg) => CoreGuard::new(
                         in_edges.len(),
@@ -96,24 +193,33 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                 for firing in 0..reps * frames {
                     if firing > 0 && firing % reps == 0 {
                         for &e in &out_edges {
-                            queues[e.index()].lock().flush();
+                            queues[e.index()].with(SimQueue::flush);
                         }
                         guard.scope_boundary();
                     }
-                    // Drain pending headers (spin on full queues).
+                    // Drain pending headers (block on full queues).
                     for (port, &e) in out_edges.iter().enumerate() {
-                        while !guard.hi_tick(port, &mut queues[e.index()].lock()) {
-                            std::thread::yield_now();
-                        }
+                        queues[e.index()]
+                            .produce(|q| guard.hi_tick(port, q).then_some(()))
+                            .map_err(|w| {
+                                stall_error(&name, "draining headers", &edge_labels[e.index()], w)
+                            })?;
                     }
-                    // Pop inputs (spin on empty queues).
+                    // Pop inputs (block on empty queues), one lock
+                    // acquisition per wakeup rather than per unit.
                     for (port, &e) in in_edges.iter().enumerate() {
-                        while staged_in[port].len() < pop_rates[port] as usize {
-                            let popped = guard.pop(port, &mut queues[e.index()].lock());
-                            match popped {
-                                Some(v) => staged_in[port].push(v),
-                                None => std::thread::yield_now(),
-                            }
+                        let need = pop_rates[port] as usize;
+                        while staged_in[port].len() < need {
+                            let buf = &mut staged_in[port];
+                            let max = (need - buf.len()).min(chunk_limit);
+                            queues[e.index()]
+                                .consume(|q| {
+                                    let n = guard.pop_batch(port, q, buf, max);
+                                    (n > 0).then_some(())
+                                })
+                                .map_err(|w| {
+                                    stall_error(&name, "popping items", &edge_labels[e.index()], w)
+                                })?;
                         }
                     }
                     // Fire.
@@ -150,12 +256,22 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                     }
                     let pushed: u64 = staged_out.iter().map(|b| b.len() as u64).sum::<u64>();
                     instructions += cost.firing_cost(items + pushed);
-                    // Push outputs (spin on full queues).
+                    // Push outputs (block on full queues), whole remaining
+                    // batch per lock acquisition.
                     for (port, &e) in out_edges.iter().enumerate() {
-                        for &v in staged_out[port].iter() {
-                            while guard.push(port, &mut queues[e.index()].lock(), v).is_err() {
-                                std::thread::yield_now();
-                            }
+                        let buf = &staged_out[port];
+                        let mut pos = 0;
+                        while pos < buf.len() {
+                            let end = buf.len().min(pos.saturating_add(chunk_limit));
+                            let n = queues[e.index()]
+                                .produce(|q| {
+                                    let n = guard.push_batch(port, q, &buf[pos..end]);
+                                    (n > 0).then_some(n)
+                                })
+                                .map_err(|w| {
+                                    stall_error(&name, "pushing items", &edge_labels[e.index()], w)
+                                })?;
+                            pos += n;
                         }
                         staged_out[port].clear();
                     }
@@ -164,14 +280,25 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                     }
                 }
                 guard.finish();
+                // Drain the end-of-computation header. With the consumer
+                // gone and the queue full this used to spin forever; the
+                // condvar wait is bounded and a dead peer is an error
+                // naming the stuck edge.
                 for (port, &e) in out_edges.iter().enumerate() {
-                    while !guard.hi_tick(port, &mut queues[e.index()].lock()) {
-                        std::thread::yield_now();
-                    }
-                    queues[e.index()].lock().flush();
+                    queues[e.index()]
+                        .produce(|q| guard.hi_tick(port, q).then_some(()))
+                        .map_err(|w| {
+                            stall_error(
+                                &name,
+                                "draining the end header",
+                                &edge_labels[e.index()],
+                                w,
+                            )
+                        })?;
+                    queues[e.index()].with(SimQueue::flush);
                 }
                 let frames_done = frames;
-                ThreadResult {
+                Ok(ThreadResult {
                     node: id,
                     in_edges: in_edges.clone(),
                     report: NodeReport {
@@ -194,30 +321,42 @@ pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, R
                     } else {
                         None
                     },
-                }
-            }));
+                })
+            };
+            handles.push((node.name().to_string(), scope.spawn(worker)));
         }
-        for h in handles {
-            results.push(h.join().expect("worker thread must not panic"));
+        for (name, h) in handles {
+            match h.join() {
+                Ok(Ok(r)) => results.push(r),
+                Ok(Err(e)) => errors.push(e),
+                Err(_) => errors.push(RunError::Parallel(format!(
+                    "worker thread for node '{name}' panicked"
+                ))),
+            }
         }
     });
+    if let Some(e) = errors.into_iter().next() {
+        return Err(e);
+    }
 
     results.sort_by_key(|r| r.node.index());
     let mut report = RunReport {
         app: graph.name().to_string(),
-        rounds: 0,
+        // No scheduler rounds exist on real threads; the closest
+        // equivalent unit of progress is the steady-state frame.
+        rounds: config.frames,
         completed: true,
         ..Default::default()
     };
     for q in &queues {
-        report.queues += *q.lock().stats();
+        report.queues += q.with(|q| *q.stats());
     }
     for mut r in results {
         // Consumer-side attribution, matching the deterministic executor.
         r.report.max_queue_occupancy = r
             .in_edges
             .iter()
-            .map(|&e| queues[e.index()].lock().stats().max_occupancy)
+            .map(|&e| queues[e.index()].with(|q| q.stats().max_occupancy))
             .max()
             .unwrap_or(0);
         report.realignment_episodes += r.report.subops.pad_events + r.report.subops.discard_events;
@@ -269,6 +408,7 @@ mod tests {
         let got = run_parallel(p, &SimConfig::error_free(200)).unwrap();
         assert_eq!(got.sink_output(sink), want.sink_output(sink));
         assert!(got.completed);
+        assert_eq!(got.rounds, 200, "rounds reports the frame count");
     }
 
     #[test]
@@ -287,6 +427,23 @@ mod tests {
             got.queues.header_pushes, want.queues.header_pushes,
             "same header traffic either way"
         );
+        assert_eq!(got.queues.header_pops, want.queues.header_pops);
+    }
+
+    #[test]
+    fn per_item_transport_matches_batched() {
+        let cfg = SimConfig {
+            protection: Protection::commguard(),
+            inject: false,
+            ..SimConfig::error_free(50)
+        };
+        let (p, sink) = program();
+        let batched = run_parallel_with(p, &cfg, ParTransport::Batched).unwrap();
+        let (p, _) = program();
+        let per_item = run_parallel_with(p, &cfg, ParTransport::PerItem).unwrap();
+        assert_eq!(batched.sink_output(sink), per_item.sink_output(sink));
+        assert_eq!(batched.queues.item_pushes, per_item.queues.item_pushes);
+        assert_eq!(batched.queues.header_pushes, per_item.queues.header_pushes);
     }
 
     #[test]
@@ -298,5 +455,34 @@ mod tests {
             ..SimConfig::error_free(10)
         };
         assert!(run_parallel(p, &cfg).is_err());
+    }
+
+    /// A worker that dies mid-stream (panicking filter) must surface as a
+    /// `RunError` on some thread — never a hang. The dying worker's drop
+    /// guard closes its endpoints, so neighbours fail fast with
+    /// peer-closed rather than waiting out the stall timeout.
+    #[test]
+    fn killed_worker_is_an_error_not_a_hang() {
+        let mut b = GraphBuilder::new("killed");
+        let s = b.add_node("s", NodeKind::Source);
+        let f = b.add_node("f", NodeKind::Filter);
+        let k = b.add_node("k", NodeKind::Sink);
+        b.pipeline(&[s, f, k], 8).unwrap();
+        let mut p = Program::new(b.build().unwrap());
+        p.set_source(s, |out| out.extend(0..8u32));
+        let mut firings = 0u32;
+        p.set_filter(f, move |inp, out| {
+            firings += 1;
+            assert!(firings < 5, "injected worker death");
+            out[0].extend_from_slice(&inp[0]);
+        });
+        let _ = k;
+        let start = std::time::Instant::now();
+        let err = run_parallel(p, &SimConfig::error_free(1000)).unwrap_err();
+        assert!(
+            start.elapsed() < STALL_TIMEOUT,
+            "peer-closed must beat the stall timeout"
+        );
+        assert!(matches!(err, RunError::Parallel(_)), "got: {err}");
     }
 }

@@ -28,8 +28,17 @@ pub struct NodeReport {
     /// CommGuard suboperation counters for this core.
     pub subops: SubopCounters,
     /// Faults injected on this core, by class.
+    ///
+    /// **Deterministic executor only.** The threaded executor
+    /// ([`crate::run_parallel`]) rejects error-enabled configurations, so
+    /// it always reports zero faults here.
     pub faults: FaultStats,
     /// QM timeouts fired on this core's ports.
+    ///
+    /// **Deterministic executor only.** The threaded executor blocks on
+    /// condvars instead of forcing timeout transfers, so it always
+    /// reports 0; its transport stalls surface as
+    /// [`crate::RunError::Parallel`] instead.
     pub timeouts: u64,
     /// High-water occupancy (in units) over the queues this core
     /// consumes. Queues are attributed to their consumer side, so source
@@ -45,14 +54,24 @@ pub struct RunReport {
     /// Per-node reports, indexed by node.
     pub nodes: Vec<NodeReport>,
     /// Aggregated queue statistics over all edges.
+    ///
+    /// Under the threaded executor, `blocked_pushes`/`blocked_pops` count
+    /// real blocking episodes of the condvar transport (one failed
+    /// attempt per wait), not spin iterations.
     pub queues: QueueStats,
     /// Collected sink streams, keyed by node index.
     pub sinks: BTreeMap<usize, Vec<u32>>,
-    /// Scheduler rounds used.
+    /// Scheduler rounds used. The deterministic executor counts
+    /// round-robin scheduler rounds; the threaded executor has no
+    /// scheduler and reports the steady-state frame count instead.
     pub rounds: u64,
     /// Whether every node ran to completion (false = hit `max_rounds`).
     pub completed: bool,
     /// Cross-core stall watchdog escalations.
+    ///
+    /// **Deterministic executor only.** The threaded executor has no
+    /// simulated watchdog; its liveness backstop is the transport stall
+    /// timeout, reported via [`crate::RunError::Parallel`].
     pub watchdog: WatchdogStats,
     /// AM realignment episodes (pad + discard entries) across all cores.
     pub realignment_episodes: u64,

@@ -1,0 +1,105 @@
+//! Threaded-executor parity across the whole benchmark suite: for every
+//! app, guarded and unguarded, `run_parallel` must be bit-identical to
+//! the deterministic executor at the sink and move exactly the same
+//! header traffic — real threads change timing, never results. Workloads
+//! are tiny so the suite stays fast in debug builds.
+
+use cg_apps::beamformer::BeamformerApp;
+use cg_apps::complex_fir::ComplexFirApp;
+use cg_apps::fft_app::FftApp;
+use cg_apps::jpeg::JpegApp;
+use cg_apps::mp3::Mp3App;
+use cg_apps::vocoder::VocoderApp;
+use cg_runtime::{run, run_parallel, run_parallel_with, ParTransport, Program, SimConfig};
+use commguard::graph::NodeId;
+use commguard::Protection;
+
+fn assert_parity(
+    name: &str,
+    build: impl Fn() -> (Program, NodeId),
+    frames: u64,
+    protection: Protection,
+) {
+    let cfg = SimConfig {
+        protection,
+        inject: false,
+        ..SimConfig::error_free(frames)
+    };
+    let (p, sink) = build();
+    let want = run(p, &cfg).expect("deterministic run");
+    assert!(want.completed, "{name}: deterministic run incomplete");
+    let (p, _) = build();
+    let got = run_parallel(p, &cfg).expect("threaded run");
+    assert!(got.completed, "{name}: threaded run incomplete");
+    assert_eq!(
+        got.sink_output(sink),
+        want.sink_output(sink),
+        "{name} [{}]: sink output diverged",
+        protection.label()
+    );
+    assert_eq!(
+        got.queues.header_pushes,
+        want.queues.header_pushes,
+        "{name} [{}]: header push traffic diverged",
+        protection.label()
+    );
+    assert_eq!(
+        got.queues.header_pops,
+        want.queues.header_pops,
+        "{name} [{}]: header pop traffic diverged",
+        protection.label()
+    );
+    assert_eq!(
+        got.queues.item_pushes, want.queues.item_pushes,
+        "{name}: item push traffic diverged"
+    );
+}
+
+fn suite_parity(protection: Protection) {
+    let beam = BeamformerApp::new(256);
+    assert_parity(
+        "audiobeamformer",
+        || beam.build(),
+        beam.frames(),
+        protection,
+    );
+    let voc = VocoderApp::new(256);
+    assert_parity("channelvocoder", || voc.build(), voc.frames(), protection);
+    let cfir = ComplexFirApp::new(256);
+    assert_parity("complex-fir", || cfir.build(), cfir.frames(), protection);
+    let fft = FftApp::new(8);
+    assert_parity("fft", || fft.build(), fft.frames(), protection);
+    let jpeg = JpegApp::new(64, 32, 75);
+    assert_parity("jpeg", || jpeg.build(), jpeg.frames(), protection);
+    let mp3 = Mp3App::new(512);
+    assert_parity("mp3", || mp3.build(), mp3.frames(), protection);
+}
+
+#[test]
+fn whole_suite_parity_unguarded() {
+    suite_parity(Protection::ErrorFree);
+}
+
+#[test]
+fn whole_suite_parity_guarded() {
+    suite_parity(Protection::commguard());
+}
+
+/// Both transports of the threaded executor agree with each other on a
+/// real app, guarded — the batch path is not a different computation.
+#[test]
+fn transports_agree_on_an_app() {
+    let app = FftApp::new(8);
+    let cfg = SimConfig {
+        protection: Protection::commguard(),
+        inject: false,
+        ..SimConfig::error_free(app.frames())
+    };
+    let (p, sink) = app.build();
+    let batched = run_parallel_with(p, &cfg, ParTransport::Batched).expect("batched");
+    let (p, _) = app.build();
+    let per_item = run_parallel_with(p, &cfg, ParTransport::PerItem).expect("per-item");
+    assert_eq!(batched.sink_output(sink), per_item.sink_output(sink));
+    assert_eq!(batched.queues.header_pushes, per_item.queues.header_pushes);
+    assert_eq!(batched.queues.item_pops, per_item.queues.item_pops);
+}
