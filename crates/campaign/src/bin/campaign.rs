@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! campaign [--quick] [--seeds N] [--frames N] [--threads N]
-//!          [--classes a,b,..] [--mtbe n1,n2,..] [--out PATH]
-//!          [--trace] [--trace-dir DIR]
+//!          [--executor det|threaded] [--classes a,b,..] [--mtbe n1,n2,..]
+//!          [--out PATH] [--trace] [--trace-dir DIR]
 //! ```
 //!
 //! Exits nonzero when any CommGuard run violates an invariant.
@@ -13,15 +13,19 @@
 use std::process::ExitCode;
 
 use cg_campaign::json::Json;
-use cg_campaign::{run_campaign, CampaignReport, CampaignSpec, Outcome};
+use cg_campaign::{run_campaign, CampaignReport, CampaignSpec, ExecutorKind, Outcome};
 use cg_fault::{FaultClass, Mtbe};
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--quick] [--seeds N] [--frames N] [--threads N]\n\
-         \x20               [--classes a,b,..] [--mtbe n1,n2,..] [--out PATH]\n\
+         \x20               [--executor det|threaded] [--classes a,b,..]\n\
+         \x20               [--mtbe n1,n2,..] [--out PATH]\n\
          \x20               [--trace] [--trace-dir DIR]\n\
          \n\
+         executor:  det = deterministic round-robin simulator (default);\n\
+         \x20          threaded = one OS thread per node with fault injection\n\
+         \x20          and frame-level checkpoint/re-execute recovery\n\
          classes:   baseline burst stuck-at pointer header (default: all)\n\
          mtbe:      mean instructions between errors (default: 256,2048,16384)\n\
          out:       JSON report path (default: campaign_report.json)\n\
@@ -61,6 +65,12 @@ fn parse_args() -> Args {
             }
             "--threads" => {
                 spec.threads = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--executor" => {
+                spec.executor = ExecutorKind::parse(&value(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
             }
             "--classes" => {
                 spec.classes = value(&mut i)
@@ -129,6 +139,7 @@ fn to_json(report: &CampaignReport) -> Json {
         .set("frames", spec.frames)
         .set("queue_capacity", spec.queue_capacity)
         .set("max_rounds", spec.max_rounds)
+        .set("executor", spec.executor.label())
         .set(
             "trace_dir",
             spec.trace_dir.as_deref().map_or(Json::Null, Json::from),
@@ -150,6 +161,11 @@ fn to_json(report: &CampaignReport) -> Json {
                 .set("faults", r.faults)
                 .set("timeouts", r.timeouts)
                 .set("watchdog_escalations", r.watchdog_escalations)
+                .set("wd_timeouts_armed", r.watchdog.timeout_escalations)
+                .set("wd_forced_progress", r.watchdog.forced_progress)
+                .set("wd_frame_aborts", r.watchdog.frame_aborts)
+                .set("frame_retries", r.watchdog.frame_retries)
+                .set("frames_degraded", r.watchdog.frame_degrades)
                 .set("realign_events", r.realign_events)
                 .set(
                     "violations",
@@ -192,9 +208,25 @@ fn print_summary(report: &CampaignReport) {
             "requested"
         }
     );
+    // Per-rung watchdog columns: wd1 = QM timeouts armed, wd2 = forced
+    // progress, wd3 = frame aborts; retry/degr are the recovery rung
+    // (frame re-executions and budget-exhausted degradations).
     println!(
-        "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>5}",
-        "class", "mtbe", "protection", "ok", "deg", "mis", "hang", "faults", "realgn", "wdog"
+        "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4}",
+        "class",
+        "mtbe",
+        "protection",
+        "ok",
+        "deg",
+        "mis",
+        "hang",
+        "faults",
+        "realgn",
+        "wd1",
+        "wd2",
+        "wd3",
+        "retry",
+        "degr"
     );
     for &class in &report.spec.classes {
         for &mtbe in &report.spec.mtbes {
@@ -208,9 +240,11 @@ fn print_summary(report: &CampaignReport) {
                 let rows: Vec<_> = report.runs.iter().filter(|r| sel(r)).collect();
                 let faults: u64 = rows.iter().map(|r| r.faults).sum();
                 let realign: u64 = rows.iter().map(|r| r.realign_events).sum();
-                let wdog: u64 = rows.iter().map(|r| r.watchdog_escalations).sum();
+                let sum = |f: fn(&cg_runtime::WatchdogStats) -> u64| -> u64 {
+                    rows.iter().map(|r| f(&r.watchdog)).sum()
+                };
                 println!(
-                    "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>5}",
+                    "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4}",
                     class.label(),
                     mtbe.as_instructions(),
                     protection.label(),
@@ -220,7 +254,11 @@ fn print_summary(report: &CampaignReport) {
                     counts[Outcome::Hang as usize],
                     faults,
                     realign,
-                    wdog,
+                    sum(|w| w.timeout_escalations),
+                    sum(|w| w.forced_progress),
+                    sum(|w| w.frame_aborts),
+                    sum(|w| w.frame_retries),
+                    sum(|w| w.frame_degrades),
                 );
             }
         }
@@ -230,12 +268,13 @@ fn print_summary(report: &CampaignReport) {
 fn main() -> ExitCode {
     let args = parse_args();
     eprintln!(
-        "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs",
+        "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs ({} executor)",
         args.spec.classes.len(),
         args.spec.mtbes.len(),
         args.spec.protections.len(),
         args.spec.seeds,
-        args.spec.total_runs()
+        args.spec.total_runs(),
+        args.spec.executor.label()
     );
     let report = run_campaign(&args.spec);
     print_summary(&report);

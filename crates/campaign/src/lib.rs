@@ -9,4 +9,4 @@ pub mod runner;
 pub mod spec;
 
 pub use runner::{run_campaign, CampaignReport, Outcome, RunRecord};
-pub use spec::{CampaignSpec, RunCell};
+pub use spec::{CampaignSpec, ExecutorKind, RunCell};

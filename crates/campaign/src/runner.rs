@@ -4,12 +4,22 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
-use cg_runtime::{run, Program, RunReport, SimConfig};
+use cg_runtime::{run, run_parallel, Program, RunReport, SimConfig, WatchdogStats};
 use cg_trace::{analyze, text, to_chrome_json, TraceConfig};
 use commguard::graph::{GraphBuilder, NodeId, NodeKind, StreamGraph};
+use commguard::Protection;
 
-use crate::spec::{CampaignSpec, RunCell};
+use crate::spec::{CampaignSpec, ExecutorKind, RunCell};
+
+/// Stall timeout for threaded cells: long enough that healthy peers
+/// always beat it, short enough that a genuinely wedged port escalates
+/// within a campaign-friendly wall-clock budget.
+const PAR_STALL: Duration = Duration::from_millis(150);
+
+/// Frame retry budget for threaded cells; beyond it a frame degrades.
+const PAR_RETRY_BUDGET: u32 = 3;
 
 /// How one run ended, from best to worst.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -55,6 +65,9 @@ pub struct RunRecord {
     pub timeouts: u64,
     /// Watchdog escalations (all rungs).
     pub watchdog_escalations: u64,
+    /// Full per-rung watchdog counters, including the threaded executor's
+    /// frame retries and degradations.
+    pub watchdog: WatchdogStats,
     /// AM pad + discard events across all cores.
     pub realign_events: u64,
     /// Hard-invariant violations (always empty for a passing campaign).
@@ -186,8 +199,49 @@ fn total_realign_events(report: &RunReport) -> u64 {
     subops.pad_events + subops.discard_events
 }
 
-/// Executes one sweep cell and evaluates its invariants.
+/// Classifies a finished run against the golden output.
+fn classify(completed: bool, sink: &[u32], expected: &[u32]) -> Outcome {
+    if !completed {
+        Outcome::Hang
+    } else if sink.len() != expected.len() {
+        Outcome::StructuralMismatch
+    } else if sink != expected {
+        Outcome::DataDegraded
+    } else {
+        Outcome::Ok
+    }
+}
+
+/// Keeps a post-mortem for a bad run (trace path + propagation chains),
+/// when the campaign is traced. Bit-exact runs have nothing to dump.
+fn postmortem(
+    spec: &CampaignSpec,
+    cell: RunCell,
+    report: &RunReport,
+    bad: bool,
+) -> (Option<String>, Vec<String>) {
+    let Some(dir) = &spec.trace_dir else {
+        return (None, Vec::new());
+    };
+    if !bad {
+        return (None, Vec::new());
+    }
+    let data = report.trace.as_ref().expect("tracing was enabled");
+    let analysis = analyze(&data.records);
+    let propagation = analysis.chains.iter().map(|c| c.to_string()).collect();
+    (dump_trace(dir, cell, &data.records, &analysis), propagation)
+}
+
+/// Executes one sweep cell on the configured executor.
 fn run_cell(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
+    match spec.executor {
+        ExecutorKind::Deterministic => run_cell_det(spec, cell, expected),
+        ExecutorKind::Threaded => run_cell_threaded(spec, cell, expected),
+    }
+}
+
+/// Executes one deterministic-executor cell and evaluates its invariants.
+fn run_cell_det(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
     let rates = shape(cell.seed);
     let (p, snk) = program(&rates);
     let cfg = SimConfig {
@@ -211,15 +265,7 @@ fn run_cell(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
     let report = run(p, &cfg).expect("runs never error at runtime");
 
     let sink = report.sink_output(snk);
-    let outcome = if !report.completed {
-        Outcome::Hang
-    } else if sink.len() != expected.len() {
-        Outcome::StructuralMismatch
-    } else if sink != expected {
-        Outcome::DataDegraded
-    } else {
-        Outcome::Ok
-    };
+    let outcome = classify(report.completed, sink, expected);
 
     let realign_events = total_realign_events(&report);
     // Structural bound on realignment work: each in-port decides pad vs
@@ -248,20 +294,8 @@ fn run_cell(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
     }
 
     let sink_len = sink.len();
-    let mut trace_file = None;
-    let mut propagation = Vec::new();
-    if let Some(dir) = &spec.trace_dir {
-        // Keep a trace for every run that violated an invariant or whose
-        // output mismatches the golden run (degraded, structural, hang);
-        // bit-exact runs have nothing to post-mortem.
-        let keep = !violations.is_empty() || outcome != Outcome::Ok;
-        if keep {
-            let data = report.trace.as_ref().expect("tracing was enabled");
-            let analysis = analyze(&data.records);
-            propagation = analysis.chains.iter().map(|c| c.to_string()).collect();
-            trace_file = dump_trace(dir, cell, &data.records, &analysis);
-        }
-    }
+    let bad = !violations.is_empty() || outcome != Outcome::Ok;
+    let (trace_file, propagation) = postmortem(spec, cell, &report, bad);
 
     RunRecord {
         cell,
@@ -272,6 +306,133 @@ fn run_cell(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
         faults: report.total_faults().total(),
         timeouts: report.total_timeouts(),
         watchdog_escalations: report.watchdog.total_escalations(),
+        watchdog: report.watchdog,
+        realign_events,
+        violations,
+        trace_file,
+        propagation,
+    }
+}
+
+/// Fault-free header traffic for this seed's pipeline under a given
+/// protection mode, from the deterministic executor. The threaded
+/// executor's frame retry/degrade ladder must conserve this exactly:
+/// headers are pushed once per frame boundary, never per attempt.
+fn golden_header_pushes(spec: &CampaignSpec, seed: u64, protection: Protection) -> u64 {
+    let rates = shape(seed);
+    let (p, _) = program(&rates);
+    let cfg = SimConfig {
+        protection,
+        inject: false,
+        queue_capacity: spec.queue_capacity,
+        ..SimConfig::error_free(spec.frames)
+    }
+    .seed(seed);
+    run(p, &cfg)
+        .expect("fault-free golden run")
+        .queues
+        .header_pushes
+}
+
+/// Executes one threaded-executor cell and evaluates its invariants:
+/// guarded runs must complete, keep a frame-exact sink, conserve the
+/// fault-free header traffic, and stay inside the frame retry budget.
+fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunRecord {
+    let rates = shape(cell.seed);
+    let node_count = rates.len() as u64 + 1;
+    let (p, snk) = program(&rates);
+    let cfg = SimConfig {
+        protection: cell.protection,
+        inject: true,
+        mtbe: cell.mtbe,
+        fault_class: cell.class,
+        queue_capacity: spec.queue_capacity,
+        stall_timeout: PAR_STALL,
+        par_retry_budget: PAR_RETRY_BUDGET,
+        trace: if spec.trace_dir.is_some() {
+            TraceConfig::ring()
+        } else {
+            TraceConfig::Off
+        },
+        ..SimConfig::error_free(spec.frames)
+    }
+    .seed(cell.seed);
+
+    // Liveness is the threaded executor's own contract: every blocking
+    // operation times out and every frame either retries within budget or
+    // degrades, so `run_parallel` returning at all proves termination. An
+    // `Err` (a worker died) is a liveness failure, classified as a hang.
+    let report = match run_parallel(p, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            let mut violations = Vec::new();
+            if cell.protection.guards_enabled() {
+                violations.push(format!("threaded run errored: {e}"));
+            }
+            return RunRecord {
+                cell,
+                outcome: Outcome::Hang,
+                completed: false,
+                sink_len: 0,
+                expected_len: expected.len(),
+                faults: 0,
+                timeouts: 0,
+                watchdog_escalations: 0,
+                watchdog: WatchdogStats::default(),
+                realign_events: 0,
+                violations,
+                trace_file: None,
+                propagation: Vec::new(),
+            };
+        }
+    };
+
+    let sink = report.sink_output(snk);
+    let outcome = classify(report.completed, sink, expected);
+
+    let mut violations = Vec::new();
+    if cell.protection.guards_enabled() {
+        if !report.completed {
+            violations.push("threaded commguard run did not complete".to_string());
+        }
+        if sink.len() != expected.len() {
+            violations.push(format!(
+                "threaded commguard sink length {} != scheduled {}",
+                sink.len(),
+                expected.len()
+            ));
+        }
+        let golden_headers = golden_header_pushes(spec, cell.seed, cell.protection);
+        if report.queues.header_pushes != golden_headers {
+            violations.push(format!(
+                "header conservation violated: {} pushed, golden {}",
+                report.queues.header_pushes, golden_headers
+            ));
+        }
+        let retry_bound = u64::from(PAR_RETRY_BUDGET) * spec.frames * node_count;
+        if report.watchdog.frame_retries > retry_bound {
+            violations.push(format!(
+                "frame retries {} exceed budget bound {retry_bound}",
+                report.watchdog.frame_retries
+            ));
+        }
+    }
+
+    let sink_len = sink.len();
+    let realign_events = total_realign_events(&report);
+    let bad = !violations.is_empty() || outcome != Outcome::Ok;
+    let (trace_file, propagation) = postmortem(spec, cell, &report, bad);
+
+    RunRecord {
+        cell,
+        outcome,
+        completed: report.completed,
+        sink_len,
+        expected_len: expected.len(),
+        faults: report.total_faults().total(),
+        timeouts: report.total_timeouts(),
+        watchdog_escalations: report.watchdog.total_escalations(),
+        watchdog: report.watchdog,
         realign_events,
         violations,
         trace_file,
@@ -445,6 +606,41 @@ mod tests {
         // The auto-resolved worker count is recorded, never left implicit.
         assert!(report.workers >= 1);
         assert!(report.workers <= report.spec.total_runs());
+    }
+
+    #[test]
+    fn threaded_smoke_campaign_upholds_invariants() {
+        let spec = CampaignSpec {
+            executor: ExecutorKind::Threaded,
+            classes: vec![
+                FaultClass::Baseline,
+                FaultClass::Burst,
+                FaultClass::HeaderCorruption,
+            ],
+            mtbes: vec![cg_fault::Mtbe::instructions(256)],
+            seeds: 2,
+            frames: 8,
+            ..CampaignSpec::default()
+        };
+        let report = run_campaign(&spec);
+        assert_eq!(report.runs.len(), spec.total_runs());
+        let bad = report.violations();
+        assert!(
+            bad.is_empty(),
+            "threaded invariant violations: {:?}",
+            bad.iter().map(|(_, v)| v).collect::<Vec<_>>()
+        );
+        // Guarded threaded cells never hang and stay frame-exact.
+        for r in report
+            .runs
+            .iter()
+            .filter(|r| r.cell.protection.guards_enabled())
+        {
+            assert!(r.completed, "{:?}", r.cell);
+            assert_eq!(r.sink_len, r.expected_len, "{:?}", r.cell);
+        }
+        // The sweep genuinely injected faults somewhere.
+        assert!(report.runs.iter().map(|r| r.faults).sum::<u64>() > 0);
     }
 
     #[test]

@@ -3,6 +3,39 @@
 use cg_fault::{FaultClass, Mtbe};
 use commguard::Protection;
 
+/// Which executor runs the sweep's cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// The round-robin deterministic simulator (`cg_runtime::run`).
+    #[default]
+    Deterministic,
+    /// The one-OS-thread-per-node executor (`cg_runtime::run_parallel`)
+    /// with per-core fault injection and frame-level checkpoint /
+    /// re-execute recovery.
+    Threaded,
+}
+
+impl ExecutorKind {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorKind::Deterministic => "det",
+            ExecutorKind::Threaded => "threaded",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "det" | "deterministic" => Ok(ExecutorKind::Deterministic),
+            "threaded" | "par" | "parallel" => Ok(ExecutorKind::Threaded),
+            other => Err(format!(
+                "unknown executor '{other}' (expected det or threaded)"
+            )),
+        }
+    }
+}
+
 /// The full cross product swept by a campaign: every fault class ×
 /// every MTBE × every protection mode × every seed.
 #[derive(Debug, Clone)]
@@ -24,6 +57,11 @@ pub struct CampaignSpec {
     pub max_rounds: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Which executor runs each cell. The threaded executor layers the
+    /// frame retry/degrade recovery ladder on top of the same fault
+    /// classes, so its invariants additionally bound retries and require
+    /// header conservation against a fault-free golden run.
+    pub executor: ExecutorKind,
     /// When set, runs are traced (ring buffer) and violating, mismatching
     /// or hanging runs dump their trace + propagation summary into this
     /// directory. `None` (the default) keeps the zero-cost untraced path.
@@ -54,6 +92,7 @@ impl Default for CampaignSpec {
             queue_capacity: 16,
             max_rounds: 4_000_000,
             threads: 0,
+            executor: ExecutorKind::default(),
             trace_dir: None,
         }
     }
@@ -127,5 +166,18 @@ mod tests {
     fn quick_sweep_is_smaller() {
         let q = CampaignSpec::quick();
         assert!(q.total_runs() < CampaignSpec::default().total_runs());
+    }
+
+    #[test]
+    fn executor_kind_parses_and_labels() {
+        assert_eq!(
+            CampaignSpec::default().executor,
+            ExecutorKind::Deterministic
+        );
+        assert_eq!(ExecutorKind::parse("det"), Ok(ExecutorKind::Deterministic));
+        assert_eq!(ExecutorKind::parse("threaded"), Ok(ExecutorKind::Threaded));
+        assert_eq!(ExecutorKind::parse("par"), Ok(ExecutorKind::Threaded));
+        assert!(ExecutorKind::parse("gpu").is_err());
+        assert_eq!(ExecutorKind::Threaded.label(), "threaded");
     }
 }

@@ -12,6 +12,7 @@
 
 use cg_queue::{FrameId, SimQueue, Unit};
 
+use crate::harden::Hardened;
 use crate::subop::{RealignKind, SubopCounters};
 
 /// AM FSM states (paper Table 1).
@@ -52,12 +53,17 @@ enum HeaderClass {
 }
 
 /// The Alignment Manager for one incoming queue.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// All three soft FSM fields (`state`, `active_fc`, `held`) are stored in
+/// [`Hardened`] triplicate and voted/healed at every FSM event entry
+/// point, so single-replica strikes cannot silently derail alignment
+/// (see [`crate::harden`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AlignmentManager {
-    state: AmState,
-    active_fc: FrameId,
+    state: Hardened<AmState>,
+    active_fc: Hardened<FrameId>,
     /// Future header held while padding.
-    held: Option<FrameId>,
+    held: Hardened<Option<FrameId>>,
     policy: PadPolicy,
     last_value: u32,
 }
@@ -67,9 +73,9 @@ impl AlignmentManager {
     /// frame's header first.
     pub fn new(policy: PadPolicy) -> Self {
         AlignmentManager {
-            state: AmState::ExpHdr,
-            active_fc: 0,
-            held: None,
+            state: Hardened::new(AmState::ExpHdr),
+            active_fc: Hardened::new(0),
+            held: Hardened::new(None),
             policy,
             last_value: 0,
         }
@@ -77,21 +83,55 @@ impl AlignmentManager {
 
     /// Current FSM state.
     pub fn state(&self) -> AmState {
-        self.state
+        self.state.peek()
     }
 
     /// The frame the local thread is currently computing.
     pub fn active_fc(&self) -> FrameId {
-        self.active_fc
+        self.active_fc.peek()
+    }
+
+    /// Majority-votes and heals all hardened FSM fields.
+    pub fn heal(&mut self, sub: &mut SubopCounters) {
+        self.state.scrub(sub);
+        self.active_fc.scrub(sub);
+        self.held.scrub(sub);
+    }
+
+    /// Fault-injection hook: corrupts one replica of one FSM field,
+    /// selected by `selector` (field = selector % 3, replica = selector / 3).
+    pub fn corrupt_replica(&mut self, selector: u64) {
+        let idx = (selector / 3) as usize;
+        match selector % 3 {
+            0 => {
+                let flipped = match self.state.peek() {
+                    AmState::RcvCmp => AmState::ExpHdr,
+                    _ => AmState::RcvCmp,
+                };
+                self.state.corrupt_replica(idx, flipped);
+            }
+            1 => {
+                let v = self.active_fc.peek() ^ 1;
+                self.active_fc.corrupt_replica(idx, v);
+            }
+            _ => {
+                let v = match self.held.peek() {
+                    None => Some(1),
+                    Some(h) => Some(h ^ 1),
+                };
+                self.held.corrupt_replica(idx, v);
+            }
+        }
     }
 
     /// Handles the "new frame computation started" event: the PPU
     /// protection module has advanced the thread's `active-fc` to `fc`.
     pub fn new_frame_computation(&mut self, fc: FrameId, sub: &mut SubopCounters) {
+        self.heal(sub);
         sub.fsm_ops += 1;
         sub.counter_ops += 1;
-        self.active_fc = fc;
-        self.state = match self.state {
+        self.active_fc.set(fc);
+        let next = match self.state.peek() {
             AmState::RcvCmp => AmState::ExpHdr,
             // Rolled over again without ever finding the previous header:
             // keep expecting (the old target is now simply "past").
@@ -99,22 +139,23 @@ impl AlignmentManager {
             // Still discarding towards the (new) frame boundary.
             AmState::DiscFr => AmState::DiscFr,
             AmState::Disc => AmState::Disc,
-            AmState::Pdg => match self.held {
+            AmState::Pdg => match self.held.peek() {
                 // "New frame computation matched header" → resume.
                 Some(h) if h == fc => {
-                    self.held = None;
+                    self.held.set(None);
                     AmState::RcvCmp
                 }
                 // Local computation overshot the held header: the queued
                 // data following it is stale; discard to the boundary.
                 Some(h) if h < fc && h != cg_queue::END_FRAME_ID => {
-                    self.held = None;
+                    self.held.set(None);
                     sub.record_event(fc, RealignKind::Discard);
                     AmState::DiscFr
                 }
                 _ => AmState::Pdg,
             },
         };
+        self.state.set(next);
     }
 
     /// Handles one pop request from the local thread.
@@ -124,8 +165,9 @@ impl AlignmentManager {
     /// visible and the thread must block (the FSM state is preserved so
     /// the request can simply be retried).
     pub fn pop(&mut self, q: &mut SimQueue, sub: &mut SubopCounters) -> Option<u32> {
+        self.heal(sub);
         sub.fsm_ops += 1; // FSM-check on every pop request (Table 2).
-        if self.state == AmState::Pdg {
+        if self.state.peek() == AmState::Pdg {
             return Some(self.pad(sub));
         }
         // Defensive bound on the discard loop: even a queue flooded by
@@ -137,7 +179,7 @@ impl AlignmentManager {
             let unit = q.try_pop()?;
             sub.header_bit_ops += 1; // is-header test on every unit.
             match unit {
-                Unit::Item(v) => match self.state {
+                Unit::Item(v) => match self.state.peek() {
                     AmState::RcvCmp => {
                         sub.accepted_items += 1;
                         self.last_value = v;
@@ -146,8 +188,8 @@ impl AlignmentManager {
                     AmState::ExpHdr => {
                         // "Received item" in ExpHdr → DiscFr.
                         sub.fsm_ops += 1; // FSM-update (Table 2 loop)
-                        self.state = AmState::DiscFr;
-                        sub.record_event(self.active_fc, RealignKind::Discard);
+                        self.state.set(AmState::DiscFr);
+                        sub.record_event(self.active_fc.peek(), RealignKind::Discard);
                         sub.discarded_items += 1;
                     }
                     AmState::DiscFr | AmState::Disc => {
@@ -160,7 +202,7 @@ impl AlignmentManager {
                     sub.fsm_ops += 1; // FSM-check/update for the header
                     sub.ecc_ops += 1; // check-ECC for header (Table 2).
                     let class = self.classify(&unit);
-                    match (self.state, class) {
+                    match (self.state.peek(), class) {
                         // --- RcvCmp row of Table 1 ---
                         (AmState::RcvCmp, HeaderClass::Future(h)) => {
                             self.enter_padding(h, sub);
@@ -169,18 +211,18 @@ impl AlignmentManager {
                         (AmState::RcvCmp, _) => {
                             // Past header (a correct id mid-frame is a
                             // producer restart — equally "past").
-                            self.state = AmState::Disc;
-                            sub.record_event(self.active_fc, RealignKind::Discard);
+                            self.state.set(AmState::Disc);
+                            sub.record_event(self.active_fc.peek(), RealignKind::Discard);
                             sub.discarded_headers += 1;
                         }
                         // --- ExpHdr row ---
                         (AmState::ExpHdr, HeaderClass::Correct) => {
-                            self.state = AmState::RcvCmp;
+                            self.state.set(AmState::RcvCmp);
                             // Header consumed; loop on to fetch the item.
                         }
                         (AmState::ExpHdr, HeaderClass::Past) => {
-                            self.state = AmState::DiscFr;
-                            sub.record_event(self.active_fc, RealignKind::Discard);
+                            self.state.set(AmState::DiscFr);
+                            sub.record_event(self.active_fc.peek(), RealignKind::Discard);
                             sub.discarded_headers += 1;
                         }
                         (AmState::ExpHdr, HeaderClass::Future(h)) => {
@@ -189,7 +231,7 @@ impl AlignmentManager {
                         }
                         // --- DiscFr row ---
                         (AmState::DiscFr, HeaderClass::Correct) => {
-                            self.state = AmState::RcvCmp;
+                            self.state.set(AmState::RcvCmp);
                         }
                         (AmState::DiscFr, HeaderClass::Future(h)) => {
                             self.enter_padding(h, sub);
@@ -219,18 +261,19 @@ impl AlignmentManager {
     /// ECC detects uncorrectable corruption are conservatively treated as
     /// past (forcing a discard-realign rather than trusting a bogus id).
     fn classify(&self, unit: &Unit) -> HeaderClass {
+        let active = self.active_fc.peek();
         match unit.header_id() {
             None => HeaderClass::Past,
-            Some(id) if id == self.active_fc => HeaderClass::Correct,
-            Some(id) if id > self.active_fc => HeaderClass::Future(id),
+            Some(id) if id == active => HeaderClass::Correct,
+            Some(id) if id > active => HeaderClass::Future(id),
             Some(_) => HeaderClass::Past,
         }
     }
 
     fn enter_padding(&mut self, held: FrameId, sub: &mut SubopCounters) {
-        self.state = AmState::Pdg;
-        self.held = Some(held);
-        sub.record_event(self.active_fc, RealignKind::Pad);
+        self.state.set(AmState::Pdg);
+        self.held.set(Some(held));
+        sub.record_event(self.active_fc.peek(), RealignKind::Pad);
     }
 
     fn pad(&mut self, sub: &mut SubopCounters) -> u32 {
@@ -522,5 +565,27 @@ mod tests {
         let am = AlignmentManager::default();
         assert_eq!(am.state(), AmState::ExpHdr);
         assert_eq!(am.active_fc(), 0);
+    }
+
+    /// A single corrupted FSM replica is out-voted before the next pop
+    /// acts on it: alignment behaviour is unchanged and the strike is
+    /// counted.
+    #[test]
+    fn corrupted_fsm_replica_is_healed_on_pop() {
+        let mut q = queue();
+        let mut am = AlignmentManager::default();
+        let mut sub = SubopCounters::default();
+        push_frame(&mut q, 0, &[10, 11]);
+        assert_eq!(am.pop(&mut q, &mut sub), Some(10));
+        // Strike each field in turn (field = sel % 3, replica = sel / 3).
+        am.corrupt_replica(0); // state replica 0
+        am.corrupt_replica(4); // active_fc replica 1
+        am.corrupt_replica(8); // held replica 2
+        assert_eq!(am.pop(&mut q, &mut sub), Some(11), "healed before use");
+        assert_eq!(am.state(), AmState::RcvCmp);
+        assert_eq!(sub.guard_state_detected, 3);
+        assert_eq!(sub.guard_state_corrected, 3);
+        assert_eq!(sub.padded_items, 0);
+        assert_eq!(sub.discarded_items, 0);
     }
 }

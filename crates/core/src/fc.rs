@@ -6,13 +6,21 @@
 //! can be grown application-wide by *down-scaling* the increment
 //! frequency "through a saturating counter" (§5.4) — a scale of 4 makes
 //! one CommGuard frame out of four steady-state iterations.
+//!
+//! Both counters are soft state the paper assumes lives in reliable
+//! hardware; here they are stored in [`Hardened`] triplicate and voted at
+//! every mutation so a single-bit strike cannot silently shift the frame
+//! id stream (see [`crate::harden`]).
 
 use cg_queue::FrameId;
+
+use crate::harden::Hardened;
+use crate::subop::SubopCounters;
 
 /// The reliable `active-fc` counter of one core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ActiveFc {
-    value: FrameId,
+    value: Hardened<FrameId>,
     /// Frame id at which the thread's computation ends, when known.
     limit: Option<FrameId>,
 }
@@ -20,12 +28,15 @@ pub struct ActiveFc {
 impl ActiveFc {
     /// A counter starting at frame 0 with an optional end limit.
     pub fn new(limit: Option<FrameId>) -> Self {
-        ActiveFc { value: 0, limit }
+        ActiveFc {
+            value: Hardened::new(0),
+            limit,
+        }
     }
 
-    /// Current frame id.
+    /// Current frame id (unchecked fast-path read).
     pub fn value(&self) -> FrameId {
-        self.value
+        self.value.peek()
     }
 
     /// The configured end-of-computation frame, if any.
@@ -33,16 +44,28 @@ impl ActiveFc {
         self.limit
     }
 
-    /// Advances to the next frame. Returns the new frame id.
-    pub fn increment(&mut self) -> FrameId {
-        self.value = self.value.wrapping_add(1);
-        self.value
+    /// Advances to the next frame, voting/healing the replicas first.
+    /// Returns the new frame id.
+    pub fn increment(&mut self, sub: &mut SubopCounters) -> FrameId {
+        let next = self.value.scrub(sub).wrapping_add(1);
+        self.value.set(next);
+        next
+    }
+
+    /// Majority-votes and heals the counter replicas.
+    pub fn heal(&mut self, sub: &mut SubopCounters) {
+        self.value.scrub(sub);
+    }
+
+    /// Fault-injection hook: corrupts one replica of the counter.
+    pub fn corrupt_replica(&mut self, idx: usize, v: FrameId) {
+        self.value.corrupt_replica(idx, v);
     }
 
     /// `true` once the counter has reached its limit (the thread's
     /// computation is over and the end header should be emitted).
     pub fn at_limit(&self) -> bool {
-        matches!(self.limit, Some(l) if self.value >= l)
+        matches!(self.limit, Some(l) if self.value.peek() >= l)
     }
 }
 
@@ -54,7 +77,7 @@ impl ActiveFc {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameScale {
     factor: u32,
-    count: u32,
+    count: Hardened<u32>,
 }
 
 impl FrameScale {
@@ -65,7 +88,10 @@ impl FrameScale {
     /// Panics if `factor == 0`.
     pub fn new(factor: u32) -> Self {
         assert!(factor > 0, "frame scale factor must be positive");
-        FrameScale { factor, count: 0 }
+        FrameScale {
+            factor,
+            count: Hardened::new(0),
+        }
     }
 
     /// The configured factor.
@@ -74,13 +100,14 @@ impl FrameScale {
     }
 
     /// Registers a scope boundary; returns `true` when it should count as
-    /// a frame-computation boundary.
-    pub fn on_boundary(&mut self) -> bool {
-        self.count += 1;
-        if self.count >= self.factor {
-            self.count = 0;
+    /// a frame-computation boundary. Votes/heals the saturating counter.
+    pub fn on_boundary(&mut self, sub: &mut SubopCounters) -> bool {
+        let next = self.count.scrub(sub) + 1;
+        if next >= self.factor {
+            self.count.set(0);
             true
         } else {
+            self.count.set(next);
             false
         }
     }
@@ -99,38 +126,55 @@ mod tests {
 
     #[test]
     fn active_fc_counts_and_limits() {
+        let mut sub = SubopCounters::default();
         let mut fc = ActiveFc::new(Some(3));
         assert_eq!(fc.value(), 0);
         assert!(!fc.at_limit());
-        fc.increment();
-        fc.increment();
+        fc.increment(&mut sub);
+        fc.increment(&mut sub);
         assert!(!fc.at_limit());
-        assert_eq!(fc.increment(), 3);
+        assert_eq!(fc.increment(&mut sub), 3);
         assert!(fc.at_limit());
         assert_eq!(fc.limit(), Some(3));
     }
 
     #[test]
     fn unlimited_counter_never_ends() {
+        let mut sub = SubopCounters::default();
         let mut fc = ActiveFc::new(None);
         for _ in 0..100 {
-            fc.increment();
+            fc.increment(&mut sub);
         }
         assert!(!fc.at_limit());
     }
 
     #[test]
+    fn corrupted_replica_is_outvoted_on_increment() {
+        let mut sub = SubopCounters::default();
+        let mut fc = ActiveFc::new(None);
+        for _ in 0..5 {
+            fc.increment(&mut sub);
+        }
+        fc.corrupt_replica(1, 1000);
+        assert_eq!(fc.increment(&mut sub), 6, "vote heals before increment");
+        assert_eq!(sub.guard_state_detected, 1);
+        assert_eq!(sub.guard_state_corrected, 1);
+    }
+
+    #[test]
     fn scale_one_promotes_every_boundary() {
+        let mut sub = SubopCounters::default();
         let mut s = FrameScale::default();
         for _ in 0..5 {
-            assert!(s.on_boundary());
+            assert!(s.on_boundary(&mut sub));
         }
     }
 
     #[test]
     fn scale_four_promotes_every_fourth() {
+        let mut sub = SubopCounters::default();
         let mut s = FrameScale::new(4);
-        let promoted: Vec<bool> = (0..8).map(|_| s.on_boundary()).collect();
+        let promoted: Vec<bool> = (0..8).map(|_| s.on_boundary(&mut sub)).collect();
         assert_eq!(
             promoted,
             vec![false, false, false, true, false, false, false, true]

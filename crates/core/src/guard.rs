@@ -175,11 +175,23 @@ impl CoreGuard {
         if !self.enabled {
             return false;
         }
+        // Frame-boundary scrub: vote/heal every hardened guard field so a
+        // single-replica strike never survives past one frame (see
+        // `crate::harden`). The AMs also heal inside
+        // `new_frame_computation`, but non-promoted boundaries must scrub
+        // too.
+        self.fc.heal(&mut self.sub);
+        for hi in &mut self.his {
+            hi.heal(&mut self.sub);
+        }
+        for am in &mut self.ams {
+            am.heal(&mut self.sub);
+        }
         self.sub.counter_ops += 1; // saturating-counter increment
-        if !self.scale.on_boundary() {
+        if !self.scale.on_boundary(&mut self.sub) {
             return false;
         }
-        let fc = self.fc.increment();
+        let fc = self.fc.increment(&mut self.sub);
         self.sub.counter_ops += 1; // active-fc increment
         for (port, am) in self.ams.iter_mut().enumerate() {
             traced_am(
@@ -349,6 +361,36 @@ impl CoreGuard {
     /// Forces a push after a QM timeout, overwriting unconsumed data.
     pub fn timeout_push(&mut self, _port: usize, q: &mut SimQueue, value: u32) {
         q.timeout_push(Unit::Item(value));
+    }
+
+    /// Fault-injection hook: strikes a single replica of one hardened
+    /// guard-state field, chosen by `selector`. The corruption is latent —
+    /// the majority vote at the next heal point (FSM event or frame
+    /// boundary) detects and repairs it, bumping the
+    /// `guard_state_detected`/`guard_state_corrected` counters.
+    pub fn corrupt_guard_state(&mut self, selector: u64) {
+        if !self.enabled {
+            return;
+        }
+        let targets = (1 + self.his.len() + self.ams.len()) as u64;
+        let replica = (selector / targets) as usize;
+        match (selector % targets) as usize {
+            0 => {
+                let v = self.fc.value() ^ 1;
+                self.fc.corrupt_replica(replica, v);
+            }
+            t if t <= self.his.len() => {
+                let hi = &mut self.his[t - 1];
+                let v = match hi.pending() {
+                    None => Some(1),
+                    Some(fc) => Some(fc ^ 1),
+                };
+                hi.corrupt_replica(replica, v);
+            }
+            t => {
+                self.ams[t - 1 - self.his.len()].corrupt_replica(selector / targets);
+            }
+        }
     }
 }
 
@@ -543,6 +585,45 @@ mod tests {
         let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), None);
         prod.timeout_push(0, &mut q, 9);
         assert_eq!(q.stats().timeout_pushes, 1);
+    }
+
+    /// Guard-state strikes on any hardened field are detected, corrected
+    /// at the frame-boundary scrub, and leave the data stream untouched.
+    #[test]
+    fn guard_state_strikes_are_scrubbed_at_boundaries() {
+        let mut q = queue();
+        let mut prod = CoreGuard::new(0, 1, &GuardConfig::default(), Some(4));
+        let mut cons = CoreGuard::new(1, 0, &GuardConfig::default(), Some(4));
+        prod.start();
+        cons.start();
+        for frame in 0..4u32 {
+            if frame > 0 {
+                // Strike a different field/replica each frame, on both
+                // sides, right before the boundary scrub.
+                prod.corrupt_guard_state(u64::from(frame) * 5 + 1);
+                cons.corrupt_guard_state(u64::from(frame) * 7 + 2);
+                assert!(prod.scope_boundary());
+                assert!(cons.scope_boundary());
+            }
+            assert!(prod.hi_tick(0, &mut q));
+            prod.push(0, &mut q, frame * 100).unwrap();
+            q.flush();
+            assert_eq!(cons.pop(0, &mut q), Some(frame * 100));
+        }
+        let detected = prod.subops().guard_state_detected + cons.subops().guard_state_detected;
+        let corrected = prod.subops().guard_state_corrected + cons.subops().guard_state_corrected;
+        assert_eq!(detected, 6, "every strike detected");
+        assert_eq!(corrected, 6, "every strike out-voted");
+        assert_eq!(cons.subops().padded_items, 0, "data stream unharmed");
+        assert_eq!(cons.subops().discarded_items, 0);
+    }
+
+    /// Strikes on a disabled guard are ignored.
+    #[test]
+    fn disabled_guard_ignores_strikes() {
+        let mut g = CoreGuard::disabled(1, 1);
+        g.corrupt_guard_state(42);
+        assert_eq!(g.subops().guard_state_detected, 0);
     }
 
     #[test]

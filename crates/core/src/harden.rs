@@ -1,0 +1,144 @@
+//! Checked-duplication hardening for CommGuard's soft state.
+//!
+//! The paper assumes the per-core guard modules (HI / AM / active-fc) are
+//! implemented in "fully reliable" hardware (§4). In this software
+//! runtime the guard state lives in ordinary error-prone memory, so the
+//! assumption has to be *earned*: every soft FSM field is stored in
+//! triple modular redundancy ([`Hardened`]) and majority-voted on use.
+//! Single-replica corruption is detected **and** corrected; the scrub
+//! that runs at every frame boundary ([`crate::CoreGuard::scope_boundary`])
+//! bounds the window during which a second strike could accumulate.
+//!
+//! Detection/correction totals land in
+//! [`SubopCounters::guard_state_detected`] /
+//! [`SubopCounters::guard_state_corrected`] so runs can report how often
+//! the hardening actually fired. These counters are bookkeeping about the
+//! *runtime's own* reliability layer, not paper-modelled hardware
+//! suboperations, so they are deliberately excluded from
+//! [`SubopCounters::total_subops`].
+
+use crate::subop::SubopCounters;
+
+/// A value stored in triplicate and repaired by majority vote.
+///
+/// `peek` reads without checking (cheap, used on hot paths between
+/// scrubs); `scrub` votes, heals divergent replicas, and bumps the
+/// detection/correction counters. A two-of-three vote corrects; a
+/// three-way split is detected but uncorrectable, in which case replica 0
+/// wins (the guard keeps running — a wrong frame id degrades to an
+/// ordinary alignment error the AM already handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hardened<T: Copy + Eq> {
+    rep: [T; 3],
+}
+
+impl<T: Copy + Eq> Hardened<T> {
+    /// Stores `v` in all three replicas.
+    pub fn new(v: T) -> Self {
+        Hardened { rep: [v; 3] }
+    }
+
+    /// Overwrites all three replicas with `v`.
+    pub fn set(&mut self, v: T) {
+        self.rep = [v; 3];
+    }
+
+    /// Unchecked read of replica 0.
+    pub fn peek(&self) -> T {
+        self.rep[0]
+    }
+
+    /// Majority-votes the replicas, heals any divergence, counts what it
+    /// found, and returns the voted value.
+    pub fn scrub(&mut self, sub: &mut SubopCounters) -> T {
+        let [a, b, c] = self.rep;
+        if a == b && b == c {
+            return a;
+        }
+        sub.guard_state_detected += 1;
+        let voted = if a == b || a == c {
+            a
+        } else if b == c {
+            b
+        } else {
+            // Three-way split: uncorrectable, keep replica 0.
+            return a;
+        };
+        sub.guard_state_corrected += 1;
+        self.rep = [voted; 3];
+        voted
+    }
+
+    /// Fault-injection hook: overwrites a single replica, leaving the
+    /// other two to out-vote it at the next scrub.
+    pub fn corrupt_replica(&mut self, idx: usize, v: T) {
+        self.rep[idx % 3] = v;
+    }
+}
+
+impl<T: Copy + Eq + Default> Default for Hardened<T> {
+    fn default() -> Self {
+        Hardened::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_scrub_counts_nothing() {
+        let mut h = Hardened::new(42u32);
+        let mut sub = SubopCounters::default();
+        assert_eq!(h.scrub(&mut sub), 42);
+        assert_eq!(sub.guard_state_detected, 0);
+        assert_eq!(sub.guard_state_corrected, 0);
+    }
+
+    #[test]
+    fn single_replica_corruption_is_corrected() {
+        for idx in 0..3 {
+            let mut h = Hardened::new(7u32);
+            let mut sub = SubopCounters::default();
+            h.corrupt_replica(idx, 99);
+            assert_eq!(h.scrub(&mut sub), 7, "replica {idx}");
+            assert_eq!(sub.guard_state_detected, 1);
+            assert_eq!(sub.guard_state_corrected, 1);
+            // Healed: a second scrub is clean.
+            assert_eq!(h.scrub(&mut sub), 7);
+            assert_eq!(sub.guard_state_detected, 1);
+        }
+    }
+
+    #[test]
+    fn three_way_split_detected_but_uncorrected() {
+        let mut h = Hardened::new(1u32);
+        h.corrupt_replica(1, 2);
+        h.corrupt_replica(2, 3);
+        let mut sub = SubopCounters::default();
+        assert_eq!(h.scrub(&mut sub), 1, "replica 0 wins an unvotable split");
+        assert_eq!(sub.guard_state_detected, 1);
+        assert_eq!(sub.guard_state_corrected, 0);
+    }
+
+    #[test]
+    fn set_overwrites_all_replicas() {
+        let mut h = Hardened::new(1u32);
+        h.corrupt_replica(2, 9);
+        h.set(5);
+        let mut sub = SubopCounters::default();
+        assert_eq!(h.scrub(&mut sub), 5);
+        assert_eq!(sub.guard_state_detected, 0);
+    }
+
+    #[test]
+    fn works_for_option_and_enums() {
+        let mut h: Hardened<Option<u32>> = Hardened::default();
+        assert_eq!(h.peek(), None);
+        h.set(Some(3));
+        h.corrupt_replica(0, None);
+        let mut sub = SubopCounters::default();
+        assert_eq!(h.scrub(&mut sub), Some(3));
+        assert_eq!(sub.guard_state_corrected, 1);
+    }
+}

@@ -8,6 +8,7 @@
 
 use cg_queue::{FrameId, SimQueue, Unit};
 
+use crate::harden::Hardened;
 use crate::subop::SubopCounters;
 
 /// The Header Inserter guarding one outgoing queue.
@@ -16,9 +17,11 @@ use crate::subop::SubopCounters;
 /// pending header and retries; the core's pushes for the new frame stall
 /// behind it ([`HeaderInserter::is_clear`]), which is exactly the
 /// frame-boundary serialisation the paper accounts for in §5.3.
+/// The pending slot is soft state held across queue-full retries, so it
+/// is stored in [`Hardened`] triplicate (see [`crate::harden`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HeaderInserter {
-    pending: Option<FrameId>,
+    pending: Hardened<Option<FrameId>>,
 }
 
 impl HeaderInserter {
@@ -30,21 +33,24 @@ impl HeaderInserter {
     /// Queues the header for frame `fc` for insertion (`prepare-header` +
     /// `compute-ECC` suboperations).
     ///
-    /// # Panics
-    ///
-    /// Panics if a previous header is still pending — the runtime must
-    /// drain the HI (via [`HeaderInserter::tick`]) before the next
-    /// boundary, which the frame structure guarantees.
+    /// The frame protocol drains the HI (via [`HeaderInserter::tick`] or
+    /// [`HeaderInserter::force`]) before every boundary, so the pending
+    /// slot must be clear here. A majority-`Some` at this point can only
+    /// be forged guard-state corruption (two replica strikes between
+    /// scrubs outvote the truth); the phantom header is discarded and
+    /// counted as a detected-and-corrected corruption — turning it into
+    /// an abort would let a double strike kill the whole run.
     pub fn begin_frame(&mut self, fc: FrameId, sub: &mut SubopCounters) {
-        assert!(
-            self.pending.is_none(),
-            "frame boundary reached with a header still pending"
-        );
+        if self.pending.scrub(sub).is_some() {
+            sub.guard_state_detected += 1;
+            sub.guard_state_corrected += 1;
+            self.pending.set(None);
+        }
         sub.prepare_header_ops += 1;
         sub.counter_ops += 1; // read active-fc
         sub.ecc_ops += 1; // compute-ECC for the header
         sub.header_bit_ops += 1; // set header-bit
-        self.pending = Some(fc);
+        self.pending.set(Some(fc));
     }
 
     /// Queues the end-of-computation header.
@@ -55,12 +61,12 @@ impl HeaderInserter {
     /// Attempts to push the pending header; returns `true` when the HI is
     /// clear (nothing pending, or the push succeeded).
     pub fn tick(&mut self, q: &mut SimQueue, sub: &mut SubopCounters) -> bool {
-        match self.pending {
+        match self.pending.scrub(sub) {
             None => true,
             Some(fc) => {
                 sub.fsm_ops += 1; // FSM-update per out-queue (Table 2).
                 if q.try_push(Unit::header(fc)).is_ok() {
-                    self.pending = None;
+                    self.pending.set(None);
                     true
                 } else {
                     false
@@ -72,20 +78,31 @@ impl HeaderInserter {
     /// Forces the pending header into the queue past a full condition
     /// (queue-manager timeout path), overwriting unconsumed data.
     pub fn force(&mut self, q: &mut SimQueue, sub: &mut SubopCounters) {
-        if let Some(fc) = self.pending.take() {
+        if let Some(fc) = self.pending.scrub(sub) {
+            self.pending.set(None);
             sub.fsm_ops += 1;
             q.timeout_push(Unit::header(fc));
         }
     }
 
+    /// Majority-votes and heals the pending-slot replicas.
+    pub fn heal(&mut self, sub: &mut SubopCounters) {
+        self.pending.scrub(sub);
+    }
+
+    /// Fault-injection hook: corrupts one replica of the pending slot.
+    pub fn corrupt_replica(&mut self, idx: usize, v: Option<FrameId>) {
+        self.pending.corrupt_replica(idx, v);
+    }
+
     /// `true` when no header is awaiting insertion.
     pub fn is_clear(&self) -> bool {
-        self.pending.is_none()
+        self.pending.peek().is_none()
     }
 
     /// The frame id awaiting insertion, if any.
     pub fn pending(&self) -> Option<FrameId> {
-        self.pending
+        self.pending.peek()
     }
 }
 
@@ -147,11 +164,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "still pending")]
-    fn double_begin_panics() {
+    fn stale_pending_at_begin_is_discarded_as_corruption() {
+        // The protocol always drains before the next begin, so a pending
+        // header here can only be a forged majority; it must be dropped
+        // and counted, never pushed and never turned into a panic.
         let mut hi = HeaderInserter::new();
         let mut sub = SubopCounters::default();
         hi.begin_frame(1, &mut sub);
         hi.begin_frame(2, &mut sub);
+        assert_eq!(hi.pending(), Some(2));
+        assert_eq!(sub.guard_state_detected, 1);
+        assert_eq!(sub.guard_state_corrected, 1);
+        let mut q = queue(64);
+        assert!(hi.tick(&mut q, &mut sub));
+        q.flush();
+        assert_eq!(q.try_pop().unwrap().header_id(), Some(2));
+        assert!(q.try_pop().is_none(), "the stale header must not appear");
+    }
+
+    #[test]
+    fn forged_majority_pending_cannot_abort_the_frame() {
+        // Two strikes on different replicas with the same value defeat the
+        // majority vote; begin_frame must absorb the forgery.
+        let mut hi = HeaderInserter::new();
+        let mut sub = SubopCounters::default();
+        hi.corrupt_replica(0, Some(9));
+        hi.corrupt_replica(1, Some(9));
+        hi.begin_frame(3, &mut sub);
+        assert_eq!(hi.pending(), Some(3));
+        // One detection from the scrub (the outvoted honest replica) plus
+        // one from the protocol check that drops the phantom header.
+        assert_eq!(sub.guard_state_detected, 2);
+        assert_eq!(sub.guard_state_corrected, 2);
     }
 }

@@ -49,6 +49,7 @@ pub mod analysis;
 pub mod config;
 pub mod fc;
 pub mod guard;
+pub mod harden;
 pub mod hi;
 pub mod qit;
 pub mod qm;
@@ -59,6 +60,7 @@ pub use analysis::{analyze, unguarded_stream_reliability, Reliability};
 pub use config::Protection;
 pub use fc::{ActiveFc, FrameScale};
 pub use guard::CoreGuard;
+pub use harden::Hardened;
 pub use hi::HeaderInserter;
 pub use qit::Qit;
 pub use subop::{RealignEvent, RealignKind, SubopCounters};

@@ -54,6 +54,13 @@ pub struct SubopCounters {
     pub pad_events: u64,
     /// Distinct discard episodes (entries into `Disc`/`DiscFr`).
     pub discard_events: u64,
+    /// Guard-state replica divergences detected by the hardening scrub
+    /// (see [`crate::harden::Hardened`]). Runtime-reliability bookkeeping,
+    /// excluded from [`SubopCounters::total_subops`].
+    pub guard_state_detected: u64,
+    /// Guard-state divergences repaired by majority vote (subset of
+    /// `guard_state_detected`).
+    pub guard_state_corrected: u64,
     /// Realignment episode log (bounded; see [`SubopCounters::MAX_EVENTS`]).
     pub events: Vec<RealignEvent>,
 }
@@ -117,6 +124,8 @@ impl AddAssign<&SubopCounters> for SubopCounters {
         self.discarded_headers += rhs.discarded_headers;
         self.pad_events += rhs.pad_events;
         self.discard_events += rhs.discard_events;
+        self.guard_state_detected += rhs.guard_state_detected;
+        self.guard_state_corrected += rhs.guard_state_corrected;
         let room = Self::MAX_EVENTS.saturating_sub(self.events.len());
         self.events.extend(rhs.events.iter().take(room).copied());
     }
@@ -127,7 +136,8 @@ impl fmt::Display for SubopCounters {
         write!(
             f,
             "subops: {} fsm, {} counter, {} ecc, {} hdr-bit | {} accepted, \
-             {} padded, {} discarded ({} pad / {} discard events)",
+             {} padded, {} discarded ({} pad / {} discard events) | \
+             guard-state {} detected / {} corrected",
             self.fsm_ops,
             self.counter_ops,
             self.ecc_ops,
@@ -137,6 +147,8 @@ impl fmt::Display for SubopCounters {
             self.discarded_items,
             self.pad_events,
             self.discard_events,
+            self.guard_state_detected,
+            self.guard_state_corrected,
         )
     }
 }

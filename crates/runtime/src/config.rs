@@ -1,10 +1,29 @@
 //! Simulation configuration.
 
+use std::time::Duration;
+
 use cg_fault::{EffectModel, FaultClass, Mtbe};
 use cg_trace::TraceConfig;
 use commguard::Protection;
 
 use crate::watchdog::WatchdogConfig;
+
+/// How the threaded executor treats fault-enabled configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParFaults {
+    /// Inject faults in worker threads and recover at frame granularity:
+    /// each frame's outputs are staged and committed at the boundary; on
+    /// an invariant violation or a stalled transfer the frame is rolled
+    /// back and re-executed up to [`SimConfig::par_retry_budget`] times,
+    /// then degraded (outputs padded, frame advanced) so the run never
+    /// hangs and never aborts.
+    #[default]
+    Recover,
+    /// Strict legacy behaviour: reject fault-enabled configurations with
+    /// a [`crate::RunError`], keeping the threaded path provably
+    /// error-free.
+    Deny,
+}
 
 /// Memory-event model: the fraction of committed instructions that are
 /// data loads/stores, used to estimate *all* processor memory events when
@@ -80,6 +99,17 @@ pub struct SimConfig {
     pub overhead_model: OverheadModel,
     /// Cross-core stall watchdog.
     pub watchdog: WatchdogConfig,
+    /// Threaded executor: inject-and-recover (default) or strict
+    /// error-free-only. Ignored by the deterministic executor.
+    pub par_faults: ParFaults,
+    /// Threaded executor: how many times a failing frame is re-executed
+    /// before its outputs are degraded (padded) and the run advances.
+    pub par_retry_budget: u32,
+    /// Threaded executor: wall-clock bound on any single blocking queue
+    /// wait. The backstop that turns a dead peer into an error (or a
+    /// recovery) instead of a hang; scale it down in tests so failures
+    /// surface in seconds.
+    pub stall_timeout: Duration,
     /// Event tracing. `Off` (the default) takes the untraced fast path:
     /// no tracer is constructed and every emit site is one `None` check.
     pub trace: TraceConfig,
@@ -106,6 +136,9 @@ impl SimConfig {
             mem_model: MemModel::default(),
             overhead_model: OverheadModel::default(),
             watchdog: WatchdogConfig::default(),
+            par_faults: ParFaults::default(),
+            par_retry_budget: 3,
+            stall_timeout: Duration::from_secs(10),
             trace: TraceConfig::Off,
         }
     }
@@ -146,6 +179,27 @@ impl SimConfig {
         self.trace = trace;
         self
     }
+
+    /// Sets the threaded-executor fault policy (builder style).
+    #[must_use]
+    pub fn par_faults(mut self, par_faults: ParFaults) -> Self {
+        self.par_faults = par_faults;
+        self
+    }
+
+    /// Sets the threaded-executor frame retry budget (builder style).
+    #[must_use]
+    pub fn par_retry_budget(mut self, budget: u32) -> Self {
+        self.par_retry_budget = budget;
+        self
+    }
+
+    /// Sets the blocking-wait stall timeout (builder style).
+    #[must_use]
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +217,21 @@ mod tests {
         assert!(e.protection.guards_enabled());
         let f = c.frames(3).seed(9);
         assert_eq!((f.frames, f.seed), (3, 9));
+    }
+
+    #[test]
+    fn threaded_fault_policy_defaults() {
+        let c = SimConfig::error_free(1);
+        assert_eq!(c.par_faults, ParFaults::Recover);
+        assert_eq!(c.par_retry_budget, 3);
+        assert_eq!(c.stall_timeout, Duration::from_secs(10));
+        let c = c
+            .par_faults(ParFaults::Deny)
+            .par_retry_budget(5)
+            .stall_timeout(Duration::from_millis(50));
+        assert_eq!(c.par_faults, ParFaults::Deny);
+        assert_eq!(c.par_retry_budget, 5);
+        assert_eq!(c.stall_timeout, Duration::from_millis(50));
     }
 
     #[test]

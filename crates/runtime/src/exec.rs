@@ -8,7 +8,7 @@
 //! visits, by a queue-manager timeout that forces (incorrect but
 //! progressing) data transfer — the PPU guarantee that nothing ever hangs.
 
-use cg_fault::{CoreInjector, EffectKind, FaultClass, StuckAtState};
+use cg_fault::{CoreInjector, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
 use cg_queue::{QueueSpec, SimQueue, Which};
 use cg_trace::{DirTag, Event, Tracer, MACHINE_CORE};
@@ -19,6 +19,7 @@ use rand::Rng;
 use crate::config::SimConfig;
 use crate::faults::{
     apply_perturbation, burst_flip_random_item, flip_random_item, garble_random_item,
+    partition_events,
 };
 use crate::program::Program;
 use crate::report::{NodeReport, RunReport};
@@ -262,6 +263,19 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
                     abort_frame(n);
                 }
             }
+            WatchdogAction::DegradeFrame => {
+                tracer.set_context(MACHINE_CORE, rounds, 0);
+                tracer.emit(Event::Watchdog { rung: 4 });
+                for (idx, n) in nodes.iter_mut().enumerate() {
+                    if !matches!(n.phase, Phase::Done | Phase::Finishing | Phase::Boundary) {
+                        tracer.set_context(idx as u32, rounds, n.guard.active_fc());
+                        tracer.emit(Event::FrameDegraded {
+                            frame: n.guard.active_fc(),
+                        });
+                    }
+                    degrade_frame(n, &mut queues);
+                }
+            }
         }
     }
 
@@ -489,48 +503,9 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
     n.instructions += instr;
     let events = n.injector.advance(instr);
 
-    // Partition events per the configured fault class. The baseline
-    // follows the effect model (data flips before/after compute, control
-    // perturbations after, addressing immediately); the structured
-    // classes concentrate every non-masked event into their mode.
-    let mut pre_flips = 0u32;
-    let mut post_flips = 0u32;
-    let mut bursts = 0u32;
-    let mut pointer_hits = 0u32;
-    let mut header_hits = 0u32;
-    let mut perturbations = Vec::new();
-    let mut addressing = 0u32;
-    for ev in &events {
-        match (config.fault_class, ev.kind) {
-            (_, EffectKind::Silent) => {}
-            (FaultClass::PointerCorruption, _) => pointer_hits += 1,
-            (FaultClass::HeaderCorruption, _) => header_hits += 1,
-            (FaultClass::StuckAt, _) => {
-                // The first event latches the defect permanently; later
-                // events land on an already-stuck datapath.
-                if n.stuck.is_none() {
-                    n.stuck = Some(StuckAtState::sample(n.injector.rng_mut()));
-                }
-            }
-            (FaultClass::Burst, EffectKind::DataValue) => bursts += 1,
-            (FaultClass::Baseline, EffectKind::DataValue) => {
-                if n.injector.rng_mut().gen::<bool>() {
-                    pre_flips += 1;
-                } else {
-                    post_flips += 1;
-                }
-            }
-            (FaultClass::Baseline | FaultClass::Burst, EffectKind::ControlFlow) => {
-                let model = *n.injector.model();
-                perturbations.push(model.sample_perturbation(n.injector.rng_mut()));
-            }
-            (FaultClass::Baseline | FaultClass::Burst, EffectKind::Addressing) => {
-                addressing += 1;
-            }
-        }
-    }
+    let faults = partition_events(config.fault_class, &events, &mut n.injector, &mut n.stuck);
 
-    for _ in 0..pre_flips {
+    for _ in 0..faults.pre_flips {
         let mut bufs: Vec<&mut Vec<u32>> = n.staged_in.iter_mut().collect();
         flip_random_item(&mut bufs, n.injector.rng_mut());
     }
@@ -571,7 +546,7 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
         }
     }
 
-    for _ in 0..post_flips {
+    for _ in 0..faults.post_flips {
         let mut bufs: Vec<&mut Vec<u32>> = n.staged_out.iter_mut().collect();
         if !flip_random_item(&mut bufs, n.injector.rng_mut()) && n.kind == NodeKind::Sink {
             // Sinks have no outputs; the flip lands in the collected data.
@@ -579,7 +554,7 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
             flip_random_item(&mut bufs, n.injector.rng_mut());
         }
     }
-    for _ in 0..bursts {
+    for _ in 0..faults.bursts {
         let mut bufs: Vec<&mut Vec<u32>> = n.staged_out.iter_mut().collect();
         if !burst_flip_random_item(&mut bufs, n.injector.rng_mut()) && n.kind == NodeKind::Sink {
             let mut bufs = [&mut n.sink_buf];
@@ -597,16 +572,16 @@ fn fire(n: &mut NodeRt, queues: &mut [SimQueue], cost: &cg_graph::CostModel, con
             *v = st.apply(*v);
         }
     }
-    for pert in perturbations {
+    for pert in faults.perturbations {
         apply_perturbation(&mut n.staged_out, pert, n.injector.rng_mut());
     }
-    for _ in 0..addressing {
+    for _ in 0..faults.addressing {
         apply_addressing_fault(n, queues, config);
     }
-    for _ in 0..pointer_hits {
+    for _ in 0..faults.pointer_hits {
         apply_pointer_fault(n, queues);
     }
-    for _ in 0..header_hits {
+    for _ in 0..faults.header_hits {
         apply_header_fault(n, queues);
     }
 }
@@ -752,6 +727,55 @@ fn abort_frame(n: &mut NodeRt) {
     }
     let into_frame = n.firings_done % n.reps;
     n.firings_done = (n.firings_done + (n.reps - into_frame)).min(n.total_firings);
+    n.phase = Phase::Boundary;
+}
+
+/// Watchdog rung 4: discharges the node's remaining frame obligations
+/// rather than dropping them. Staged output already produced is flushed
+/// with timeout semantics, the balance of the frame's output rate is
+/// padded with forced zero pushes (sinks pad their collected data
+/// instead), and the node advances to its next boundary. Downstream
+/// consumers therefore see a complete — if degraded — frame, which
+/// unwedges stalls that aborting alone could not clear.
+fn degrade_frame(n: &mut NodeRt, queues: &mut [SimQueue]) {
+    if matches!(n.phase, Phase::Done | Phase::Finishing | Phase::Boundary) {
+        return;
+    }
+    let into_frame = n.firings_done % n.reps;
+    let owed = n.reps - into_frame;
+    // When the node was mid-push, the current firing's data is flushed
+    // below and that firing no longer needs padding.
+    let inflight_done = u64::from(n.phase == Phase::PushOutputs);
+    for (port, &e) in n.out_edges.iter().enumerate() {
+        let q = &mut queues[e.index()];
+        // A header still pending from the boundary drain must go first so
+        // the next frame's insertion finds the port clear.
+        if !n.guard.hi_tick(port, q) {
+            n.guard.hi_force(port, q);
+        }
+        while n.out_pos[port] < n.staged_out[port].len() {
+            let v = n.staged_out[port][n.out_pos[port]];
+            n.guard.timeout_push(port, q, v);
+            n.out_pos[port] += 1;
+        }
+        let pad = (owed - inflight_done) * u64::from(n.push_rates[port]);
+        for _ in 0..pad {
+            n.guard.timeout_push(port, q, 0);
+        }
+    }
+    if n.kind == NodeKind::Sink {
+        let per_firing: u64 = n.pop_rates.iter().map(|&r| u64::from(r)).sum();
+        let pad = (owed - inflight_done) * per_firing;
+        n.sink_buf.resize(n.sink_buf.len() + pad as usize, 0);
+    }
+    for buf in &mut n.staged_in {
+        buf.clear();
+    }
+    for (port, buf) in n.staged_out.iter_mut().enumerate() {
+        buf.clear();
+        n.out_pos[port] = 0;
+    }
+    n.firings_done = (n.firings_done + owed).min(n.total_firings);
     n.phase = Phase::Boundary;
 }
 

@@ -4,8 +4,78 @@
 //! error a register flip manifests as; this module applies the class
 //! mechanically to the firing that was executing when the fault struck.
 
-use cg_fault::{sample_burst_len, ControlPerturbation, DetRng};
+use cg_fault::{
+    sample_burst_len, ControlPerturbation, CoreInjector, DetRng, EffectKind, FaultClass,
+    FaultEvent, StuckAtState,
+};
 use rand::Rng;
+
+/// A firing's fault events, partitioned into the mechanical effects the
+/// executor applies around the compute body. Shared by both executors so
+/// the deterministic and threaded paths interpret a fault class
+/// identically (and draw from the per-core RNG in the same order).
+#[derive(Debug, Default)]
+pub(crate) struct FiringFaults {
+    /// Data flips applied to staged inputs before compute.
+    pub pre_flips: u32,
+    /// Data flips applied to staged outputs after compute.
+    pub post_flips: u32,
+    /// Correlated multi-bit bursts applied after compute.
+    pub bursts: u32,
+    /// Shared-queue pointer strikes (the concentrated QME class).
+    pub pointer_hits: u32,
+    /// In-flight header-codeword strikes.
+    pub header_hits: u32,
+    /// Control-flow perturbations applied to the firing's outputs.
+    pub perturbations: Vec<ControlPerturbation>,
+    /// Addressing errors (queue pointer or local-buffer garble).
+    pub addressing: u32,
+}
+
+/// Partitions the firing's fault events per the configured fault class.
+/// The baseline follows the effect model (data flips before/after
+/// compute, control perturbations after, addressing immediately); the
+/// structured classes concentrate every non-masked event into their
+/// mode. A `StuckAt` event latches the defect into `stuck` permanently.
+pub(crate) fn partition_events(
+    class: FaultClass,
+    events: &[FaultEvent],
+    injector: &mut CoreInjector,
+    stuck: &mut Option<StuckAtState>,
+) -> FiringFaults {
+    let mut f = FiringFaults::default();
+    for ev in events {
+        match (class, ev.kind) {
+            (_, EffectKind::Silent) => {}
+            (FaultClass::PointerCorruption, _) => f.pointer_hits += 1,
+            (FaultClass::HeaderCorruption, _) => f.header_hits += 1,
+            (FaultClass::StuckAt, _) => {
+                // The first event latches the defect permanently; later
+                // events land on an already-stuck datapath.
+                if stuck.is_none() {
+                    *stuck = Some(StuckAtState::sample(injector.rng_mut()));
+                }
+            }
+            (FaultClass::Burst, EffectKind::DataValue) => f.bursts += 1,
+            (FaultClass::Baseline, EffectKind::DataValue) => {
+                if injector.rng_mut().gen::<bool>() {
+                    f.pre_flips += 1;
+                } else {
+                    f.post_flips += 1;
+                }
+            }
+            (FaultClass::Baseline | FaultClass::Burst, EffectKind::ControlFlow) => {
+                let model = *injector.model();
+                f.perturbations
+                    .push(model.sample_perturbation(injector.rng_mut()));
+            }
+            (FaultClass::Baseline | FaultClass::Burst, EffectKind::Addressing) => {
+                f.addressing += 1;
+            }
+        }
+    }
+    f
+}
 
 /// Flips one random bit of one random item across the given buffers.
 /// Returns `false` when every buffer is empty (the flip was absorbed by

@@ -20,6 +20,13 @@
 //! scheduled firings in order, and queue operations time out rather than
 //! hang — while the *bodies* of firings are error-prone.
 //!
+//! A second, threaded executor ([`run_parallel`]) runs the same guarded
+//! programs with one OS thread per node. It injects the same fault
+//! classes from per-core deterministic streams and recovers via
+//! frame-level checkpoint/re-execute with a bounded retry budget and
+//! graceful degradation (see [`SimConfig::par_faults`],
+//! [`SimConfig::par_retry_budget`], [`SimConfig::stall_timeout`]).
+//!
 //! ```
 //! use cg_runtime::{Program, SimConfig, run};
 //! use commguard::graph::{GraphBuilder, NodeKind};
@@ -61,7 +68,7 @@ pub mod watchdog;
 pub mod work;
 
 pub use cg_trace::{TraceConfig, TraceData};
-pub use config::{MemModel, OverheadModel, SimConfig};
+pub use config::{MemModel, OverheadModel, ParFaults, SimConfig};
 pub use exec::{run, RunError};
 pub use overhead::{estimate_overhead, OverheadEstimate};
 pub use parallel::{run_parallel, run_parallel_with, ParTransport};

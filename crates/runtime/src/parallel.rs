@@ -1,37 +1,77 @@
 //! A threaded executor: one OS thread per node, edges carried by
-//! blocking [`SharedQueue`]s with a batched transport.
+//! blocking [`SharedQueue`]s with a batched transport, and a frame-level
+//! checkpoint/re-execute recovery ladder for error-prone runs.
 //!
 //! The deterministic executor ([`crate::run`]) is the measurement
-//! instrument — bit-reproducible, with fault injection. This executor
-//! exists to show the same guarded programs running with *real*
-//! parallelism (and to give the overhead benches a host-concurrency data
-//! point). It supports the guard modules but not fault injection:
-//! fault timing relative to queue state is scheduling-dependent on real
-//! threads, which would silently break reproducibility, so
-//! [`run_parallel`] rejects error-enabled configurations instead.
+//! instrument — bit-reproducible, with scheduler-round-accurate fault
+//! timing. This executor shows the same guarded programs running with
+//! *real* parallelism, and it is fault-tolerant in its own right: each
+//! worker owns a per-core deterministic fault injector (streams seeded
+//! from the run seed and the core id, so a seed reproduces the same
+//! per-core fault *sequence* even though thread interleaving varies) and
+//! a recovery path that guarantees the run completes — degraded, maybe,
+//! but never hung and never aborted.
+//!
+//! ## Recovery ladder
+//!
+//! Error-free configurations keep strict semantics: any stall or dead
+//! peer is a [`RunError::Parallel`]. With faults enabled (and
+//! [`ParFaults::Recover`], the default), workers instead recover:
+//!
+//! 1. **Blocked queue operations** are bounded by
+//!    [`SimConfig::stall_timeout`]; a stalled header drain or output push
+//!    is *forced* with timeout semantics (stale-data transfer — the PPU
+//!    guarantee) rather than erroring.
+//! 2. **Frame re-execution**: at every frame boundary the worker
+//!    checkpoints its core-local state (sink high-water mark, per-port
+//!    commit counts, an input replay log). If an attempt fails — an
+//!    input-starved pop times out, or a firing's output violates its
+//!    static rate (a control perturbation caught by the guard) — the
+//!    frame rolls back and re-executes, replaying already-popped inputs
+//!    from the log so queue and AM state stay consistent, up to
+//!    [`SimConfig::par_retry_budget`] attempts.
+//! 3. **Degradation**: when the budget is exhausted (or a peer died),
+//!    the frame is discharged instead: the balance of its output rate is
+//!    force-pushed as zeros, sinks pad their collected output, and the
+//!    worker advances to the next boundary. Downstream consumers see a
+//!    complete (if degraded) frame; alignment recovers via the HI/AM
+//!    machinery at the next header.
+//!
+//! Guard soft state (AM/HI/frame counters) is *never* rolled back — it
+//! is hardened by checked triplication (see `commguard::harden`) and
+//! always reflects the units actually moved through the queues.
+//! Retries and degradations are reported through
+//! [`crate::WatchdogStats`] as `frame_retries` / `frame_degrades`, and
+//! traced as `frame-retry` / `frame-degraded` events.
 //!
 //! ## Transport
 //!
 //! Workers never spin: a blocked push or pop parks on a condvar inside
 //! [`SharedQueue`] and is woken when the peer makes progress. Each worker
 //! closes its queue endpoints on exit — including panic unwinds — so a
-//! dead neighbour surfaces as [`RunError::Parallel`] naming the stuck
-//! edge instead of hanging the run; a stall timeout backstops everything
-//! else. The default [`ParTransport::Batched`] mode moves a whole
-//! firing's worth of units per lock acquisition through
+//! dead neighbour surfaces promptly instead of hanging the run; the
+//! stall timeout backstops everything else. The default
+//! [`ParTransport::Batched`] mode moves a whole firing's worth of units
+//! per lock acquisition through
 //! [`CoreGuard::pop_batch`]/[`CoreGuard::push_batch`], which keep AM/HI
 //! transitions unit-accurate; [`ParTransport::PerItem`] (one unit per
 //! acquisition) is kept as the benchmark baseline.
 
-use std::time::Duration;
-
+use cg_fault::{CoreInjector, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
-use cg_queue::{QueueSpec, SharedQueue, Side, SimQueue, WaitError};
+use cg_queue::{QueueSpec, SharedQueue, Side, SimQueue, WaitError, Which};
+use cg_trace::{Event, MACHINE_CORE};
 use commguard::CoreGuard;
+use rand::Rng;
 
-use crate::config::SimConfig;
+use crate::config::{ParFaults, SimConfig};
+use crate::faults::{
+    apply_perturbation, burst_flip_random_item, flip_random_item, garble_random_item,
+    partition_events,
+};
 use crate::program::Program;
 use crate::report::{NodeReport, RunReport};
+use crate::watchdog::WatchdogStats;
 use crate::RunError;
 
 /// How the threaded executor moves units between worker threads.
@@ -44,10 +84,14 @@ pub enum ParTransport {
     Batched,
 }
 
-/// Bound on any single blocking wait; generous so loaded CI machines do
-/// not trip it, since peer-death detection (not the timeout) is the fast
-/// path for every real failure.
-const STALL_TIMEOUT: Duration = Duration::from_secs(10);
+/// Why a frame attempt could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameFail {
+    /// Transient (pop stall, rate violation): worth re-executing.
+    Retryable,
+    /// The peer is gone; retrying cannot help — degrade immediately.
+    Terminal,
+}
 
 /// Closes a worker's queue endpoints when it exits — on success, on a
 /// transport error, and on panic unwind alike — so blocked neighbours
@@ -73,16 +117,110 @@ fn stall_error(node: &str, action: &str, edge: &str, err: WaitError) -> RunError
     RunError::Parallel(format!("node '{node}' {action} on edge {edge}: {err}"))
 }
 
+/// Threaded mirror of the deterministic executor's addressing fault:
+/// corrupts a shared queue pointer of a random attached queue or garbles
+/// a staged item, optionally strikes an in-flight header payload when
+/// the unprotected-header ablation is active, and — threaded-only — can
+/// land in the guard's own soft state, where checked triplication heals
+/// it at the next scrub point.
+fn par_addressing_fault(
+    attached: &[EdgeId],
+    queues: &[SharedQueue],
+    staged_in: &mut [Vec<u32>],
+    staged_out: &mut [Vec<u32>],
+    injector: &mut CoreInjector,
+    guard: &mut CoreGuard,
+    headers_unprotected: bool,
+) {
+    let rng = injector.rng_mut();
+    let hit_queue = !attached.is_empty() && rng.gen::<bool>();
+    if hit_queue {
+        let e = attached[rng.gen_range(0..attached.len())];
+        let which = if rng.gen::<bool>() {
+            Which::Head
+        } else {
+            Which::Tail
+        };
+        let bit = rng.gen_range(0..20u32); // pointers are small counters
+        queues[e.index()].with(|q| q.corrupt_shared_pointer(which, bit));
+    } else {
+        let mut bufs: Vec<&mut Vec<u32>> =
+            staged_in.iter_mut().chain(staged_out.iter_mut()).collect();
+        garble_random_item(&mut bufs, rng);
+    }
+    if headers_unprotected && !attached.is_empty() {
+        let rng = injector.rng_mut();
+        let e = attached[rng.gen_range(0..attached.len())];
+        let slot_seed = rng.gen::<u32>();
+        let bit = rng.gen_range(0..8u32); // low id bits: nearby frames
+        queues[e.index()].with(|q| q.corrupt_random_header_payload(slot_seed, bit));
+    }
+    let sel = u64::from(injector.rng_mut().gen::<u32>());
+    guard.corrupt_guard_state(sel);
+}
+
+/// Threaded mirror of the concentrated `PointerCorruption` class.
+fn par_pointer_fault(
+    attached: &[EdgeId],
+    queues: &[SharedQueue],
+    staged_in: &mut [Vec<u32>],
+    staged_out: &mut [Vec<u32>],
+    injector: &mut CoreInjector,
+) {
+    let rng = injector.rng_mut();
+    if attached.is_empty() {
+        let mut bufs: Vec<&mut Vec<u32>> =
+            staged_in.iter_mut().chain(staged_out.iter_mut()).collect();
+        garble_random_item(&mut bufs, rng);
+        return;
+    }
+    let e = attached[rng.gen_range(0..attached.len())];
+    let which = if rng.gen::<bool>() {
+        Which::Head
+    } else {
+        Which::Tail
+    };
+    let bit = rng.gen_range(0..20u32);
+    queues[e.index()].with(|q| q.corrupt_shared_pointer(which, bit));
+}
+
+/// Threaded mirror of the concentrated `HeaderCorruption` class.
+fn par_header_fault(
+    attached: &[EdgeId],
+    queues: &[SharedQueue],
+    staged_in: &mut [Vec<u32>],
+    staged_out: &mut [Vec<u32>],
+    injector: &mut CoreInjector,
+) {
+    let rng = injector.rng_mut();
+    let mut struck = false;
+    if !attached.is_empty() {
+        let e = attached[rng.gen_range(0..attached.len())];
+        let slot_seed = rng.gen::<u32>();
+        // Mostly single-bit (ECC corrects); occasionally double-bit
+        // (SECDED detects, AM recovers conservatively).
+        let bits = if rng.gen::<f64>() < 0.25 { 2 } else { 1 };
+        struck = queues[e.index()].with(|q| q.corrupt_random_header_codeword(slot_seed, bits));
+    }
+    if !struck {
+        let rng = injector.rng_mut();
+        let mut bufs: Vec<&mut Vec<u32>> =
+            staged_in.iter_mut().chain(staged_out.iter_mut()).collect();
+        flip_random_item(&mut bufs, rng);
+    }
+}
+
 /// Runs `program` with one thread per node and the batched transport.
-/// Error-free only.
 ///
 /// # Errors
 ///
 /// Returns [`RunError`] for unbound nodes or inconsistent schedules,
-/// [`RunError::BadEffectModel`] if the configuration enables errors
-/// (use the deterministic executor for fault experiments), and
-/// [`RunError::Parallel`] when a worker dies or stalls past the
-/// transport timeout.
+/// [`RunError::BadEffectModel`] when errors are enabled but
+/// [`SimConfig::par_faults`] is [`ParFaults::Deny`], and
+/// [`RunError::Parallel`] when an *error-free* run stalls past the
+/// transport timeout or a worker dies. Error-prone runs with
+/// [`ParFaults::Recover`] never error from faults: they retry and then
+/// degrade (worker panics remain fatal).
 pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, RunError> {
     run_parallel_with(program, config, ParTransport::Batched)
 }
@@ -99,17 +237,34 @@ pub fn run_parallel_with(
     config: &SimConfig,
     transport: ParTransport,
 ) -> Result<RunReport, RunError> {
-    if config.faults_enabled() {
+    let errors_on = config.faults_enabled();
+    if errors_on && config.par_faults == ParFaults::Deny {
         return Err(RunError::BadEffectModel(
-            "the threaded executor is error-free only; use cg_runtime::run".into(),
+            "error injection denied for the threaded executor \
+             (SimConfig::par_faults is ParFaults::Deny); use cg_runtime::run \
+             or allow ParFaults::Recover"
+                .into(),
         ));
     }
     program.validate_bound().map_err(RunError::UnboundNode)?;
+    if errors_on {
+        config
+            .effect_model
+            .validate()
+            .map_err(RunError::BadEffectModel)?;
+    }
     let (graph, mut works) = program.into_parts();
     let schedule = graph
         .schedule()
         .map_err(|e| RunError::Schedule(e.to_string()))?;
     let guard_cfg = config.protection.guard_config();
+    // Unprotected-header ablation (addressing faults strike header words).
+    let headers_unprotected = guard_cfg.as_ref().is_some_and(|c| !c.protect_headers);
+    // Recovery replaces hard errors only for fault-injected runs; the
+    // error-free executor keeps strict stall/peer-death semantics.
+    let recovery = errors_on;
+    let retry_budget = config.par_retry_budget;
+    let tracer = config.trace.tracer();
 
     let queues: Vec<SharedQueue> = graph
         .edges()
@@ -119,7 +274,7 @@ pub fn run_parallel_with(
                     QueueSpec::with_capacity(config.queue_capacity)
                         .pointer_mode(config.protection.pointer_mode()),
                 ),
-                STALL_TIMEOUT,
+                config.stall_timeout,
             )
         })
         .collect();
@@ -147,6 +302,8 @@ pub fn run_parallel_with(
         in_edges: Vec<EdgeId>,
         report: NodeReport,
         sink: Option<Vec<u32>>,
+        retries: u64,
+        degrades: u64,
     }
 
     let mut results: Vec<ThreadResult> = Vec::with_capacity(graph.node_count());
@@ -169,6 +326,8 @@ pub fn run_parallel_with(
             let frames = config.frames;
             let queues = &queues;
             let edge_labels = &edge_labels;
+            let wtracer = tracer.clone();
+            let core_id = id.index() as u32;
             let worker = move || -> Result<ThreadResult, RunError> {
                 let _closer = PortCloser {
                     queues,
@@ -184,14 +343,37 @@ pub fn run_parallel_with(
                     ),
                     None => CoreGuard::disabled(in_edges.len(), out_edges.len()),
                 };
+                let mut injector = if errors_on {
+                    CoreInjector::new(
+                        config.mtbe,
+                        config.effect_model,
+                        config.seed,
+                        u64::from(core_id),
+                    )
+                } else {
+                    CoreInjector::disabled(config.seed, u64::from(core_id))
+                };
+                let mut stuck: Option<StuckAtState> = None;
+                let attached: Vec<EdgeId> = in_edges.iter().chain(&out_edges).copied().collect();
                 let mut work = work;
                 let mut staged_in: Vec<Vec<u32>> = vec![Vec::new(); in_edges.len()];
                 let mut staged_out: Vec<Vec<u32>> = vec![Vec::new(); out_edges.len()];
+                // Frame-local recovery state: post-AM values popped this
+                // frame (for replay), the replay cursor, and how much of
+                // each port's frame output is already on the wire.
+                let mut input_log: Vec<Vec<u32>> = vec![Vec::new(); in_edges.len()];
+                let mut replayed: Vec<usize> = vec![0; in_edges.len()];
+                let mut committed: Vec<usize> = vec![0; out_edges.len()];
                 let mut sink_buf: Vec<u32> = Vec::new();
                 let mut instructions = 0u64;
+                let mut timeouts = 0u64;
+                let mut retries = 0u64;
+                let mut degrades = 0u64;
+                let items_moved: u64 = pop_rates.iter().map(|&r| u64::from(r)).sum::<u64>()
+                    + push_rates.iter().map(|&r| u64::from(r)).sum::<u64>();
                 guard.start();
-                for firing in 0..reps * frames {
-                    if firing > 0 && firing % reps == 0 {
+                for frame in 0..frames {
+                    if frame > 0 {
                         for &e in &out_edges {
                             queues[e.index()].with(SimQueue::flush);
                         }
@@ -199,102 +381,366 @@ pub fn run_parallel_with(
                     }
                     // Drain pending headers (block on full queues).
                     for (port, &e) in out_edges.iter().enumerate() {
-                        queues[e.index()]
-                            .produce(|q| guard.hi_tick(port, q).then_some(()))
-                            .map_err(|w| {
-                                stall_error(&name, "draining headers", &edge_labels[e.index()], w)
-                            })?;
-                    }
-                    // Pop inputs (block on empty queues), one lock
-                    // acquisition per wakeup rather than per unit.
-                    for (port, &e) in in_edges.iter().enumerate() {
-                        let need = pop_rates[port] as usize;
-                        while staged_in[port].len() < need {
-                            let buf = &mut staged_in[port];
-                            let max = (need - buf.len()).min(chunk_limit);
-                            queues[e.index()]
-                                .consume(|q| {
-                                    let n = guard.pop_batch(port, q, buf, max);
-                                    (n > 0).then_some(())
-                                })
-                                .map_err(|w| {
-                                    stall_error(&name, "popping items", &edge_labels[e.index()], w)
-                                })?;
-                        }
-                    }
-                    // Fire.
-                    let items: u64 = staged_in.iter().map(|b| b.len() as u64).sum::<u64>();
-                    match kind {
-                        NodeKind::Source | NodeKind::Filter => {
-                            work.as_mut()
-                                .expect("bound")
-                                .fire(&staged_in, &mut staged_out);
-                        }
-                        NodeKind::SplitDuplicate => {
-                            for out in &mut staged_out {
-                                out.extend_from_slice(&staged_in[0]);
+                        let drained =
+                            queues[e.index()].produce(|q| guard.hi_tick(port, q).then_some(()));
+                        if let Err(w) = drained {
+                            if !recovery {
+                                return Err(stall_error(
+                                    &name,
+                                    "draining headers",
+                                    &edge_labels[e.index()],
+                                    w,
+                                ));
                             }
-                        }
-                        NodeKind::SplitRoundRobin => {
-                            let mut off = 0usize;
-                            for (port, out) in staged_out.iter_mut().enumerate() {
-                                let take = push_rates[port] as usize;
-                                out.extend_from_slice(&staged_in[0][off..off + take]);
-                                off += take;
+                            if matches!(w, WaitError::TimedOut) {
+                                timeouts += 1;
                             }
-                        }
-                        NodeKind::JoinRoundRobin => {
-                            for inp in &staged_in {
-                                staged_out[0].extend_from_slice(inp);
-                            }
-                        }
-                        NodeKind::Sink => {
-                            for inp in &staged_in {
-                                sink_buf.extend_from_slice(inp);
-                            }
+                            // Force the header out so the next boundary
+                            // finds the port clear.
+                            queues[e.index()].with(|q| {
+                                if !guard.hi_tick(port, q) {
+                                    guard.hi_force(port, q);
+                                }
+                            });
                         }
                     }
-                    let pushed: u64 = staged_out.iter().map(|b| b.len() as u64).sum::<u64>();
-                    instructions += cost.firing_cost(items + pushed);
-                    // Push outputs (block on full queues), whole remaining
-                    // batch per lock acquisition.
-                    for (port, &e) in out_edges.iter().enumerate() {
-                        let buf = &staged_out[port];
-                        let mut pos = 0;
-                        while pos < buf.len() {
-                            let end = buf.len().min(pos.saturating_add(chunk_limit));
-                            let n = queues[e.index()]
-                                .produce(|q| {
-                                    let n = guard.push_batch(port, q, &buf[pos..end]);
-                                    (n > 0).then_some(n)
-                                })
-                                .map_err(|w| {
-                                    stall_error(&name, "pushing items", &edge_labels[e.index()], w)
-                                })?;
-                            pos += n;
-                        }
-                        staged_out[port].clear();
+                    // Frame checkpoint: everything a retry must restore.
+                    let sink_mark = sink_buf.len();
+                    for log in &mut input_log {
+                        log.clear();
                     }
-                    for b in &mut staged_in {
-                        b.clear();
+                    committed.fill(0);
+                    let mut attempt: u32 = 0;
+                    'attempts: loop {
+                        sink_buf.truncate(sink_mark);
+                        replayed.fill(0);
+                        for b in &mut staged_in {
+                            b.clear();
+                        }
+                        for b in &mut staged_out {
+                            b.clear();
+                        }
+                        let mut produced: Vec<usize> = vec![0; out_edges.len()];
+                        let mut fail: Option<FrameFail> = None;
+                        'firings: for _ in 0..reps {
+                            // Pop inputs: replay the frame log first, then
+                            // live pops (one lock acquisition per wakeup).
+                            for (port, &e) in in_edges.iter().enumerate() {
+                                if fail.is_some() {
+                                    break;
+                                }
+                                let need = pop_rates[port] as usize;
+                                if recovery {
+                                    let avail = input_log[port].len() - replayed[port];
+                                    if avail > 0 {
+                                        let take = avail.min(need);
+                                        let from = replayed[port];
+                                        staged_in[port]
+                                            .extend_from_slice(&input_log[port][from..from + take]);
+                                        replayed[port] += take;
+                                    }
+                                }
+                                let live_from = staged_in[port].len();
+                                while staged_in[port].len() < need {
+                                    let buf = &mut staged_in[port];
+                                    let max = (need - buf.len()).min(chunk_limit);
+                                    let popped = queues[e.index()].consume(|q| {
+                                        let got = guard.pop_batch(port, q, buf, max);
+                                        (got > 0).then_some(())
+                                    });
+                                    if let Err(w) = popped {
+                                        if !recovery {
+                                            return Err(stall_error(
+                                                &name,
+                                                "popping items",
+                                                &edge_labels[e.index()],
+                                                w,
+                                            ));
+                                        }
+                                        fail = Some(match w {
+                                            WaitError::TimedOut => {
+                                                timeouts += 1;
+                                                FrameFail::Retryable
+                                            }
+                                            WaitError::PeerClosed => FrameFail::Terminal,
+                                        });
+                                        break;
+                                    }
+                                }
+                                if recovery {
+                                    // Log live pops so a retry replays them
+                                    // without touching the queue (or AM).
+                                    let (stage, log) = (&staged_in[port], &mut input_log[port]);
+                                    log.extend_from_slice(&stage[live_from..]);
+                                    replayed[port] = log.len();
+                                }
+                            }
+                            if fail.is_some() {
+                                break 'firings;
+                            }
+                            // Charge instructions and collect fault events
+                            // (same pacing as the deterministic executor).
+                            let instr = cost.firing_cost(items_moved);
+                            instructions += instr;
+                            let firing_faults = if errors_on {
+                                let events = injector.advance(instr);
+                                Some(partition_events(
+                                    config.fault_class,
+                                    &events,
+                                    &mut injector,
+                                    &mut stuck,
+                                ))
+                            } else {
+                                None
+                            };
+                            if let Some(f) = &firing_faults {
+                                for _ in 0..f.pre_flips {
+                                    let mut bufs: Vec<&mut Vec<u32>> =
+                                        staged_in.iter_mut().collect();
+                                    flip_random_item(&mut bufs, injector.rng_mut());
+                                }
+                            }
+                            let sink_fire_mark = sink_buf.len();
+                            // The compute body.
+                            match kind {
+                                NodeKind::Source | NodeKind::Filter => {
+                                    work.as_mut()
+                                        .expect("bound")
+                                        .fire(&staged_in, &mut staged_out);
+                                }
+                                NodeKind::SplitDuplicate => {
+                                    for out in &mut staged_out {
+                                        out.extend_from_slice(&staged_in[0]);
+                                    }
+                                }
+                                NodeKind::SplitRoundRobin => {
+                                    let mut off = 0usize;
+                                    for (port, out) in staged_out.iter_mut().enumerate() {
+                                        let take = push_rates[port] as usize;
+                                        let end = (off + take).min(staged_in[0].len());
+                                        out.extend_from_slice(&staged_in[0][off..end]);
+                                        // Short input (an upstream error
+                                        // effect): keep rates structural.
+                                        out.resize(out.len() + take - (end - off), 0);
+                                        off = end;
+                                    }
+                                }
+                                NodeKind::JoinRoundRobin => {
+                                    for inp in &staged_in {
+                                        staged_out[0].extend_from_slice(inp);
+                                    }
+                                }
+                                NodeKind::Sink => {
+                                    for inp in &staged_in {
+                                        sink_buf.extend_from_slice(inp);
+                                    }
+                                }
+                            }
+                            if let Some(f) = firing_faults {
+                                for _ in 0..f.post_flips {
+                                    let mut bufs: Vec<&mut Vec<u32>> =
+                                        staged_out.iter_mut().collect();
+                                    if !flip_random_item(&mut bufs, injector.rng_mut())
+                                        && kind == NodeKind::Sink
+                                    {
+                                        let mut bufs = [&mut sink_buf];
+                                        flip_random_item(&mut bufs, injector.rng_mut());
+                                    }
+                                }
+                                for _ in 0..f.bursts {
+                                    let mut bufs: Vec<&mut Vec<u32>> =
+                                        staged_out.iter_mut().collect();
+                                    if !burst_flip_random_item(&mut bufs, injector.rng_mut())
+                                        && kind == NodeKind::Sink
+                                    {
+                                        let mut bufs = [&mut sink_buf];
+                                        burst_flip_random_item(&mut bufs, injector.rng_mut());
+                                    }
+                                }
+                                if let Some(st) = stuck {
+                                    for out in &mut staged_out {
+                                        for v in out.iter_mut() {
+                                            *v = st.apply(*v);
+                                        }
+                                    }
+                                    for v in sink_buf[sink_fire_mark..].iter_mut() {
+                                        *v = st.apply(*v);
+                                    }
+                                }
+                                for pert in f.perturbations {
+                                    apply_perturbation(&mut staged_out, pert, injector.rng_mut());
+                                }
+                                for _ in 0..f.addressing {
+                                    par_addressing_fault(
+                                        &attached,
+                                        queues,
+                                        &mut staged_in,
+                                        &mut staged_out,
+                                        &mut injector,
+                                        &mut guard,
+                                        headers_unprotected,
+                                    );
+                                }
+                                for _ in 0..f.pointer_hits {
+                                    par_pointer_fault(
+                                        &attached,
+                                        queues,
+                                        &mut staged_in,
+                                        &mut staged_out,
+                                        &mut injector,
+                                    );
+                                }
+                                for _ in 0..f.header_hits {
+                                    par_header_fault(
+                                        &attached,
+                                        queues,
+                                        &mut staged_in,
+                                        &mut staged_out,
+                                        &mut injector,
+                                    );
+                                }
+                            }
+                            // Guarded runs enforce the static rate before
+                            // anything reaches the wire; a violated firing
+                            // (control perturbation) re-executes the frame.
+                            if errors_on && guard.is_enabled() {
+                                let rate_ok = staged_out
+                                    .iter()
+                                    .zip(&push_rates)
+                                    .all(|(b, &r)| b.len() == r as usize);
+                                if !rate_ok {
+                                    fail = Some(FrameFail::Retryable);
+                                    break 'firings;
+                                }
+                            }
+                            // Push outputs, skipping whatever an earlier
+                            // attempt of this frame already committed.
+                            for (port, &e) in out_edges.iter().enumerate() {
+                                let buf = &staged_out[port];
+                                let before = produced[port];
+                                produced[port] += buf.len();
+                                let mut pos = committed[port].saturating_sub(before).min(buf.len());
+                                while pos < buf.len() {
+                                    let end = buf.len().min(pos.saturating_add(chunk_limit));
+                                    let pushed = queues[e.index()].produce(|q| {
+                                        let got = guard.push_batch(port, q, &buf[pos..end]);
+                                        (got > 0).then_some(got)
+                                    });
+                                    match pushed {
+                                        Ok(got) => {
+                                            pos += got;
+                                            committed[port] += got;
+                                        }
+                                        Err(w) => {
+                                            if !recovery {
+                                                return Err(stall_error(
+                                                    &name,
+                                                    "pushing items",
+                                                    &edge_labels[e.index()],
+                                                    w,
+                                                ));
+                                            }
+                                            if matches!(w, WaitError::TimedOut) {
+                                                timeouts += 1;
+                                            }
+                                            // Never hang: force the rest of
+                                            // this firing's output out.
+                                            queues[e.index()].with(|q| {
+                                                for &v in &buf[pos..] {
+                                                    guard.timeout_push(port, q, v);
+                                                }
+                                            });
+                                            committed[port] += buf.len() - pos;
+                                            pos = buf.len();
+                                        }
+                                    }
+                                }
+                            }
+                            for b in &mut staged_out {
+                                b.clear();
+                            }
+                            for b in &mut staged_in {
+                                b.clear();
+                            }
+                        }
+                        let Some(why) = fail else {
+                            break 'attempts; // frame committed
+                        };
+                        if why == FrameFail::Retryable && attempt < retry_budget {
+                            attempt += 1;
+                            retries += 1;
+                            if wtracer.is_enabled() {
+                                wtracer.set_context(core_id, frame, guard.active_fc());
+                                wtracer.emit(Event::FrameRetry {
+                                    frame: guard.active_fc(),
+                                    attempt,
+                                });
+                            }
+                            continue 'attempts;
+                        }
+                        // Budget exhausted (or the peer is gone): discharge
+                        // the frame's remaining obligations and advance.
+                        degrades += 1;
+                        if wtracer.is_enabled() {
+                            wtracer.set_context(core_id, frame, guard.active_fc());
+                            wtracer.emit(Event::FrameDegraded {
+                                frame: guard.active_fc(),
+                            });
+                        }
+                        for (port, &e) in out_edges.iter().enumerate() {
+                            let owed = (reps as usize * push_rates[port] as usize)
+                                .saturating_sub(committed[port]);
+                            if owed > 0 {
+                                queues[e.index()].with(|q| {
+                                    for _ in 0..owed {
+                                        guard.timeout_push(port, q, 0);
+                                    }
+                                });
+                                committed[port] += owed;
+                            }
+                        }
+                        if kind == NodeKind::Sink {
+                            let per_frame: usize =
+                                pop_rates.iter().map(|&r| r as usize).sum::<usize>()
+                                    * reps as usize;
+                            sink_buf.truncate(sink_mark);
+                            sink_buf.resize(sink_mark + per_frame, 0);
+                        }
+                        for b in &mut staged_in {
+                            b.clear();
+                        }
+                        for b in &mut staged_out {
+                            b.clear();
+                        }
+                        break 'attempts;
                     }
                 }
                 guard.finish();
                 // Drain the end-of-computation header. With the consumer
                 // gone and the queue full this used to spin forever; the
-                // condvar wait is bounded and a dead peer is an error
-                // naming the stuck edge.
+                // condvar wait is bounded, a dead peer is an error naming
+                // the stuck edge, and under recovery the header is forced.
                 for (port, &e) in out_edges.iter().enumerate() {
-                    queues[e.index()]
-                        .produce(|q| guard.hi_tick(port, q).then_some(()))
-                        .map_err(|w| {
-                            stall_error(
+                    let drained =
+                        queues[e.index()].produce(|q| guard.hi_tick(port, q).then_some(()));
+                    if let Err(w) = drained {
+                        if !recovery {
+                            return Err(stall_error(
                                 &name,
                                 "draining the end header",
                                 &edge_labels[e.index()],
                                 w,
-                            )
-                        })?;
+                            ));
+                        }
+                        if matches!(w, WaitError::TimedOut) {
+                            timeouts += 1;
+                        }
+                        queues[e.index()].with(|q| {
+                            if !guard.hi_tick(port, q) {
+                                guard.hi_force(port, q);
+                            }
+                        });
+                    }
                     queues[e.index()].with(SimQueue::flush);
                 }
                 let frames_done = frames;
@@ -312,8 +758,8 @@ pub fn run_parallel_with(
                             0.0
                         },
                         subops: guard.into_subops(),
-                        faults: Default::default(),
-                        timeouts: 0,
+                        faults: *injector.stats(),
+                        timeouts,
                         max_queue_occupancy: 0,
                     },
                     sink: if kind == NodeKind::Sink {
@@ -321,6 +767,8 @@ pub fn run_parallel_with(
                     } else {
                         None
                     },
+                    retries,
+                    degrades,
                 })
             };
             handles.push((node.name().to_string(), scope.spawn(worker)));
@@ -339,6 +787,9 @@ pub fn run_parallel_with(
         return Err(e);
     }
 
+    tracer.set_context(MACHINE_CORE, config.frames, 0);
+    tracer.emit(Event::RunEnd { completed: true });
+
     results.sort_by_key(|r| r.node.index());
     let mut report = RunReport {
         app: graph.name().to_string(),
@@ -346,8 +797,10 @@ pub fn run_parallel_with(
         // equivalent unit of progress is the steady-state frame.
         rounds: config.frames,
         completed: true,
+        trace: tracer.finish(),
         ..Default::default()
     };
+    let mut wd = WatchdogStats::default();
     for q in &queues {
         report.queues += q.with(|q| *q.stats());
     }
@@ -360,11 +813,14 @@ pub fn run_parallel_with(
             .max()
             .unwrap_or(0);
         report.realignment_episodes += r.report.subops.pad_events + r.report.subops.discard_events;
+        wd.frame_retries += r.retries;
+        wd.frame_degrades += r.degrades;
         if let Some(buf) = r.sink {
             report.sinks.insert(r.node.index(), buf);
         }
         report.nodes.push(r.report);
     }
+    report.watchdog = wd;
     Ok(report)
 }
 
@@ -372,8 +828,10 @@ pub fn run_parallel_with(
 mod tests {
     use super::*;
     use crate::exec::run;
+    use cg_fault::{FaultClass, Mtbe};
     use cg_graph::GraphBuilder;
     use commguard::Protection;
+    use std::time::Duration;
 
     fn program() -> (Program, NodeId) {
         let mut b = GraphBuilder::new("par");
@@ -446,15 +904,45 @@ mod tests {
         assert_eq!(batched.queues.header_pushes, per_item.queues.header_pushes);
     }
 
+    /// The headline capability: faults injected inside worker threads, the
+    /// run completing with a frame-exact sink rather than an error.
     #[test]
-    fn parallel_rejects_error_injection() {
+    fn parallel_injects_and_recovers() {
+        let (p, sink) = program();
+        let cfg = SimConfig {
+            fault_class: FaultClass::Burst,
+            stall_timeout: Duration::from_millis(250),
+            par_retry_budget: 3,
+            ..SimConfig::with_errors(60, Protection::commguard(), Mtbe::instructions(256), 7)
+        };
+        let report = run_parallel(p, &cfg).unwrap();
+        assert!(report.completed);
+        let total_faults: u64 = report.nodes.iter().map(|n| n.faults.total()).sum();
+        assert!(total_faults > 0, "injectors must actually fire");
+        assert_eq!(
+            report.sink_output(sink).len(),
+            60 * 8,
+            "recovery keeps the sink frame-exact"
+        );
+        // Every retry respects the per-frame budget on each of the 4 cores.
+        assert!(report.watchdog.frame_retries <= u64::from(cfg.par_retry_budget) * cfg.frames * 4);
+    }
+
+    /// The opt-out: `ParFaults::Deny` restores the old hard rejection.
+    #[test]
+    fn deny_policy_rejects_error_injection() {
         let (p, _) = program();
         let cfg = SimConfig {
-            protection: Protection::PpuReliableQueue,
-            inject: true,
-            ..SimConfig::error_free(10)
+            par_faults: ParFaults::Deny,
+            ..SimConfig::with_errors(
+                10,
+                Protection::PpuReliableQueue,
+                Mtbe::instructions(1000),
+                1,
+            )
         };
-        assert!(run_parallel(p, &cfg).is_err());
+        let err = run_parallel(p, &cfg).unwrap_err();
+        assert!(matches!(err, RunError::BadEffectModel(_)), "got: {err}");
     }
 
     /// A worker that dies mid-stream (panicking filter) must surface as a
@@ -477,10 +965,11 @@ mod tests {
             out[0].extend_from_slice(&inp[0]);
         });
         let _ = k;
+        let cfg = SimConfig::error_free(1000);
         let start = std::time::Instant::now();
-        let err = run_parallel(p, &SimConfig::error_free(1000)).unwrap_err();
+        let err = run_parallel(p, &cfg).unwrap_err();
         assert!(
-            start.elapsed() < STALL_TIMEOUT,
+            start.elapsed() < cfg.stall_timeout,
             "peer-closed must beat the stall timeout"
         );
         assert!(matches!(err, RunError::Parallel(_)), "got: {err}");

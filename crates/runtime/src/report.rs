@@ -27,18 +27,15 @@ pub struct NodeReport {
     pub instructions_per_frame: f64,
     /// CommGuard suboperation counters for this core.
     pub subops: SubopCounters,
-    /// Faults injected on this core, by class.
-    ///
-    /// **Deterministic executor only.** The threaded executor
-    /// ([`crate::run_parallel`]) rejects error-enabled configurations, so
-    /// it always reports zero faults here.
+    /// Faults injected on this core, by class. Both executors fill this:
+    /// the deterministic executor from its scheduler-round injectors, the
+    /// threaded executor ([`crate::run_parallel`]) from the per-core
+    /// injector stream owned by this node's worker thread.
     pub faults: FaultStats,
-    /// QM timeouts fired on this core's ports.
-    ///
-    /// **Deterministic executor only.** The threaded executor blocks on
-    /// condvars instead of forcing timeout transfers, so it always
-    /// reports 0; its transport stalls surface as
-    /// [`crate::RunError::Parallel`] instead.
+    /// Forced-transfer episodes on this core's ports. The deterministic
+    /// executor counts QM timeout firings; the threaded executor counts
+    /// stall-timeout expiries of its blocking transport (each followed by
+    /// a forced transfer, a frame retry, or a degradation).
     pub timeouts: u64,
     /// High-water occupancy (in units) over the queues this core
     /// consumes. Queues are attributed to their consumer side, so source
@@ -67,11 +64,11 @@ pub struct RunReport {
     pub rounds: u64,
     /// Whether every node ran to completion (false = hit `max_rounds`).
     pub completed: bool,
-    /// Cross-core stall watchdog escalations.
-    ///
-    /// **Deterministic executor only.** The threaded executor has no
-    /// simulated watchdog; its liveness backstop is the transport stall
-    /// timeout, reported via [`crate::RunError::Parallel`].
+    /// Cross-core stall watchdog escalations. The deterministic executor
+    /// fills the full four-rung ladder; the threaded executor reports its
+    /// recovery path here as `frame_retries` (frames re-executed from
+    /// their boundary checkpoint) and `frame_degrades` (frames discharged
+    /// with padded output after retry-budget exhaustion).
     pub watchdog: WatchdogStats,
     /// AM realignment episodes (pad + discard entries) across all cores.
     pub realignment_episodes: u64,
@@ -166,6 +163,25 @@ impl RunReport {
         self.nodes.iter().map(|n| n.timeouts).sum()
     }
 
+    /// Guard-state corruptions detected by the hardened (triplicated)
+    /// AM/QM/HI soft state, summed over cores.
+    pub fn guard_state_detected(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.subops.guard_state_detected)
+            .sum()
+    }
+
+    /// Guard-state corruptions repaired by majority vote, summed over
+    /// cores. `detected - corrected` is the residual (uncorrectable
+    /// three-way splits).
+    pub fn guard_state_corrected(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.subops.guard_state_corrected)
+            .sum()
+    }
+
     /// Deepest any queue ever got, across all edges (units).
     pub fn max_queue_occupancy(&self) -> u64 {
         self.nodes
@@ -244,6 +260,17 @@ mod tests {
         let r = report();
         assert_eq!(r.max_queue_occupancy(), 41);
         assert_eq!(RunReport::default().max_queue_occupancy(), 0);
+    }
+
+    #[test]
+    fn guard_state_counters_sum_over_nodes() {
+        let mut r = report();
+        r.nodes[0].subops.guard_state_detected = 3;
+        r.nodes[0].subops.guard_state_corrected = 2;
+        r.nodes[1].subops.guard_state_detected = 1;
+        r.nodes[1].subops.guard_state_corrected = 1;
+        assert_eq!(r.guard_state_detected(), 4);
+        assert_eq!(r.guard_state_corrected(), 3);
     }
 
     #[test]

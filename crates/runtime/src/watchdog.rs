@@ -6,7 +6,7 @@
 //! their thresholds are finite, and only for stalls that manifest as
 //! blocked pushes/pops. The watchdog sits above them and watches the
 //! whole machine: if **no core makes any progress** for a configurable
-//! number of scheduler rounds, it escalates through three rungs, each
+//! number of scheduler rounds, it escalates through four rungs, each
 //! strictly stronger than the last:
 //!
 //! 1. **ArmTimeouts** — force every port's QM timeout to fire on its next
@@ -16,6 +16,17 @@
 //! 3. **AbortFrame** — abandon the current frame computation of every
 //!    live core: staged state is dropped and the core skips to its next
 //!    frame boundary, where the HI/AM machinery realigns.
+//! 4. **DegradeFrame** — the terminal rung: every live core's remaining
+//!    obligations for the current frame are *discharged* rather than
+//!    dropped — staged outputs are flushed and the balance of the frame's
+//!    output rate is padded with zeros via forced pushes, so downstream
+//!    consumers see a complete (if degraded) frame and the machine is
+//!    guaranteed unwedged even when aborting alone could not restart it.
+//!
+//! The threaded executor reaches the same rung-4 semantics through its
+//! frame retry/degrade path (see `crate::parallel`); its per-frame retry
+//! and degradation counts are merged into [`WatchdogStats`] as
+//! `frame_retries` / `frame_degrades`.
 //!
 //! Every escalation is counted in [`WatchdogStats`] and surfaced in the
 //! run [`crate::RunReport`].
@@ -67,6 +78,10 @@ pub enum WatchdogAction {
     ForceProgress,
     /// Rung 3: abort the current frame of every live core.
     AbortFrame,
+    /// Rung 4: discharge the current frame of every live core — flush
+    /// staged outputs, pad the rest of the frame's output rate with
+    /// forced zero pushes, and advance to the next boundary.
+    DegradeFrame,
 }
 
 /// Escalation counters, reported per run.
@@ -80,6 +95,12 @@ pub struct WatchdogStats {
     pub forced_progress: u64,
     /// Rung-3 firings: frames aborted.
     pub frame_aborts: u64,
+    /// Rung-4 firings (deterministic executor) plus frames degraded after
+    /// retry-budget exhaustion (threaded executor).
+    pub frame_degrades: u64,
+    /// Frames re-executed from their boundary snapshot (threaded
+    /// executor's recovery rung; always 0 on the deterministic path).
+    pub frame_retries: u64,
     /// Longest observed no-progress streak, in rounds.
     pub max_stall_rounds: u64,
 }
@@ -87,7 +108,7 @@ pub struct WatchdogStats {
 impl WatchdogStats {
     /// Total escalations across all rungs.
     pub fn total_escalations(&self) -> u64 {
-        self.timeout_escalations + self.forced_progress + self.frame_aborts
+        self.timeout_escalations + self.forced_progress + self.frame_aborts + self.frame_degrades
     }
 }
 
@@ -97,6 +118,8 @@ impl std::ops::AddAssign for WatchdogStats {
         self.timeout_escalations += rhs.timeout_escalations;
         self.forced_progress += rhs.forced_progress;
         self.frame_aborts += rhs.frame_aborts;
+        self.frame_degrades += rhs.frame_degrades;
+        self.frame_retries += rhs.frame_retries;
         self.max_stall_rounds = self.max_stall_rounds.max(rhs.max_stall_rounds);
     }
 }
@@ -108,7 +131,7 @@ pub struct Watchdog {
     cfg: WatchdogConfig,
     /// Consecutive rounds without progress.
     stalled_for: u64,
-    /// Rungs already fired in the current stall episode (0–3).
+    /// Rungs already fired in the current stall episode (0–4).
     rung: u32,
     stats: WatchdogStats,
 }
@@ -138,7 +161,7 @@ impl Watchdog {
         self.stalled_for += 1;
         self.stats.max_stall_rounds = self.stats.max_stall_rounds.max(self.stalled_for);
         let due = self.cfg.stall_rounds + u64::from(self.rung) * self.cfg.escalation_rounds;
-        if self.stalled_for < due || self.rung >= 3 {
+        if self.stalled_for < due || self.rung >= 4 {
             return WatchdogAction::None;
         }
         self.rung += 1;
@@ -152,11 +175,27 @@ impl Watchdog {
                 self.stats.forced_progress += 1;
                 WatchdogAction::ForceProgress
             }
-            _ => {
+            3 => {
                 self.stats.frame_aborts += 1;
                 WatchdogAction::AbortFrame
             }
+            _ => {
+                self.stats.frame_degrades += 1;
+                WatchdogAction::DegradeFrame
+            }
         }
+    }
+
+    /// Records frame retries performed outside the round-driven ladder
+    /// (the threaded executor's recovery path).
+    pub fn note_frame_retries(&mut self, n: u64) {
+        self.stats.frame_retries += n;
+    }
+
+    /// Records frame degradations performed outside the round-driven
+    /// ladder (the threaded executor's budget-exhaustion path).
+    pub fn note_frame_degrades(&mut self, n: u64) {
+        self.stats.frame_degrades += n;
     }
 
     /// Counters accumulated so far.
@@ -205,7 +244,7 @@ mod tests {
                 None,
                 AbortFrame, // +2 more
                 None,
-                None,
+                DegradeFrame, // +2 more: the terminal rung
                 None,
                 None,
                 None, // ladder exhausted: no repeats within the episode
@@ -216,6 +255,8 @@ mod tests {
         assert_eq!(s.timeout_escalations, 1);
         assert_eq!(s.forced_progress, 1);
         assert_eq!(s.frame_aborts, 1);
+        assert_eq!(s.frame_degrades, 1);
+        assert_eq!(s.total_escalations(), 4);
         assert_eq!(s.max_stall_rounds, 12);
     }
 
@@ -256,11 +297,14 @@ mod tests {
         a += WatchdogStats {
             stall_events: 2,
             frame_aborts: 1,
+            frame_degrades: 2,
+            frame_retries: 4,
             max_stall_rounds: 3,
             ..Default::default()
         };
         assert_eq!(a.stall_events, 3);
-        assert_eq!(a.total_escalations(), 2);
+        assert_eq!(a.total_escalations(), 4);
+        assert_eq!(a.frame_retries, 4);
         assert_eq!(a.max_stall_rounds, 5);
     }
 }

@@ -175,6 +175,10 @@ pub struct Analysis {
     pub watchdog_actions: u64,
     /// QM timeouts fired.
     pub qm_timeouts: u64,
+    /// Frames rolled back and re-executed (recovery rung).
+    pub frame_retries: u64,
+    /// Frames degraded after retry-budget exhaustion or watchdog rung 4.
+    pub frame_degrades: u64,
 }
 
 impl Analysis {
@@ -242,6 +246,8 @@ pub fn analyze(records: &[TraceRecord]) -> Analysis {
             }
             Event::Watchdog { .. } => out.watchdog_actions += 1,
             Event::QmTimeout { .. } => out.qm_timeouts += 1,
+            Event::FrameRetry { .. } => out.frame_retries += 1,
+            Event::FrameDegraded { .. } => out.frame_degrades += 1,
             _ => {}
         }
     }
@@ -252,13 +258,16 @@ impl fmt::Display for Analysis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "faults={} (silent={})  chains={} (linked={})  qm-timeouts={}  watchdog={}",
+            "faults={} (silent={})  chains={} (linked={})  qm-timeouts={}  watchdog={}  \
+             retries={}  degrades={}",
             self.faults,
             self.silent_faults,
             self.chains.len(),
             self.linked_chains(),
             self.qm_timeouts,
-            self.watchdog_actions
+            self.watchdog_actions,
+            self.frame_retries,
+            self.frame_degrades
         )?;
         for (i, chain) in self.chains.iter().enumerate() {
             writeln!(f, "chain {}: {}", i + 1, chain)?;

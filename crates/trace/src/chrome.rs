@@ -202,6 +202,20 @@ pub fn to_chrome_json(process_name: &str, records: &[TraceRecord]) -> String {
                 &format!("\"rung\":{rung}"),
                 &mut events,
             ),
+            Event::FrameRetry { frame, attempt } => instant(
+                rec.core,
+                ts,
+                "frame-retry",
+                &format!("\"frame\":{frame},\"attempt\":{attempt}"),
+                &mut events,
+            ),
+            Event::FrameDegraded { frame } => instant(
+                rec.core,
+                ts,
+                "frame-degraded",
+                &format!("\"frame\":{frame}"),
+                &mut events,
+            ),
             Event::RunEnd { completed } => instant(
                 rec.core,
                 ts,

@@ -294,8 +294,22 @@ pub enum Event {
     /// The cross-core watchdog fired a rung (`cg-runtime`).
     Watchdog {
         /// Escalation rung (1 = arm timeouts, 2 = force progress,
-        /// 3 = abort frame).
+        /// 3 = abort frame, 4 = degrade frame).
         rung: u32,
+    },
+    /// A frame is being rolled back and re-executed from its boundary
+    /// snapshot (`cg-runtime`, threaded recovery).
+    FrameRetry {
+        /// The frame being re-executed.
+        frame: u32,
+        /// Re-execution attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A frame's outputs were degraded (padded) after the retry budget
+    /// was exhausted, or by watchdog rung 4 (`cg-runtime`).
+    FrameDegraded {
+        /// The frame degraded.
+        frame: u32,
     },
     /// The run finished (or hit the round cap).
     RunEnd {
@@ -336,13 +350,17 @@ pub enum EventKind {
     QmTimeout,
     /// [`Event::Watchdog`].
     Watchdog,
+    /// [`Event::FrameRetry`].
+    FrameRetry,
+    /// [`Event::FrameDegraded`].
+    FrameDegraded,
     /// [`Event::RunEnd`].
     RunEnd,
 }
 
 impl EventKind {
     /// Number of categories (sizes the counting arrays).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// All categories, in declaration order (index == discriminant).
     pub fn all() -> [EventKind; Self::COUNT] {
@@ -361,6 +379,8 @@ impl EventKind {
             EventKind::FrameBoundary,
             EventKind::QmTimeout,
             EventKind::Watchdog,
+            EventKind::FrameRetry,
+            EventKind::FrameDegraded,
             EventKind::RunEnd,
         ]
     }
@@ -382,6 +402,8 @@ impl EventKind {
             EventKind::FrameBoundary => "boundary",
             EventKind::QmTimeout => "qm-timeout",
             EventKind::Watchdog => "watchdog",
+            EventKind::FrameRetry => "frame-retry",
+            EventKind::FrameDegraded => "frame-degraded",
             EventKind::RunEnd => "run-end",
         }
     }
@@ -410,6 +432,8 @@ impl Event {
             Event::FrameBoundary { .. } => EventKind::FrameBoundary,
             Event::QmTimeout { .. } => EventKind::QmTimeout,
             Event::Watchdog { .. } => EventKind::Watchdog,
+            Event::FrameRetry { .. } => EventKind::FrameRetry,
+            Event::FrameDegraded { .. } => EventKind::FrameDegraded,
             Event::RunEnd { .. } => EventKind::RunEnd,
         }
     }
@@ -484,7 +508,7 @@ mod tests {
 
     #[test]
     fn every_event_maps_to_its_kind() {
-        let cases: [(Event, EventKind); 15] = [
+        let cases: [(Event, EventKind); 17] = [
             (
                 Event::Fault {
                     kind: FaultKindTag::Data,
@@ -569,6 +593,14 @@ mod tests {
                 EventKind::QmTimeout,
             ),
             (Event::Watchdog { rung: 1 }, EventKind::Watchdog),
+            (
+                Event::FrameRetry {
+                    frame: 5,
+                    attempt: 1,
+                },
+                EventKind::FrameRetry,
+            ),
+            (Event::FrameDegraded { frame: 6 }, EventKind::FrameDegraded),
             (Event::RunEnd { completed: true }, EventKind::RunEnd),
         ];
         for (ev, kind) in cases {

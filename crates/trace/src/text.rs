@@ -66,6 +66,10 @@ pub fn record_to_line(rec: &TraceRecord) -> String {
             format!("qm-timeout port={} dir={}", port, dir.label())
         }
         Event::Watchdog { rung } => format!("watchdog rung={rung}"),
+        Event::FrameRetry { frame, attempt } => {
+            format!("frame-retry frame={frame} attempt={attempt}")
+        }
+        Event::FrameDegraded { frame } => format!("frame-degraded frame={frame}"),
         Event::RunEnd { completed } => format!("run-end completed={completed}"),
     };
     format!("{head} {tail}")
@@ -185,6 +189,13 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
         EventKind::Watchdog => Event::Watchdog {
             rung: num(&fields, "rung")?,
         },
+        EventKind::FrameRetry => Event::FrameRetry {
+            frame: num(&fields, "frame")?,
+            attempt: num(&fields, "attempt")?,
+        },
+        EventKind::FrameDegraded => Event::FrameDegraded {
+            frame: num(&fields, "frame")?,
+        },
         EventKind::RunEnd => Event::RunEnd {
             completed: num(&fields, "completed")?,
         },
@@ -267,6 +278,11 @@ mod tests {
                 dir: DirTag::Out,
             },
             Event::Watchdog { rung: 3 },
+            Event::FrameRetry {
+                frame: 11,
+                attempt: 2,
+            },
+            Event::FrameDegraded { frame: 11 },
             Event::RunEnd { completed: false },
         ];
         events
