@@ -1,5 +1,5 @@
 //! Host-concurrency throughput bench: deterministic executor vs. the
-//! threaded executor's per-item and batched transports.
+//! threaded executor's per-item, batched, and lock-free transports.
 //!
 //! ```text
 //! parallel_throughput [--quick] [--check] [--out PATH]
@@ -7,9 +7,15 @@
 //!
 //! Runs synthetic pipelines at 2/4/8 stages (= threads) plus the full app
 //! suite, measures wall time for each executor, cross-checks that all
-//! three produce identical sink output, and writes `BENCH_parallel.json`
-//! (items/sec, wall times, speedups). `--check` exits nonzero when the
-//! batched transport fails its speedup floor against per-item locking;
+//! four produce identical sink output, and writes `BENCH_parallel.json`
+//! (items/sec, wall times, speedups, per-run effective core counts).
+//! `--check` exits nonzero when the batched transport fails its speedup
+//! floor against per-item locking, or — on hosts with enough cores to
+//! actually run the guarded 4-stage pipeline in parallel — when the
+//! lock-free transport fails its ≥2×-deterministic gate. On narrower
+//! hosts that multicore gate is skipped with a loud log (the numbers
+//! would only measure context-switch overhead), and the skip is recorded
+//! in the JSON so archived reports can't masquerade as passes.
 //! `--quick` shrinks inputs for CI smoke runs.
 
 use std::process::ExitCode;
@@ -29,6 +35,13 @@ use commguard::Protection;
 /// Units per firing on every pipeline hop: large enough that the batched
 /// transport has real batches to amortize.
 const PIPELINE_RATE: u32 = 64;
+
+/// The acceptance case for the multicore gate: the guarded 4-stage
+/// pipeline must beat the deterministic executor by this factor on the
+/// lock-free transport — but only when the host can actually run its
+/// threads in parallel.
+const MULTICORE_GATE_CASE: &str = "pipeline-4-guarded";
+const MULTICORE_GATE_FLOOR: f64 = 2.0;
 
 struct Args {
     quick: bool,
@@ -209,12 +222,22 @@ fn main() -> ExitCode {
     ];
     cases.extend(app_cases(args.quick));
 
+    let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut runs: Vec<Json> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
+    let mut gate = Json::object();
+    gate.set("case", MULTICORE_GATE_CASE)
+        .set("floor", MULTICORE_GATE_FLOOR)
+        .set("host_parallelism", host_parallelism)
+        .set("status", "case-not-run");
     for case in &cases {
         let cfg = case.config();
         let threads = (case.build)().0.graph().node_count();
         let (sink, name) = ((case.build)().1, &case.name);
+        // Cores this run can genuinely use: its thread count, clamped by
+        // the host. Speedups only mean real parallelism when this equals
+        // `threads`.
+        let effective_cores = threads.min(host_parallelism.max(1));
 
         let (det_time, det) = time_best(repeats, || run((case.build)().0, &cfg).expect("run"));
         let (pi_time, pi) = time_best(repeats, || {
@@ -223,8 +246,12 @@ fn main() -> ExitCode {
         let (ba_time, ba) = time_best(repeats, || {
             run_parallel_with((case.build)().0, &cfg, ParTransport::Batched).expect("batched run")
         });
+        let (lf_time, lf) = time_best(repeats, || {
+            run_parallel_with((case.build)().0, &cfg, ParTransport::LockFree)
+                .expect("lock-free run")
+        });
 
-        // The numbers only mean something if all three executors computed
+        // The numbers only mean something if all four executors computed
         // the same stream.
         assert_eq!(
             ba.sink_output(sink),
@@ -236,17 +263,26 @@ fn main() -> ExitCode {
             ba.sink_output(sink),
             "{name}: per-item output diverged from batched"
         );
+        assert_eq!(
+            lf.sink_output(sink),
+            ba.sink_output(sink),
+            "{name}: lock-free output diverged from batched"
+        );
 
         let items = ba.queues.item_pushes;
         let vs_per_item = ms(pi_time) / ms(ba_time).max(1e-9);
         let vs_det = ms(det_time) / ms(ba_time).max(1e-9);
+        let lf_vs_batched = ms(ba_time) / ms(lf_time).max(1e-9);
+        let lf_vs_det = ms(det_time) / ms(lf_time).max(1e-9);
         eprintln!(
-            "{name:<22} threads={threads} frames={} det={:.1}ms per-item={:.1}ms \
-             batched={:.1}ms batched-vs-per-item={vs_per_item:.2}x",
+            "{name:<22} threads={threads} cores={effective_cores} frames={} det={:.1}ms \
+             per-item={:.1}ms batched={:.1}ms lock-free={:.1}ms \
+             lock-free-vs-det={lf_vs_det:.2}x",
             case.frames,
             ms(det_time),
             ms(pi_time),
             ms(ba_time),
+            ms(lf_time),
         );
 
         let mut j = Json::object();
@@ -254,19 +290,24 @@ fn main() -> ExitCode {
             .set("kind", case.kind)
             .set("guarded", case.guarded)
             .set("threads", threads)
+            .set("effective_cores", effective_cores)
             .set("frames", case.frames)
             .set("items_moved", items)
             .set("deterministic_ms", ms(det_time))
             .set("per_item_ms", ms(pi_time))
             .set("batched_ms", ms(ba_time))
+            .set("lock_free_ms", ms(lf_time))
             .set("per_item_items_per_sec", items_per_sec(items, pi_time))
             .set("batched_items_per_sec", items_per_sec(items, ba_time))
+            .set("lock_free_items_per_sec", items_per_sec(items, lf_time))
             .set("speedup_batched_vs_per_item", vs_per_item)
             .set("speedup_batched_vs_deterministic", vs_det)
             .set(
                 "speedup_per_item_vs_deterministic",
                 ms(det_time) / ms(pi_time).max(1e-9),
-            );
+            )
+            .set("speedup_lock_free_vs_batched", lf_vs_batched)
+            .set("speedup_lock_free_vs_deterministic", lf_vs_det);
         runs.push(j);
 
         // Speedup floors, enforced under --check: the unguarded 4-stage
@@ -280,17 +321,49 @@ fn main() -> ExitCode {
                 ));
             }
         }
+        // The multicore acceptance gate: guarded pipeline-4 on the
+        // lock-free transport must beat the deterministic executor ≥2× —
+        // but only where the host can schedule all its threads at once.
+        if case.name == MULTICORE_GATE_CASE {
+            gate = Json::object();
+            gate.set("case", MULTICORE_GATE_CASE)
+                .set("floor", MULTICORE_GATE_FLOOR)
+                .set("threads", threads)
+                .set("host_parallelism", host_parallelism)
+                .set("speedup_lock_free_vs_deterministic", lf_vs_det);
+            if host_parallelism >= threads {
+                let pass = lf_vs_det >= MULTICORE_GATE_FLOOR;
+                gate.set("status", if pass { "pass" } else { "fail" });
+                if !pass {
+                    failures.push(format!(
+                        "{name}: lock-free-vs-deterministic speedup {lf_vs_det:.2}x < \
+                         {MULTICORE_GATE_FLOOR:.1}x multicore gate \
+                         ({host_parallelism} cores available for {threads} threads)"
+                    ));
+                }
+            } else {
+                gate.set("status", "skipped-single-core");
+                eprintln!(
+                    "==============================================================\n\
+                     MULTICORE GATE SKIPPED: host has {host_parallelism} core(s) but \
+                     '{name}' needs {threads} threads.\n\
+                     The >= {MULTICORE_GATE_FLOOR:.1}x lock-free-vs-deterministic gate \
+                     is NOT enforced on this host;\n\
+                     its speedup here ({lf_vs_det:.2}x) measures time-slicing, not \
+                     parallelism.\n\
+                     =============================================================="
+                );
+            }
+        }
     }
 
     let mut doc = Json::object();
-    doc.set("schema", "commguard-parallel-bench-v1")
+    doc.set("schema", "commguard-parallel-bench-v2")
         .set("mode", if args.quick { "quick" } else { "full" })
         .set("repeats", repeats)
-        .set(
-            "host_parallelism",
-            std::thread::available_parallelism().map_or(0, |n| n.get()),
-        )
+        .set("host_parallelism", host_parallelism)
         .set("pipeline_rate", PIPELINE_RATE)
+        .set("multicore_gate", gate)
         .set("runs", runs);
     if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
         eprintln!("parallel_throughput: cannot write {}: {e}", args.out);

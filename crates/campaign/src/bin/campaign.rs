@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! campaign [--quick] [--seeds N] [--frames N] [--threads N]
-//!          [--executor det|threaded] [--classes a,b,..] [--mtbe n1,n2,..]
+//!          [--executor det|threaded] [--transport per-item|batched|lock-free]
+//!          [--classes a,b,..] [--mtbe n1,n2,..]
 //!          [--out PATH] [--trace] [--trace-dir DIR]
 //! ```
 //!
@@ -15,17 +16,23 @@ use std::process::ExitCode;
 use cg_campaign::json::Json;
 use cg_campaign::{run_campaign, CampaignReport, CampaignSpec, ExecutorKind, Outcome};
 use cg_fault::{FaultClass, Mtbe};
+use cg_runtime::ParTransport;
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--quick] [--seeds N] [--frames N] [--threads N]\n\
-         \x20               [--executor det|threaded] [--classes a,b,..]\n\
+         \x20               [--executor det|threaded]\n\
+         \x20               [--transport per-item|batched|lock-free]\n\
+         \x20               [--classes a,b,..]\n\
          \x20               [--mtbe n1,n2,..] [--out PATH]\n\
          \x20               [--trace] [--trace-dir DIR]\n\
          \n\
          executor:  det = deterministic round-robin simulator (default);\n\
          \x20          threaded = one OS thread per node with fault injection\n\
          \x20          and frame-level checkpoint/re-execute recovery\n\
+         transport: threaded executor's inter-worker queues: lock-free SPSC\n\
+         \x20          rings (default), or the mutex/condvar batched /\n\
+         \x20          per-item baselines\n\
          classes:   baseline burst stuck-at pointer header (default: all)\n\
          mtbe:      mean instructions between errors (default: 256,2048,16384)\n\
          out:       JSON report path (default: campaign_report.json)\n\
@@ -69,6 +76,13 @@ fn parse_args() -> Args {
             "--executor" => {
                 spec.executor = ExecutorKind::parse(&value(&mut i)).unwrap_or_else(|e| {
                     eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--transport" => {
+                let v = value(&mut i);
+                spec.transport = ParTransport::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown transport '{v}' (expected per-item, batched or lock-free)");
                     usage()
                 });
             }
@@ -140,6 +154,7 @@ fn to_json(report: &CampaignReport) -> Json {
         .set("queue_capacity", spec.queue_capacity)
         .set("max_rounds", spec.max_rounds)
         .set("executor", spec.executor.label())
+        .set("transport", spec.transport.label())
         .set(
             "trace_dir",
             spec.trace_dir.as_deref().map_or(Json::Null, Json::from),
@@ -268,13 +283,18 @@ fn print_summary(report: &CampaignReport) {
 fn main() -> ExitCode {
     let args = parse_args();
     eprintln!(
-        "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs ({} executor)",
+        "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs ({} executor{})",
         args.spec.classes.len(),
         args.spec.mtbes.len(),
         args.spec.protections.len(),
         args.spec.seeds,
         args.spec.total_runs(),
-        args.spec.executor.label()
+        args.spec.executor.label(),
+        if args.spec.executor == ExecutorKind::Threaded {
+            format!(", {} transport", args.spec.transport.label())
+        } else {
+            String::new()
+        }
     );
     let report = run_campaign(&args.spec);
     print_summary(&report);

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use cg_runtime::{run, run_parallel, Program, RunReport, SimConfig, WatchdogStats};
+use cg_runtime::{run, run_parallel_with, Program, RunReport, SimConfig, WatchdogStats};
 use cg_trace::{analyze, text, to_chrome_json, TraceConfig};
 use commguard::graph::{GraphBuilder, NodeId, NodeKind, StreamGraph};
 use commguard::Protection;
@@ -362,7 +362,7 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
     // operation times out and every frame either retries within budget or
     // degrades, so `run_parallel` returning at all proves termination. An
     // `Err` (a worker died) is a liveness failure, classified as a hang.
-    let report = match run_parallel(p, &cfg) {
+    let report = match run_parallel_with(p, &cfg, spec.transport) {
         Ok(r) => r,
         Err(e) => {
             let mut violations = Vec::new();
@@ -641,6 +641,24 @@ mod tests {
         }
         // The sweep genuinely injected faults somewhere.
         assert!(report.runs.iter().map(|r| r.faults).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn threaded_campaign_accepts_baseline_transports() {
+        use cg_runtime::ParTransport;
+        let spec = CampaignSpec {
+            executor: ExecutorKind::Threaded,
+            transport: ParTransport::Batched,
+            classes: vec![FaultClass::Burst],
+            mtbes: vec![cg_fault::Mtbe::instructions(256)],
+            protections: vec![Protection::commguard()],
+            seeds: 2,
+            frames: 8,
+            ..CampaignSpec::default()
+        };
+        let report = run_campaign(&spec);
+        assert!(report.violations().is_empty());
+        assert_eq!(report.spec.transport, ParTransport::Batched);
     }
 
     #[test]

@@ -19,10 +19,15 @@
 //!   accounting, and fault-injection hooks for pointer corruption;
 //! * [`QueueStats`] — the load/store/header/workset counters behind the
 //!   paper's Fig. 12 memory-event overheads;
-//! * [`SharedQueue`] — a blocking SPSC wrapper used by the threaded
-//!   executor: condvar parking on empty/full, closable endpoints so a
-//!   dead peer is an error instead of a hang, and a stall-timeout
-//!   backstop.
+//! * [`SharedQueue`] — a mutex/condvar blocking SPSC wrapper (retained as
+//!   the threaded executor's baseline transport): condvar parking on
+//!   empty/full, closable endpoints so a dead peer is an error instead of
+//!   a hang, and a stall-timeout backstop;
+//! * [`spsc_pair`] / [`SpscProducer`] / [`SpscConsumer`] — the lock-free
+//!   SPSC transport: the same queue protocol over atomic slot storage and
+//!   cache-line-padded atomic shared pointers, with spin-then-park
+//!   blocking and the same close/stall semantics, but no lock anywhere on
+//!   the steady-state push/pop path.
 //!
 //! ```
 //! use cg_queue::{QueueSpec, SimQueue, Unit};
@@ -37,11 +42,13 @@
 mod ptr;
 mod ring;
 mod shared;
+mod spsc;
 mod stats;
 mod unit;
 
 pub use ptr::{PointerMode, PtrCell, Which};
 pub use ring::{PushError, QueueSpec, SimQueue};
 pub use shared::{SharedQueue, Side, WaitError};
+pub use spsc::{spsc_pair, SpscConsumer, SpscProducer, SpscStats};
 pub use stats::QueueStats;
 pub use unit::{FrameId, Unit, END_FRAME_ID};

@@ -1,8 +1,12 @@
 //! The bounded FIFO implementing one stream-graph edge.
 
+use std::fmt;
+use std::sync::Arc;
+
 use cg_trace::{Event, PtrTag, Tracer};
 
 use crate::ptr::{PointerMode, PtrCell, Which};
+use crate::spsc::{AtomicPtrCell, CachePadded, SharedSlots};
 use crate::stats::QueueStats;
 use crate::unit::Unit;
 
@@ -63,6 +67,95 @@ impl std::fmt::Display for PushError {
 
 impl std::error::Error for PushError {}
 
+/// Slot storage: a plain vector when one owner holds the whole queue (the
+/// deterministic executor, or a mutex-guarded [`crate::SharedQueue`]), or
+/// an atomic array shared by a lock-free producer/consumer view pair.
+#[derive(Clone)]
+enum Slots {
+    Local(Vec<Unit>),
+    Shared(Arc<SharedSlots>),
+}
+
+impl Slots {
+    fn get(&self, idx: usize) -> Unit {
+        match self {
+            Slots::Local(v) => v[idx],
+            Slots::Shared(s) => s.get(idx),
+        }
+    }
+
+    fn set(&mut self, idx: usize, unit: Unit) {
+        match self {
+            Slots::Local(v) => v[idx] = unit,
+            Slots::Shared(s) => s.set(idx, unit),
+        }
+    }
+
+    fn is_shared(&self) -> bool {
+        matches!(self, Slots::Shared(_))
+    }
+}
+
+impl fmt::Debug for Slots {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slots::Local(v) => write!(f, "Slots::Local(len={})", v.len()),
+            Slots::Shared(s) => write!(f, "Slots::Shared(len={})", s.len()),
+        }
+    }
+}
+
+/// A shared head/tail pointer: in-place cell for single-owner queues, or
+/// a cache-line-padded atomic cell shared by a lock-free view pair.
+#[derive(Clone)]
+enum PtrSlot {
+    Local(PtrCell),
+    Shared(Arc<CachePadded<AtomicPtrCell>>),
+}
+
+impl PtrSlot {
+    fn load(&mut self, stats: &mut cg_ecc::EccStats) -> Option<u32> {
+        match self {
+            PtrSlot::Local(c) => c.load(stats),
+            PtrSlot::Shared(c) => c.0.load_scrub(stats),
+        }
+    }
+
+    fn store(&mut self, value: u32, stats: &mut cg_ecc::EccStats) {
+        match self {
+            PtrSlot::Local(c) => c.store(value, stats),
+            PtrSlot::Shared(c) => c.0.store(value, stats),
+        }
+    }
+
+    fn inject_flip(&mut self, bit: u32) {
+        match self {
+            PtrSlot::Local(c) => c.inject_flip(bit),
+            PtrSlot::Shared(c) => c.0.inject_flip(bit),
+        }
+    }
+}
+
+impl fmt::Debug for PtrSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtrSlot::Local(c) => write!(f, "PtrSlot::Local({c:?})"),
+            PtrSlot::Shared(c) => write!(f, "PtrSlot::Shared({:?})", c.0),
+        }
+    }
+}
+
+/// Which cursors this [`SimQueue`] value is allowed to publish. A
+/// single-owner queue publishes both; a lock-free view publishes only its
+/// own side's cursor, so a misdirected `flush()` (or a cross-view call)
+/// can never rewind the peer's published progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Both,
+    Producer,
+    Consumer,
+}
+
 /// A simulated inter-core queue.
 ///
 /// Functionally a bounded FIFO of [`Unit`]s, but structured like the
@@ -75,17 +168,19 @@ impl std::error::Error for PushError {}
 #[derive(Debug, Clone)]
 pub struct SimQueue {
     spec: QueueSpec,
-    buf: Vec<Unit>,
+    slots: Slots,
     /// Consumer-exact read counter (reliable, on-core).
     head: u32,
     /// Producer-exact write counter (reliable, on-core).
     tail: u32,
     /// Shared pointers (in-memory, corruptible per mode).
-    shared_head: PtrCell,
-    shared_tail: PtrCell,
+    shared_head: PtrSlot,
+    shared_tail: PtrSlot,
     /// Producer's last-seen shared head / consumer's last-seen shared tail.
     seen_head: u32,
     seen_tail: u32,
+    /// Publish permissions for this value (see [`Role`]).
+    role: Role,
     stats: QueueStats,
     /// Trace stream (disabled by default) and the edge id stamped onto
     /// emitted queue events.
@@ -98,17 +193,46 @@ impl SimQueue {
     pub fn new(spec: QueueSpec) -> Self {
         SimQueue {
             spec,
-            buf: vec![Unit::Item(0); spec.capacity],
+            slots: Slots::Local(vec![Unit::Item(0); spec.capacity]),
             head: 0,
             tail: 0,
-            shared_head: PtrCell::new(spec.pointer_mode, 0),
-            shared_tail: PtrCell::new(spec.pointer_mode, 0),
+            shared_head: PtrSlot::Local(PtrCell::new(spec.pointer_mode, 0)),
+            shared_tail: PtrSlot::Local(PtrCell::new(spec.pointer_mode, 0)),
             seen_head: 0,
             seen_tail: 0,
+            role: Role::Both,
             stats: QueueStats::default(),
             tracer: Tracer::disabled(),
             edge: 0,
         }
+    }
+
+    /// Creates the two views of a lock-free SPSC pair: one queue's slot
+    /// storage and shared pointers in atomic storage, seen through a
+    /// producer-role view and a consumer-role view. Each view keeps its
+    /// own exact cursor, cached peer cursor, statistics, and tracer —
+    /// exactly the paper's per-core queue state — so every `SimQueue`
+    /// method runs unchanged on a view; the atomics only change *where*
+    /// the shared pointers and slots live.
+    pub(crate) fn spsc_views(spec: QueueSpec) -> (SimQueue, SimQueue) {
+        let slots = Arc::new(SharedSlots::new(spec.capacity));
+        let head = Arc::new(CachePadded(AtomicPtrCell::new(spec.pointer_mode, 0)));
+        let tail = Arc::new(CachePadded(AtomicPtrCell::new(spec.pointer_mode, 0)));
+        let view = |role: Role| SimQueue {
+            spec,
+            slots: Slots::Shared(Arc::clone(&slots)),
+            head: 0,
+            tail: 0,
+            shared_head: PtrSlot::Shared(Arc::clone(&head)),
+            shared_tail: PtrSlot::Shared(Arc::clone(&tail)),
+            seen_head: 0,
+            seen_tail: 0,
+            role,
+            stats: QueueStats::default(),
+            tracer: Tracer::disabled(),
+            edge: 0,
+        };
+        (view(Role::Producer), view(Role::Consumer))
     }
 
     /// Connects this queue to a trace stream, stamping its events with
@@ -166,87 +290,107 @@ impl SimQueue {
     /// corrupted shared head pointer).
     pub fn try_push(&mut self, unit: Unit) -> Result<(), PushError> {
         if self.apparent_used() >= self.spec.capacity as u32 {
-            // Refresh the consumer's progress from the shared pointer. An
-            // uncorrectable corruption (ECC detection) recovers with the
-            // conservative assumption that nothing was consumed (full);
-            // the reliable QM also rejects values violating the queue
-            // invariant (a valid head is never ahead of the tail nor more
-            // than a capacity behind it), which catches the rare
-            // SECDED miscorrection of multi-bit corruption.
-            let fallback = self.tail.wrapping_sub(self.spec.capacity as u32);
-            let loaded = self.shared_head.load(&mut self.stats.ecc);
-            self.seen_head = match (self.spec.pointer_mode, loaded) {
-                (PointerMode::Ecc, Some(h))
-                    if self.tail.wrapping_sub(h) > self.spec.capacity as u32 =>
-                {
-                    fallback
-                }
-                (_, Some(h)) => h,
-                (_, None) => fallback,
-            };
-            self.stats.shared_ptr_reads += 1;
+            self.refresh_seen_head();
             if self.apparent_used() >= self.spec.capacity as u32 {
                 self.stats.blocked_pushes += 1;
                 return Err(PushError(unit));
             }
         }
-        let idx = self.tail as usize % self.spec.capacity;
-        self.buf[idx] = unit;
-        self.tail = self.tail.wrapping_add(1);
-        self.stats.record_push(unit.is_header());
-        let depth = self.occupancy();
-        self.stats.note_occupancy(depth);
-        self.tracer.emit(Event::Push {
-            edge: self.edge,
-            header: unit.is_header(),
-            depth,
-        });
-        if self.tail.is_multiple_of(self.spec.workset_size as u32) {
-            self.publish_tail();
-        }
+        self.push_unchecked(unit);
         Ok(())
     }
 
     /// Pushes units from `slice` until the queue appears full, returning
-    /// how many were accepted. Each unit goes through [`Self::try_push`],
-    /// so per-unit statistics, ECC pointer handling, header accounting,
-    /// and workset publication are identical to pushing one at a time —
-    /// batching only saves the *caller's* per-unit overhead (e.g. one lock
-    /// acquisition for the whole slice).
+    /// how many were accepted. The free ring segment is reserved once per
+    /// refresh of the cached head cursor and filled with no further
+    /// cursor synchronisation; per-unit statistics, ECC pointer handling,
+    /// header accounting, and workset publication are identical to
+    /// pushing one at a time.
     pub fn push_slice(&mut self, slice: &[Unit]) -> usize {
-        for (i, &unit) in slice.iter().enumerate() {
-            if self.try_push(unit).is_err() {
-                return i;
+        let cap = self.spec.capacity as u32;
+        let mut written = 0;
+        while written < slice.len() {
+            if self.apparent_used() >= cap {
+                self.refresh_seen_head();
+                if self.apparent_used() >= cap {
+                    self.stats.blocked_pushes += 1;
+                    return written;
+                }
             }
+            // Reserve the apparent free segment in one step.
+            let free = (cap - self.apparent_used()) as usize;
+            let n = free.min(slice.len() - written);
+            for &unit in &slice[written..written + n] {
+                self.push_unchecked(unit);
+            }
+            written += n;
         }
-        slice.len()
+        written
     }
 
     /// Pops up to `max` units into `out`, stopping early when the queue
-    /// appears empty, and returns how many were delivered. Per-unit
-    /// semantics match [`Self::try_pop`] exactly (see [`Self::push_slice`]).
+    /// appears empty, and returns how many were delivered. The available
+    /// segment is reserved once per refresh of the cached tail cursor
+    /// (see [`Self::push_slice`]); per-unit semantics match
+    /// [`Self::try_pop`] exactly.
     pub fn pop_slice(&mut self, out: &mut Vec<Unit>, max: usize) -> usize {
-        for i in 0..max {
-            match self.try_pop() {
-                Some(u) => out.push(u),
-                None => return i,
+        let mut popped = 0;
+        while popped < max {
+            if self.apparent_available() == 0 {
+                self.refresh_seen_tail();
+                if self.apparent_available() == 0 {
+                    self.stats.blocked_pops += 1;
+                    return popped;
+                }
             }
+            let avail = self.apparent_available() as usize;
+            let n = avail.min(max - popped);
+            for _ in 0..n {
+                let unit = self.pop_unchecked();
+                out.push(unit);
+            }
+            popped += n;
         }
-        max
+        popped
     }
 
     /// Forces a push past a full condition, overwriting (dropping) the
     /// oldest unconsumed unit. Models the queue-manager timeout of §5.1
     /// ("a timeout may cause incorrect data to be transmitted"): the
     /// consumer silently loses the overwritten unit.
+    ///
+    /// On a lock-free producer view the head cursor is consumer-owned and
+    /// cannot be advanced from here; a genuinely full ring instead takes
+    /// the overwrite in place at the oldest in-flight slot, without moving
+    /// either cursor — the same drop-oldest data loss, expressed as a slot
+    /// overwrite the racing consumer may or may not observe. Both shapes
+    /// count one timeout push and one recorded push.
     pub fn timeout_push(&mut self, unit: Unit) {
-        if self.len() >= self.spec.capacity {
+        if self.slots.is_shared() {
+            if self.apparent_used() >= self.spec.capacity as u32 {
+                self.refresh_seen_head();
+            }
+            if self.apparent_used() >= self.spec.capacity as u32 {
+                // Truly full: overwrite the oldest in-flight unit in place.
+                let idx = self.seen_head as usize % self.spec.capacity;
+                self.slots.set(idx, unit);
+                self.stats.timeout_pushes += 1;
+                self.stats.record_push(unit.is_header());
+                self.tracer.emit(Event::TimeoutPush {
+                    edge: self.edge,
+                    header: unit.is_header(),
+                    depth: self.occupancy(),
+                });
+                self.publish_tail();
+                return;
+            }
+        } else if self.len() >= self.spec.capacity {
             // Ring overwrite: the oldest unit is gone.
             self.head = self.head.wrapping_add(1);
             self.publish_head();
         }
         let idx = self.tail as usize % self.spec.capacity;
-        self.buf[idx] = unit;
+        self.slots.set(idx, unit);
         self.tail = self.tail.wrapping_add(1);
         self.stats.timeout_pushes += 1;
         self.stats.record_push(unit.is_header());
@@ -264,46 +408,20 @@ impl SimQueue {
     /// appears empty (per the possibly corrupted shared tail pointer).
     pub fn try_pop(&mut self) -> Option<Unit> {
         if self.apparent_available() == 0 {
-            // Uncorrectable corruption recovers with the conservative
-            // assumption that nothing new arrived (empty); the reliable
-            // QM also rejects tails violating the occupancy invariant
-            // (at most `capacity` ahead of the exact local head).
-            let loaded = self.shared_tail.load(&mut self.stats.ecc);
-            self.seen_tail = match (self.spec.pointer_mode, loaded) {
-                (PointerMode::Ecc, Some(t))
-                    if t.wrapping_sub(self.head) > self.spec.capacity as u32 =>
-                {
-                    self.head
-                }
-                (_, Some(t)) => t,
-                (_, None) => self.head,
-            };
-            self.stats.shared_ptr_reads += 1;
+            self.refresh_seen_tail();
             if self.apparent_available() == 0 {
                 self.stats.blocked_pops += 1;
                 return None;
             }
         }
-        let idx = self.head as usize % self.spec.capacity;
-        let unit = self.buf[idx];
-        self.head = self.head.wrapping_add(1);
-        self.stats.record_pop(unit.is_header());
-        self.tracer.emit(Event::Pop {
-            edge: self.edge,
-            header: unit.is_header(),
-            depth: self.occupancy(),
-        });
-        if self.head.is_multiple_of(self.spec.workset_size as u32) {
-            self.publish_head();
-        }
-        Some(unit)
+        Some(self.pop_unchecked())
     }
 
     /// Forces a pop past an empty condition, returning whatever stale unit
     /// occupies the head slot (queue-manager timeout behaviour).
     pub fn timeout_pop(&mut self) -> Unit {
         let idx = self.head as usize % self.spec.capacity;
-        let unit = self.buf[idx];
+        let unit = self.slots.get(idx);
         self.head = self.head.wrapping_add(1);
         self.stats.timeout_pops += 1;
         self.stats.record_pop(unit.is_header());
@@ -343,11 +461,12 @@ impl SimQueue {
     /// `slot` (item payloads take the flip modulo 32; header codewords
     /// modulo the codeword width, where ECC will handle it).
     pub fn corrupt_buffer_slot(&mut self, slot: usize, bit: u32) {
-        let cap = self.spec.capacity;
-        match &mut self.buf[slot % cap] {
-            Unit::Item(v) => *v ^= 1 << (bit % 32),
-            Unit::Header(cw) => *cw = cw.with_flipped_bit(bit % cg_ecc::CODEWORD_BITS),
-        }
+        let idx = slot % self.spec.capacity;
+        let corrupted = match self.slots.get(idx) {
+            Unit::Item(v) => Unit::Item(v ^ (1 << (bit % 32))),
+            Unit::Header(cw) => Unit::Header(cw.with_flipped_bit(bit % cg_ecc::CODEWORD_BITS)),
+        };
+        self.slots.set(idx, corrupted);
     }
 
     /// Fault hook for the *unprotected-header* ablation: picks one
@@ -363,14 +482,14 @@ impl SimQueue {
         let len = self.len().min(cap).min(1024);
         let headers: Vec<usize> = (0..len)
             .map(|i| (self.head as usize + i) % cap)
-            .filter(|&s| self.buf[s].is_header())
+            .filter(|&s| self.slots.get(s).is_header())
             .collect();
         if headers.is_empty() {
             return false;
         }
         let slot = headers[slot_seed as usize % headers.len()];
-        if let Some(id) = self.buf[slot].header_id() {
-            self.buf[slot] = Unit::header(id ^ (1 << (bit % 32)));
+        if let Some(id) = self.slots.get(slot).header_id() {
+            self.slots.set(slot, Unit::header(id ^ (1 << (bit % 32))));
         }
         true
     }
@@ -388,20 +507,21 @@ impl SimQueue {
         let len = self.len().min(cap).min(1024);
         let headers: Vec<usize> = (0..len)
             .map(|i| (self.head as usize + i) % cap)
-            .filter(|&s| self.buf[s].is_header())
+            .filter(|&s| self.slots.get(s).is_header())
             .collect();
         if headers.is_empty() {
             return false;
         }
         let slot = headers[slot_seed as usize % headers.len()];
-        if let Unit::Header(cw) = &mut self.buf[slot] {
+        if let Unit::Header(mut cw) = self.slots.get(slot) {
             // Derive distinct bit positions from the seed: a stride
             // coprime to the width walks every position.
             let width = cg_ecc::CODEWORD_BITS;
             let start = slot_seed % width;
             for k in 0..bits.min(width) {
-                *cw = cw.with_flipped_bit((start + k * 7) % width);
+                cw = cw.with_flipped_bit((start + k * 7) % width);
             }
+            self.slots.set(slot, Unit::Header(cw));
         }
         self.stats.header_corruptions += 1;
         self.tracer.emit(Event::HeaderCorrupt {
@@ -421,13 +541,113 @@ impl SimQueue {
         self.seen_tail.wrapping_sub(self.head)
     }
 
+    /// Refreshes the cached head cursor from the shared pointer — the
+    /// producer's only synchronisation with the consumer, taken on
+    /// apparent-full. An uncorrectable corruption (ECC detection)
+    /// recovers with the conservative assumption that nothing was
+    /// consumed (full); the reliable QM also rejects values violating the
+    /// queue invariant (a valid head is never ahead of the tail nor more
+    /// than a capacity behind it), which catches the rare SECDED
+    /// miscorrection of multi-bit corruption.
+    fn refresh_seen_head(&mut self) {
+        let fallback = self.tail.wrapping_sub(self.spec.capacity as u32);
+        let loaded = self.shared_head.load(&mut self.stats.ecc);
+        self.seen_head = match (self.spec.pointer_mode, loaded) {
+            (PointerMode::Ecc, Some(h))
+                if self.tail.wrapping_sub(h) > self.spec.capacity as u32 =>
+            {
+                fallback
+            }
+            (_, Some(h)) => h,
+            (_, None) => fallback,
+        };
+        if self.slots.is_shared() {
+            // A producer view has no exact head of its own; mirror the
+            // freshest published value so occupancy/tracing stay sane.
+            self.head = self.seen_head;
+        }
+        self.stats.shared_ptr_reads += 1;
+    }
+
+    /// Refreshes the cached tail cursor from the shared pointer — the
+    /// consumer's only synchronisation with the producer, taken on
+    /// apparent-empty. Uncorrectable corruption recovers with the
+    /// conservative assumption that nothing new arrived (empty); the
+    /// reliable QM also rejects tails violating the occupancy invariant
+    /// (at most `capacity` ahead of the exact local head).
+    fn refresh_seen_tail(&mut self) {
+        let loaded = self.shared_tail.load(&mut self.stats.ecc);
+        self.seen_tail = match (self.spec.pointer_mode, loaded) {
+            (PointerMode::Ecc, Some(t))
+                if t.wrapping_sub(self.head) > self.spec.capacity as u32 =>
+            {
+                self.head
+            }
+            (_, Some(t)) => t,
+            (_, None) => self.head,
+        };
+        if self.slots.is_shared() {
+            // Mirror for the consumer view (see `refresh_seen_head`).
+            self.tail = self.seen_tail;
+        }
+        self.stats.shared_ptr_reads += 1;
+    }
+
+    /// Appends `unit` at the tail; the caller has already established
+    /// space. Carries all per-unit accounting and the workset-boundary
+    /// publish.
+    fn push_unchecked(&mut self, unit: Unit) {
+        let idx = self.tail as usize % self.spec.capacity;
+        self.slots.set(idx, unit);
+        self.tail = self.tail.wrapping_add(1);
+        self.stats.record_push(unit.is_header());
+        let depth = self.occupancy();
+        self.stats.note_occupancy(depth);
+        self.tracer.emit(Event::Push {
+            edge: self.edge,
+            header: unit.is_header(),
+            depth,
+        });
+        if self.tail.is_multiple_of(self.spec.workset_size as u32) {
+            self.publish_tail();
+        }
+    }
+
+    /// Removes the unit at the head; the caller has already established
+    /// availability. Carries all per-unit accounting and the
+    /// workset-boundary publish.
+    fn pop_unchecked(&mut self) -> Unit {
+        let idx = self.head as usize % self.spec.capacity;
+        let unit = self.slots.get(idx);
+        self.head = self.head.wrapping_add(1);
+        self.stats.record_pop(unit.is_header());
+        self.tracer.emit(Event::Pop {
+            edge: self.edge,
+            header: unit.is_header(),
+            depth: self.occupancy(),
+        });
+        if self.head.is_multiple_of(self.spec.workset_size as u32) {
+            self.publish_head();
+        }
+        unit
+    }
+
     fn publish_tail(&mut self) {
+        if self.role == Role::Consumer {
+            // A consumer view's tail is a stale mirror; publishing it
+            // would rewind the producer's progress.
+            return;
+        }
         self.shared_tail.store(self.tail, &mut self.stats.ecc);
         self.stats.shared_ptr_writes += 1;
         self.stats.workset_publishes += 1;
     }
 
     fn publish_head(&mut self) {
+        if self.role == Role::Producer {
+            // Mirror of the consumer-view guard in `publish_tail`.
+            return;
+        }
         self.shared_head.store(self.head, &mut self.stats.ecc);
         self.stats.shared_ptr_writes += 1;
     }
@@ -702,6 +922,88 @@ mod tests {
         let mut q = small();
         let _ = q.timeout_pop();
         assert_eq!(q.occupancy(), 0, "overdrained queue reads as empty");
+    }
+
+    fn small_views() -> (SimQueue, SimQueue) {
+        SimQueue::spsc_views(QueueSpec {
+            capacity: 8,
+            workset_size: 2,
+            pointer_mode: PointerMode::Ecc,
+        })
+    }
+
+    #[test]
+    fn spsc_views_roundtrip_with_workset_visibility() {
+        let (mut p, mut c) = small_views();
+        p.try_push(Unit::Item(1)).unwrap();
+        assert_eq!(c.try_pop(), None, "unpublished item must be invisible");
+        p.try_push(Unit::Item(2)).unwrap();
+        assert_eq!(c.try_pop(), Some(Unit::Item(1)));
+        assert_eq!(c.try_pop(), Some(Unit::Item(2)));
+        assert_eq!(c.try_pop(), None);
+    }
+
+    #[test]
+    fn spsc_views_survive_u32_cursor_wraparound() {
+        // Park all four cursors just below u32::MAX (capacity divides
+        // 2^32, so ring indices stay contiguous across the wrap) and
+        // stream enough units through to wrap every cursor.
+        let (mut p, mut c) = small_views();
+        let start = u32::MAX - 5;
+        for q in [&mut p, &mut c] {
+            q.head = start;
+            q.tail = start;
+            q.seen_head = start;
+            q.seen_tail = start;
+        }
+        p.publish_tail();
+        c.publish_head();
+        for i in 0..32u32 {
+            p.try_push(Unit::Item(i)).unwrap();
+            p.flush();
+            assert_eq!(c.try_pop(), Some(Unit::Item(i)), "unit {i} across wrap");
+        }
+        assert_eq!(c.try_pop(), None);
+        assert!(p.tail < start, "producer cursor must have wrapped");
+    }
+
+    #[test]
+    fn consumer_view_flush_cannot_rewind_producer_progress() {
+        let (mut p, mut c) = small_views();
+        p.try_push(Unit::Item(1)).unwrap();
+        p.try_push(Unit::Item(2)).unwrap(); // published at the boundary
+        c.flush(); // consumer-side flush must not clobber the shared tail
+        assert_eq!(c.try_pop(), Some(Unit::Item(1)));
+        assert_eq!(c.try_pop(), Some(Unit::Item(2)));
+    }
+
+    #[test]
+    fn spsc_timeout_push_with_space_appends_and_publishes() {
+        let (mut p, mut c) = small_views();
+        p.try_push(Unit::Item(1)).unwrap();
+        p.timeout_push(Unit::Item(9));
+        assert_eq!(p.stats().timeout_pushes, 1);
+        assert_eq!(c.try_pop(), Some(Unit::Item(1)));
+        assert_eq!(c.try_pop(), Some(Unit::Item(9)));
+    }
+
+    #[test]
+    fn spsc_timeout_push_on_full_drops_oldest_without_cursor_motion() {
+        let (mut p, mut c) = small_views();
+        for i in 0..8u32 {
+            p.try_push(Unit::Item(i)).unwrap();
+        }
+        p.timeout_push(Unit::Item(100));
+        assert_eq!(p.stats().timeout_pushes, 1);
+        // The forced unit replaced the oldest in-flight slot in place:
+        // the consumer still sees exactly `capacity` units, with unit 0
+        // dropped (overwritten) — the same data loss as the single-owner
+        // drop-oldest shape, without touching the consumer-owned head.
+        assert_eq!(c.try_pop(), Some(Unit::Item(100)));
+        for i in 1..8u32 {
+            assert_eq!(c.try_pop(), Some(Unit::Item(i)));
+        }
+        assert_eq!(c.try_pop(), None);
     }
 
     #[test]

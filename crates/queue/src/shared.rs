@@ -372,7 +372,7 @@ mod tests {
                         (n > 0).then_some(n)
                     })
                     .unwrap();
-                    if cons_rng % 16 == 0 {
+                    if cons_rng.is_multiple_of(16) {
                         std::thread::yield_now();
                     }
                 }

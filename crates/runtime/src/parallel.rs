@@ -46,20 +46,29 @@
 //!
 //! ## Transport
 //!
-//! Workers never spin: a blocked push or pop parks on a condvar inside
-//! [`SharedQueue`] and is woken when the peer makes progress. Each worker
-//! closes its queue endpoints on exit — including panic unwinds — so a
-//! dead neighbour surfaces promptly instead of hanging the run; the
-//! stall timeout backstops everything else. The default
-//! [`ParTransport::Batched`] mode moves a whole firing's worth of units
-//! per lock acquisition through
-//! [`CoreGuard::pop_batch`]/[`CoreGuard::push_batch`], which keep AM/HI
-//! transitions unit-accurate; [`ParTransport::PerItem`] (one unit per
-//! acquisition) is kept as the benchmark baseline.
+//! The default [`ParTransport::LockFree`] carries every edge over a
+//! lock-free SPSC ring ([`cg_queue::spsc_pair`]): the producer and
+//! consumer each own an independent queue view, synchronise only through
+//! cache-line-padded atomic shared pointers (published once per working
+//! set, re-read on apparent-full/empty), and block with a spin-then-park
+//! slow path. No mutex or condvar is touched on the steady-state push/pop
+//! path. The mutex/condvar [`SharedQueue`] transports are retained as
+//! baselines: [`ParTransport::Batched`] moves a whole firing's worth of
+//! units per lock acquisition through
+//! [`CoreGuard::pop_batch`]/[`CoreGuard::push_batch`],
+//! [`ParTransport::PerItem`] one unit per acquisition. All three drive
+//! the same guard code over the same [`SimQueue`] protocol, so guarded
+//! behaviour is bit-identical across transports. Each worker closes its
+//! queue endpoints on exit — including panic unwinds — so a dead
+//! neighbour surfaces promptly instead of hanging the run; the stall
+//! timeout backstops everything else.
 
 use cg_fault::{CoreInjector, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
-use cg_queue::{QueueSpec, SharedQueue, Side, SimQueue, WaitError, Which};
+use cg_queue::{
+    spsc_pair, QueueSpec, QueueStats, SharedQueue, Side, SimQueue, SpscConsumer, SpscProducer,
+    SpscStats, WaitError, Which,
+};
 use cg_trace::{Event, MACHINE_CORE};
 use commguard::CoreGuard;
 use rand::Rng;
@@ -75,13 +84,131 @@ use crate::watchdog::WatchdogStats;
 use crate::RunError;
 
 /// How the threaded executor moves units between worker threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParTransport {
     /// One queue-lock acquisition per unit — the historical transport,
     /// kept as the benchmark baseline.
     PerItem,
     /// One lock acquisition per firing per port, moving whole batches.
     Batched,
+    /// Lock-free SPSC rings: batched transfers with no lock anywhere on
+    /// the steady-state push/pop path (the default).
+    #[default]
+    LockFree,
+}
+
+impl ParTransport {
+    /// Parses a transport name as used by the campaign CLI and bench
+    /// reports.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "per-item" | "peritem" => Some(ParTransport::PerItem),
+            "batched" => Some(ParTransport::Batched),
+            "lock-free" | "lockfree" => Some(ParTransport::LockFree),
+            _ => None,
+        }
+    }
+
+    /// Stable label, the inverse of [`Self::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            ParTransport::PerItem => "per-item",
+            ParTransport::Batched => "batched",
+            ParTransport::LockFree => "lock-free",
+        }
+    }
+}
+
+/// A worker's producing endpoint on one out-edge: a borrowed
+/// mutex-guarded queue, or an owned lock-free endpoint. Dropping the port
+/// (normal exit and panic unwind alike) closes the endpoint so blocked
+/// neighbours observe a dead peer instead of waiting out the stall
+/// timeout.
+///
+/// The variants are deliberately unboxed: the `LockFree` endpoint embeds
+/// the producer's whole `SimQueue` view, and boxing it would put a heap
+/// indirection on every steady-state push. Ports live in one small
+/// per-worker `Vec` built once per run, so the size skew is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum PushPort<'a> {
+    Locked(&'a SharedQueue),
+    LockFree(SpscProducer),
+}
+
+impl PushPort<'_> {
+    fn produce<R>(&mut self, f: impl FnMut(&mut SimQueue) -> Option<R>) -> Result<R, WaitError> {
+        match self {
+            PushPort::Locked(q) => q.produce(f),
+            PushPort::LockFree(p) => p.produce(f),
+        }
+    }
+
+    fn with<R>(&mut self, f: impl FnOnce(&mut SimQueue) -> R) -> R {
+        match self {
+            PushPort::Locked(q) => q.with(f),
+            PushPort::LockFree(p) => p.with(f),
+        }
+    }
+}
+
+impl Drop for PushPort<'_> {
+    fn drop(&mut self) {
+        match self {
+            PushPort::Locked(q) => q.close(Side::Producer),
+            // The owned endpoint closes itself when dropped.
+            PushPort::LockFree(_) => {}
+        }
+    }
+}
+
+/// A worker's consuming endpoint on one in-edge; see [`PushPort`]
+/// (including why the large variant is not boxed).
+#[allow(clippy::large_enum_variant)]
+enum PopPort<'a> {
+    Locked(&'a SharedQueue),
+    LockFree(SpscConsumer),
+}
+
+impl PopPort<'_> {
+    fn consume<R>(&mut self, f: impl FnMut(&mut SimQueue) -> Option<R>) -> Result<R, WaitError> {
+        match self {
+            PopPort::Locked(q) => q.consume(f),
+            PopPort::LockFree(c) => c.consume(f),
+        }
+    }
+
+    fn with<R>(&mut self, f: impl FnOnce(&mut SimQueue) -> R) -> R {
+        match self {
+            PopPort::Locked(q) => q.with(f),
+            PopPort::LockFree(c) => c.with(f),
+        }
+    }
+}
+
+impl Drop for PopPort<'_> {
+    fn drop(&mut self) {
+        match self {
+            PopPort::Locked(q) => q.close(Side::Consumer),
+            PopPort::LockFree(_) => {}
+        }
+    }
+}
+
+/// Runs `f` on the queue behind attached-port index `idx`, where the
+/// fault machinery numbers a node's ports in-edges first, then out-edges
+/// (matching the historical `attached` edge list, so per-seed fault
+/// targeting is unchanged).
+fn with_attached_queue<R>(
+    in_ports: &mut [PopPort<'_>],
+    out_ports: &mut [PushPort<'_>],
+    idx: usize,
+    f: impl FnOnce(&mut SimQueue) -> R,
+) -> R {
+    if idx < in_ports.len() {
+        in_ports[idx].with(f)
+    } else {
+        out_ports[idx - in_ports.len()].with(f)
+    }
 }
 
 /// Why a frame attempt could not complete.
@@ -91,26 +218,6 @@ enum FrameFail {
     Retryable,
     /// The peer is gone; retrying cannot help — degrade immediately.
     Terminal,
-}
-
-/// Closes a worker's queue endpoints when it exits — on success, on a
-/// transport error, and on panic unwind alike — so blocked neighbours
-/// observe a dead peer instead of waiting out the stall timeout.
-struct PortCloser<'a> {
-    queues: &'a [SharedQueue],
-    in_edges: &'a [EdgeId],
-    out_edges: &'a [EdgeId],
-}
-
-impl Drop for PortCloser<'_> {
-    fn drop(&mut self) {
-        for &e in self.in_edges {
-            self.queues[e.index()].close(Side::Consumer);
-        }
-        for &e in self.out_edges {
-            self.queues[e.index()].close(Side::Producer);
-        }
-    }
 }
 
 fn stall_error(node: &str, action: &str, edge: &str, err: WaitError) -> RunError {
@@ -124,36 +231,41 @@ fn stall_error(node: &str, action: &str, edge: &str, err: WaitError) -> RunError
 /// land in the guard's own soft state, where checked triplication heals
 /// it at the next scrub point.
 fn par_addressing_fault(
-    attached: &[EdgeId],
-    queues: &[SharedQueue],
+    in_ports: &mut [PopPort<'_>],
+    out_ports: &mut [PushPort<'_>],
     staged_in: &mut [Vec<u32>],
     staged_out: &mut [Vec<u32>],
     injector: &mut CoreInjector,
     guard: &mut CoreGuard,
     headers_unprotected: bool,
 ) {
+    let attached = in_ports.len() + out_ports.len();
     let rng = injector.rng_mut();
-    let hit_queue = !attached.is_empty() && rng.gen::<bool>();
+    let hit_queue = attached > 0 && rng.gen::<bool>();
     if hit_queue {
-        let e = attached[rng.gen_range(0..attached.len())];
+        let idx = rng.gen_range(0..attached);
         let which = if rng.gen::<bool>() {
             Which::Head
         } else {
             Which::Tail
         };
         let bit = rng.gen_range(0..20u32); // pointers are small counters
-        queues[e.index()].with(|q| q.corrupt_shared_pointer(which, bit));
+        with_attached_queue(in_ports, out_ports, idx, |q| {
+            q.corrupt_shared_pointer(which, bit);
+        });
     } else {
         let mut bufs: Vec<&mut Vec<u32>> =
             staged_in.iter_mut().chain(staged_out.iter_mut()).collect();
         garble_random_item(&mut bufs, rng);
     }
-    if headers_unprotected && !attached.is_empty() {
+    if headers_unprotected && attached > 0 {
         let rng = injector.rng_mut();
-        let e = attached[rng.gen_range(0..attached.len())];
+        let idx = rng.gen_range(0..attached);
         let slot_seed = rng.gen::<u32>();
         let bit = rng.gen_range(0..8u32); // low id bits: nearby frames
-        queues[e.index()].with(|q| q.corrupt_random_header_payload(slot_seed, bit));
+        with_attached_queue(in_ports, out_ports, idx, |q| {
+            q.corrupt_random_header_payload(slot_seed, bit);
+        });
     }
     let sel = u64::from(injector.rng_mut().gen::<u32>());
     guard.corrupt_guard_state(sel);
@@ -161,46 +273,52 @@ fn par_addressing_fault(
 
 /// Threaded mirror of the concentrated `PointerCorruption` class.
 fn par_pointer_fault(
-    attached: &[EdgeId],
-    queues: &[SharedQueue],
+    in_ports: &mut [PopPort<'_>],
+    out_ports: &mut [PushPort<'_>],
     staged_in: &mut [Vec<u32>],
     staged_out: &mut [Vec<u32>],
     injector: &mut CoreInjector,
 ) {
+    let attached = in_ports.len() + out_ports.len();
     let rng = injector.rng_mut();
-    if attached.is_empty() {
+    if attached == 0 {
         let mut bufs: Vec<&mut Vec<u32>> =
             staged_in.iter_mut().chain(staged_out.iter_mut()).collect();
         garble_random_item(&mut bufs, rng);
         return;
     }
-    let e = attached[rng.gen_range(0..attached.len())];
+    let idx = rng.gen_range(0..attached);
     let which = if rng.gen::<bool>() {
         Which::Head
     } else {
         Which::Tail
     };
     let bit = rng.gen_range(0..20u32);
-    queues[e.index()].with(|q| q.corrupt_shared_pointer(which, bit));
+    with_attached_queue(in_ports, out_ports, idx, |q| {
+        q.corrupt_shared_pointer(which, bit);
+    });
 }
 
 /// Threaded mirror of the concentrated `HeaderCorruption` class.
 fn par_header_fault(
-    attached: &[EdgeId],
-    queues: &[SharedQueue],
+    in_ports: &mut [PopPort<'_>],
+    out_ports: &mut [PushPort<'_>],
     staged_in: &mut [Vec<u32>],
     staged_out: &mut [Vec<u32>],
     injector: &mut CoreInjector,
 ) {
+    let attached = in_ports.len() + out_ports.len();
     let rng = injector.rng_mut();
     let mut struck = false;
-    if !attached.is_empty() {
-        let e = attached[rng.gen_range(0..attached.len())];
+    if attached > 0 {
+        let idx = rng.gen_range(0..attached);
         let slot_seed = rng.gen::<u32>();
         // Mostly single-bit (ECC corrects); occasionally double-bit
         // (SECDED detects, AM recovers conservatively).
         let bits = if rng.gen::<f64>() < 0.25 { 2 } else { 1 };
-        struck = queues[e.index()].with(|q| q.corrupt_random_header_codeword(slot_seed, bits));
+        struck = with_attached_queue(in_ports, out_ports, idx, |q| {
+            q.corrupt_random_header_codeword(slot_seed, bits)
+        });
     }
     if !struck {
         let rng = injector.rng_mut();
@@ -210,7 +328,7 @@ fn par_header_fault(
     }
 }
 
-/// Runs `program` with one thread per node and the batched transport.
+/// Runs `program` with one thread per node and the lock-free transport.
 ///
 /// # Errors
 ///
@@ -222,12 +340,13 @@ fn par_header_fault(
 /// [`ParFaults::Recover`] never error from faults: they retry and then
 /// degrade (worker panics remain fatal).
 pub fn run_parallel(program: Program, config: &SimConfig) -> Result<RunReport, RunError> {
-    run_parallel_with(program, config, ParTransport::Batched)
+    run_parallel_with(program, config, ParTransport::LockFree)
 }
 
 /// [`run_parallel`] with an explicit transport choice (the benchmark
-/// harness compares [`ParTransport::PerItem`] against
-/// [`ParTransport::Batched`]).
+/// harness compares [`ParTransport::PerItem`] and
+/// [`ParTransport::Batched`] against the default
+/// [`ParTransport::LockFree`]).
 ///
 /// # Errors
 ///
@@ -266,18 +385,34 @@ pub fn run_parallel_with(
     let retry_budget = config.par_retry_budget;
     let tracer = config.trace.tracer();
 
-    let queues: Vec<SharedQueue> = graph
-        .edges()
-        .map(|_| {
-            SharedQueue::with_stall_timeout(
-                SimQueue::new(
-                    QueueSpec::with_capacity(config.queue_capacity)
-                        .pointer_mode(config.protection.pointer_mode()),
-                ),
-                config.stall_timeout,
-            )
-        })
-        .collect();
+    let lock_free = transport == ParTransport::LockFree;
+    let spec = || {
+        QueueSpec::with_capacity(config.queue_capacity)
+            .pointer_mode(config.protection.pointer_mode())
+    };
+    // Locked transports share one mutex-guarded queue per edge; the
+    // lock-free transport instead hands each endpoint thread its own
+    // owned view (taken out of these slots in the spawn loop below) plus
+    // a stats handle that stays behind for post-join collection.
+    let queues: Vec<SharedQueue> = if lock_free {
+        Vec::new()
+    } else {
+        graph
+            .edges()
+            .map(|_| SharedQueue::with_stall_timeout(SimQueue::new(spec()), config.stall_timeout))
+            .collect()
+    };
+    let mut lf_producers: Vec<Option<SpscProducer>> = Vec::new();
+    let mut lf_consumers: Vec<Option<SpscConsumer>> = Vec::new();
+    let mut lf_stats: Vec<SpscStats> = Vec::new();
+    if lock_free {
+        for _ in graph.edges() {
+            let (p, c, s) = spsc_pair(spec(), config.stall_timeout);
+            lf_producers.push(Some(p));
+            lf_consumers.push(Some(c));
+            lf_stats.push(s);
+        }
+    }
     // Human-readable edge labels for stuck-edge errors.
     let edge_labels: Vec<String> = graph
         .edges()
@@ -294,7 +429,7 @@ pub fn run_parallel_with(
     // every batch to a single unit.
     let chunk_limit: usize = match transport {
         ParTransport::PerItem => 1,
-        ParTransport::Batched => usize::MAX,
+        ParTransport::Batched | ParTransport::LockFree => usize::MAX,
     };
 
     struct ThreadResult {
@@ -324,16 +459,44 @@ pub fn run_parallel_with(
             let cost = *node.cost();
             let reps = schedule.repetitions(id);
             let frames = config.frames;
-            let queues = &queues;
             let edge_labels = &edge_labels;
             let wtracer = tracer.clone();
             let core_id = id.index() as u32;
+            // Build this worker's ports up front (lock-free endpoints are
+            // moved out of their slots exactly once). The ports travel
+            // into the worker closure, so a panic unwind drops — and
+            // therefore closes — them.
+            let in_ports: Vec<PopPort<'_>> = in_edges
+                .iter()
+                .map(|&e| {
+                    if lock_free {
+                        PopPort::LockFree(
+                            lf_consumers[e.index()]
+                                .take()
+                                .expect("each edge has exactly one consumer"),
+                        )
+                    } else {
+                        PopPort::Locked(&queues[e.index()])
+                    }
+                })
+                .collect();
+            let out_ports: Vec<PushPort<'_>> = out_edges
+                .iter()
+                .map(|&e| {
+                    if lock_free {
+                        PushPort::LockFree(
+                            lf_producers[e.index()]
+                                .take()
+                                .expect("each edge has exactly one producer"),
+                        )
+                    } else {
+                        PushPort::Locked(&queues[e.index()])
+                    }
+                })
+                .collect();
             let worker = move || -> Result<ThreadResult, RunError> {
-                let _closer = PortCloser {
-                    queues,
-                    in_edges: &in_edges,
-                    out_edges: &out_edges,
-                };
+                let mut in_ports = in_ports;
+                let mut out_ports = out_ports;
                 let mut guard = match &guard_cfg {
                     Some(cfg) => CoreGuard::new(
                         in_edges.len(),
@@ -354,7 +517,6 @@ pub fn run_parallel_with(
                     CoreInjector::disabled(config.seed, u64::from(core_id))
                 };
                 let mut stuck: Option<StuckAtState> = None;
-                let attached: Vec<EdgeId> = in_edges.iter().chain(&out_edges).copied().collect();
                 let mut work = work;
                 let mut staged_in: Vec<Vec<u32>> = vec![Vec::new(); in_edges.len()];
                 let mut staged_out: Vec<Vec<u32>> = vec![Vec::new(); out_edges.len()];
@@ -374,15 +536,15 @@ pub fn run_parallel_with(
                 guard.start();
                 for frame in 0..frames {
                     if frame > 0 {
-                        for &e in &out_edges {
-                            queues[e.index()].with(SimQueue::flush);
+                        for p in &mut out_ports {
+                            p.with(SimQueue::flush);
                         }
                         guard.scope_boundary();
                     }
                     // Drain pending headers (block on full queues).
                     for (port, &e) in out_edges.iter().enumerate() {
                         let drained =
-                            queues[e.index()].produce(|q| guard.hi_tick(port, q).then_some(()));
+                            out_ports[port].produce(|q| guard.hi_tick(port, q).then_some(()));
                         if let Err(w) = drained {
                             if !recovery {
                                 return Err(stall_error(
@@ -397,7 +559,7 @@ pub fn run_parallel_with(
                             }
                             // Force the header out so the next boundary
                             // finds the port clear.
-                            queues[e.index()].with(|q| {
+                            out_ports[port].with(|q| {
                                 if !guard.hi_tick(port, q) {
                                     guard.hi_force(port, q);
                                 }
@@ -444,7 +606,7 @@ pub fn run_parallel_with(
                                 while staged_in[port].len() < need {
                                     let buf = &mut staged_in[port];
                                     let max = (need - buf.len()).min(chunk_limit);
-                                    let popped = queues[e.index()].consume(|q| {
+                                    let popped = in_ports[port].consume(|q| {
                                         let got = guard.pop_batch(port, q, buf, max);
                                         (got > 0).then_some(())
                                     });
@@ -572,8 +734,8 @@ pub fn run_parallel_with(
                                 }
                                 for _ in 0..f.addressing {
                                     par_addressing_fault(
-                                        &attached,
-                                        queues,
+                                        &mut in_ports,
+                                        &mut out_ports,
                                         &mut staged_in,
                                         &mut staged_out,
                                         &mut injector,
@@ -583,8 +745,8 @@ pub fn run_parallel_with(
                                 }
                                 for _ in 0..f.pointer_hits {
                                     par_pointer_fault(
-                                        &attached,
-                                        queues,
+                                        &mut in_ports,
+                                        &mut out_ports,
                                         &mut staged_in,
                                         &mut staged_out,
                                         &mut injector,
@@ -592,8 +754,8 @@ pub fn run_parallel_with(
                                 }
                                 for _ in 0..f.header_hits {
                                     par_header_fault(
-                                        &attached,
-                                        queues,
+                                        &mut in_ports,
+                                        &mut out_ports,
                                         &mut staged_in,
                                         &mut staged_out,
                                         &mut injector,
@@ -622,7 +784,7 @@ pub fn run_parallel_with(
                                 let mut pos = committed[port].saturating_sub(before).min(buf.len());
                                 while pos < buf.len() {
                                     let end = buf.len().min(pos.saturating_add(chunk_limit));
-                                    let pushed = queues[e.index()].produce(|q| {
+                                    let pushed = out_ports[port].produce(|q| {
                                         let got = guard.push_batch(port, q, &buf[pos..end]);
                                         (got > 0).then_some(got)
                                     });
@@ -645,7 +807,7 @@ pub fn run_parallel_with(
                                             }
                                             // Never hang: force the rest of
                                             // this firing's output out.
-                                            queues[e.index()].with(|q| {
+                                            out_ports[port].with(|q| {
                                                 for &v in &buf[pos..] {
                                                     guard.timeout_push(port, q, v);
                                                 }
@@ -687,11 +849,11 @@ pub fn run_parallel_with(
                                 frame: guard.active_fc(),
                             });
                         }
-                        for (port, &e) in out_edges.iter().enumerate() {
+                        for port in 0..out_edges.len() {
                             let owed = (reps as usize * push_rates[port] as usize)
                                 .saturating_sub(committed[port]);
                             if owed > 0 {
-                                queues[e.index()].with(|q| {
+                                out_ports[port].with(|q| {
                                     for _ in 0..owed {
                                         guard.timeout_push(port, q, 0);
                                     }
@@ -721,8 +883,7 @@ pub fn run_parallel_with(
                 // condvar wait is bounded, a dead peer is an error naming
                 // the stuck edge, and under recovery the header is forced.
                 for (port, &e) in out_edges.iter().enumerate() {
-                    let drained =
-                        queues[e.index()].produce(|q| guard.hi_tick(port, q).then_some(()));
+                    let drained = out_ports[port].produce(|q| guard.hi_tick(port, q).then_some(()));
                     if let Err(w) = drained {
                         if !recovery {
                             return Err(stall_error(
@@ -735,13 +896,13 @@ pub fn run_parallel_with(
                         if matches!(w, WaitError::TimedOut) {
                             timeouts += 1;
                         }
-                        queues[e.index()].with(|q| {
+                        out_ports[port].with(|q| {
                             if !guard.hi_tick(port, q) {
                                 guard.hi_force(port, q);
                             }
                         });
                     }
-                    queues[e.index()].with(SimQueue::flush);
+                    out_ports[port].with(SimQueue::flush);
                 }
                 let frames_done = frames;
                 Ok(ThreadResult {
@@ -801,15 +962,22 @@ pub fn run_parallel_with(
         ..Default::default()
     };
     let mut wd = WatchdogStats::default();
-    for q in &queues {
-        report.queues += q.with(|q| *q.stats());
+    // All workers have joined, so lock-free endpoint drops have merged
+    // their view stats into the per-edge handles.
+    let edge_stats: Vec<QueueStats> = if lock_free {
+        lf_stats.iter().map(SpscStats::read).collect()
+    } else {
+        queues.iter().map(|q| q.with(|q| *q.stats())).collect()
+    };
+    for s in &edge_stats {
+        report.queues += *s;
     }
     for mut r in results {
         // Consumer-side attribution, matching the deterministic executor.
         r.report.max_queue_occupancy = r
             .in_edges
             .iter()
-            .map(|&e| queues[e.index()].with(|q| q.stats().max_occupancy))
+            .map(|&e| edge_stats[e.index()].max_occupancy)
             .max()
             .unwrap_or(0);
         report.realignment_episodes += r.report.subops.pad_events + r.report.subops.discard_events;
@@ -902,6 +1070,36 @@ mod tests {
         assert_eq!(batched.sink_output(sink), per_item.sink_output(sink));
         assert_eq!(batched.queues.item_pushes, per_item.queues.item_pushes);
         assert_eq!(batched.queues.header_pushes, per_item.queues.header_pushes);
+    }
+
+    #[test]
+    fn lock_free_transport_matches_batched() {
+        let cfg = SimConfig {
+            protection: Protection::commguard(),
+            inject: false,
+            ..SimConfig::error_free(50)
+        };
+        let (p, sink) = program();
+        let batched = run_parallel_with(p, &cfg, ParTransport::Batched).unwrap();
+        let (p, _) = program();
+        let lock_free = run_parallel_with(p, &cfg, ParTransport::LockFree).unwrap();
+        assert_eq!(batched.sink_output(sink), lock_free.sink_output(sink));
+        assert_eq!(batched.queues.item_pushes, lock_free.queues.item_pushes);
+        assert_eq!(batched.queues.header_pushes, lock_free.queues.header_pushes);
+        assert_eq!(batched.queues.header_pops, lock_free.queues.header_pops);
+    }
+
+    #[test]
+    fn transport_labels_roundtrip_through_parse() {
+        for t in [
+            ParTransport::PerItem,
+            ParTransport::Batched,
+            ParTransport::LockFree,
+        ] {
+            assert_eq!(ParTransport::parse(t.label()), Some(t));
+        }
+        assert_eq!(ParTransport::parse("carrier-pigeon"), None);
+        assert_eq!(ParTransport::default(), ParTransport::LockFree);
     }
 
     /// The headline capability: faults injected inside worker threads, the

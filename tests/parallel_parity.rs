@@ -85,8 +85,9 @@ fn whole_suite_parity_guarded() {
     suite_parity(Protection::commguard());
 }
 
-/// Both transports of the threaded executor agree with each other on a
-/// real app, guarded — the batch path is not a different computation.
+/// All three transports of the threaded executor agree with each other
+/// on a real app, guarded — neither the batch path nor the lock-free
+/// ring is a different computation.
 #[test]
 fn transports_agree_on_an_app() {
     let app = FftApp::new(8);
@@ -99,7 +100,96 @@ fn transports_agree_on_an_app() {
     let batched = run_parallel_with(p, &cfg, ParTransport::Batched).expect("batched");
     let (p, _) = app.build();
     let per_item = run_parallel_with(p, &cfg, ParTransport::PerItem).expect("per-item");
+    let (p, _) = app.build();
+    let lock_free = run_parallel_with(p, &cfg, ParTransport::LockFree).expect("lock-free");
     assert_eq!(batched.sink_output(sink), per_item.sink_output(sink));
     assert_eq!(batched.queues.header_pushes, per_item.queues.header_pushes);
     assert_eq!(batched.queues.item_pops, per_item.queues.item_pops);
+    assert_eq!(batched.sink_output(sink), lock_free.sink_output(sink));
+    assert_eq!(batched.queues.header_pushes, lock_free.queues.header_pushes);
+    assert_eq!(batched.queues.item_pops, lock_free.queues.item_pops);
+}
+
+/// Bit-parity regression for the lock-free ring: across the whole app
+/// suite, guarded and unguarded, ten seeded repetitions of the lock-free
+/// transport must match the batched transport and the deterministic
+/// executor at the sink and in header traffic. The runs are error-free,
+/// so the seeds vary nothing *inside* the program — each repetition is a
+/// fresh OS-level thread interleaving, which is exactly the variable the
+/// lock-free cursors must be insensitive to.
+#[test]
+fn lock_free_bit_parity_across_seeds() {
+    const SEEDS: u64 = 10;
+    type AppCase = (&'static str, Box<dyn Fn() -> (Program, NodeId)>, u64);
+    let apps: Vec<AppCase> = {
+        let beam = BeamformerApp::new(128);
+        let voc = VocoderApp::new(128);
+        let cfir = ComplexFirApp::new(128);
+        let fft = FftApp::new(8);
+        let jpeg = JpegApp::new(64, 32, 75);
+        let mp3 = Mp3App::new(256);
+        let beam_frames = beam.frames();
+        let voc_frames = voc.frames();
+        let cfir_frames = cfir.frames();
+        let fft_frames = fft.frames();
+        let jpeg_frames = jpeg.frames();
+        let mp3_frames = mp3.frames();
+        vec![
+            (
+                "audiobeamformer",
+                Box::new(move || beam.build()),
+                beam_frames,
+            ),
+            ("channelvocoder", Box::new(move || voc.build()), voc_frames),
+            ("complex-fir", Box::new(move || cfir.build()), cfir_frames),
+            ("fft", Box::new(move || fft.build()), fft_frames),
+            ("jpeg", Box::new(move || jpeg.build()), jpeg_frames),
+            ("mp3", Box::new(move || mp3.build()), mp3_frames),
+        ]
+    };
+    for protection in [Protection::ErrorFree, Protection::commguard()] {
+        for (name, build, frames) in &apps {
+            let base = SimConfig {
+                protection,
+                inject: false,
+                ..SimConfig::error_free(*frames)
+            };
+            let (p, sink) = build();
+            let want = run(p, &base).expect("deterministic run");
+            for seed in 1..=SEEDS {
+                let cfg = base.clone().seed(seed);
+                let (p, _) = build();
+                let ba = run_parallel_with(p, &cfg, ParTransport::Batched).expect("batched");
+                let (p, _) = build();
+                let lf = run_parallel_with(p, &cfg, ParTransport::LockFree).expect("lock-free");
+                let tag = format!("{name} [{}] seed {seed}", protection.label());
+                assert_eq!(
+                    lf.sink_output(sink),
+                    want.sink_output(sink),
+                    "{tag}: lock-free sink diverged from deterministic"
+                );
+                assert_eq!(
+                    lf.sink_output(sink),
+                    ba.sink_output(sink),
+                    "{tag}: lock-free sink diverged from batched"
+                );
+                assert_eq!(
+                    lf.queues.header_pushes, want.queues.header_pushes,
+                    "{tag}: lock-free header pushes diverged"
+                );
+                assert_eq!(
+                    lf.queues.header_pops, want.queues.header_pops,
+                    "{tag}: lock-free header pops diverged"
+                );
+                assert_eq!(
+                    lf.queues.item_pushes, want.queues.item_pushes,
+                    "{tag}: lock-free item pushes diverged"
+                );
+                assert_eq!(
+                    ba.queues.header_pushes, want.queues.header_pushes,
+                    "{tag}: batched header pushes diverged"
+                );
+            }
+        }
+    }
 }
