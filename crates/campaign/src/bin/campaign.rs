@@ -7,12 +7,18 @@
 //!          [--executor det|threaded] [--transport per-item|batched|lock-free]
 //!          [--classes a,b,..] [--mtbe n1,n2,..]
 //!          [--out PATH] [--trace] [--trace-dir DIR]
+//! campaign --random N [--seed S] [--repro-dir DIR] [...]
+//! campaign --replay FILE[,FILE..]
 //! ```
 //!
-//! Exits nonzero when any CommGuard run violates an invariant.
+//! Exits nonzero when any CommGuard run violates an invariant; in
+//! `--random` mode when a failure could not be minimized into a
+//! replayable artifact; in `--replay` mode when a fresh run's verdict
+//! disagrees with the artifact's recorded one.
 
 use std::process::ExitCode;
 
+use cg_campaign::fuzz::{self, FuzzReport, FuzzSpec};
 use cg_campaign::json::Json;
 use cg_campaign::{run_campaign, CampaignReport, CampaignSpec, ExecutorKind, Outcome};
 use cg_fault::{FaultClass, Mtbe};
@@ -26,6 +32,8 @@ fn usage() -> ! {
          \x20               [--classes a,b,..]\n\
          \x20               [--mtbe n1,n2,..] [--out PATH]\n\
          \x20               [--trace] [--trace-dir DIR]\n\
+         \x20      campaign --random N [--seed S] [--repro-dir DIR] [...]\n\
+         \x20      campaign --replay FILE[,FILE..]\n\
          \n\
          executor:  det = deterministic round-robin simulator (default);\n\
          \x20          threaded = one OS thread per node with fault injection\n\
@@ -38,7 +46,15 @@ fn usage() -> ! {
          out:       JSON report path (default: campaign_report.json)\n\
          trace:     record event traces; violating/mismatching/hanging runs\n\
          \x20          dump .trace/.chrome.json/.propagation.txt files\n\
-         trace-dir: where dumps go (default: traces; implies --trace)"
+         trace-dir: where dumps go (default: traces; implies --trace)\n\
+         random:    fuzz mode — generate N seeded random stream graphs and\n\
+         \x20          run each through the golden, det-vs-threaded parity,\n\
+         \x20          and faulted differential oracles; failures are shrunk\n\
+         \x20          to minimal repros and written as JSON artifacts\n\
+         seed:      base seed for --random graph derivation (default: 1)\n\
+         repro-dir: where fuzz artifacts go (default: fuzz_repros)\n\
+         replay:    re-execute repro artifact(s) exactly and compare the\n\
+         \x20          fresh verdict against the recorded one"
     );
     std::process::exit(2)
 }
@@ -46,11 +62,26 @@ fn usage() -> ! {
 struct Args {
     spec: CampaignSpec,
     out: String,
+    /// `--random N`: fuzz mode with N generated graphs (0 = off).
+    random: u64,
+    /// `--seed S`: base seed for fuzz graph derivation.
+    fuzz_seed: u64,
+    /// `--repro-dir DIR`: where fuzz artifacts go.
+    repro_dir: String,
+    /// `--replay FILE,..`: replay mode.
+    replay: Vec<String>,
+    /// Whether `--frames` was given explicitly (fuzz defaults lower).
+    frames_set: bool,
 }
 
 fn parse_args() -> Args {
     let mut spec = CampaignSpec::default();
     let mut out = "campaign_report.json".to_string();
+    let mut random = 0u64;
+    let mut fuzz_seed = 1u64;
+    let mut repro_dir = "fuzz_repros".to_string();
+    let mut replay = Vec::new();
+    let mut frames_set = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -69,6 +100,7 @@ fn parse_args() -> Args {
             }
             "--frames" => {
                 spec.frames = value(&mut i).parse().unwrap_or_else(|_| usage());
+                frames_set = true;
             }
             "--threads" => {
                 spec.threads = value(&mut i).parse().unwrap_or_else(|_| usage());
@@ -110,6 +142,16 @@ fn parse_args() -> Args {
                 }
             }
             "--trace-dir" => spec.trace_dir = Some(value(&mut i)),
+            "--random" => {
+                random = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                fuzz_seed = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--repro-dir" => repro_dir = value(&mut i),
+            "--replay" => {
+                replay.extend(value(&mut i).split(',').map(str::to_string));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -121,7 +163,40 @@ fn parse_args() -> Args {
     if spec.classes.is_empty() || spec.mtbes.is_empty() || spec.seeds == 0 {
         usage()
     }
-    Args { spec, out }
+    Args {
+        spec,
+        out,
+        random,
+        fuzz_seed,
+        repro_dir,
+        replay,
+        frames_set,
+    }
+}
+
+/// Builds the fuzz configuration from shared CLI axes.
+fn fuzz_spec(args: &Args) -> FuzzSpec {
+    let base = FuzzSpec::default();
+    FuzzSpec {
+        count: args.random,
+        seed: args.fuzz_seed,
+        frames: if args.frames_set {
+            args.spec.frames
+        } else {
+            base.frames
+        },
+        executor: args.spec.executor,
+        transport: args.spec.transport,
+        classes: args.spec.classes.clone(),
+        mtbe: args
+            .spec
+            .mtbes
+            .first()
+            .map_or(base.mtbe, |m| m.as_instructions()),
+        threads: args.spec.threads,
+        repro_dir: Some(args.repro_dir.clone()),
+        ..base
+    }
 }
 
 fn to_json(report: &CampaignReport) -> Json {
@@ -280,8 +355,182 @@ fn print_summary(report: &CampaignReport) {
     }
 }
 
+fn fuzz_to_json(report: &FuzzReport) -> Json {
+    let spec = &report.spec;
+    let mut jspec = Json::object();
+    jspec
+        .set("count", spec.count)
+        .set("seed", spec.seed)
+        .set("frames", spec.frames)
+        .set("executor", spec.executor.label())
+        .set("transport", spec.transport.label())
+        .set(
+            "parity_transports",
+            spec.parity_transports
+                .iter()
+                .map(|t| Json::from(t.label()))
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "classes",
+            spec.classes
+                .iter()
+                .map(|c| Json::from(c.label()))
+                .collect::<Vec<_>>(),
+        )
+        .set("mtbe_instructions", spec.mtbe)
+        .set(
+            "repro_dir",
+            spec.repro_dir.as_deref().map_or(Json::Null, Json::from),
+        );
+    let cases: Vec<Json> = report
+        .cases
+        .iter()
+        .map(|c| {
+            let mut j = Json::object();
+            j.set("index", c.index)
+                .set("graph_seed", c.graph_seed)
+                .set("name", c.name.as_str())
+                .set("nodes", c.nodes)
+                .set("edges", c.edges)
+                .set("queue_capacity", c.queue_capacity)
+                .set("checks", c.checks)
+                .set(
+                    "failures",
+                    c.failures
+                        .iter()
+                        .map(|f| {
+                            let mut jf = fuzz::case_to_json(&f.case, "fail", &f.violations);
+                            jf.set("original_nodes", f.original.0)
+                                .set("original_edges", f.original.1)
+                                .set("original_frames", f.original.2)
+                                .set("shrink_checks", f.shrink_checks)
+                                .set(
+                                    "artifact",
+                                    f.artifact.as_deref().map_or(Json::Null, Json::from),
+                                );
+                            jf
+                        })
+                        .collect::<Vec<_>>(),
+                );
+            j
+        })
+        .collect();
+    let mut doc = Json::object();
+    doc.set("spec", jspec)
+        .set("workers", report.workers)
+        .set("total_checks", report.total_checks())
+        .set("failures", report.failures().len())
+        .set("cases", cases);
+    doc
+}
+
+fn run_fuzz_mode(args: &Args) -> ExitCode {
+    let spec = fuzz_spec(args);
+    eprintln!(
+        "campaign: fuzz mode — {} random graphs from seed {}, {} checks each \
+         ({} executor, {} transport, {} frames)",
+        spec.count,
+        spec.seed,
+        spec.checks_per_graph(),
+        spec.executor.label(),
+        spec.transport.label(),
+        spec.frames
+    );
+    let report = fuzz::run_fuzz(&spec);
+    let (nodes, edges): (usize, usize) = report
+        .cases
+        .iter()
+        .fold((0, 0), |(n, e), c| (n + c.nodes, e + c.edges));
+    println!(
+        "graphs: {}  checks: {}  avg nodes: {:.1}  avg edges: {:.1}  workers: {}",
+        report.cases.len(),
+        report.total_checks(),
+        nodes as f64 / report.cases.len().max(1) as f64,
+        edges as f64 / report.cases.len().max(1) as f64,
+        report.workers
+    );
+    for f in report.failures() {
+        let (on, oe, of) = f.original;
+        println!(
+            "FAILURE [{} oracle, {} class, seed {}]: {} nodes/{} edges/{} frames \
+             (shrunk from {on}/{oe}/{of} in {} checks) -> {}",
+            f.case.oracle.label(),
+            f.case.class.label(),
+            f.case.seed,
+            f.case.spec.nodes.len(),
+            f.case.spec.edges.len(),
+            f.case.frames,
+            f.shrink_checks,
+            f.artifact.as_deref().unwrap_or("<artifact write failed>")
+        );
+        for v in &f.violations {
+            println!("  violation: {v}");
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, fuzz_to_json(&report).pretty()) {
+        eprintln!("campaign: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    eprintln!("campaign: fuzz report written to {}", args.out);
+    let unminimized = report.unminimized();
+    if unminimized > 0 {
+        eprintln!("campaign: {unminimized} failure(s) left no replayable artifact");
+        return ExitCode::FAILURE;
+    }
+    let failures = report.failures().len();
+    if failures > 0 {
+        eprintln!("campaign: {failures} failure(s) found, each minimized to a replayable artifact");
+    } else {
+        eprintln!("campaign: all differential oracles held");
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_replay_mode(paths: &[String]) -> ExitCode {
+    let mut mismatched = 0usize;
+    for path in paths {
+        match fuzz::replay_file(path) {
+            Ok(replay) => {
+                println!(
+                    "{path}: recorded {} / fresh {}{}",
+                    replay.recorded_verdict,
+                    replay.verdict,
+                    if replay.matched { "" } else { "  << MISMATCH" }
+                );
+                for v in &replay.violations {
+                    println!("  violation: {v}");
+                }
+                if !replay.matched {
+                    mismatched += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                mismatched += 1;
+            }
+        }
+    }
+    if mismatched == 0 {
+        eprintln!(
+            "campaign: {} artifact(s) replayed, all verdicts match",
+            paths.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("campaign: {mismatched} artifact(s) failed to replay faithfully");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if !args.replay.is_empty() {
+        return run_replay_mode(&args.replay);
+    }
+    if args.random > 0 {
+        return run_fuzz_mode(&args);
+    }
     eprintln!(
         "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs ({} executor{})",
         args.spec.classes.len(),

@@ -37,6 +37,31 @@ impl NodeKind {
     pub fn gives_output(self) -> bool {
         !matches!(self, NodeKind::Sink)
     }
+
+    /// Stable text label, used by serialized graph specs (fuzz repros).
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::Source => "source",
+            NodeKind::Sink => "sink",
+            NodeKind::Filter => "filter",
+            NodeKind::SplitDuplicate => "split-dup",
+            NodeKind::SplitRoundRobin => "split-rr",
+            NodeKind::JoinRoundRobin => "join-rr",
+        }
+    }
+
+    /// Inverse of [`NodeKind::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "source" => NodeKind::Source,
+            "sink" => NodeKind::Sink,
+            "filter" => NodeKind::Filter,
+            "split-dup" => NodeKind::SplitDuplicate,
+            "split-rr" => NodeKind::SplitRoundRobin,
+            "join-rr" => NodeKind::JoinRoundRobin,
+            _ => return None,
+        })
+    }
 }
 
 /// A node of the stream graph.

@@ -44,6 +44,7 @@ pub mod frames;
 mod graph;
 mod ids;
 pub mod layout;
+pub mod random;
 pub mod schedule;
 
 pub use builder::GraphBuilder;

@@ -1,0 +1,695 @@
+//! Seeded random stream-graph generation for fuzzing campaigns.
+//!
+//! [`generate`] derives an arbitrary — but always *valid* — stream DAG
+//! from a 64-bit seed: deep pipelines, wide duplicate/round-robin
+//! splitjoins (possibly nested, possibly with zero-length branches),
+//! skewed and co-prime push/pop ratios. Validity is guaranteed in two
+//! layers:
+//!
+//! 1. **By construction.** The generator composes the graph recursively
+//!    while tracking the number of items each dangling output carries per
+//!    steady iteration (its *token count*). A consumer always fires a
+//!    divisor of its input token count, so the balance equations
+//!    `reps[src]·push == reps[dst]·pop` hold on every edge by
+//!    construction, and the executor-semantic rate rules (a duplicate
+//!    splitter pushes its full input to every branch, a round-robin
+//!    splitter's branch pushes sum to its pop, a joiner's push is the sum
+//!    of its pops) are satisfied the same way.
+//! 2. **By re-validation.** Every candidate is passed through
+//!    [`GraphSpec::build_validated`] — structural invariants
+//!    ([`StreamGraph::validate`]), balance-equation solve
+//!    ([`Schedule::solve`]), the semantic rate rules
+//!    ([`validate_semantics`]), and a bounded-occupancy profile
+//!    ([`GraphProfile`]) — before it is returned. Join firings must
+//!    divide the gcd of all branch token counts; when the random branch
+//!    rates admit no such firing the attempt is rejected and the seed is
+//!    re-rolled deterministically, falling back to a plain (always-valid)
+//!    pipeline after a bounded number of attempts.
+//!
+//! The same [`GraphSpec`] plain-data form round-trips through the fuzz
+//! repro JSON artifacts, so a minimized failing graph replays exactly.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{GraphError, NodeKind, StreamGraph};
+use crate::ids::NodeId;
+use crate::schedule::{gcd, Schedule};
+
+/// In-band header slack added on top of a queue's steady-state data
+/// occupancy when computing its capacity demand: boundary headers for
+/// the current and next frame plus the end-of-stream marker may coexist
+/// with a full frame of data.
+pub const HEADER_SLACK: u64 = 4;
+
+/// Tuning knobs for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Hard cap on node count (the threaded executor spawns one thread
+    /// per node).
+    pub max_nodes: usize,
+    /// Maximum splitjoin nesting depth (0 = pipelines only).
+    pub max_depth: u32,
+    /// Maximum branches per splitjoin.
+    pub max_branches: usize,
+    /// Maximum per-firing pop rate a consumer may be assigned (and the
+    /// usual cap on chosen push rates).
+    pub max_rate: u64,
+    /// Cap on items crossing any edge per steady iteration; bounds both
+    /// queue demand and per-frame work.
+    pub max_edge_items: u64,
+    /// Probability that a chain segment becomes a splitjoin rather than
+    /// a filter (when depth and node budget allow).
+    pub splitjoin_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_nodes: 16,
+            max_depth: 2,
+            max_branches: 4,
+            max_rate: 12,
+            max_edge_items: 96,
+            splitjoin_prob: 0.45,
+        }
+    }
+}
+
+/// Plain-data node of a [`GraphSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Unique node name.
+    pub name: String,
+    /// Structural role.
+    pub kind: NodeKind,
+}
+
+/// Plain-data edge of a [`GraphSpec`]; indices into [`GraphSpec::nodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Producing node index.
+    pub src: usize,
+    /// Consuming node index.
+    pub dst: usize,
+    /// Items pushed per producer firing.
+    pub push: u32,
+    /// Items popped per consumer firing.
+    pub pop: u32,
+}
+
+/// A serializable stream-graph description: the exchange format between
+/// the generator, the fuzz campaign, the shrinker, and replay artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Graph name (carried into reports).
+    pub name: String,
+    /// Nodes; index order is the id order of the built graph.
+    pub nodes: Vec<NodeSpec>,
+    /// Edges over node indices.
+    pub edges: Vec<EdgeSpec>,
+}
+
+/// Steady-state occupancy profile of a validated graph.
+#[derive(Debug, Clone)]
+pub struct GraphProfile {
+    /// The solved repetition vector and per-edge iteration items.
+    pub schedule: Schedule,
+    /// Items crossing each edge per steady iteration (frame size).
+    pub edge_items: Vec<u64>,
+    /// Largest per-iteration edge load.
+    pub max_edge_items: u64,
+    /// Index of the edge carrying `max_edge_items`.
+    pub hot_edge: usize,
+    /// Minimum queue capacity (items, headers included) at which the
+    /// per-frame sequential schedule is admissible on every edge:
+    /// `max_edge_items + HEADER_SLACK`.
+    pub queue_demand: u64,
+}
+
+impl GraphSpec {
+    /// Materialises the spec into a validated [`StreamGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder/structural errors ([`GraphError`]).
+    pub fn to_graph(&self) -> Result<StreamGraph, GraphError> {
+        let mut b = GraphBuilder::new(self.name.clone());
+        let ids: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .map(|n| b.add_node(n.name.clone(), n.kind))
+            .collect();
+        for e in &self.edges {
+            let src = *ids
+                .get(e.src)
+                .ok_or(GraphError::UnknownNode(NodeId::from_index(
+                    e.src.min(u32::MAX as usize),
+                )))?;
+            let dst = *ids
+                .get(e.dst)
+                .ok_or(GraphError::UnknownNode(NodeId::from_index(
+                    e.dst.min(u32::MAX as usize),
+                )))?;
+            b.connect(src, dst, e.push, e.pop)?;
+        }
+        b.build()
+    }
+
+    /// Full validity gate: structure, balance equations, executor rate
+    /// semantics, and occupancy profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated rule.
+    pub fn build_validated(&self) -> Result<(StreamGraph, GraphProfile), String> {
+        let graph = self.to_graph().map_err(|e| format!("structure: {e}"))?;
+        validate_semantics(&graph)?;
+        let profile = profile(&graph).map_err(|e| format!("schedule: {e}"))?;
+        Ok((graph, profile))
+    }
+}
+
+/// Checks the executor-semantic rate rules that [`StreamGraph::validate`]
+/// does not know about (they are properties of the runtime compute
+/// bodies, not of the graph structure):
+///
+/// * a **duplicate splitter** copies its popped items to every branch, so
+///   each outgoing push rate must equal its pop rate;
+/// * a **round-robin splitter** distributes its popped items over its
+///   branches, so the outgoing push rates must sum to its pop rate;
+/// * a **round-robin joiner** concatenates its popped items, so its push
+///   rate must equal the sum of its pop rates;
+/// * **filters** are single-input single-output (the generic fuzz work
+///   function transforms exactly one stream);
+/// * a **source** has exactly one output (required by
+///   `Program::set_source`).
+///
+/// # Errors
+///
+/// Names the offending node and rule.
+pub fn validate_semantics(g: &StreamGraph) -> Result<(), String> {
+    for (id, node) in g.nodes() {
+        let in_pops: Vec<u64> = node
+            .inputs()
+            .iter()
+            .map(|&e| u64::from(g.edge(e).pop_rate()))
+            .collect();
+        let out_pushes: Vec<u64> = node
+            .outputs()
+            .iter()
+            .map(|&e| u64::from(g.edge(e).push_rate()))
+            .collect();
+        match node.kind() {
+            NodeKind::Source => {
+                if out_pushes.len() != 1 {
+                    return Err(format!(
+                        "source {} ({id}) must have exactly one output, has {}",
+                        node.name(),
+                        out_pushes.len()
+                    ));
+                }
+            }
+            NodeKind::Filter => {
+                if in_pops.len() != 1 || out_pushes.len() != 1 {
+                    return Err(format!(
+                        "filter {} ({id}) must be 1-in-1-out, has {}-in-{}-out",
+                        node.name(),
+                        in_pops.len(),
+                        out_pushes.len()
+                    ));
+                }
+            }
+            NodeKind::SplitDuplicate => {
+                let pop = in_pops[0];
+                if let Some(&bad) = out_pushes.iter().find(|&&p| p != pop) {
+                    return Err(format!(
+                        "duplicate splitter {} ({id}) pops {pop} but pushes {bad} on a branch",
+                        node.name()
+                    ));
+                }
+            }
+            NodeKind::SplitRoundRobin => {
+                let pop = in_pops[0];
+                let sum: u64 = out_pushes.iter().sum();
+                if sum != pop {
+                    return Err(format!(
+                        "round-robin splitter {} ({id}) pops {pop} but branch pushes sum to {sum}",
+                        node.name()
+                    ));
+                }
+            }
+            NodeKind::JoinRoundRobin => {
+                let push = out_pushes[0];
+                let sum: u64 = in_pops.iter().sum();
+                if sum != push {
+                    return Err(format!(
+                        "joiner {} ({id}) pushes {push} but input pops sum to {sum}",
+                        node.name()
+                    ));
+                }
+            }
+            NodeKind::Sink => {}
+        }
+    }
+    Ok(())
+}
+
+/// Computes the steady-state occupancy profile of a schedulable graph.
+///
+/// # Errors
+///
+/// Propagates [`GraphError::Inconsistent`] from the balance solver.
+pub fn profile(g: &StreamGraph) -> Result<GraphProfile, GraphError> {
+    let schedule = g.schedule()?;
+    let edge_items: Vec<u64> = g
+        .edges()
+        .map(|(eid, _)| schedule.items_per_iteration(eid))
+        .collect();
+    let (hot_edge, &max_edge_items) = edge_items
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &v)| v)
+        .expect("validated graphs have at least one edge");
+    Ok(GraphProfile {
+        schedule,
+        queue_demand: max_edge_items + HEADER_SLACK,
+        edge_items,
+        max_edge_items,
+        hot_edge,
+    })
+}
+
+/// SplitMix64: tiny deterministic PRNG (no external deps in this crate).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next_u64() % xs.len() as u64) as usize]
+    }
+}
+
+/// A dangling producer output during construction: `node` will push
+/// `push` items per firing on its next edge, `tokens` items per steady
+/// iteration.
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    node: usize,
+    push: u32,
+    tokens: u64,
+}
+
+/// Accumulates the spec under construction.
+struct Build {
+    nodes: Vec<NodeSpec>,
+    edges: Vec<EdgeSpec>,
+}
+
+impl Build {
+    fn node(&mut self, kind: NodeKind, name: String) -> usize {
+        self.nodes.push(NodeSpec { name, kind });
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, src: usize, dst: usize, push: u64, pop: u64) {
+        debug_assert!(push <= u64::from(u32::MAX) && pop <= u64::from(u32::MAX));
+        self.edges.push(EdgeSpec {
+            src,
+            dst,
+            push: push as u32,
+            pop: pop as u32,
+        });
+    }
+}
+
+/// Divisors `f` of `t` usable as a consumer's firing count: `t/f`
+/// (the pop rate) must lie in `min_pop..=max_pop`.
+fn firing_candidates(t: u64, min_pop: u64, max_pop: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 1;
+    while d * d <= t {
+        if t.is_multiple_of(d) {
+            for f in [d, t / d] {
+                let pop = t / f;
+                if pop >= min_pop && pop <= max_pop && !out.contains(&f) {
+                    out.push(f);
+                }
+            }
+        }
+        d += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Chooses a push rate for a node firing `f` times per iteration,
+/// skewed toward the extremes to stress near-empty and amplifying
+/// steady states.
+fn pick_push(rng: &mut Rng, f: u64, cfg: &GenConfig) -> u64 {
+    let upper = cfg.max_rate.min(cfg.max_edge_items / f).max(1);
+    match rng.range(0, 3) {
+        0 => 1,
+        1 => upper,
+        _ => rng.range(1, upper),
+    }
+}
+
+fn gen_filter(b: &mut Build, rng: &mut Rng, cfg: &GenConfig, flow: Flow) -> Option<Flow> {
+    let cands = firing_candidates(flow.tokens, 1, cfg.max_rate);
+    let f = *rng.pick(&cands);
+    let pop = flow.tokens / f;
+    let id = b.node(NodeKind::Filter, format!("f{}", b.nodes.len()));
+    b.edge(flow.node, id, u64::from(flow.push), pop);
+    let push = pick_push(rng, f, cfg);
+    Some(Flow {
+        node: id,
+        push: push as u32,
+        tokens: f * push,
+    })
+}
+
+fn gen_splitjoin(
+    b: &mut Build,
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    flow: Flow,
+    depth: u32,
+    budget: &mut usize,
+) -> Option<Flow> {
+    *budget = budget.saturating_sub(2); // split + join
+    let branches = rng.range(2, cfg.max_branches as u64) as usize;
+    let mut dup = rng.chance(0.5);
+    // Split firings: pop must divide the incoming token count; a
+    // round-robin splitter additionally needs pop >= branches so every
+    // branch gets at least one item per firing.
+    let min_pop = if dup { 1 } else { branches as u64 };
+    let mut cands = firing_candidates(flow.tokens, min_pop, cfg.max_rate);
+    if cands.is_empty() {
+        // Fall back to duplicate distribution, which always admits f = t.
+        dup = true;
+        cands = firing_candidates(flow.tokens, 1, cfg.max_rate);
+    }
+    let f_s = *rng.pick(&cands);
+    let pop_s = flow.tokens / f_s;
+    let kind = if dup {
+        NodeKind::SplitDuplicate
+    } else {
+        NodeKind::SplitRoundRobin
+    };
+    let split = b.node(kind, format!("sp{}", b.nodes.len()));
+    b.edge(flow.node, split, u64::from(flow.push), pop_s);
+
+    // Per-branch push rates: full copy for duplicate, a random positive
+    // partition of pop_s for round-robin (asymmetric fan-out).
+    let pushes: Vec<u64> = if dup {
+        vec![pop_s; branches]
+    } else {
+        let mut ws = vec![1u64; branches];
+        let mut rest = pop_s - branches as u64;
+        while rest > 0 {
+            let i = rng.range(0, branches as u64 - 1) as usize;
+            let take = rng.range(1, rest);
+            ws[i] += take;
+            rest -= take;
+        }
+        ws
+    };
+
+    let mut ends: Vec<Flow> = Vec::with_capacity(branches);
+    for w in pushes {
+        let bflow = Flow {
+            node: split,
+            push: w as u32,
+            tokens: f_s * w,
+        };
+        // A branch may be empty (a direct split→join edge), giving
+        // asymmetric fan-in shapes.
+        let end = if *budget >= 1 && rng.chance(0.85) {
+            gen_chain(b, rng, cfg, bflow, depth + 1, budget)?
+        } else {
+            bflow
+        };
+        ends.push(end);
+    }
+
+    // Join firings must divide every branch token count with pop rates
+    // within bounds; random branch rates may admit none — reject and let
+    // the caller re-roll the attempt.
+    let g = ends.iter().fold(0u64, |acc, e| gcd(acc, e.tokens));
+    let jc: Vec<u64> = firing_candidates(g, 1, u64::MAX)
+        .into_iter()
+        .filter(|&f| ends.iter().all(|e| e.tokens / f <= cfg.max_rate))
+        .collect();
+    if jc.is_empty() {
+        return None;
+    }
+    let f_j = *rng.pick(&jc);
+    let join = b.node(NodeKind::JoinRoundRobin, format!("jn{}", b.nodes.len()));
+    let mut push_j = 0u64;
+    for e in &ends {
+        let pop = e.tokens / f_j;
+        b.edge(e.node, join, u64::from(e.push), pop);
+        push_j += pop;
+    }
+    let tokens_out = f_j * push_j;
+    if tokens_out > cfg.max_edge_items || push_j > u64::from(u32::MAX) {
+        return None;
+    }
+    Some(Flow {
+        node: join,
+        push: push_j as u32,
+        tokens: tokens_out,
+    })
+}
+
+fn gen_chain(
+    b: &mut Build,
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    mut flow: Flow,
+    depth: u32,
+    budget: &mut usize,
+) -> Option<Flow> {
+    // Top-level chains run longer (deep pipelines); branch chains stay
+    // short so the node budget spreads across branches.
+    let (lo, hi) = if depth == 0 { (1, 5) } else { (0, 2) };
+    let segments = rng.range(lo, hi);
+    for _ in 0..segments {
+        if depth < cfg.max_depth && *budget >= 4 && rng.chance(cfg.splitjoin_prob) {
+            flow = gen_splitjoin(b, rng, cfg, flow, depth, budget)?;
+        } else if *budget >= 1 {
+            *budget -= 1;
+            flow = gen_filter(b, rng, cfg, flow)?;
+        } else {
+            break;
+        }
+    }
+    Some(flow)
+}
+
+fn try_generate(rng: &mut Rng, cfg: &GenConfig, seed: u64) -> Option<GraphSpec> {
+    let mut b = Build {
+        nodes: Vec::new(),
+        edges: Vec::new(),
+    };
+    // Source: one output, random firing count and push rate.
+    let src = b.node(NodeKind::Source, "src".to_string());
+    let f_src = rng.range(1, 6);
+    let push = pick_push(rng, f_src, cfg);
+    let flow = Flow {
+        node: src,
+        push: push as u32,
+        tokens: f_src * push,
+    };
+    // Reserve source + sink from the budget.
+    let mut budget = cfg.max_nodes.saturating_sub(2);
+    let end = gen_chain(&mut b, rng, cfg, flow, 0, &mut budget)?;
+    // Sink: fires a divisor of the incoming token count.
+    let cands = firing_candidates(end.tokens, 1, cfg.max_rate);
+    let f_k = *rng.pick(&cands);
+    let sink = b.node(NodeKind::Sink, "snk".to_string());
+    b.edge(end.node, sink, u64::from(end.push), end.tokens / f_k);
+    Some(GraphSpec {
+        name: format!("fuzz-s{seed}"),
+        nodes: b.nodes,
+        edges: b.edges,
+    })
+}
+
+/// Generates a valid stream graph from `seed`. Deterministic: the same
+/// `(seed, cfg)` always yields the same spec. Internal rejection
+/// sampling re-rolls deterministically when a random splitjoin admits no
+/// legal join firing; after 64 attempts the splitjoin probability is
+/// forced to zero, and a plain pipeline (which cannot be rejected) is
+/// produced.
+pub fn generate(seed: u64, cfg: &GenConfig) -> GraphSpec {
+    for attempt in 0..=64u64 {
+        let mut rng = Rng::new(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let eff = if attempt == 64 {
+            GenConfig {
+                splitjoin_prob: 0.0,
+                ..cfg.clone()
+            }
+        } else {
+            cfg.clone()
+        };
+        if let Some(spec) = try_generate(&mut rng, &eff, seed) {
+            if spec.build_validated().is_ok() {
+                return spec;
+            }
+        }
+    }
+    unreachable!("pipeline fallback always validates");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeds_vary_shapes() {
+        let cfg = GenConfig::default();
+        let shapes: std::collections::HashSet<(usize, usize)> = (0..40)
+            .map(|s| {
+                let spec = generate(s, &cfg);
+                (spec.nodes.len(), spec.edges.len())
+            })
+            .collect();
+        assert!(shapes.len() > 5, "only {} distinct shapes", shapes.len());
+    }
+
+    #[test]
+    fn generated_graphs_validate_and_schedule() {
+        let cfg = GenConfig::default();
+        for seed in 0..120 {
+            let spec = generate(seed, &cfg);
+            let (graph, prof) = spec
+                .build_validated()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(graph.node_count() <= cfg.max_nodes, "seed {seed}");
+            assert!(
+                prof.max_edge_items <= cfg.max_edge_items,
+                "seed {seed}: {} items on hot edge",
+                prof.max_edge_items
+            );
+            assert_eq!(prof.queue_demand, prof.max_edge_items + HEADER_SLACK);
+        }
+    }
+
+    #[test]
+    fn splitjoins_do_appear() {
+        let cfg = GenConfig::default();
+        let with_split = (0..60)
+            .filter(|&s| {
+                generate(s, &cfg)
+                    .nodes
+                    .iter()
+                    .any(|n| matches!(n.kind, NodeKind::SplitDuplicate | NodeKind::SplitRoundRobin))
+            })
+            .count();
+        assert!(with_split > 10, "only {with_split}/60 seeds had splitjoins");
+    }
+
+    #[test]
+    fn semantic_validator_rejects_bad_duplicate() {
+        let spec = GraphSpec {
+            name: "bad".into(),
+            nodes: vec![
+                NodeSpec {
+                    name: "src".into(),
+                    kind: NodeKind::Source,
+                },
+                NodeSpec {
+                    name: "sp".into(),
+                    kind: NodeKind::SplitDuplicate,
+                },
+                NodeSpec {
+                    name: "jn".into(),
+                    kind: NodeKind::JoinRoundRobin,
+                },
+                NodeSpec {
+                    name: "snk".into(),
+                    kind: NodeKind::Sink,
+                },
+            ],
+            edges: vec![
+                EdgeSpec {
+                    src: 0,
+                    dst: 1,
+                    push: 4,
+                    pop: 4,
+                },
+                // Duplicate splitter pushing 2 != pop 4: semantically wrong.
+                EdgeSpec {
+                    src: 1,
+                    dst: 2,
+                    push: 2,
+                    pop: 2,
+                },
+                EdgeSpec {
+                    src: 1,
+                    dst: 2,
+                    push: 4,
+                    pop: 4,
+                },
+                EdgeSpec {
+                    src: 2,
+                    dst: 3,
+                    push: 6,
+                    pop: 6,
+                },
+            ],
+        };
+        let err = spec.build_validated().unwrap_err();
+        assert!(err.contains("duplicate splitter"), "{err}");
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in [
+            NodeKind::Source,
+            NodeKind::Sink,
+            NodeKind::Filter,
+            NodeKind::SplitDuplicate,
+            NodeKind::SplitRoundRobin,
+            NodeKind::JoinRoundRobin,
+        ] {
+            assert_eq!(NodeKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(NodeKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the seeded random graph generator
+//! (`cg_graph::random`): every generated graph must be structurally
+//! valid, rate-consistent (schedulable), semantically well-rated for the
+//! executor compute bodies, and bounded in size and occupancy.
+//!
+//! The execution half of this invariant — generated graphs run
+//! error-free to frame-exact sinks on the deterministic executor — lives
+//! in `crates/campaign/tests/fuzz.rs`, because the executor sits above
+//! this crate in the dependency order.
+
+use cg_graph::random::{generate, validate_semantics, GenConfig, HEADER_SLACK};
+use proptest::prelude::*;
+
+proptest! {
+    /// ≥100 seeds: generation always succeeds and the result passes the
+    /// full validity gate (structure + balance equations + executor rate
+    /// semantics + occupancy profile).
+    #[test]
+    fn every_seed_yields_a_valid_schedulable_graph(seed in 0u64..100_000) {
+        let cfg = GenConfig::default();
+        let spec = generate(seed, &cfg);
+        let validated = spec.build_validated();
+        prop_assert!(validated.is_ok(), "seed {}: {:?}", seed, validated.err());
+        let (graph, prof) = validated.unwrap();
+        // Structure holds under the graph's own validator too.
+        prop_assert!(graph.validate().is_ok());
+        prop_assert!(validate_semantics(&graph).is_ok());
+        // Size and occupancy bounds.
+        prop_assert!(graph.node_count() <= cfg.max_nodes);
+        prop_assert!(prof.max_edge_items <= cfg.max_edge_items);
+        prop_assert_eq!(prof.queue_demand, prof.max_edge_items + HEADER_SLACK);
+        // Balance equations hold on every edge.
+        for (eid, e) in graph.edges() {
+            prop_assert_eq!(
+                prof.schedule.repetitions(e.src()) * u64::from(e.push_rate()),
+                prof.schedule.repetitions(e.dst()) * u64::from(e.pop_rate()),
+                "seed {} edge {}", seed, eid
+            );
+        }
+    }
+
+    /// Generation is a pure function of the seed.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..100_000) {
+        let cfg = GenConfig::default();
+        prop_assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+    }
+
+    /// Tighter configs are honored: a pipelines-only generator never
+    /// emits splitters or joiners and respects a small node cap.
+    #[test]
+    fn chain_only_config_yields_pipelines(seed in 0u64..10_000) {
+        let cfg = GenConfig { splitjoin_prob: 0.0, max_nodes: 8, ..GenConfig::default() };
+        let spec = generate(seed, &cfg);
+        prop_assert!(spec.nodes.len() <= 8);
+        for n in &spec.nodes {
+            prop_assert!(matches!(
+                n.kind,
+                cg_graph::NodeKind::Source | cg_graph::NodeKind::Filter | cg_graph::NodeKind::Sink
+            ));
+        }
+        let validated = spec.build_validated();
+        prop_assert!(validated.is_ok(), "seed {}: {:?}", seed, validated.err());
+    }
+}
+
+/// Explicit ≥100-seed sweep (not sampled): the satellite requirement is
+/// a hard floor, so run seeds 0..=127 unconditionally.
+#[test]
+fn first_128_seeds_all_validate() {
+    let cfg = GenConfig::default();
+    for seed in 0..128 {
+        let spec = generate(seed, &cfg);
+        spec.build_validated()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -200,6 +200,40 @@ impl SimConfig {
         self.stall_timeout = timeout;
         self
     }
+
+    /// Sizes the occupancy-sensitive knobs for a graph whose hottest
+    /// edge carries `demand` items per steady iteration (frame data plus
+    /// in-band header slack — see
+    /// `cg_graph::random::GraphProfile::queue_demand`). Used by the fuzz
+    /// campaign so that legal-but-extreme generated graphs cannot
+    /// false-positive a watchdog; the audit behind each bound:
+    ///
+    /// * `queue_capacity` is raised to at least `demand`, the sufficient
+    ///   condition for the frame schedule to be admissible on fan-in/
+    ///   fan-out graphs ([`crate::check_queue_capacity`]).
+    /// * `timeout_rounds` is raised to at least `4 × demand`: under the
+    ///   deterministic round-robin scheduler a consumer may legally stay
+    ///   blocked while the producer side moves a full frame one firing
+    ///   per visit, so a QM timeout shorter than the frame turns legal
+    ///   skew into forced (incorrect) transfers on an error-free run.
+    /// * `stall_timeout` gains `2 ms` of budget per demanded item on top
+    ///   of a 100 ms floor: the worst legal blocking wait in the
+    ///   threaded executor is a peer producing or consuming one full
+    ///   frame, which is linear in `demand`.
+    /// * `par_retry_budget` is deliberately **not** scaled: frame
+    ///   retries are charged per frame, not per item, so worst-case
+    ///   occupancy does not change how many retries a run may legally
+    ///   need (the bound stays `par_retry_budget × frames × nodes`).
+    #[must_use]
+    pub fn for_queue_demand(mut self, demand: u64) -> Self {
+        // Rings need at least 8 units (one per working set).
+        self.queue_capacity = self.queue_capacity.max(demand as usize).max(8);
+        self.timeout_rounds = self.timeout_rounds.max(4 * demand);
+        self.stall_timeout = self
+            .stall_timeout
+            .max(Duration::from_millis(100 + 2 * demand));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +266,33 @@ mod tests {
         assert_eq!(c.par_faults, ParFaults::Deny);
         assert_eq!(c.par_retry_budget, 5);
         assert_eq!(c.stall_timeout, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn queue_demand_sizing_floors() {
+        // Tight settings are raised to the audited floors…
+        let tight = SimConfig {
+            queue_capacity: 8,
+            timeout_rounds: 16,
+            stall_timeout: Duration::from_millis(10),
+            ..SimConfig::error_free(2)
+        }
+        .for_queue_demand(100);
+        assert_eq!(tight.queue_capacity, 100);
+        assert_eq!(tight.timeout_rounds, 400);
+        assert_eq!(tight.stall_timeout, Duration::from_millis(300));
+        // …generous settings are left alone…
+        let generous = SimConfig::error_free(2).for_queue_demand(10);
+        assert_eq!(generous.queue_capacity, 65_536);
+        assert_eq!(generous.timeout_rounds, 256);
+        assert_eq!(generous.stall_timeout, Duration::from_secs(10));
+        // …and the ring's minimum capacity is always respected.
+        let tiny = SimConfig {
+            queue_capacity: 8,
+            ..SimConfig::error_free(2)
+        }
+        .for_queue_demand(3);
+        assert_eq!(tiny.queue_capacity, 8);
     }
 
     #[test]

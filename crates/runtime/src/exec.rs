@@ -39,6 +39,18 @@ pub enum RunError {
     /// timeout, found its peer dead, or panicked. The message names the
     /// node and edge involved.
     Parallel(String),
+    /// A fan-in/fan-out graph's steady-state queue demand exceeds the
+    /// configured ring capacity, so the frame schedule is not admissible
+    /// and execution could wedge or silently degrade. Raised before any
+    /// work runs; the message names the offending edge.
+    CapacityExceeded {
+        /// `"e<idx> (<src>→<dst>)"` label of the hottest offending edge.
+        edge: String,
+        /// Items (frame data + header slack) the edge needs in flight.
+        demand: u64,
+        /// The configured per-queue capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -48,8 +60,64 @@ impl std::fmt::Display for RunError {
             RunError::Schedule(m) => write!(f, "scheduling failed: {m}"),
             RunError::BadEffectModel(m) => write!(f, "bad effect model: {m}"),
             RunError::Parallel(m) => write!(f, "threaded executor: {m}"),
+            RunError::CapacityExceeded {
+                edge,
+                demand,
+                capacity,
+            } => write!(
+                f,
+                "queue capacity exceeded on {edge}: steady-state demand {demand} \
+                 items > configured capacity {capacity}"
+            ),
         }
     }
+}
+
+/// Rejects configurations whose per-edge steady-state demand cannot fit
+/// the configured queue capacity.
+///
+/// Pure pipelines are exempt: backpressure alone schedules a chain at any
+/// capacity ≥ 1 (the producer blocks until the consumer drains), and the
+/// existing synthetic campaigns rely on running chains through small
+/// (capacity-16) queues. With fan-in or fan-out, however, a splitter can
+/// block pushing one branch while the joiner waits on another, so the
+/// sufficient liveness condition is that every edge can hold one full
+/// frame (`Schedule::items_per_iteration`) plus in-band header slack
+/// ([`cg_graph::random::HEADER_SLACK`]).
+///
+/// # Errors
+///
+/// Returns [`RunError::CapacityExceeded`] naming the offending edge.
+pub fn check_queue_capacity(
+    graph: &cg_graph::StreamGraph,
+    schedule: &cg_graph::schedule::Schedule,
+    capacity: usize,
+) -> Result<(), RunError> {
+    let has_fan = graph.nodes().any(|(_, n)| {
+        matches!(
+            n.kind(),
+            NodeKind::SplitDuplicate | NodeKind::SplitRoundRobin | NodeKind::JoinRoundRobin
+        )
+    });
+    if !has_fan {
+        return Ok(());
+    }
+    for (eid, e) in graph.edges() {
+        let demand = schedule.items_per_iteration(eid) + cg_graph::random::HEADER_SLACK;
+        if demand > capacity as u64 {
+            return Err(RunError::CapacityExceeded {
+                edge: format!(
+                    "e{} ({}→{})",
+                    eid.index(),
+                    graph.node(e.src()).name(),
+                    graph.node(e.dst()).name()
+                ),
+                demand,
+                capacity,
+            });
+        }
+    }
+    Ok(())
 }
 
 impl std::error::Error for RunError {}
@@ -124,6 +192,7 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
     let schedule = graph
         .schedule()
         .map_err(|e| RunError::Schedule(e.to_string()))?;
+    check_queue_capacity(&graph, &schedule, config.queue_capacity)?;
 
     let guard_cfg = config.protection.guard_config();
     let pointer_mode = config.protection.pointer_mode();

@@ -69,7 +69,7 @@ pub mod work;
 
 pub use cg_trace::{TraceConfig, TraceData};
 pub use config::{MemModel, OverheadModel, ParFaults, SimConfig};
-pub use exec::{run, RunError};
+pub use exec::{check_queue_capacity, run, RunError};
 pub use overhead::{estimate_overhead, OverheadEstimate};
 pub use parallel::{run_parallel, run_parallel_with, ParTransport};
 pub use program::Program;

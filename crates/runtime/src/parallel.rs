@@ -376,6 +376,7 @@ pub fn run_parallel_with(
     let schedule = graph
         .schedule()
         .map_err(|e| RunError::Schedule(e.to_string()))?;
+    crate::exec::check_queue_capacity(&graph, &schedule, config.queue_capacity)?;
     let guard_cfg = config.protection.guard_config();
     // Unprotected-header ablation (addressing faults strike header words).
     let headers_unprotected = guard_cfg.as_ref().is_some_and(|c| !c.protect_headers);

@@ -69,6 +69,20 @@ pub struct RunReport {
     /// recovery path here as `frame_retries` (frames re-executed from
     /// their boundary checkpoint) and `frame_degrades` (frames discharged
     /// with padded output after retry-budget exhaustion).
+    ///
+    /// **False-positive bound for generated graphs.** A legal (error-free,
+    /// schedulable) graph triggers none of these counters provided the
+    /// occupancy-sensitive knobs respect the worst-case steady-state
+    /// demand `D` of its hottest edge (frame items + header slack, see
+    /// `cg_graph::random::GraphProfile::queue_demand`): `queue_capacity ≥
+    /// D` (admissible frame schedule, [`crate::check_queue_capacity`]),
+    /// `timeout_rounds ≥ 4·D` (a consumer may legally sit blocked for a
+    /// full frame of one-firing-per-visit producer progress), and
+    /// `stall_timeout ≥ 100 ms + 2 ms·D` (a threaded peer may legally
+    /// take a full frame to produce/consume before unblocking). Faulty
+    /// runs stay bounded by `frame_retries ≤ par_retry_budget × frames ×
+    /// nodes` independent of occupancy. `SimConfig::for_queue_demand`
+    /// applies exactly these floors; the fuzz campaign relies on them.
     pub watchdog: WatchdogStats,
     /// AM realignment episodes (pad + discard entries) across all cores.
     pub realignment_episodes: u64,

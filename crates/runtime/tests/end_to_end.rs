@@ -236,3 +236,62 @@ fn rate_converting_pipeline_runs() {
     let sink_id = NodeId::from_index(2);
     assert_eq!(report.sink_output(sink_id).len(), 7 * 20);
 }
+
+#[test]
+fn capacity_precheck_names_offending_edge() {
+    // The splitjoin's hot edge (join→post) carries 8 items per iteration
+    // plus header slack; capacity 8 must be rejected before any work
+    // runs, on both executors, naming the edge.
+    for threaded in [false, true] {
+        let (p, _) = splitjoin_program();
+        let cfg = SimConfig {
+            queue_capacity: 8,
+            ..SimConfig::error_free(2)
+        };
+        let res = if threaded {
+            cg_runtime::run_parallel(p, &cfg)
+        } else {
+            run(p, &cfg)
+        };
+        match res {
+            Err(cg_runtime::RunError::CapacityExceeded {
+                edge,
+                demand,
+                capacity,
+            }) => {
+                assert_eq!(capacity, 8);
+                assert!(demand > 8, "demand {demand}");
+                assert!(edge.contains('→'), "edge label: {edge}");
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn capacity_precheck_exempts_pure_chains() {
+    // Chains schedule at any capacity via backpressure; a capacity-8
+    // pipeline moving 16 items per frame must still run exactly.
+    let mut b = GraphBuilder::new("tight-chain");
+    let s = b.add_node("s", NodeKind::Source);
+    let f = b.add_node("f", NodeKind::Filter);
+    let k = b.add_node("k", NodeKind::Sink);
+    b.pipeline(&[s, f, k], 16).unwrap();
+    let g = b.build().unwrap();
+    let mut p = Program::new(g);
+    let mut next = 0u32;
+    p.set_source(s, move |out| {
+        for _ in 0..16 {
+            out.push(next);
+            next += 1;
+        }
+    });
+    p.set_filter(f, |inp, out| out[0].extend(inp[0].iter().copied()));
+    let cfg = SimConfig {
+        queue_capacity: 8,
+        ..SimConfig::error_free(3)
+    };
+    let report = run(p, &cfg).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.sink_output(NodeId::from_index(2)).len(), 48);
+}
