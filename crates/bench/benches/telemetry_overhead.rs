@@ -1,0 +1,109 @@
+//! Telemetry-plane overhead ablation: verifies the "zero-cost when
+//! disabled" claim of the metrics plane.
+//!
+//! Three variants of the same faulty complex-fir run are interleaved:
+//! `off` (telemetry disabled — every probe site is a single `None`
+//! check), `sparse` (probes on, one interval snapshot per 64 frames),
+//! and `dense` (probes on, one interval snapshot per frame). The probed
+//! variants do a strict superset of the disabled path's work, so the
+//! disabled path must never be meaningfully slower than either: if its
+//! median exceeds the faster probed variant by more than 2%, the
+//! zero-cost invariant is broken and the bench prints a loud
+//! `TELEMETRY-OVERHEAD FAIL` banner and exits 1.
+//!
+//! A plain harness (not Criterion) so the comparison can fail the build.
+
+use std::time::Instant;
+
+use cg_apps::{BenchApp, Size, Workload};
+use cg_fault::Mtbe;
+use cg_runtime::{run, SimConfig, TelemetryConfig};
+use commguard::Protection;
+
+const ROUNDS: usize = 9;
+const TOLERANCE: f64 = 1.02;
+
+fn config(w: &Workload, telemetry: TelemetryConfig) -> SimConfig {
+    SimConfig {
+        telemetry,
+        ..SimConfig::with_errors(
+            w.frames(),
+            Protection::commguard(),
+            Mtbe::kilo_instructions(128),
+            1,
+        )
+    }
+}
+
+fn timed_run(w: &Workload, telemetry: TelemetryConfig) -> f64 {
+    let (p, _snk) = w.build();
+    let cfg = config(w, telemetry);
+    let start = Instant::now();
+    let report = run(p, &cfg).expect("runs");
+    let secs = start.elapsed().as_secs_f64();
+    assert!(report.completed, "bench run must complete");
+    assert_eq!(
+        report.telemetry.is_some(),
+        cfg.telemetry.is_enabled(),
+        "telemetry presence must track the config"
+    );
+    secs
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let w = Workload::new(BenchApp::ComplexFir, Size::Small);
+    let variants = [
+        ("off", TelemetryConfig::Off),
+        ("sparse", TelemetryConfig::Enabled { interval: 64 }),
+        ("dense", TelemetryConfig::Enabled { interval: 1 }),
+    ];
+
+    // Warm-up: touch every code path once before measuring.
+    for &(_, telemetry) in &variants {
+        let _ = timed_run(&w, telemetry);
+    }
+
+    // Interleave variants so drift (thermal, cache) hits all three alike.
+    let mut samples = [const { Vec::new() }; 3];
+    for _ in 0..ROUNDS {
+        for (i, &(_, telemetry)) in variants.iter().enumerate() {
+            samples[i].push(timed_run(&w, telemetry));
+        }
+    }
+
+    let medians: Vec<f64> = samples.iter_mut().map(|s| median(s)).collect();
+    let off = medians[0];
+    println!("telemetry overhead ablation (complex-fir, mtbe=128k, {ROUNDS} rounds):");
+    for (i, (name, _)) in variants.iter().enumerate() {
+        println!(
+            "  {name:<9} median {:>8.2} ms  ({:+.2}% vs off)",
+            medians[i] * 1e3,
+            (medians[i] / off - 1.0) * 100.0
+        );
+    }
+
+    // The probed variants strictly add work on top of the disabled path.
+    let fastest_probed = medians[1].min(medians[2]);
+    if off > fastest_probed * TOLERANCE {
+        println!(
+            "\n============== TELEMETRY-OVERHEAD FAIL ==============\n\
+             disabled-path median {:.3} ms exceeds the fastest probed\n\
+             variant ({:.3} ms) by more than {:.0}% — the disabled\n\
+             telemetry path is no longer zero-cost.\n\
+             =====================================================",
+            off * 1e3,
+            fastest_probed * 1e3,
+            (TOLERANCE - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\ntelemetry overhead: OK (disabled path within {:.0}% of probed variants)",
+        (TOLERANCE - 1.0) * 100.0
+    );
+}

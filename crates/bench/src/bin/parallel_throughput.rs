@@ -28,7 +28,9 @@ use cg_apps::jpeg::JpegApp;
 use cg_apps::mp3::Mp3App;
 use cg_apps::vocoder::VocoderApp;
 use cg_campaign::json::Json;
-use cg_runtime::{run, run_parallel_with, ParTransport, Program, RunReport, SimConfig};
+use cg_runtime::{
+    run, run_parallel_with, ParTransport, Program, RunReport, SimConfig, TelemetryConfig,
+};
 use commguard::graph::{GraphBuilder, NodeId, NodeKind};
 use commguard::Protection;
 
@@ -269,7 +271,21 @@ fn main() -> ExitCode {
             "{name}: lock-free output diverged from batched"
         );
 
+        // Untimed telemetry pass on the lock-free transport: frame-latency
+        // percentiles for the bench trajectory. A separate run so the
+        // probes can never skew the timed numbers above.
+        let telem_cfg = SimConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ..cfg.clone()
+        };
+        let latency = run_parallel_with((case.build)().0, &telem_cfg, ParTransport::LockFree)
+            .expect("telemetry run")
+            .telemetry
+            .expect("telemetry was enabled")
+            .merged_latency();
+
         let items = ba.queues.item_pushes;
+        let frames_f = (case.frames as f64).max(1.0);
         let vs_per_item = ms(pi_time) / ms(ba_time).max(1e-9);
         let vs_det = ms(det_time) / ms(ba_time).max(1e-9);
         let lf_vs_batched = ms(ba_time) / ms(lf_time).max(1e-9);
@@ -297,6 +313,17 @@ fn main() -> ExitCode {
             .set("per_item_ms", ms(pi_time))
             .set("batched_ms", ms(ba_time))
             .set("lock_free_ms", ms(lf_time))
+            // Per-frame wall-clock: comparable across cases (apps and
+            // pipelines run different frame counts), so the bench
+            // trajectory gets app-level datapoints, not just totals.
+            .set("deterministic_ms_per_frame", ms(det_time) / frames_f)
+            .set("per_item_ms_per_frame", ms(pi_time) / frames_f)
+            .set("batched_ms_per_frame", ms(ba_time) / frames_f)
+            .set("lock_free_ms_per_frame", ms(lf_time) / frames_f)
+            .set("frame_latency_p50_us", latency.quantile(0.50))
+            .set("frame_latency_p90_us", latency.quantile(0.90))
+            .set("frame_latency_p99_us", latency.quantile(0.99))
+            .set("frame_latency_max_us", latency.max())
             .set("per_item_items_per_sec", items_per_sec(items, pi_time))
             .set("batched_items_per_sec", items_per_sec(items, ba_time))
             .set("lock_free_items_per_sec", items_per_sec(items, lf_time))
@@ -358,7 +385,7 @@ fn main() -> ExitCode {
     }
 
     let mut doc = Json::object();
-    doc.set("schema", "commguard-parallel-bench-v2")
+    doc.set("schema", "commguard-parallel-bench-v3")
         .set("mode", if args.quick { "quick" } else { "full" })
         .set("repeats", repeats)
         .set("host_parallelism", host_parallelism)

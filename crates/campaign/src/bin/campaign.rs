@@ -7,6 +7,7 @@
 //!          [--executor det|threaded] [--transport per-item|batched|lock-free]
 //!          [--classes a,b,..] [--mtbe n1,n2,..]
 //!          [--out PATH] [--trace] [--trace-dir DIR]
+//!          [--telemetry] [--telemetry-dir DIR]
 //! campaign --random N [--seed S] [--repro-dir DIR] [...]
 //! campaign --replay FILE[,FILE..]
 //! ```
@@ -32,6 +33,7 @@ fn usage() -> ! {
          \x20               [--classes a,b,..]\n\
          \x20               [--mtbe n1,n2,..] [--out PATH]\n\
          \x20               [--trace] [--trace-dir DIR]\n\
+         \x20               [--telemetry] [--telemetry-dir DIR]\n\
          \x20      campaign --random N [--seed S] [--repro-dir DIR] [...]\n\
          \x20      campaign --replay FILE[,FILE..]\n\
          \n\
@@ -47,6 +49,11 @@ fn usage() -> ! {
          trace:     record event traces; violating/mismatching/hanging runs\n\
          \x20          dump .trace/.chrome.json/.propagation.txt files\n\
          trace-dir: where dumps go (default: traces; implies --trace)\n\
+         telemetry: enable the metrics plane; every run dumps a Prometheus\n\
+         \x20          .prom + snapshot .jsonl pair and its frame-latency\n\
+         \x20          p50/p99 land in the table and JSON\n\
+         telemetry-dir: where telemetry dumps go (default: telemetry;\n\
+         \x20          implies --telemetry)\n\
          random:    fuzz mode — generate N seeded random stream graphs and\n\
          \x20          run each through the golden, det-vs-threaded parity,\n\
          \x20          and faulted differential oracles; failures are shrunk\n\
@@ -142,6 +149,12 @@ fn parse_args() -> Args {
                 }
             }
             "--trace-dir" => spec.trace_dir = Some(value(&mut i)),
+            "--telemetry" => {
+                if spec.telemetry_dir.is_none() {
+                    spec.telemetry_dir = Some("telemetry".to_string());
+                }
+            }
+            "--telemetry-dir" => spec.telemetry_dir = Some(value(&mut i)),
             "--random" => {
                 random = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
@@ -233,6 +246,10 @@ fn to_json(report: &CampaignReport) -> Json {
         .set(
             "trace_dir",
             spec.trace_dir.as_deref().map_or(Json::Null, Json::from),
+        )
+        .set(
+            "telemetry_dir",
+            spec.telemetry_dir.as_deref().map_or(Json::Null, Json::from),
         );
 
     let runs: Vec<Json> = report
@@ -257,6 +274,20 @@ fn to_json(report: &CampaignReport) -> Json {
                 .set("frame_retries", r.watchdog.frame_retries)
                 .set("frames_degraded", r.watchdog.frame_degrades)
                 .set("realign_events", r.realign_events)
+                .set("max_queue_occupancy", r.max_queue_occupancy)
+                .set("blocked_ops", r.blocked_ops)
+                .set(
+                    "frame_latency_p50",
+                    r.frame_latency.map_or(Json::Null, |(p50, _)| p50.into()),
+                )
+                .set(
+                    "frame_latency_p99",
+                    r.frame_latency.map_or(Json::Null, |(_, p99)| p99.into()),
+                )
+                .set(
+                    "telemetry_file",
+                    r.telemetry_file.as_deref().map_or(Json::Null, Json::from),
+                )
                 .set(
                     "violations",
                     r.violations
@@ -300,9 +331,18 @@ fn print_summary(report: &CampaignReport) {
     );
     // Per-rung watchdog columns: wd1 = QM timeouts armed, wd2 = forced
     // progress, wd3 = frame aborts; retry/degr are the recovery rung
-    // (frame re-executions and budget-exhausted degradations).
+    // (frame re-executions and budget-exhausted degradations); maxq is
+    // the deepest queue high-water over the group, blkd the blocked
+    // pushes+pops. The p50/p99 frame-latency columns (clock units) only
+    // appear on telemetered sweeps.
+    let telemetered = report.spec.telemetry_dir.is_some();
+    let latency_hdr = if telemetered {
+        format!(" {:>6} {:>6}", "p50", "p99")
+    } else {
+        String::new()
+    };
     println!(
-        "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4}",
+        "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5}{latency_hdr}",
         "class",
         "mtbe",
         "protection",
@@ -316,7 +356,9 @@ fn print_summary(report: &CampaignReport) {
         "wd2",
         "wd3",
         "retry",
-        "degr"
+        "degr",
+        "maxq",
+        "blkd"
     );
     for &class in &report.spec.classes {
         for &mtbe in &report.spec.mtbes {
@@ -333,8 +375,27 @@ fn print_summary(report: &CampaignReport) {
                 let sum = |f: fn(&cg_runtime::WatchdogStats) -> u64| -> u64 {
                     rows.iter().map(|r| f(&r.watchdog)).sum()
                 };
+                let maxq = rows
+                    .iter()
+                    .map(|r| r.max_queue_occupancy)
+                    .max()
+                    .unwrap_or(0);
+                let blocked: u64 = rows.iter().map(|r| r.blocked_ops).sum();
+                let latency = if telemetered {
+                    // Worst seed in the group: the tail is what the
+                    // telemetry plane is for.
+                    let p50 = rows.iter().filter_map(|r| r.frame_latency).map(|l| l.0);
+                    let p99 = rows.iter().filter_map(|r| r.frame_latency).map(|l| l.1);
+                    format!(
+                        " {:>6} {:>6}",
+                        p50.max().unwrap_or(0),
+                        p99.max().unwrap_or(0)
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4}",
+                    "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5}{latency}",
                     class.label(),
                     mtbe.as_instructions(),
                     protection.label(),
@@ -349,6 +410,8 @@ fn print_summary(report: &CampaignReport) {
                     sum(|w| w.frame_aborts),
                     sum(|w| w.frame_retries),
                     sum(|w| w.frame_degrades),
+                    maxq,
+                    blocked,
                 );
             }
         }
@@ -557,6 +620,17 @@ fn main() -> ExitCode {
         eprintln!(
             "campaign: {dumped} trace dump(s) in {dir}/ ({chains} propagation chain(s); \
              inspect with `cargo run -p cg-trace -- analyze <file>`)"
+        );
+    }
+    if let Some(dir) = &report.spec.telemetry_dir {
+        let dumped = report
+            .runs
+            .iter()
+            .filter(|r| r.telemetry_file.is_some())
+            .count();
+        eprintln!(
+            "campaign: {dumped} telemetry dump(s) in {dir}/ (.prom + .jsonl per run; \
+             inspect with `cargo run -p cg-telemetry -- summary <file>.jsonl`)"
         );
     }
 

@@ -7,6 +7,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use cg_runtime::{run, run_parallel_with, Program, RunReport, SimConfig, WatchdogStats};
+use cg_telemetry::{to_jsonl, to_prometheus, TelemetryConfig, TelemetryReport};
 use cg_trace::{analyze, text, to_chrome_json, TraceConfig};
 use commguard::graph::{GraphBuilder, NodeId, NodeKind, StreamGraph};
 use commguard::Protection;
@@ -70,6 +71,20 @@ pub struct RunRecord {
     pub watchdog: WatchdogStats,
     /// AM pad + discard events across all cores.
     pub realign_events: u64,
+    /// Deepest any queue got (units), consumer-side attribution. Queue
+    /// stats are always on, so this is filled whether or not the
+    /// telemetry plane is enabled.
+    pub max_queue_occupancy: u64,
+    /// Blocked queue operations (pushes + pops) across all edges.
+    pub blocked_ops: u64,
+    /// Frame-latency percentiles `(p50, p99)` from the telemetry plane,
+    /// merged over all cores, in the run's clock unit (scheduler rounds
+    /// for det cells, microseconds for threaded). `None` when the
+    /// campaign ran without telemetry.
+    pub frame_latency: Option<(u64, u64)>,
+    /// Path of the dumped telemetry snapshot series (`.jsonl`; a `.prom`
+    /// sibling sits next to it), when the campaign ran with telemetry.
+    pub telemetry_file: Option<String>,
     /// Hard-invariant violations (always empty for a passing campaign).
     pub violations: Vec<String>,
     /// Path of the dumped trace, when this run was bad enough to keep one
@@ -212,6 +227,53 @@ fn classify(completed: bool, sink: &[u32], expected: &[u32]) -> Outcome {
     }
 }
 
+/// The telemetry config a sweep cell runs under.
+fn cell_telemetry(spec: &CampaignSpec) -> TelemetryConfig {
+    if spec.telemetry_dir.is_some() {
+        TelemetryConfig::enabled()
+    } else {
+        TelemetryConfig::Off
+    }
+}
+
+/// Merged frame-latency percentiles `(p50, p99)` from a run's telemetry.
+fn frame_latency(report: &RunReport) -> Option<(u64, u64)> {
+    report.telemetry.as_ref().map(|t| {
+        let h = t.merged_latency();
+        (h.quantile(0.50), h.quantile(0.99))
+    })
+}
+
+/// Dumps a run's telemetry as a Prometheus `.prom` + snapshot `.jsonl`
+/// pair. Returns the `.jsonl` path, or `None` (with a stderr note) when
+/// the directory is unwritable — a diagnostics failure must not abort
+/// the campaign.
+fn dump_telemetry(dir: &str, cell: RunCell, telemetry: &TelemetryReport) -> Option<String> {
+    let stem = format!(
+        "telemetry_{}_{}_{}_{}",
+        slug(cell.class.label()),
+        cell.mtbe.as_instructions(),
+        slug(cell.protection.label()),
+        cell.seed
+    );
+    let base = std::path::Path::new(dir).join(&stem);
+    let jsonl_path = base.with_extension("jsonl");
+    let write = |path: &std::path::Path, body: String| -> bool {
+        std::fs::write(path, body).map_or_else(
+            |e| {
+                eprintln!("campaign: cannot write {}: {e}", path.display());
+                false
+            },
+            |()| true,
+        )
+    };
+    if !write(&jsonl_path, to_jsonl(telemetry)) {
+        return None;
+    }
+    write(&base.with_extension("prom"), to_prometheus(telemetry));
+    Some(jsonl_path.to_string_lossy().into_owned())
+}
+
 /// Keeps a post-mortem for a bad run (trace path + propagation chains),
 /// when the campaign is traced. Bit-exact runs have nothing to dump.
 fn postmortem(
@@ -256,6 +318,7 @@ fn run_cell_det(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunReco
         } else {
             TraceConfig::Off
         },
+        telemetry: cell_telemetry(spec),
         ..SimConfig::error_free(spec.frames)
     }
     .seed(cell.seed);
@@ -296,6 +359,11 @@ fn run_cell_det(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunReco
     let sink_len = sink.len();
     let bad = !violations.is_empty() || outcome != Outcome::Ok;
     let (trace_file, propagation) = postmortem(spec, cell, &report, bad);
+    let telemetry_file = spec
+        .telemetry_dir
+        .as_ref()
+        .zip(report.telemetry.as_ref())
+        .and_then(|(dir, t)| dump_telemetry(dir, cell, t));
 
     RunRecord {
         cell,
@@ -308,6 +376,10 @@ fn run_cell_det(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunReco
         watchdog_escalations: report.watchdog.total_escalations(),
         watchdog: report.watchdog,
         realign_events,
+        max_queue_occupancy: report.max_queue_occupancy(),
+        blocked_ops: report.queues.blocked_pushes + report.queues.blocked_pops,
+        frame_latency: frame_latency(&report),
+        telemetry_file,
         violations,
         trace_file,
         propagation,
@@ -354,6 +426,7 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
         } else {
             TraceConfig::Off
         },
+        telemetry: cell_telemetry(spec),
         ..SimConfig::error_free(spec.frames)
     }
     .seed(cell.seed);
@@ -380,6 +453,10 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
                 watchdog_escalations: 0,
                 watchdog: WatchdogStats::default(),
                 realign_events: 0,
+                max_queue_occupancy: 0,
+                blocked_ops: 0,
+                frame_latency: None,
+                telemetry_file: None,
                 violations,
                 trace_file: None,
                 propagation: Vec::new(),
@@ -422,6 +499,11 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
     let realign_events = total_realign_events(&report);
     let bad = !violations.is_empty() || outcome != Outcome::Ok;
     let (trace_file, propagation) = postmortem(spec, cell, &report, bad);
+    let telemetry_file = spec
+        .telemetry_dir
+        .as_ref()
+        .zip(report.telemetry.as_ref())
+        .and_then(|(dir, t)| dump_telemetry(dir, cell, t));
 
     RunRecord {
         cell,
@@ -434,6 +516,10 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
         watchdog_escalations: report.watchdog.total_escalations(),
         watchdog: report.watchdog,
         realign_events,
+        max_queue_occupancy: report.max_queue_occupancy(),
+        blocked_ops: report.queues.blocked_pushes + report.queues.blocked_pops,
+        frame_latency: frame_latency(&report),
+        telemetry_file,
         violations,
         trace_file,
         propagation,
@@ -493,6 +579,11 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
     if let Some(dir) = &spec.trace_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("campaign: cannot create trace dir {dir}: {e}");
+        }
+    }
+    if let Some(dir) = &spec.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("campaign: cannot create telemetry dir {dir}: {e}");
         }
     }
     let cells = spec.cells();
@@ -669,6 +760,44 @@ mod tests {
         };
         let report = run_campaign(&spec);
         assert_eq!(report.workers, 2);
+    }
+
+    #[test]
+    fn telemetry_campaign_dumps_every_run_and_fills_percentiles() {
+        let dir =
+            std::env::temp_dir().join(format!("cg-campaign-telem-test-{}", std::process::id()));
+        let spec = CampaignSpec {
+            classes: vec![FaultClass::Baseline],
+            mtbes: vec![cg_fault::Mtbe::instructions(2048)],
+            protections: vec![Protection::commguard()],
+            seeds: 2,
+            frames: 8,
+            telemetry_dir: Some(dir.to_string_lossy().into_owned()),
+            ..CampaignSpec::default()
+        };
+        let report = run_campaign(&spec);
+        assert!(report.violations().is_empty());
+        for r in &report.runs {
+            let (p50, p99) = r.frame_latency.expect("telemetry percentiles filled");
+            assert!(p50 <= p99);
+            let jsonl = r.telemetry_file.as_ref().expect("telemetry dumped");
+            let body = std::fs::read_to_string(jsonl).expect("jsonl readable");
+            cg_telemetry::from_jsonl(&body).expect("jsonl parses back");
+            let prom = jsonl.strip_suffix(".jsonl").expect("jsonl extension");
+            let prom = std::fs::read_to_string(format!("{prom}.prom")).expect("prom sibling");
+            cg_telemetry::parse_prometheus(&prom).expect("prom validates");
+        }
+        // Untelemetered campaigns keep the record fields cheap but filled.
+        let plain = run_campaign(&CampaignSpec {
+            telemetry_dir: None,
+            ..spec
+        });
+        for r in &plain.runs {
+            assert!(r.frame_latency.is_none());
+            assert!(r.telemetry_file.is_none());
+            assert!(r.max_queue_occupancy > 0, "queue stats are always on");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

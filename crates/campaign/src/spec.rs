@@ -72,6 +72,11 @@ pub struct CampaignSpec {
     /// or hanging runs dump their trace + propagation summary into this
     /// directory. `None` (the default) keeps the zero-cost untraced path.
     pub trace_dir: Option<String>,
+    /// When set, the metrics plane is enabled for every run: frame-latency
+    /// percentiles land in each [`crate::RunRecord`], and each run dumps a
+    /// Prometheus `.prom` + snapshot `.jsonl` pair into this directory.
+    /// `None` (the default) keeps the zero-cost unprobed path.
+    pub telemetry_dir: Option<String>,
 }
 
 impl Default for CampaignSpec {
@@ -101,6 +106,7 @@ impl Default for CampaignSpec {
             executor: ExecutorKind::default(),
             transport: ParTransport::default(),
             trace_dir: None,
+            telemetry_dir: None,
         }
     }
 }

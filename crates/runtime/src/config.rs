@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use cg_fault::{EffectModel, FaultClass, Mtbe};
+use cg_telemetry::TelemetryConfig;
 use cg_trace::TraceConfig;
 use commguard::Protection;
 
@@ -113,6 +114,10 @@ pub struct SimConfig {
     /// Event tracing. `Off` (the default) takes the untraced fast path:
     /// no tracer is constructed and every emit site is one `None` check.
     pub trace: TraceConfig,
+    /// Metrics plane. `Off` (the default) constructs no probes and every
+    /// record site is one `None` check; enabled runs emit per-frame and
+    /// per-interval snapshots into `RunReport.telemetry`.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -140,6 +145,7 @@ impl SimConfig {
             par_retry_budget: 3,
             stall_timeout: Duration::from_secs(10),
             trace: TraceConfig::Off,
+            telemetry: TelemetryConfig::Off,
         }
     }
 
@@ -177,6 +183,13 @@ impl SimConfig {
     #[must_use]
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the telemetry mode (builder style).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -301,5 +314,13 @@ mod tests {
         assert_eq!(c.trace, TraceConfig::Off);
         let t = c.trace(TraceConfig::ring());
         assert!(t.trace.is_enabled());
+    }
+
+    #[test]
+    fn telemetry_defaults_off() {
+        let c = SimConfig::error_free(1);
+        assert_eq!(c.telemetry, TelemetryConfig::Off);
+        let t = c.telemetry(TelemetryConfig::enabled());
+        assert!(t.telemetry.is_enabled());
     }
 }

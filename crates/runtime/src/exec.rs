@@ -11,6 +11,7 @@
 use cg_fault::{CoreInjector, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
 use cg_queue::{QueueSpec, SimQueue, Which};
+use cg_telemetry::{ClockMode, CoreProbe, RunCounters};
 use cg_trace::{DirTag, Event, Tracer, MACHINE_CORE};
 use commguard::qm::TimeoutTracker;
 use commguard::CoreGuard;
@@ -198,6 +199,13 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
     let pointer_mode = config.protection.pointer_mode();
     let errors_on = config.faults_enabled();
     let tracer = config.trace.tracer();
+    // Deterministic clock: ticks are scheduler rounds, so enabled-path
+    // snapshots are byte-identical per seed.
+    let telem = config.telemetry.telemetry(ClockMode::Deterministic);
+    let mut probes: Vec<CoreProbe> = graph
+        .nodes()
+        .map(|(id, node)| telem.probe(id.index() as u32, node.name()))
+        .collect();
 
     // Queues, one per edge.
     let mut queues: Vec<SimQueue> = graph
@@ -289,12 +297,34 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
 
     loop {
         rounds += 1;
+        telem.advance_clock(rounds);
         let mut all_done = true;
         for &nid in &order {
-            let n = &mut nodes[nid.index()];
-            tracer.set_context(nid.index() as u32, rounds, n.guard.active_fc());
-            step(n, &mut queues, &cost_models[nid.index()], config, &tracer);
-            all_done &= nodes[nid.index()].is_done();
+            let i = nid.index();
+            let n = &mut nodes[i];
+            tracer.set_context(i as u32, rounds, n.guard.active_fc());
+            // Busy/stall attribution: a visit that changes observable
+            // node state (or moves data on an attached queue) was busy;
+            // anything else was a stalled visit. Classification is only
+            // paid for when telemetry is on.
+            let before = if probes[i].is_enabled() && !n.is_done() {
+                Some(node_visit_fingerprint(n, &queues))
+            } else {
+                None
+            };
+            step(
+                n,
+                &mut queues,
+                &cost_models[i],
+                config,
+                &tracer,
+                &mut probes[i],
+            );
+            if let Some(fp) = before {
+                let after = node_visit_fingerprint(&nodes[i], &queues);
+                probes[i].visit(after != fp);
+            }
+            all_done &= nodes[i].is_done();
         }
         if all_done {
             completed = true;
@@ -395,7 +425,28 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
             max_queue_occupancy,
         });
     }
+    report.telemetry = telem.finish(probes, run_counters(config.frames, &report));
     Ok(report)
+}
+
+/// Folds the assembled report's run-wide counters into the telemetry
+/// section so exporters see one self-contained document.
+pub(crate) fn run_counters(frames: u64, report: &RunReport) -> RunCounters {
+    RunCounters {
+        frames,
+        ecc_checks: report.queues.ecc.checks,
+        ecc_detected: report.queues.ecc.detections,
+        ecc_corrected: report.queues.ecc.corrections,
+        wd_arm_timeouts: report.watchdog.timeout_escalations,
+        wd_forced_progress: report.watchdog.forced_progress,
+        wd_frame_aborts: report.watchdog.frame_aborts,
+        wd_frame_degrades: report.watchdog.frame_degrades,
+        frame_retries: report.watchdog.frame_retries,
+        realignment_episodes: report.realignment_episodes,
+        faults_injected: report.total_faults().total(),
+        blocked_ops: report.queues.blocked_pushes + report.queues.blocked_pops,
+        queue_timeouts: report.total_timeouts(),
+    }
 }
 
 /// Advances one node as far as possible this visit.
@@ -405,6 +456,7 @@ fn step(
     cost: &cg_graph::CostModel,
     config: &SimConfig,
     tracer: &Tracer,
+    probe: &mut CoreProbe,
 ) {
     loop {
         match n.phase {
@@ -428,6 +480,7 @@ fn step(
                 tracer.emit(Event::FrameBoundary {
                     frame: n.guard.active_fc(),
                 });
+                probe.frame_start();
                 n.phase = Phase::DrainHeaders;
             }
             Phase::DrainHeaders => {
@@ -529,6 +582,11 @@ fn step(
                 }
                 n.firings_done += 1;
                 n.phase = if n.firings_done.is_multiple_of(n.reps) {
+                    if probe.is_enabled() {
+                        let (occ, det, corr) = sample_consumer_edges(n, queues);
+                        probe.ecc_sample(det, corr);
+                        probe.frame_commit(occ, 0, 0);
+                    }
                     Phase::Boundary
                 } else {
                     Phase::PopInputs
@@ -846,6 +904,50 @@ fn degrade_frame(n: &mut NodeRt, queues: &mut [SimQueue]) {
     }
     n.firings_done = (n.firings_done + owed).min(n.total_firings);
     n.phase = Phase::Boundary;
+}
+
+/// Telemetry sampling at a frame commit: high-water occupancy and
+/// cumulative ECC totals over the queues this core consumes (queues are
+/// attributed to their consumer side, matching `NodeReport`).
+fn sample_consumer_edges(n: &NodeRt, queues: &[SimQueue]) -> (u64, u64, u64) {
+    let mut occ = 0u64;
+    let mut det = 0u64;
+    let mut corr = 0u64;
+    for &e in &n.in_edges {
+        let q = &queues[e.index()];
+        occ = occ.max(u64::from(q.occupancy()));
+        let ecc = q.stats().ecc;
+        det += ecc.detections;
+        corr += ecc.corrections;
+    }
+    (occ, det, corr)
+}
+
+/// Per-node progress digest for busy/stall visit classification: node
+/// micro-state plus successful-transfer counters on its attached edges
+/// (so a visit that only drained a header still counts as busy).
+fn node_visit_fingerprint(n: &NodeRt, queues: &[SimQueue]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mix = |acc: u64, v: u64| (acc ^ v).wrapping_mul(FNV_PRIME);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = mix(h, n.firings_done);
+    h = mix(h, n.instructions);
+    h = mix(h, phase_rank(n.phase));
+    h = mix(h, n.staged_in.iter().map(|b| b.len() as u64).sum());
+    h = mix(h, n.out_pos.iter().map(|&p| p as u64).sum());
+    for &e in n.in_edges.iter().chain(&n.out_edges) {
+        let s = queues[e.index()].stats();
+        h = mix(
+            h,
+            s.item_pushes
+                + s.header_pushes
+                + s.item_pops
+                + s.header_pops
+                + s.timeout_pushes
+                + s.timeout_pops,
+        );
+    }
+    h
 }
 
 /// A cheap digest of all externally observable execution state, compared

@@ -67,6 +67,7 @@ mod report;
 pub mod watchdog;
 pub mod work;
 
+pub use cg_telemetry::{TelemetryConfig, TelemetryReport};
 pub use cg_trace::{TraceConfig, TraceData};
 pub use config::{MemModel, OverheadModel, ParFaults, SimConfig};
 pub use exec::{check_queue_capacity, run, RunError};

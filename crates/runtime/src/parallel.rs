@@ -69,6 +69,7 @@ use cg_queue::{
     spsc_pair, QueueSpec, QueueStats, SharedQueue, Side, SimQueue, SpscConsumer, SpscProducer,
     SpscStats, WaitError, Which,
 };
+use cg_telemetry::{ClockMode, CoreProbe};
 use cg_trace::{Event, MACHINE_CORE};
 use commguard::CoreGuard;
 use rand::Rng;
@@ -385,6 +386,9 @@ pub fn run_parallel_with(
     let recovery = errors_on;
     let retry_budget = config.par_retry_budget;
     let tracer = config.trace.tracer();
+    // Wall clock: threaded frame latency is real microseconds. (The
+    // determinism contract only covers the deterministic executor.)
+    let telem = config.telemetry.telemetry(ClockMode::Wall);
 
     let lock_free = transport == ParTransport::LockFree;
     let spec = || {
@@ -440,6 +444,7 @@ pub fn run_parallel_with(
         sink: Option<Vec<u32>>,
         retries: u64,
         degrades: u64,
+        probe: CoreProbe,
     }
 
     let mut results: Vec<ThreadResult> = Vec::with_capacity(graph.node_count());
@@ -463,6 +468,9 @@ pub fn run_parallel_with(
             let edge_labels = &edge_labels;
             let wtracer = tracer.clone();
             let core_id = id.index() as u32;
+            // The worker owns its probe outright (lock-free by
+            // ownership); it travels back in the ThreadResult.
+            let mut probe = telem.probe(core_id, node.name());
             // Build this worker's ports up front (lock-free endpoints are
             // moved out of their slots exactly once). The ports travel
             // into the worker closure, so a panic unwind drops — and
@@ -536,6 +544,11 @@ pub fn run_parallel_with(
                     + push_rates.iter().map(|&r| u64::from(r)).sum::<u64>();
                 guard.start();
                 for frame in 0..frames {
+                    // Open the telemetry frame before the boundary flush so
+                    // no wall time goes unattributed.
+                    probe.frame_start();
+                    let frame_retries0 = retries;
+                    let frame_degrades0 = degrades;
                     if frame > 0 {
                         for p in &mut out_ports {
                             p.with(SimQueue::flush);
@@ -544,8 +557,10 @@ pub fn run_parallel_with(
                     }
                     // Drain pending headers (block on full queues).
                     for (port, &e) in out_edges.iter().enumerate() {
+                        let w0 = probe.wait_begin();
                         let drained =
                             out_ports[port].produce(|q| guard.hi_tick(port, q).then_some(()));
+                        probe.wait_end(w0);
                         if let Err(w) = drained {
                             if !recovery {
                                 return Err(stall_error(
@@ -607,10 +622,12 @@ pub fn run_parallel_with(
                                 while staged_in[port].len() < need {
                                     let buf = &mut staged_in[port];
                                     let max = (need - buf.len()).min(chunk_limit);
+                                    let w0 = probe.wait_begin();
                                     let popped = in_ports[port].consume(|q| {
                                         let got = guard.pop_batch(port, q, buf, max);
                                         (got > 0).then_some(())
                                     });
+                                    probe.wait_end(w0);
                                     if let Err(w) = popped {
                                         if !recovery {
                                             return Err(stall_error(
@@ -785,10 +802,12 @@ pub fn run_parallel_with(
                                 let mut pos = committed[port].saturating_sub(before).min(buf.len());
                                 while pos < buf.len() {
                                     let end = buf.len().min(pos.saturating_add(chunk_limit));
+                                    let w0 = probe.wait_begin();
                                     let pushed = out_ports[port].produce(|q| {
                                         let got = guard.push_batch(port, q, &buf[pos..end]);
                                         (got > 0).then_some(got)
                                     });
+                                    probe.wait_end(w0);
                                     match pushed {
                                         Ok(got) => {
                                             pos += got;
@@ -877,6 +896,26 @@ pub fn run_parallel_with(
                         }
                         break 'attempts;
                     }
+                    if probe.is_enabled() {
+                        // Consumer-side sample: occupancy high-water and
+                        // cumulative ECC activity over this node's in-edges.
+                        let mut occ = 0u64;
+                        let (mut det, mut corr) = (0u64, 0u64);
+                        for p in &mut in_ports {
+                            p.with(|q| {
+                                occ = occ.max(u64::from(q.occupancy()));
+                                let e = q.stats().ecc;
+                                det += e.detections;
+                                corr += e.corrections;
+                            });
+                        }
+                        probe.ecc_sample(det, corr);
+                        probe.frame_commit(
+                            occ,
+                            retries - frame_retries0,
+                            degrades - frame_degrades0,
+                        );
+                    }
                 }
                 guard.finish();
                 // Drain the end-of-computation header. With the consumer
@@ -884,7 +923,9 @@ pub fn run_parallel_with(
                 // condvar wait is bounded, a dead peer is an error naming
                 // the stuck edge, and under recovery the header is forced.
                 for (port, &e) in out_edges.iter().enumerate() {
+                    let w0 = probe.wait_begin();
                     let drained = out_ports[port].produce(|q| guard.hi_tick(port, q).then_some(()));
+                    probe.wait_end(w0);
                     if let Err(w) = drained {
                         if !recovery {
                             return Err(stall_error(
@@ -931,6 +972,7 @@ pub fn run_parallel_with(
                     },
                     retries,
                     degrades,
+                    probe,
                 })
             };
             handles.push((node.name().to_string(), scope.spawn(worker)));
@@ -973,6 +1015,7 @@ pub fn run_parallel_with(
     for s in &edge_stats {
         report.queues += *s;
     }
+    let mut probes = Vec::with_capacity(results.len());
     for mut r in results {
         // Consumer-side attribution, matching the deterministic executor.
         r.report.max_queue_occupancy = r
@@ -988,8 +1031,10 @@ pub fn run_parallel_with(
             report.sinks.insert(r.node.index(), buf);
         }
         report.nodes.push(r.report);
+        probes.push(r.probe);
     }
     report.watchdog = wd;
+    report.telemetry = telem.finish(probes, crate::exec::run_counters(config.frames, &report));
     Ok(report)
 }
 

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use cg_fault::FaultStats;
 use cg_graph::NodeId;
 use cg_queue::QueueStats;
+use cg_telemetry::TelemetryReport;
 use cg_trace::TraceData;
 use commguard::SubopCounters;
 
@@ -88,6 +89,9 @@ pub struct RunReport {
     pub realignment_episodes: u64,
     /// The drained event trace, when the run was configured with one.
     pub trace: Option<TraceData>,
+    /// The metrics-plane report (latency histograms, snapshot series,
+    /// time attribution), when the run was configured with telemetry.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunReport {
@@ -292,5 +296,6 @@ mod tests {
         let r = report();
         assert_eq!(r.realignment_episodes, 0);
         assert!(r.trace.is_none());
+        assert!(r.telemetry.is_none());
     }
 }

@@ -1,0 +1,128 @@
+//! Inspection CLI for telemetry snapshot files.
+//!
+//! ```text
+//! cg-telemetry summary RUN.jsonl            # one-screen latency/attribution digest
+//! cg-telemetry top RUN.jsonl [--by busy|wait|latency] [-n N]
+//! cg-telemetry export RUN.jsonl --format prom [--out FILE]
+//! ```
+
+use cg_telemetry::{from_jsonl, to_jsonl, to_prometheus, TelemetryReport};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cg-telemetry <summary|top|export> FILE.jsonl [options]\n\
+         \n\
+         summary FILE.jsonl\n\
+         top FILE.jsonl [--by busy|wait|latency] [-n N]\n\
+         export FILE.jsonl --format prom|jsonl [--out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<TelemetryReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_jsonl(&text)
+}
+
+fn cmd_summary(report: &TelemetryReport) {
+    print!("{}", report.render_summary());
+}
+
+fn cmd_top(report: &TelemetryReport, by: &str, n: usize) -> Result<(), String> {
+    let mut rows: Vec<_> = report.nodes.iter().collect();
+    match by {
+        "busy" => rows.sort_by_key(|r| std::cmp::Reverse((r.busy, r.core))),
+        "wait" => rows.sort_by_key(|r| std::cmp::Reverse((r.wait, r.core))),
+        "latency" => rows.sort_by_key(|r| std::cmp::Reverse((r.latency.quantile(0.99), r.core))),
+        other => return Err(format!("unknown --by {other:?} (busy|wait|latency)")),
+    }
+    println!(
+        "{:<18} {:>6} {:>10} {:>10} {:>6} {:>8} {:>8}",
+        "node", "core", "busy", "wait", "busy%", "p99", "maxq"
+    );
+    for node in rows.into_iter().take(n) {
+        println!(
+            "{:<18} {:>6} {:>10} {:>10} {:>5.1}% {:>8} {:>8}",
+            node.name,
+            node.core,
+            node.busy,
+            node.wait,
+            node.busy_pct(),
+            node.latency.quantile(0.99),
+            node.max_queue_occupancy,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(report: &TelemetryReport, format: &str, out: Option<&str>) -> Result<(), String> {
+    let text = match format {
+        "prom" | "prometheus" => to_prometheus(report),
+        "jsonl" => to_jsonl(report),
+        other => return Err(format!("unknown --format {other:?} (prom|jsonl)")),
+    };
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args
+        .first()
+        .map(String::as_str)
+        .ok_or("missing subcommand")?;
+    // The snapshot file is the first non-flag operand, wherever it
+    // appears: `top FILE --by wait` and `top --by wait FILE` both work.
+    let mut file = None;
+    let mut by = "busy".to_string();
+    let mut n = 10usize;
+    let mut format = "prom".to_string();
+    let mut out = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--by" => by = it.next().ok_or("--by needs a value")?.clone(),
+            "-n" => {
+                n = it
+                    .next()
+                    .ok_or("-n needs a value")?
+                    .parse()
+                    .map_err(|_| "-n needs an integer")?
+            }
+            "--format" => format = it.next().ok_or("--format needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            operand if file.is_none() => file = Some(operand.to_string()),
+            extra => return Err(format!("unexpected operand {extra:?}")),
+        }
+    }
+    let report = load(file.as_deref().ok_or("missing snapshot file")?)?;
+    match cmd {
+        "summary" => {
+            cmd_summary(&report);
+            Ok(())
+        }
+        "top" => cmd_top(&report, &by, n),
+        "export" => cmd_export(&report, &format, out.as_deref()),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cg-telemetry: {e}");
+            usage()
+        }
+    }
+}

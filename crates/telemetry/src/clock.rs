@@ -1,0 +1,103 @@
+//! Time sources for the metrics plane.
+//!
+//! The deterministic executor measures time in *scheduler rounds*: the
+//! executor publishes the round counter into a shared atomic once per
+//! round and every probe reads it, so identical seeds produce
+//! byte-identical timestamps. The threaded executor measures wall
+//! clock in microseconds since run start — real latency, inherently
+//! non-deterministic, which is fine because the determinism contract
+//! only covers the deterministic executor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which time source a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Ticks are scheduler rounds, advanced explicitly by the executor.
+    Deterministic,
+    /// Ticks are microseconds of wall clock since the clock was built.
+    Wall,
+}
+
+impl ClockMode {
+    pub fn unit(self) -> &'static str {
+        match self {
+            ClockMode::Deterministic => "rounds",
+            ClockMode::Wall => "us",
+        }
+    }
+}
+
+/// A cloneable handle on the run's time source.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: ClockInner,
+}
+
+#[derive(Debug, Clone)]
+enum ClockInner {
+    Det(Arc<AtomicU64>),
+    Wall(Instant),
+}
+
+impl Clock {
+    pub fn new(mode: ClockMode) -> Self {
+        let inner = match mode {
+            ClockMode::Deterministic => ClockInner::Det(Arc::new(AtomicU64::new(0))),
+            ClockMode::Wall => ClockInner::Wall(Instant::now()),
+        };
+        Self { inner }
+    }
+
+    pub fn mode(&self) -> ClockMode {
+        match self.inner {
+            ClockInner::Det(_) => ClockMode::Deterministic,
+            ClockInner::Wall(_) => ClockMode::Wall,
+        }
+    }
+
+    /// Publish the current tick. No-op for wall clocks; the
+    /// deterministic executor calls this once per scheduler round.
+    #[inline]
+    pub fn advance_to(&self, tick: u64) {
+        if let ClockInner::Det(t) = &self.inner {
+            t.store(tick, Ordering::Relaxed);
+        }
+    }
+
+    /// Current tick: published round count, or elapsed microseconds.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        match &self.inner {
+            ClockInner::Det(t) => t.load(Ordering::Relaxed),
+            ClockInner::Wall(origin) => origin.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_clock_reads_published_ticks() {
+        let c = Clock::new(ClockMode::Deterministic);
+        assert_eq!(c.now(), 0);
+        c.advance_to(17);
+        let c2 = c.clone();
+        assert_eq!(c2.now(), 17);
+        assert_eq!(c.mode().unit(), "rounds");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = Clock::new(ClockMode::Wall);
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        c.advance_to(99); // no-op
+        assert_eq!(c.mode().unit(), "us");
+    }
+}

@@ -1,0 +1,257 @@
+//! Fixed-bucket log-scale histogram with exact merge.
+//!
+//! The bucket layout is the classic HDR scheme: values are grouped by
+//! their most-significant bit into octaves, and each octave is split
+//! into `SUB = 8` linear sub-buckets, giving a worst-case relative
+//! quantile error of `1/SUB = 12.5%` — i.e. a reported quantile is
+//! always the upper bound of the bucket that contains the exact
+//! rank-order statistic ("within one bucket of exact").
+//!
+//! Why fixed buckets instead of sampling or t-digests: the bucket
+//! index of a value is a pure function of the value, so merging shard
+//! histograms is elementwise addition of counts — *exact*, order
+//! independent, and deterministic. Per-core shards recorded on worker
+//! threads merge into the run-level histogram with no coordination and
+//! no approximation drift, which is what makes byte-identical
+//! snapshots per seed possible on the deterministic executor.
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
+
+/// Bucket index for a value. Monotone in `v`; total over `u64`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        ((msb - SUB_BITS + 1) as usize) * SUB + ((v >> shift) as usize - SUB)
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (the value a quantile reports).
+#[inline]
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    debug_assert!(b < BUCKETS);
+    if b < SUB {
+        b as u64
+    } else {
+        let octave = (b / SUB) as u32;
+        let sub = (b % SUB) as u64;
+        let shift = octave - 1;
+        // The bucket start has its low `shift` bits clear, so OR-ing
+        // the mask in is exact and cannot overflow at the top octave.
+        ((SUB as u64 + sub) << shift) | ((1u64 << shift) - 1)
+    }
+}
+
+/// Fixed-bucket log-scale histogram over `u64` samples.
+///
+/// `merge` is exact: merging per-shard histograms is indistinguishable
+/// from recording the concatenated sample stream into one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        // Saturating sum = min(true sum, MAX): order-independent, so
+        // sharded recording still merges exactly.
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Elementwise-exact merge of another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// exact rank-`ceil(q * count)` sample, clamped to the observed
+    /// max. Guaranteed within one bucket of the exact percentile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_upper_bound(b), c))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_and_total() {
+        let mut values: Vec<u64> = (0..4096).collect();
+        for shift in 0..64u32 {
+            for delta in [0u64, 1, 2, 3] {
+                values.push((1u64 << shift).saturating_add(delta));
+                values.push((1u64 << shift).saturating_sub(1));
+            }
+        }
+        values.push(u64::MAX);
+        values.sort_unstable();
+        for w in values.windows(2) {
+            let (a, b) = (bucket_index(w[0]), bucket_index(w[1]));
+            assert!(
+                a <= b,
+                "index not monotone: {} -> {a}, {} -> {b}",
+                w[0],
+                w[1]
+            );
+            assert!(b < BUCKETS);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn upper_bound_is_tight() {
+        // Every value maps to a bucket whose upper bound is >= the
+        // value, and the next value after the bound maps to a later
+        // bucket.
+        for v in (0..4096u64).chain([1 << 20, 1 << 40, u64::MAX - 1, u64::MAX]) {
+            let b = bucket_index(v);
+            let ub = bucket_upper_bound(b);
+            assert!(ub >= v, "bound {ub} < value {v}");
+            if ub < u64::MAX {
+                assert_eq!(bucket_index(ub + 1), b + 1, "bound {ub} not tight for {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 28);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn merge_equals_concatenated() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i.wrapping_mul(2654435761) % (1 << 24);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! Newline-delimited JSON snapshot export and its inverse.
+//!
+//! One flat object per line, integer-valued throughout (derived
+//! floats are left to readers), so the bytes are a pure function of
+//! the recorded counters — this is what the deterministic-executor
+//! byte-identity test hashes. The parser here is deliberately tiny:
+//! flat objects of strings and unsigned integers, exactly the shape
+//! the writer emits, so the `cg-telemetry` binary and tests can round
+//! trip files without a JSON dependency.
+
+use crate::hist::Histogram;
+use crate::report::{FrameSnapshot, IntervalSnapshot, NodeTelemetry, RunCounters, TelemetryReport};
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report as newline-delimited JSON snapshots.
+pub fn to_jsonl(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"version\":1,\"clock\":\"{}\",\"interval\":{}}}\n",
+        escape_json(&report.clock_unit),
+        report.interval
+    ));
+    for n in &report.nodes {
+        out.push_str(&format!(
+            "{{\"type\":\"node\",\"core\":{},\"name\":\"{}\",\"frames\":{},\"busy\":{},\
+             \"wait\":{},\"max_queue_occupancy\":{},\"latency_p50\":{},\"latency_p90\":{},\
+             \"latency_p99\":{},\"latency_max\":{},\"latency_sum\":{}}}\n",
+            n.core,
+            escape_json(&n.name),
+            n.frames,
+            n.busy,
+            n.wait,
+            n.max_queue_occupancy,
+            n.latency.quantile(0.50),
+            n.latency.quantile(0.90),
+            n.latency.quantile(0.99),
+            n.latency.max(),
+            n.latency.sum(),
+        ));
+    }
+    for f in &report.frames {
+        out.push_str(&format!(
+            "{{\"type\":\"frame\",\"core\":{},\"frame\":{},\"at\":{},\"latency\":{},\
+             \"busy\":{},\"wait\":{},\"occupancy\":{},\"retries\":{},\"degrades\":{}}}\n",
+            f.core,
+            f.frame,
+            f.at,
+            f.latency,
+            f.busy,
+            f.wait,
+            f.queue_occupancy,
+            f.retries,
+            f.degrades,
+        ));
+    }
+    for i in &report.intervals {
+        out.push_str(&format!(
+            "{{\"type\":\"interval\",\"core\":{},\"frame\":{},\"at\":{},\"frames\":{},\
+             \"latency_sum\":{},\"latency_max\":{},\"busy\":{},\"wait\":{},\
+             \"ecc_detected\":{},\"ecc_corrected\":{}}}\n",
+            i.core,
+            i.frame,
+            i.at,
+            i.frames,
+            i.latency_sum,
+            i.latency_max,
+            i.busy,
+            i.wait,
+            i.ecc_detected,
+            i.ecc_corrected,
+        ));
+    }
+    let r = &report.run;
+    out.push_str(&format!(
+        "{{\"type\":\"run\",\"frames\":{},\"ecc_checks\":{},\"ecc_detected\":{},\
+         \"ecc_corrected\":{},\"wd_arm_timeouts\":{},\"wd_forced_progress\":{},\
+         \"wd_frame_aborts\":{},\"wd_frame_degrades\":{},\"frame_retries\":{},\
+         \"realign_episodes\":{},\"faults_injected\":{},\"blocked_ops\":{},\
+         \"queue_timeouts\":{}}}\n",
+        r.frames,
+        r.ecc_checks,
+        r.ecc_detected,
+        r.ecc_corrected,
+        r.wd_arm_timeouts,
+        r.wd_forced_progress,
+        r.wd_frame_aborts,
+        r.wd_frame_degrades,
+        r.frame_retries,
+        r.realignment_episodes,
+        r.faults_injected,
+        r.blocked_ops,
+        r.queue_timeouts,
+    ));
+    out
+}
+
+/// Value in a flat snapshot object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonlValue {
+    Int(u64),
+    Str(String),
+}
+
+impl JsonlValue {
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            JsonlValue::Int(v) => Some(*v),
+            JsonlValue::Str(_) => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonlValue::Str(s) => Some(s),
+            JsonlValue::Int(_) => None,
+        }
+    }
+}
+
+/// One parsed snapshot line: ordered key/value pairs.
+pub type JsonlRecord = Vec<(String, JsonlValue)>;
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('n') => s.push('\n'),
+                Some('r') => s.push('\r'),
+                Some('t') => s.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars.next().ok_or("bad \\u escape")?;
+                        code = code * 16 + d.to_digit(16).ok_or("bad \\u digit")?;
+                    }
+                    s.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                }
+                Some(other) => s.push(other),
+                None => return Err("dangling escape".to_string()),
+            },
+            Some(c) => s.push(c),
+        }
+    }
+}
+
+/// Parse one flat-object line.
+pub fn parse_jsonl_line(line: &str) -> Result<JsonlRecord, String> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next() != Some('{') {
+        return Err(format!("line does not start an object: {line:?}"));
+    }
+    let mut rec = JsonlRecord::new();
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') | Some(' ') => {
+                chars.next();
+            }
+            Some('"') => {
+                chars.next();
+                let key = parse_string(&mut chars)?;
+                if chars.next() != Some(':') {
+                    return Err(format!("missing ':' after key {key:?}"));
+                }
+                while chars.peek() == Some(&' ') {
+                    chars.next();
+                }
+                match chars.peek() {
+                    Some('"') => {
+                        chars.next();
+                        let v = parse_string(&mut chars)?;
+                        rec.push((key, JsonlValue::Str(v)));
+                    }
+                    Some(c) if c.is_ascii_digit() => {
+                        let mut n: u64 = 0;
+                        while let Some(c) = chars.peek() {
+                            if let Some(d) = c.to_digit(10) {
+                                n = n
+                                    .checked_mul(10)
+                                    .and_then(|n| n.checked_add(d as u64))
+                                    .ok_or("integer overflow")?;
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        rec.push((key, JsonlValue::Int(n)));
+                    }
+                    other => return Err(format!("unsupported value start {other:?}")),
+                }
+            }
+            other => return Err(format!("unexpected token {other:?} in {line:?}")),
+        }
+    }
+    Ok(rec)
+}
+
+/// Parse a whole snapshot document into records (blank lines skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<JsonlRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(n, l)| parse_jsonl_line(l).map_err(|e| format!("line {}: {e}", n + 1)))
+        .collect()
+}
+
+fn get_int(rec: &JsonlRecord, key: &str) -> Result<u64, String> {
+    rec.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_int())
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn get_str<'a>(rec: &'a JsonlRecord, key: &str) -> Result<&'a str, String> {
+    rec.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Rebuild a [`TelemetryReport`] from its JSONL export. Histograms are
+/// reconstructed from the per-frame rows (every committed frame has
+/// one), so a round trip reproduces the original report exactly.
+pub fn from_jsonl(text: &str) -> Result<TelemetryReport, String> {
+    let records = parse_jsonl(text)?;
+    let mut clock_unit = String::from("rounds");
+    let mut interval = 1u64;
+    let mut nodes: Vec<NodeTelemetry> = Vec::new();
+    let mut frames: Vec<FrameSnapshot> = Vec::new();
+    let mut intervals: Vec<IntervalSnapshot> = Vec::new();
+    let mut run = RunCounters::default();
+    for rec in &records {
+        match get_str(rec, "type")? {
+            "meta" => {
+                clock_unit = get_str(rec, "clock")?.to_string();
+                interval = get_int(rec, "interval")?;
+            }
+            "node" => nodes.push(NodeTelemetry {
+                core: get_int(rec, "core")? as u32,
+                name: get_str(rec, "name")?.to_string(),
+                frames: get_int(rec, "frames")?,
+                busy: get_int(rec, "busy")?,
+                wait: get_int(rec, "wait")?,
+                max_queue_occupancy: get_int(rec, "max_queue_occupancy")?,
+                latency: Histogram::new(),
+                occupancy: Histogram::new(),
+            }),
+            "frame" => frames.push(FrameSnapshot {
+                core: get_int(rec, "core")? as u32,
+                frame: get_int(rec, "frame")?,
+                at: get_int(rec, "at")?,
+                latency: get_int(rec, "latency")?,
+                busy: get_int(rec, "busy")?,
+                wait: get_int(rec, "wait")?,
+                queue_occupancy: get_int(rec, "occupancy")?,
+                retries: get_int(rec, "retries")?,
+                degrades: get_int(rec, "degrades")?,
+            }),
+            "interval" => intervals.push(IntervalSnapshot {
+                core: get_int(rec, "core")? as u32,
+                frame: get_int(rec, "frame")?,
+                at: get_int(rec, "at")?,
+                frames: get_int(rec, "frames")?,
+                latency_sum: get_int(rec, "latency_sum")?,
+                latency_max: get_int(rec, "latency_max")?,
+                busy: get_int(rec, "busy")?,
+                wait: get_int(rec, "wait")?,
+                ecc_detected: get_int(rec, "ecc_detected")?,
+                ecc_corrected: get_int(rec, "ecc_corrected")?,
+            }),
+            "run" => {
+                run = RunCounters {
+                    frames: get_int(rec, "frames")?,
+                    ecc_checks: get_int(rec, "ecc_checks")?,
+                    ecc_detected: get_int(rec, "ecc_detected")?,
+                    ecc_corrected: get_int(rec, "ecc_corrected")?,
+                    wd_arm_timeouts: get_int(rec, "wd_arm_timeouts")?,
+                    wd_forced_progress: get_int(rec, "wd_forced_progress")?,
+                    wd_frame_aborts: get_int(rec, "wd_frame_aborts")?,
+                    wd_frame_degrades: get_int(rec, "wd_frame_degrades")?,
+                    frame_retries: get_int(rec, "frame_retries")?,
+                    realignment_episodes: get_int(rec, "realign_episodes")?,
+                    faults_injected: get_int(rec, "faults_injected")?,
+                    blocked_ops: get_int(rec, "blocked_ops")?,
+                    queue_timeouts: get_int(rec, "queue_timeouts")?,
+                };
+            }
+            other => return Err(format!("unknown record type {other:?}")),
+        }
+    }
+    for f in &frames {
+        if let Some(n) = nodes.iter_mut().find(|n| n.core == f.core) {
+            n.latency.record(f.latency);
+            n.occupancy.record(f.queue_occupancy);
+        }
+    }
+    Ok(TelemetryReport {
+        clock_unit,
+        interval,
+        nodes,
+        frames,
+        intervals,
+        run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockMode;
+    use crate::registry::TelemetryConfig;
+
+    fn sample_report() -> TelemetryReport {
+        let telem = TelemetryConfig::Enabled { interval: 2 }.telemetry(ClockMode::Deterministic);
+        let mut a = telem.probe(0, "src \"quoted\"");
+        let mut b = telem.probe(1, "sink");
+        for frame in 0..5u64 {
+            telem.advance_clock(frame * 7);
+            for p in [&mut a, &mut b] {
+                p.frame_start();
+                p.visit(true);
+                p.visit(frame % 2 == 0);
+            }
+            telem.advance_clock(frame * 7 + 4);
+            a.ecc_sample(frame, frame / 2);
+            a.frame_commit(frame % 3, 0, 0);
+            b.frame_commit(1, frame % 2, 0);
+        }
+        telem
+            .finish(
+                vec![a, b],
+                RunCounters {
+                    frames: 5,
+                    ecc_checks: 10,
+                    faults_injected: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let rep = sample_report();
+        let text = to_jsonl(&rep);
+        let back = from_jsonl(&text).expect("parse");
+        assert_eq!(back, rep);
+        // And the re-export is byte-identical.
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"type\":\"frame\"").is_err());
+        assert!(parse_jsonl("[1,2,3]").is_err());
+        assert!(parse_jsonl("{\"x\":-1}").is_err());
+        assert!(from_jsonl("{\"type\":\"mystery\"}").is_err());
+    }
+
+    #[test]
+    fn every_committed_frame_has_a_snapshot_line() {
+        let rep = sample_report();
+        let text = to_jsonl(&rep);
+        let frames = parse_jsonl(&text)
+            .unwrap()
+            .into_iter()
+            .filter(|r| get_str(r, "type") == Ok("frame"))
+            .count();
+        assert_eq!(
+            frames as u64,
+            rep.nodes.iter().map(|n| n.frames).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! `cg-telemetry`: the always-on metrics plane for the CommGuard
+//! reproduction.
+//!
+//! Where `cg-trace` is an event-level post-mortem tool you switch on
+//! to debug, this crate is quantitative, low-overhead instrumentation
+//! meant to run during every run: fixed-bucket log-scale latency
+//! histograms with exact merge, per-frame and per-interval snapshot
+//! series, per-node busy/wait time attribution, and run-wide ECC /
+//! watchdog / recovery counters — exported as Prometheus text format
+//! or newline-delimited JSON, inspectable with the `cg-telemetry`
+//! binary.
+//!
+//! Design invariants:
+//!
+//! - **Zero cost when off.** A disabled [`CoreProbe`] is `None`
+//!   inside; every record call is one branch. The `noop` cargo feature
+//!   additionally forces construction to the disabled handle. The
+//!   `telemetry_overhead` bench gate in `cg-bench` holds the disabled
+//!   path within 2% of a build that never heard of telemetry.
+//! - **Lock-free by ownership.** Each core's worker owns its probe;
+//!   shards merge after the run, ordered by core id, so the merged
+//!   report is deterministic.
+//! - **Deterministic bytes on the deterministic executor.** The clock
+//!   is the scheduler round counter and every exported quantity is an
+//!   integer, so JSONL snapshots are byte-identical per seed.
+
+pub mod clock;
+pub mod hist;
+pub mod jsonl;
+pub mod prom;
+pub mod registry;
+pub mod report;
+
+pub use clock::{Clock, ClockMode};
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, BUCKETS};
+pub use jsonl::{from_jsonl, parse_jsonl, parse_jsonl_line, to_jsonl, JsonlRecord, JsonlValue};
+pub use prom::{parse_prometheus, to_prometheus, PromSample};
+pub use registry::{CoreProbe, Telemetry, TelemetryConfig};
+pub use report::{FrameSnapshot, IntervalSnapshot, NodeTelemetry, RunCounters, TelemetryReport};

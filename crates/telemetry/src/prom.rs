@@ -1,0 +1,457 @@
+//! Prometheus text-exposition export and a small scrape validator.
+//!
+//! The writer emits the classic text format (`# HELP` / `# TYPE`
+//! comments, cumulative `_bucket{le="..."}` histogram series ending in
+//! `+Inf`, `_sum` / `_count`). The validator re-parses the output with
+//! the same grammar a scraper uses — metric names, label syntax,
+//! numeric values, bucket monotonicity, and count/+Inf agreement — so
+//! tests can assert "scrape-parseable" without a Prometheus binary.
+
+use crate::report::TelemetryReport;
+use std::fmt::Write as _;
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn write_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    node: &str,
+    hist: &crate::hist::Histogram,
+    typed: &mut std::collections::BTreeSet<String>,
+) {
+    if typed.insert(name.to_string()) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+    }
+    let node = escape_label(node);
+    let mut cum = 0u64;
+    for (ub, c) in hist.nonzero_buckets() {
+        cum += c;
+        let _ = writeln!(out, "{name}_bucket{{node=\"{node}\",le=\"{ub}\"}} {cum}");
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{node=\"{node}\",le=\"+Inf\"}} {}",
+        hist.count()
+    );
+    let _ = writeln!(out, "{name}_sum{{node=\"{node}\"}} {}", hist.sum());
+    let _ = writeln!(out, "{name}_count{{node=\"{node}\"}} {}", hist.count());
+}
+
+/// Render the report in Prometheus text-exposition format.
+pub fn to_prometheus(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    let mut typed = std::collections::BTreeSet::new();
+    let unit = escape_label(&report.clock_unit);
+    let _ = writeln!(
+        out,
+        "# HELP cg_clock_info Clock unit for all tick-valued metrics."
+    );
+    let _ = writeln!(out, "# TYPE cg_clock_info gauge");
+    let _ = writeln!(out, "cg_clock_info{{unit=\"{unit}\"}} 1");
+
+    for n in &report.nodes {
+        write_histogram(
+            &mut out,
+            "cg_frame_latency_ticks",
+            "Per-frame commit latency per node, in clock ticks.",
+            &n.name,
+            &n.latency,
+            &mut typed,
+        );
+    }
+    for n in &report.nodes {
+        write_histogram(
+            &mut out,
+            "cg_queue_occupancy_items",
+            "Input-queue occupancy sampled at frame commits.",
+            &n.name,
+            &n.occupancy,
+            &mut typed,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP cg_node_busy_ticks_total Ticks attributed to forward progress."
+    );
+    let _ = writeln!(out, "# TYPE cg_node_busy_ticks_total counter");
+    for n in &report.nodes {
+        let _ = writeln!(
+            out,
+            "cg_node_busy_ticks_total{{node=\"{}\"}} {}",
+            escape_label(&n.name),
+            n.busy
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP cg_node_wait_ticks_total Ticks blocked or transferring on queues."
+    );
+    let _ = writeln!(out, "# TYPE cg_node_wait_ticks_total counter");
+    for n in &report.nodes {
+        let _ = writeln!(
+            out,
+            "cg_node_wait_ticks_total{{node=\"{}\"}} {}",
+            escape_label(&n.name),
+            n.wait
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP cg_node_frames_total Frames committed per node."
+    );
+    let _ = writeln!(out, "# TYPE cg_node_frames_total counter");
+    for n in &report.nodes {
+        let _ = writeln!(
+            out,
+            "cg_node_frames_total{{node=\"{}\"}} {}",
+            escape_label(&n.name),
+            n.frames
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP cg_queue_max_occupancy_items High-water input-queue occupancy."
+    );
+    let _ = writeln!(out, "# TYPE cg_queue_max_occupancy_items gauge");
+    for n in &report.nodes {
+        let _ = writeln!(
+            out,
+            "cg_queue_max_occupancy_items{{node=\"{}\"}} {}",
+            escape_label(&n.name),
+            n.max_queue_occupancy
+        );
+    }
+
+    let r = &report.run;
+    let scalars: [(&str, &str, u64); 9] = [
+        ("cg_run_frames", "Frames configured for the run.", r.frames),
+        (
+            "cg_ecc_checks_total",
+            "ECC syndrome checks performed.",
+            r.ecc_checks,
+        ),
+        (
+            "cg_ecc_detected_total",
+            "ECC detections (uncorrectable included).",
+            r.ecc_detected,
+        ),
+        (
+            "cg_ecc_corrected_total",
+            "ECC single-bit corrections.",
+            r.ecc_corrected,
+        ),
+        (
+            "cg_frame_retries_total",
+            "Frame-level re-executions.",
+            r.frame_retries,
+        ),
+        (
+            "cg_realign_episodes_total",
+            "Alignment-manager realignment episodes.",
+            r.realignment_episodes,
+        ),
+        (
+            "cg_faults_injected_total",
+            "Faults injected by the campaign.",
+            r.faults_injected,
+        ),
+        (
+            "cg_queue_blocked_ops_total",
+            "Blocked pushes plus blocked pops.",
+            r.blocked_ops,
+        ),
+        (
+            "cg_queue_timeouts_total",
+            "Queue-manager pop/push timeouts.",
+            r.queue_timeouts,
+        ),
+    ];
+    for (name, help, v) in scalars {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP cg_watchdog_escalations_total Watchdog ladder escalations by rung."
+    );
+    let _ = writeln!(out, "# TYPE cg_watchdog_escalations_total counter");
+    for (rung, v) in [
+        ("arm_timeouts", r.wd_arm_timeouts),
+        ("forced_progress", r.wd_forced_progress),
+        ("frame_aborts", r.wd_frame_aborts),
+        ("frame_degrades", r.wd_frame_degrades),
+    ] {
+        let _ = writeln!(out, "cg_watchdog_escalations_total{{rung=\"{rung}\"}} {v}");
+    }
+    out
+}
+
+/// A parsed sample line: metric name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].trim();
+        if !valid_metric_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value not quoted near {rest:?}"));
+        }
+        rest = &rest[1..];
+        let mut val = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| "dangling escape in label".to_string())?;
+                    val.push(match esc {
+                        'n' => '\n',
+                        other => other,
+                    });
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => val.push(other),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key.to_string(), val));
+        rest = rest[end + 1..].trim_start_matches(',');
+    }
+    Ok(labels)
+}
+
+/// Parse one sample line (`name{labels} value`).
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (head, value) = match line.rfind(|c: char| c.is_ascii_whitespace()) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => return Err(format!("no value on line {line:?}")),
+    };
+    let value: f64 = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value
+            .parse()
+            .map_err(|_| format!("bad value {value:?} on {line:?}"))?
+    };
+    let head = head.trim();
+    let (name, labels) = match head.find('{') {
+        None => (head.to_string(), Vec::new()),
+        Some(open) => {
+            if !head.ends_with('}') {
+                return Err(format!("unterminated label set: {head:?}"));
+            }
+            (
+                head[..open].to_string(),
+                parse_labels(&head[open + 1..head.len() - 1])?,
+            )
+        }
+    };
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Parse a full exposition document into samples, enforcing the
+/// constraints a scraper enforces. Returns the samples on success.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let c = comment.trim_start();
+            if !(c.starts_with("HELP ") || c.starts_with("TYPE ") || c.is_empty()) {
+                // Plain comments are legal; HELP/TYPE must be well formed.
+                if c.starts_with("HELP") || c.starts_with("TYPE") {
+                    return Err(format!("line {}: malformed directive {line:?}", ln + 1));
+                }
+            }
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", ln + 1))?);
+    }
+    // Histogram coherence: per (name, non-le labels) series, `le`
+    // bounds strictly increase, cumulative counts are monotone, and
+    // the +Inf bucket equals the matching _count sample.
+    type Labels = Vec<(String, String)>;
+    let mut inf_counts: Vec<(String, Labels, f64)> = Vec::new();
+    let mut counts: Vec<(String, Labels, f64)> = Vec::new();
+    let mut last_bucket: Option<(String, Labels, f64, f64)> = None;
+    for s in &samples {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{}: bucket without le", s.name))?
+                .1
+                .clone();
+            let bound: f64 = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().map_err(|_| format!("bad le {le:?}"))?
+            };
+            let rest: Vec<(String, String)> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            if let Some((pname, plabels, pbound, pcum)) = &last_bucket {
+                if *pname == s.name && *plabels == rest {
+                    if bound <= *pbound {
+                        return Err(format!("{}: le bounds not increasing", s.name));
+                    }
+                    if s.value < *pcum {
+                        return Err(format!("{}: cumulative counts decreasing", s.name));
+                    }
+                }
+            }
+            if bound.is_infinite() {
+                inf_counts.push((base.to_string(), rest, s.value));
+                last_bucket = None;
+            } else {
+                last_bucket = Some((s.name.clone(), rest, bound, s.value));
+            }
+        } else if let Some(base) = s.name.strip_suffix("_count") {
+            counts.push((base.to_string(), s.labels.clone(), s.value));
+        }
+    }
+    for (base, labels, v) in &inf_counts {
+        let found = counts.iter().find(|(b, l, _)| b == base && l == labels);
+        match found {
+            Some((_, _, c)) if c == v => {}
+            Some((_, _, c)) => {
+                return Err(format!("{base}: +Inf bucket {v} != count {c}"));
+            }
+            None => return Err(format!("{base}: histogram missing _count")),
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::report::{NodeTelemetry, RunCounters, TelemetryReport};
+
+    fn sample_report() -> TelemetryReport {
+        let mut lat = Histogram::new();
+        let mut occ = Histogram::new();
+        for v in [3u64, 5, 5, 900, 17] {
+            lat.record(v);
+        }
+        for v in [0u64, 2, 4, 4, 1] {
+            occ.record(v);
+        }
+        TelemetryReport {
+            clock_unit: "rounds".to_string(),
+            interval: 16,
+            nodes: vec![NodeTelemetry {
+                core: 0,
+                name: "fir\"odd".to_string(),
+                frames: 5,
+                busy: 40,
+                wait: 10,
+                max_queue_occupancy: 4,
+                latency: lat,
+                occupancy: occ,
+            }],
+            frames: Vec::new(),
+            intervals: Vec::new(),
+            run: RunCounters {
+                frames: 5,
+                ecc_checks: 123,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn export_is_scrape_parseable() {
+        let text = to_prometheus(&sample_report());
+        let samples = parse_prometheus(&text).expect("must parse");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "cg_frame_latency_ticks_bucket"));
+        let count = samples
+            .iter()
+            .find(|s| s.name == "cg_frame_latency_ticks_count")
+            .expect("count sample");
+        assert_eq!(count.value, 5.0);
+        let esc = samples
+            .iter()
+            .find(|s| s.name == "cg_node_busy_ticks_total")
+            .expect("busy sample");
+        assert_eq!(esc.labels[0].1, "fir\"odd");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(parse_prometheus("not a metric line at all!").is_err());
+        assert!(parse_prometheus("cg_x_bucket{le=\"5\"} 3\ncg_x_bucket{le=\"2\"} 4").is_err());
+        assert!(parse_prometheus("1bad_name 3").is_err());
+        assert!(
+            parse_prometheus("cg_h_bucket{le=\"+Inf\"} 4").is_err(),
+            "missing _count"
+        );
+    }
+
+    #[test]
+    fn bucket_counts_are_cumulative() {
+        let text = to_prometheus(&sample_report());
+        let samples = parse_prometheus(&text).unwrap();
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.name == "cg_frame_latency_ticks_bucket")
+            .map(|s| s.value)
+            .collect();
+        for w in buckets.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*buckets.last().unwrap(), 5.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! The metric registry: a zero-cost-when-disabled handle plus per-core
+//! probes that are lock-free by *ownership* — each worker thread owns
+//! its probe outright, records into private shards, and the shards are
+//! merged deterministically (ordered by core id) after the run.
+//!
+//! The shape mirrors `cg_trace::Tracer`: a disabled probe is a `None`
+//! inside, so every recording call is a single predictable branch. The
+//! `noop` cargo feature hard-disables construction so the whole plane
+//! compiles down to those branches and nothing else.
+
+use crate::clock::{Clock, ClockMode};
+use crate::hist::Histogram;
+use crate::report::{FrameSnapshot, IntervalSnapshot, NodeTelemetry, RunCounters, TelemetryReport};
+
+/// Telemetry configuration carried inside `SimConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryConfig {
+    /// No metrics: probes are inert, `RunReport.telemetry` is `None`.
+    #[default]
+    Off,
+    /// Per-frame snapshots always; interval snapshots every `interval`
+    /// frames.
+    Enabled { interval: u64 },
+}
+
+impl TelemetryConfig {
+    pub const DEFAULT_INTERVAL: u64 = 16;
+
+    /// Enabled with the default interval.
+    pub fn enabled() -> Self {
+        TelemetryConfig::Enabled {
+            interval: Self::DEFAULT_INTERVAL,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, TelemetryConfig::Enabled { .. })
+    }
+
+    /// Build the run-scoped registry handle. With the `noop` feature
+    /// the result is always disabled, whatever the config says.
+    pub fn telemetry(&self, mode: ClockMode) -> Telemetry {
+        if cfg!(feature = "noop") {
+            return Telemetry::disabled();
+        }
+        match *self {
+            TelemetryConfig::Off => Telemetry::disabled(),
+            TelemetryConfig::Enabled { interval } => Telemetry {
+                inner: Some(TelemetryInner {
+                    clock: Clock::new(mode),
+                    interval: interval.max(1),
+                }),
+            },
+        }
+    }
+}
+
+/// Run-scoped registry handle. Cheap to clone; carries the shared
+/// clock and the snapshot interval.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Option<TelemetryInner>,
+}
+
+#[derive(Debug, Clone)]
+struct TelemetryInner {
+    clock: Clock,
+    interval: u64,
+}
+
+impl Telemetry {
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Publish the deterministic tick (scheduler round). One relaxed
+    /// store per round when enabled; a branch when not.
+    #[inline]
+    pub fn advance_clock(&self, tick: u64) {
+        if let Some(inner) = &self.inner {
+            inner.clock.advance_to(tick);
+        }
+    }
+
+    /// Create the probe a core's worker will own for the whole run.
+    pub fn probe(&self, core: u32, name: &str) -> CoreProbe {
+        match &self.inner {
+            None => CoreProbe::disabled(),
+            Some(inner) => CoreProbe {
+                state: Some(Box::new(ProbeState {
+                    core,
+                    name: name.to_string(),
+                    clock: inner.clock.clone(),
+                    interval: inner.interval,
+                    frame_open: false,
+                    frame_start_at: 0,
+                    frames: 0,
+                    busy_in_frame: 0,
+                    wait_in_frame: 0,
+                    busy_total: 0,
+                    wait_total: 0,
+                    max_queue_occupancy: 0,
+                    latency: Histogram::new(),
+                    occupancy: Histogram::new(),
+                    frames_rows: Vec::new(),
+                    interval_rows: Vec::new(),
+                    win_frames: 0,
+                    win_latency_sum: 0,
+                    win_latency_max: 0,
+                    win_busy: 0,
+                    win_wait: 0,
+                    ecc_detected_last: 0,
+                    ecc_corrected_last: 0,
+                    win_ecc_detected: 0,
+                    win_ecc_corrected: 0,
+                })),
+            },
+        }
+    }
+
+    /// Assemble the `RunReport.telemetry` section from the probes the
+    /// workers handed back, ordered deterministically by core id.
+    pub fn finish(&self, probes: Vec<CoreProbe>, run: RunCounters) -> Option<TelemetryReport> {
+        let inner = self.inner.as_ref()?;
+        let mut nodes = Vec::new();
+        let mut frames = Vec::new();
+        let mut intervals = Vec::new();
+        let mut states: Vec<Box<ProbeState>> = probes.into_iter().filter_map(|p| p.state).collect();
+        states.sort_by_key(|s| s.core);
+        for mut s in states {
+            s.flush_window();
+            frames.extend(s.frames_rows.iter().copied());
+            intervals.extend(s.interval_rows.iter().copied());
+            nodes.push(NodeTelemetry {
+                core: s.core,
+                name: s.name,
+                frames: s.frames,
+                busy: s.busy_total,
+                wait: s.wait_total,
+                max_queue_occupancy: s.max_queue_occupancy,
+                latency: s.latency,
+                occupancy: s.occupancy,
+            });
+        }
+        frames.sort_by_key(|f| (f.core, f.frame));
+        intervals.sort_by_key(|i| (i.core, i.frame));
+        Some(TelemetryReport {
+            clock_unit: inner.clock.mode().unit().to_string(),
+            interval: inner.interval,
+            nodes,
+            frames,
+            intervals,
+            run,
+        })
+    }
+}
+
+/// Per-core recording endpoint. Owned (not shared) by the worker that
+/// drives the core, so every method is plain mutation — no atomics, no
+/// locks on the hot path. Disabled probes are a single branch per call.
+#[derive(Debug)]
+pub struct CoreProbe {
+    state: Option<Box<ProbeState>>,
+}
+
+#[derive(Debug)]
+struct ProbeState {
+    core: u32,
+    name: String,
+    clock: Clock,
+    interval: u64,
+    frame_open: bool,
+    frame_start_at: u64,
+    frames: u64,
+    busy_in_frame: u64,
+    wait_in_frame: u64,
+    busy_total: u64,
+    wait_total: u64,
+    max_queue_occupancy: u64,
+    latency: Histogram,
+    occupancy: Histogram,
+    frames_rows: Vec<FrameSnapshot>,
+    interval_rows: Vec<IntervalSnapshot>,
+    // Current interval window accumulators.
+    win_frames: u64,
+    win_latency_sum: u64,
+    win_latency_max: u64,
+    win_busy: u64,
+    win_wait: u64,
+    // ECC totals are sampled cumulatively; the probe differences them.
+    ecc_detected_last: u64,
+    ecc_corrected_last: u64,
+    win_ecc_detected: u64,
+    win_ecc_corrected: u64,
+}
+
+impl CoreProbe {
+    pub fn disabled() -> Self {
+        CoreProbe { state: None }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Deterministic executor: record one scheduler visit, classified
+    /// as busy (observable node state advanced) or wait (no progress).
+    #[inline]
+    pub fn visit(&mut self, progressed: bool) {
+        if let Some(s) = &mut self.state {
+            if progressed {
+                s.busy_in_frame += 1;
+                s.busy_total += 1;
+            } else {
+                s.wait_in_frame += 1;
+                s.wait_total += 1;
+            }
+        }
+    }
+
+    /// Open a frame. Latency for the frame is measured from here.
+    #[inline]
+    pub fn frame_start(&mut self) {
+        if let Some(s) = &mut self.state {
+            s.frame_open = true;
+            s.frame_start_at = s.clock.now();
+            s.busy_in_frame = 0;
+            s.wait_in_frame = 0;
+        }
+    }
+
+    /// Threaded executor: start timing a potentially blocking queue
+    /// op. Returns the tick to hand to [`CoreProbe::wait_end`]; `0`
+    /// and no-op when disabled.
+    #[inline]
+    pub fn wait_begin(&self) -> u64 {
+        match &self.state {
+            Some(s) => s.clock.now(),
+            None => 0,
+        }
+    }
+
+    /// Close a wait window opened by [`CoreProbe::wait_begin`].
+    #[inline]
+    pub fn wait_end(&mut self, begin: u64) {
+        if let Some(s) = &mut self.state {
+            let d = s.clock.now().saturating_sub(begin);
+            s.wait_in_frame += d;
+            s.wait_total += d;
+        }
+    }
+
+    /// Sample cumulative ECC totals for this core's input edges; the
+    /// probe turns them into per-window deltas.
+    #[inline]
+    pub fn ecc_sample(&mut self, detected_total: u64, corrected_total: u64) {
+        if let Some(s) = &mut self.state {
+            s.win_ecc_detected += detected_total.saturating_sub(s.ecc_detected_last);
+            s.win_ecc_corrected += corrected_total.saturating_sub(s.ecc_corrected_last);
+            s.ecc_detected_last = detected_total;
+            s.ecc_corrected_last = corrected_total;
+        }
+    }
+
+    /// Commit the open frame: emit its snapshot row and roll the
+    /// interval window. `queue_occupancy` is the max occupancy over
+    /// the core's input edges observed at commit time.
+    pub fn frame_commit(&mut self, queue_occupancy: u64, retries: u64, degrades: u64) {
+        let Some(s) = &mut self.state else { return };
+        if !s.frame_open {
+            return;
+        }
+        s.frame_open = false;
+        let at = s.clock.now();
+        let latency = at.saturating_sub(s.frame_start_at);
+        // Threaded attribution: busy is whatever part of the frame was
+        // not spent waiting on queues. The deterministic executor
+        // counts busy visits directly instead, and its latency in
+        // rounds equals busy + wait visits by construction.
+        let busy = if s.busy_in_frame > 0 {
+            s.busy_in_frame
+        } else {
+            let b = latency.saturating_sub(s.wait_in_frame);
+            s.busy_total += b;
+            b
+        };
+        let frame = s.frames;
+        s.frames += 1;
+        s.latency.record(latency);
+        s.occupancy.record(queue_occupancy);
+        s.max_queue_occupancy = s.max_queue_occupancy.max(queue_occupancy);
+        s.frames_rows.push(FrameSnapshot {
+            core: s.core,
+            frame,
+            at,
+            latency,
+            busy,
+            wait: s.wait_in_frame,
+            queue_occupancy,
+            retries,
+            degrades,
+        });
+        s.win_frames += 1;
+        s.win_latency_sum += latency;
+        s.win_latency_max = s.win_latency_max.max(latency);
+        s.win_busy += busy;
+        s.win_wait += s.wait_in_frame;
+        if s.win_frames >= s.interval {
+            s.emit_window(frame, at);
+        }
+    }
+}
+
+impl ProbeState {
+    fn emit_window(&mut self, frame: u64, at: u64) {
+        self.interval_rows.push(IntervalSnapshot {
+            core: self.core,
+            frame,
+            at,
+            frames: self.win_frames,
+            latency_sum: self.win_latency_sum,
+            latency_max: self.win_latency_max,
+            busy: self.win_busy,
+            wait: self.win_wait,
+            ecc_detected: self.win_ecc_detected,
+            ecc_corrected: self.win_ecc_corrected,
+        });
+        self.win_frames = 0;
+        self.win_latency_sum = 0;
+        self.win_latency_max = 0;
+        self.win_busy = 0;
+        self.win_wait = 0;
+        self.win_ecc_detected = 0;
+        self.win_ecc_corrected = 0;
+    }
+
+    /// Emit a final partial window so no committed frame goes
+    /// unreported in the interval series.
+    fn flush_window(&mut self) {
+        if self.win_frames > 0 {
+            let frame = self.frames.saturating_sub(1);
+            let at = self.frames_rows.last().map(|f| f.at).unwrap_or(0);
+            self.emit_window(frame, at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_is_inert() {
+        let telem = TelemetryConfig::Off.telemetry(ClockMode::Deterministic);
+        assert!(!telem.is_enabled());
+        let mut p = telem.probe(0, "src");
+        assert!(!p.is_enabled());
+        p.frame_start();
+        p.visit(true);
+        let w = p.wait_begin();
+        p.wait_end(w);
+        p.frame_commit(3, 0, 0);
+        assert!(telem.finish(vec![p], RunCounters::default()).is_none());
+    }
+
+    #[test]
+    fn deterministic_frames_attribute_visits() {
+        let telem = TelemetryConfig::Enabled { interval: 2 }.telemetry(ClockMode::Deterministic);
+        let mut p = telem.probe(1, "fir");
+        for frame in 0..4u64 {
+            telem.advance_clock(frame * 10);
+            p.frame_start();
+            p.visit(true);
+            p.visit(false);
+            p.visit(true);
+            telem.advance_clock(frame * 10 + 3);
+            p.ecc_sample(frame + 1, 0);
+            p.frame_commit(frame, 0, 0);
+        }
+        let rep = telem.finish(vec![p], RunCounters::default()).unwrap();
+        assert_eq!(rep.clock_unit, "rounds");
+        assert_eq!(rep.frames.len(), 4);
+        let f0 = rep.frames[0];
+        assert_eq!(
+            (f0.core, f0.frame, f0.latency, f0.busy, f0.wait),
+            (1, 0, 3, 2, 1)
+        );
+        assert_eq!(rep.intervals.len(), 2);
+        assert_eq!(rep.intervals[0].frames, 2);
+        assert_eq!(rep.intervals[0].ecc_detected, 2);
+        let n = &rep.nodes[0];
+        assert_eq!(n.frames, 4);
+        assert_eq!(n.busy + n.wait, 12);
+        assert_eq!(n.max_queue_occupancy, 3);
+        assert!((n.busy_pct() + n.wait_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_frames_split_latency_into_busy_and_wait() {
+        let telem = TelemetryConfig::enabled().telemetry(ClockMode::Wall);
+        let mut p = telem.probe(0, "sink");
+        p.frame_start();
+        let w = p.wait_begin();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.wait_end(w);
+        p.frame_commit(1, 1, 0);
+        let rep = telem.finish(vec![p], RunCounters::default()).unwrap();
+        assert_eq!(rep.clock_unit, "us");
+        let f = rep.frames[0];
+        assert!(f.wait >= 1000, "wait {} too small", f.wait);
+        assert_eq!(f.latency, f.busy + f.wait);
+        assert_eq!(f.retries, 1);
+        // Partial interval window flushed at finish.
+        assert_eq!(rep.intervals.len(), 1);
+        assert_eq!(rep.intervals[0].frames, 1);
+    }
+
+    #[test]
+    fn finish_orders_shards_by_core() {
+        let telem = TelemetryConfig::enabled().telemetry(ClockMode::Deterministic);
+        let mut a = telem.probe(2, "late");
+        let mut b = telem.probe(0, "early");
+        for p in [&mut a, &mut b] {
+            p.frame_start();
+            p.visit(true);
+            p.frame_commit(0, 0, 0);
+        }
+        let rep = telem.finish(vec![a, b], RunCounters::default()).unwrap();
+        let cores: Vec<u32> = rep.nodes.iter().map(|n| n.core).collect();
+        assert_eq!(cores, vec![0, 2]);
+        let frame_cores: Vec<u32> = rep.frames.iter().map(|f| f.core).collect();
+        assert_eq!(frame_cores, vec![0, 2]);
+    }
+}

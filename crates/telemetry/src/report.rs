@@ -1,0 +1,191 @@
+//! Run-level telemetry: per-node summaries, the snapshot series, and
+//! run-wide counters, assembled after both executors finish.
+
+use crate::hist::Histogram;
+
+/// One row per committed frame per core. The always-on series: with
+/// telemetry enabled every frame emits at least one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSnapshot {
+    pub core: u32,
+    pub frame: u64,
+    /// Clock tick at commit (rounds on the deterministic executor,
+    /// microseconds since run start on the threaded one).
+    pub at: u64,
+    /// Ticks from frame start to commit.
+    pub latency: u64,
+    /// Ticks attributed to forward progress within the frame.
+    pub busy: u64,
+    /// Ticks spent blocked or transferring on queue endpoints.
+    pub wait: u64,
+    /// Max input-queue occupancy observed at commit.
+    pub queue_occupancy: u64,
+    /// Frame retries charged to this frame (threaded recovery ladder).
+    pub retries: u64,
+    /// Degraded commits charged to this frame.
+    pub degrades: u64,
+}
+
+/// Aggregate row emitted every `interval` frames per core, carrying
+/// window deltas that would be noisy per frame (ECC activity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalSnapshot {
+    pub core: u32,
+    /// Last frame included in the window.
+    pub frame: u64,
+    pub at: u64,
+    /// Frames in the window.
+    pub frames: u64,
+    pub latency_sum: u64,
+    pub latency_max: u64,
+    pub busy: u64,
+    pub wait: u64,
+    /// ECC detections observed on this core's input edges in the window.
+    pub ecc_detected: u64,
+    /// ECC single-bit corrections in the window.
+    pub ecc_corrected: u64,
+}
+
+/// Per-node (= per-core) telemetry summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTelemetry {
+    pub core: u32,
+    pub name: String,
+    pub frames: u64,
+    /// Total busy ticks across the run.
+    pub busy: u64,
+    /// Total wait ticks (blocked / transferring on queues).
+    pub wait: u64,
+    pub max_queue_occupancy: u64,
+    pub latency: Histogram,
+    pub occupancy: Histogram,
+}
+
+impl NodeTelemetry {
+    /// Ticks attributed to either bucket. Attribution percentages are
+    /// taken against this total, so busy% + wait% == 100 by
+    /// construction whenever the node did any work.
+    pub fn total(&self) -> u64 {
+        self.busy + self.wait
+    }
+
+    pub fn busy_pct(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.busy as f64 / t as f64
+        }
+    }
+
+    pub fn wait_pct(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.wait as f64 / t as f64
+        }
+    }
+}
+
+/// Run-wide counters folded in from the executor's report so exporters
+/// see one self-contained document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCounters {
+    pub frames: u64,
+    pub ecc_checks: u64,
+    pub ecc_detected: u64,
+    pub ecc_corrected: u64,
+    /// Watchdog rung 1: armed pop timeouts.
+    pub wd_arm_timeouts: u64,
+    /// Watchdog rung 2: forced progress.
+    pub wd_forced_progress: u64,
+    /// Watchdog rung 3: frame aborts.
+    pub wd_frame_aborts: u64,
+    /// Watchdog rung 4: degraded frames.
+    pub wd_frame_degrades: u64,
+    pub frame_retries: u64,
+    pub realignment_episodes: u64,
+    pub faults_injected: u64,
+    pub blocked_ops: u64,
+    pub queue_timeouts: u64,
+}
+
+/// The `RunReport.telemetry` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Clock unit: `"rounds"` (deterministic) or `"us"` (wall).
+    pub clock_unit: String,
+    /// Interval-snapshot period in frames.
+    pub interval: u64,
+    /// Per-node summaries, ordered by core id.
+    pub nodes: Vec<NodeTelemetry>,
+    /// Per-frame snapshots, ordered by (core, frame).
+    pub frames: Vec<FrameSnapshot>,
+    /// Per-interval snapshots, ordered by (core, frame).
+    pub intervals: Vec<IntervalSnapshot>,
+    pub run: RunCounters,
+}
+
+impl TelemetryReport {
+    /// Frame-latency histogram merged across all cores — exact, since
+    /// fixed-bucket merge is elementwise addition.
+    pub fn merged_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for n in &self.nodes {
+            h.merge(&n.latency);
+        }
+        h
+    }
+
+    /// Human-oriented one-screen summary (used by the binary and the
+    /// campaign runner's verbose mode).
+    pub fn render_summary(&self) -> String {
+        let lat = self.merged_latency();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "frame latency ({unit}): p50={} p90={} p99={} max={}  ({} frames, {} snapshots)\n",
+            lat.quantile(0.50),
+            lat.quantile(0.90),
+            lat.quantile(0.99),
+            lat.max(),
+            lat.count(),
+            self.frames.len(),
+            unit = self.clock_unit,
+        ));
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>10} {:>10} {:>6} {:>6} {:>7} {:>7} {:>5}\n",
+            "node", "frames", "busy", "wait", "busy%", "wait%", "p50", "p99", "maxq"
+        ));
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "{:<18} {:>7} {:>10} {:>10} {:>5.1}% {:>5.1}% {:>7} {:>7} {:>5}\n",
+                n.name,
+                n.frames,
+                n.busy,
+                n.wait,
+                n.busy_pct(),
+                n.wait_pct(),
+                n.latency.quantile(0.50),
+                n.latency.quantile(0.99),
+                n.max_queue_occupancy,
+            ));
+        }
+        let r = &self.run;
+        out.push_str(&format!(
+            "ecc: {} checks, {} detected, {} corrected | watchdog rungs: {}/{}/{}/{} | \
+             retries {} realign {} faults {}\n",
+            r.ecc_checks,
+            r.ecc_detected,
+            r.ecc_corrected,
+            r.wd_arm_timeouts,
+            r.wd_forced_progress,
+            r.wd_frame_aborts,
+            r.wd_frame_degrades,
+            r.frame_retries,
+            r.realignment_episodes,
+            r.faults_injected,
+        ));
+        out
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the fixed-bucket log-scale histogram.
+//!
+//! The metrics plane relies on two facts: sharded recording merges
+//! exactly (per-core histograms summed at `finish()` equal one histogram
+//! over all samples, in any order), and quantiles stay within one
+//! bucket's resolution of the exact order statistics even on adversarial
+//! distributions (all-equal, bimodal with extreme outliers, powers of
+//! two straddling bucket boundaries).
+
+use cg_telemetry::{bucket_index, bucket_upper_bound, Histogram};
+use proptest::prelude::*;
+
+/// Exact quantile by the same nearest-rank rule the histogram uses:
+/// the smallest sample with rank `ceil(q * n)`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// An adversarial sample: a plain value, a bucket-boundary straddler, or
+/// an extreme outlier, so generated distributions mix scales by design.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..100,
+        (0u32..60).prop_map(|s| 1u64 << s),
+        (0u32..60).prop_map(|s| (1u64 << s).wrapping_sub(1)),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sharded merge is exact: splitting the samples across any number
+    /// of per-core shards and merging equals recording every sample into
+    /// one histogram, regardless of order.
+    #[test]
+    fn merge_of_shards_equals_single_histogram(
+        shards in prop::collection::vec(
+            prop::collection::vec(sample(), 0..40),
+            1..8,
+        ),
+    ) {
+        let mut single = Histogram::new();
+        for s in shards.iter().flatten() {
+            single.record(*s);
+        }
+        let mut merged = Histogram::new();
+        for shard in &shards {
+            let mut h = Histogram::new();
+            for &s in shard {
+                h.record(s);
+            }
+            merged.merge(&h);
+        }
+        prop_assert_eq!(&merged, &single);
+        let n: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(merged.count(), n);
+    }
+
+    /// p50/p99 stay within one bucket of the exact order statistic: the
+    /// reported quantile is >= the exact one (it reports a bucket upper
+    /// bound) and never exceeds the exact sample's own bucket ceiling.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        samples in prop::collection::vec(sample(), 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = h.quantile(q);
+            prop_assert!(
+                approx >= exact,
+                "q{q}: approx {approx} < exact {exact} (rounding must be up)"
+            );
+            prop_assert!(
+                approx <= bucket_upper_bound(bucket_index(exact)),
+                "q{q}: approx {approx} left the exact sample's bucket \
+                 (exact {exact}, ceiling {})",
+                bucket_upper_bound(bucket_index(exact))
+            );
+        }
+        // The extremes are tracked exactly, not per-bucket.
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// Merge is commutative and associative (order independence is what
+    /// makes per-core shards deterministic to combine).
+    #[test]
+    fn merge_is_order_independent(
+        a in prop::collection::vec(sample(), 0..50),
+        b in prop::collection::vec(sample(), 0..50),
+        c in prop::collection::vec(sample(), 0..50),
+    ) {
+        let h = |samples: &[u64]| {
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let (ha, hb, hc) = (h(&a), h(&b), h(&c));
+        let mut ab_c = ha.clone();
+        ab_c.merge(&hb);
+        ab_c.merge(&hc);
+        let mut c_ba = hc.clone();
+        c_ba.merge(&hb);
+        c_ba.merge(&ha);
+        prop_assert_eq!(ab_c, c_ba);
+    }
+}

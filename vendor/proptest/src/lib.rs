@@ -256,7 +256,7 @@ mod tests {
         #[test]
         fn config_applies(b in any::<bool>()) {
             // 17 cases of a trivially true property.
-            prop_assert!(b || !b);
+            prop_assert!(usize::from(b) <= 1);
         }
     }
 
