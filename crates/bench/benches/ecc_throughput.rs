@@ -1,0 +1,152 @@
+//! ECC hot-path micro-bench: the table-driven batch SECDED codec vs the
+//! scalar per-word routines, with a regression gate in the style of
+//! `telemetry_overhead`.
+//!
+//! Two measured paths over identical data:
+//!
+//! * `encode` — `encode_slice` (byte-plane tables) vs
+//!   `encode_slice_scalar` (per-word parity-mask popcounts);
+//! * `decode` — `decode_slice` vs `decode_slice_scalar` over a stream
+//!   where 1 in 8 codewords carries a single-bit flip (the correction
+//!   path stays warm without dominating).
+//!
+//! The gate: the batch codec exists to make ECC cheap enough for the
+//! zero-copy queue path, so its combined encode+decode median must beat
+//! the scalar combined median by at least [`SPEEDUP_FLOOR`]. A plain
+//! harness (not Criterion) so the comparison can fail the build.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cg_ecc::{
+    decode_slice, decode_slice_scalar, encode_slice, encode_slice_scalar, Codeword, Decoded,
+};
+
+/// Words per timed round: large enough to amortise timer overhead, small
+/// enough that both working sets stay cache-resident (the tables are
+/// ~9 KiB; the data is 32 KiB + 64 KiB).
+const WORDS: usize = 8_192;
+/// Passes over the buffer per timed round.
+const PASSES: usize = 64;
+/// Timed rounds per path (medians are compared).
+const ROUNDS: usize = 9;
+/// The batch codec must be at least this many times faster than the
+/// scalar codec on combined encode+decode (acceptance floor of the
+/// vectorized hot path).
+const SPEEDUP_FLOOR: f64 = 4.0;
+
+/// A deterministic word stream (no RNG in benches: splitmix-style hash).
+fn words() -> Vec<u32> {
+    (0..WORDS as u64)
+        .map(|i| {
+            let mut z = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            (z ^ (z >> 27)) as u32
+        })
+        .collect()
+}
+
+/// Encoded stream with a single-bit flip on every eighth codeword.
+fn corrupted(input: &[u32]) -> Vec<Codeword> {
+    let mut cws = vec![Codeword::default(); input.len()];
+    encode_slice(input, &mut cws);
+    for (i, cw) in cws.iter_mut().enumerate() {
+        if i % 8 == 0 {
+            *cw = cw.with_flipped_bit((i as u32 / 8) % cg_ecc::CODEWORD_BITS);
+        }
+    }
+    cws
+}
+
+fn time_encode(input: &[u32], out: &mut [Codeword], scalar: bool) -> f64 {
+    let start = Instant::now();
+    for _ in 0..PASSES {
+        let stats = if scalar {
+            encode_slice_scalar(black_box(input), out)
+        } else {
+            encode_slice(black_box(input), out)
+        };
+        black_box(&out[0]);
+        black_box(stats);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn time_decode(input: &[Codeword], out: &mut [Decoded], scalar: bool) -> f64 {
+    let start = Instant::now();
+    for _ in 0..PASSES {
+        let stats = if scalar {
+            decode_slice_scalar(black_box(input), out)
+        } else {
+            decode_slice(black_box(input), out)
+        };
+        black_box(&out[0]);
+        black_box(stats);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let input = words();
+    let cws = corrupted(&input);
+    let mut enc_out = vec![Codeword::default(); WORDS];
+    let mut dec_out = vec![Decoded::Detected; WORDS];
+
+    // Warm-up: touch every path (and fault the tables in) before timing.
+    for scalar in [false, true] {
+        let _ = time_encode(&input, &mut enc_out, scalar);
+        let _ = time_decode(&cws, &mut dec_out, scalar);
+    }
+
+    // Interleave paths so drift (thermal, cache) hits both alike.
+    let mut enc_scalar = Vec::with_capacity(ROUNDS);
+    let mut enc_batch = Vec::with_capacity(ROUNDS);
+    let mut dec_scalar = Vec::with_capacity(ROUNDS);
+    let mut dec_batch = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        enc_scalar.push(time_encode(&input, &mut enc_out, true));
+        enc_batch.push(time_encode(&input, &mut enc_out, false));
+        dec_scalar.push(time_decode(&cws, &mut dec_out, true));
+        dec_batch.push(time_decode(&cws, &mut dec_out, false));
+    }
+
+    let es = median(&mut enc_scalar);
+    let eb = median(&mut enc_batch);
+    let ds = median(&mut dec_scalar);
+    let db = median(&mut dec_batch);
+    let enc_speedup = es / eb.max(1e-12);
+    let dec_speedup = ds / db.max(1e-12);
+    let combined = (es + ds) / (eb + db).max(1e-12);
+    let mwps = |secs: f64| (WORDS * PASSES) as f64 / secs / 1e6;
+
+    println!("ecc throughput ({WORDS} words x {PASSES} passes/round, {ROUNDS} rounds):");
+    println!(
+        "  encode   scalar {:>8.1} Mw/s  batch {:>8.1} Mw/s  speedup {enc_speedup:.2}x",
+        mwps(es),
+        mwps(eb),
+    );
+    println!(
+        "  decode   scalar {:>8.1} Mw/s  batch {:>8.1} Mw/s  speedup {dec_speedup:.2}x",
+        mwps(ds),
+        mwps(db),
+    );
+    println!("  combined speedup {combined:.2}x (gate >= {SPEEDUP_FLOOR:.1}x)");
+
+    if combined >= SPEEDUP_FLOOR {
+        println!("\necc throughput: OK (batch codec clears the {SPEEDUP_FLOOR:.1}x floor)");
+    } else {
+        println!(
+            "\n================ ECC-THROUGHPUT FAIL ================\n\
+             combined batch speedup {combined:.2}x is below the {SPEEDUP_FLOOR:.1}x floor\n\
+             (encode {enc_speedup:.2}x, decode {dec_speedup:.2}x).\n\
+             The table-driven codec has regressed toward scalar cost.\n\
+             ====================================================="
+        );
+        std::process::exit(1);
+    }
+}

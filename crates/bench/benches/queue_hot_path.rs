@@ -12,9 +12,12 @@
 //!   thread through a 64-slot queue, at batch sizes 1 and 64 (the
 //!   contended path, including the spin-then-park slow path).
 //!
-//! The gate: the lock-free transport exists to be cheaper than the
-//! mutex baseline, so its median must never exceed the mutex median by
-//! more than the tolerance. Uncontended scenarios are enforced on every
+//! Two gates. First, the lock-free transport exists to be cheaper than
+//! the mutex baseline, so its median must never exceed the mutex median
+//! by more than the tolerance. Second, the zero-copy slice path exists
+//! to beat per-item calls, so the lock-free 64-unit slice scenario must
+//! run at least [`ZERO_COPY_FLOOR`]x faster than the lock-free per-item
+//! scenario. Uncontended scenarios are enforced on every
 //! host; the contended ones only where `available_parallelism() >= 2`
 //! (on a single core a ping-pong measures the scheduler, not the
 //! queue — skipped with a loud log, like `parallel_throughput`'s
@@ -38,6 +41,10 @@ const ROUNDS: usize = 9;
 const UNCONTENDED_TOL: f64 = 1.15;
 /// Contended gate, enforced only on multicore hosts.
 const CONTENDED_TOL: f64 = 1.30;
+/// Zero-copy gate: the 64-unit slice path must beat per-item calls on
+/// the lock-free transport by at least this factor (the batch path is
+/// the whole point of the reserve/commit ring segments).
+const ZERO_COPY_FLOOR: f64 = 1.5;
 /// Generous stall backstop — a wedged bench run should error, not hang.
 const STALL: Duration = Duration::from_secs(10);
 
@@ -306,6 +313,28 @@ fn main() {
             ));
         }
     }
+    // Zero-copy gate: compare the lock-free slice path against the
+    // lock-free per-item path from the same run (both already measured
+    // above, so drift hits numerator and denominator alike).
+    let lf_ms = |name: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.name == name)
+            .expect("scenario measured")
+            .lock_free_ms
+    };
+    let zero_copy_speedup = lf_ms("uncontended items") / lf_ms("uncontended slices").max(1e-9);
+    println!(
+        "  {:<20} per-item / slice-64 speedup {zero_copy_speedup:.2}x (gate >= {ZERO_COPY_FLOOR:.1}x)",
+        "zero-copy batch-64",
+    );
+    if zero_copy_speedup < ZERO_COPY_FLOOR {
+        failures.push(format!(
+            "zero-copy batch-64: slice path is only {zero_copy_speedup:.2}x faster than \
+             per-item calls on the lock-free transport (floor {ZERO_COPY_FLOOR:.1}x)"
+        ));
+    }
+
     if !multicore {
         println!(
             "\n==================================================================\n\

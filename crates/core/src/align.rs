@@ -257,6 +257,55 @@ impl AlignmentManager {
         }
     }
 
+    /// Bulk-accepts up to `max` items while the FSM is receiving
+    /// (`RcvCmp`), appending them to `out` through the queue's zero-copy
+    /// item path. Returns `(delivered, more)`: `more` is `true` when the
+    /// caller must continue with per-unit [`Self::pop`] calls — the FSM is
+    /// not receiving, or a header is queued and needs the full FSM walk.
+    /// `more == false` with a short count means the queue has nothing
+    /// visible (block and retry), and the one failed per-unit attempt the
+    /// scalar loop would have made has already been accounted.
+    ///
+    /// Counter contract (bit-exact vs. a loop of `pop`): each delivered
+    /// item costs one FSM check (`fsm_ops`), one is-header test
+    /// (`header_bit_ops`) and one accepted item, exactly as the per-unit
+    /// path; the hardened fields are healed once up front instead of once
+    /// per pop, which is counter-identical because scrubbing an
+    /// already-clean field counts nothing (see `crate::harden`) and any
+    /// pre-existing strike is repaired — and counted — by the first heal
+    /// on either path.
+    pub fn pop_run(
+        &mut self,
+        q: &mut SimQueue,
+        out: &mut Vec<u32>,
+        max: usize,
+        sub: &mut SubopCounters,
+    ) -> (usize, bool) {
+        self.heal(sub);
+        if self.state.peek() != AmState::RcvCmp || max == 0 {
+            return (0, true);
+        }
+        let start = out.len();
+        let (n, hit_header) = q.pop_items(out, max);
+        sub.fsm_ops += n as u64; // FSM-check per pop request (Table 2).
+        sub.header_bit_ops += n as u64; // is-header test per unit.
+        sub.accepted_items += n as u64;
+        if n > 0 {
+            self.last_value = out[start + n - 1];
+        }
+        if hit_header {
+            return (n, true);
+        }
+        if n < max {
+            // Queue dry: the per-unit loop would have made one more pop
+            // attempt — heal, FSM check, then a failed `try_pop` (already
+            // counted by `pop_items` as the blocked pop + refresh).
+            self.heal(sub);
+            sub.fsm_ops += 1;
+        }
+        (n, false)
+    }
+
     /// Classifies a header against the local `active-fc`. Headers whose
     /// ECC detects uncorrectable corruption are conservatively treated as
     /// past (forcing a discard-realign rather than trusting a bogus id).
@@ -557,6 +606,90 @@ mod tests {
         push_frame(&mut q, 2, &[30]);
         assert_eq!(am.pop(&mut q, &mut sub), Some(30));
         assert_eq!(sub.discarded_items, 1, "frame 1 item dropped");
+    }
+
+    /// `pop_run` delivers the same items with the same subop counters and
+    /// queue statistics as a per-unit pop loop, across headers, dry spells
+    /// and exact-count batches. Both variants replay the guard's batch
+    /// flow: a `(n, true)` return hands the next unit to a per-unit `pop`.
+    #[test]
+    fn pop_run_matches_per_unit_pops() {
+        let drive = |bulk: bool| {
+            let mut q = queue();
+            let mut am = AlignmentManager::default();
+            let mut sub = SubopCounters::default();
+            push_frame(&mut q, 0, &[10, 11, 12]);
+            let mut got = Vec::new();
+            // First pop eats the header + first item through the FSM.
+            got.push(am.pop(&mut q, &mut sub).unwrap());
+            if bulk {
+                // Exact-count run, then a dry run (blocked attempt).
+                let (n, more) = am.pop_run(&mut q, &mut got, 2, &mut sub);
+                assert_eq!((n, more), (2, false));
+                let (n, more) = am.pop_run(&mut q, &mut got, 4, &mut sub);
+                assert_eq!((n, more), (0, false), "dry: short count");
+            } else {
+                got.push(am.pop(&mut q, &mut sub).unwrap());
+                got.push(am.pop(&mut q, &mut sub).unwrap());
+                assert_eq!(am.pop(&mut q, &mut sub), None, "dry");
+            }
+            // Frame 1 arrives while frame 0 still computes: the bulk run
+            // stops at the (future) header and the per-unit FSM pop takes
+            // over, entering padding — exactly the guard's fallback.
+            push_frame(&mut q, 1, &[20]);
+            if bulk {
+                let (n, more) = am.pop_run(&mut q, &mut got, 8, &mut sub);
+                assert_eq!((n, more), (0, true), "header needs the FSM");
+            }
+            got.push(am.pop(&mut q, &mut sub).unwrap());
+            assert_eq!(am.state(), AmState::Pdg);
+            if bulk {
+                let (n, more) = am.pop_run(&mut q, &mut got, 8, &mut sub);
+                assert_eq!((n, more), (0, true), "Pdg is not receiving");
+            }
+            am.new_frame_computation(1, &mut sub);
+            assert_eq!(am.state(), AmState::RcvCmp);
+            if bulk {
+                let (n, more) = am.pop_run(&mut q, &mut got, 8, &mut sub);
+                assert_eq!((n, more), (1, false), "frame 1 item, then dry");
+            } else {
+                got.push(am.pop(&mut q, &mut sub).unwrap());
+                assert_eq!(am.pop(&mut q, &mut sub), None, "dry");
+            }
+            (got, sub, *q.stats())
+        };
+        let (bulk, scalar) = (drive(true), drive(false));
+        assert_eq!(bulk.0, vec![10, 11, 12, 0, 20], "frame-0 loss padded");
+        assert_eq!(bulk.0, scalar.0);
+        assert_eq!(bulk.1, scalar.1, "identical subop counters");
+        assert_eq!(bulk.2, scalar.2, "identical queue statistics");
+    }
+
+    /// A corrupted FSM replica is healed by the bulk path's entry scrub
+    /// with the same strike accounting as the per-unit path.
+    #[test]
+    fn pop_run_heals_strikes_like_per_unit() {
+        let drive = |bulk: bool| {
+            let mut q = queue();
+            let mut am = AlignmentManager::default();
+            let mut sub = SubopCounters::default();
+            push_frame(&mut q, 0, &[10, 11]);
+            let mut got = Vec::new();
+            got.push(am.pop(&mut q, &mut sub).unwrap());
+            am.corrupt_replica(1); // active_fc replica 0
+            if bulk {
+                assert_eq!(am.pop_run(&mut q, &mut got, 1, &mut sub), (1, false));
+            } else {
+                got.push(am.pop(&mut q, &mut sub).unwrap());
+            }
+            (got, sub, *q.stats())
+        };
+        let (bulk, scalar) = (drive(true), drive(false));
+        assert_eq!(bulk.0, vec![10, 11]);
+        assert_eq!(bulk.1, scalar.1);
+        assert_eq!(bulk.1.guard_state_detected, 1);
+        assert_eq!(bulk.1.guard_state_corrected, 1);
+        assert_eq!(bulk.2, scalar.2);
     }
 
     /// Every state is reachable and reported by `state()`.

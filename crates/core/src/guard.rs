@@ -291,12 +291,13 @@ impl CoreGuard {
     }
 
     /// Pops up to `max` items on incoming port `port`, appending them to
-    /// `out`, and returns how many were delivered. Every unit still runs
-    /// the full per-unit [`Self::pop`] path — AM FSM transitions, subop
-    /// counters, and queue statistics are bit-identical to popping one at
-    /// a time. The batch exists so a caller holding the queue lock pays
-    /// for it once per firing instead of once per unit. A short count
-    /// means the queue has nothing more visible: block and retry.
+    /// `out`, and returns how many were delivered. Runs of plain items in
+    /// the aligned state take the queue's zero-copy bulk path; headers,
+    /// realignment episodes, and traced guards run the full per-unit
+    /// [`Self::pop`] path. Either way AM FSM transitions, subop counters,
+    /// and queue statistics are bit-identical to popping one at a time.
+    /// A short count means the queue has nothing more visible: block and
+    /// retry.
     ///
     /// # Panics
     ///
@@ -308,6 +309,11 @@ impl CoreGuard {
         out: &mut Vec<u32>,
         max: usize,
     ) -> usize {
+        if !self.tracer.is_enabled() {
+            return self.pop_batch_fast(port, q, out, max);
+        }
+        // Traced guards keep the per-unit loop so the emitted event stream
+        // is byte-identical to popping one at a time.
         for i in 0..max {
             match self.pop(port, q) {
                 Some(v) => out.push(v),
@@ -317,20 +323,73 @@ impl CoreGuard {
         max
     }
 
+    /// The zero-copy batch pop: runs of plain items bypass the per-unit
+    /// FSM walk through [`AlignmentManager::pop_run`] (guards enabled) or
+    /// the queue's bulk item path directly (guards disabled); headers and
+    /// abnormal FSM states fall back to per-unit [`Self::pop`] calls.
+    /// Subop counters and queue statistics are bit-identical to the
+    /// per-unit loop — pinned by `batch_ops_match_per_item_under_realignment`.
+    fn pop_batch_fast(
+        &mut self,
+        port: usize,
+        q: &mut SimQueue,
+        out: &mut Vec<u32>,
+        max: usize,
+    ) -> usize {
+        if !self.enabled {
+            let (n, hit_header) = q.pop_items(out, max);
+            self.sub.accepted_items += n as u64;
+            if !hit_header {
+                return n;
+            }
+            // Headers never exist without CommGuard; consume defensively
+            // through the per-unit path.
+            let mut delivered = n;
+            while delivered < max {
+                match self.pop(port, q) {
+                    Some(v) => {
+                        out.push(v);
+                        delivered += 1;
+                    }
+                    None => break,
+                }
+            }
+            return delivered;
+        }
+        let mut delivered = 0;
+        while delivered < max {
+            let (n, more) = self.ams[port].pop_run(q, out, max - delivered, &mut self.sub);
+            delivered += n;
+            if !more {
+                return delivered;
+            }
+            // A header is queued (or the AM is realigning): one full FSM
+            // pop, then retry the bulk run.
+            match self.pop(port, q) {
+                Some(v) => {
+                    out.push(v);
+                    delivered += 1;
+                }
+                None => return delivered,
+            }
+        }
+        max
+    }
+
     /// Pushes items from `values` on outgoing port `port` until the queue
-    /// appears full, returning how many were accepted. Unit-accurate for
-    /// the same reason as [`Self::pop_batch`].
+    /// appears full, returning how many were accepted. Unit-accurate
+    /// through the queue's zero-copy bulk item path.
     ///
     /// # Panics
     ///
     /// Panics if `port` is out of range.
-    pub fn push_batch(&mut self, port: usize, q: &mut SimQueue, values: &[u32]) -> usize {
-        for (i, &v) in values.iter().enumerate() {
-            if self.push(port, q, v).is_err() {
-                return i;
-            }
-        }
-        values.len()
+    pub fn push_batch(&mut self, _port: usize, q: &mut SimQueue, values: &[u32]) -> usize {
+        // A guarded push is a bare item push with no guard-side
+        // accounting (headers travel through the HeaderInserter), so the
+        // queue's zero-copy bulk item path is exact by construction —
+        // including the blocked-push accounting on a short count. Traced
+        // queues keep their per-unit event stream inside `push_items`.
+        q.push_items(values)
     }
 
     /// Forces a pop after a QM timeout, delivering whatever stale unit is

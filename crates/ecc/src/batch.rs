@@ -1,0 +1,301 @@
+//! Batch SECDED encode/decode over slices of words.
+//!
+//! The scalar [`encode`]/[`decode`] pair burns roughly seven software
+//! popcounts per word (one per `PARITY_MASKS` entry plus the overall
+//! parity). That is fine for the occasional header or pointer word, but it
+//! is the dominant per-item cost once transport itself is cheap (lock-free
+//! ring, zero-copy slice frames).
+//!
+//! The batch path removes the popcounts entirely by *folding the parity
+//! masks through the scatter permutation* ahead of time, at compile time:
+//!
+//! * **Encode** uses four 256-entry `u64` planes, one per data byte. Entry
+//!   `ENC[j][b]` is the complete codeword contribution of data byte `j`
+//!   holding value `b`: its scattered data bits plus all seven parity bits
+//!   (six Hamming + overall), each pre-placed at its final codeword
+//!   position. Every parity bit is a GF(2)-linear function of the data
+//!   bits, and `scatter` routes distinct bytes to disjoint positions, so
+//!   the encode of a full word is simply the XOR of its four byte planes —
+//!   4 loads and 3 XORs instead of 7 popcounts.
+//! * **Decode** uses five 256-entry `u8` planes over the five codeword
+//!   bytes (39 significant bits). Entry `SYN[j][b]` packs that byte's
+//!   contribution to the 6-bit Hamming syndrome (low bits; the XOR of the
+//!   set bit *positions*, which is exactly the per-bit parity over
+//!   `PARITY_MASKS`) and to the overall parity (bit 6). XORing the five
+//!   planes yields the same `(syndrome, overall)` pair the scalar decoder
+//!   derives from masked popcounts; verdict classification and single-bit
+//!   correction then proceed identically.
+//!
+//! The 8 KiB encode table and 1.25 KiB decode table stay L1-resident
+//! across a batch. Tables are built by `const`-evaluating the *scalar*
+//! routines over single-byte words, so the two paths cannot drift: any
+//! change to the code layout reshapes the tables automatically, and the
+//! differential tests (here and in `tests/prop.rs`) pin bit-exact
+//! equivalence over random words and corruptions.
+//!
+//! Stats contract: the slice calls return one aggregated [`EccStats`]
+//! delta for the whole batch (`computes == n` for encode; `checks == n`
+//! plus per-word `corrections`/`detections` for decode) instead of
+//! incrementing a shared counter per unit. Callers fold the delta into
+//! their accounting with `+=`, which keeps batched and per-unit runs
+//! bit-identical in every counter.
+
+use crate::hamming::{decode, encode, encode_raw, extract, Codeword, Decoded, CODEWORD_MASK};
+use crate::stats::EccStats;
+
+/// Per-byte encode planes: `ENC[j][b]` is the codeword contribution of data
+/// byte `j` holding value `b`, parity bits pre-placed (see module docs).
+static ENC: [[u64; 256]; 4] = build_enc();
+
+const fn build_enc() -> [[u64; 256]; 4] {
+    let mut t = [[0u64; 256]; 4];
+    let mut j = 0;
+    while j < 4 {
+        let mut b = 0;
+        while b < 256 {
+            t[j][b] = encode_raw((b as u32) << (8 * j as u32));
+            b += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+/// Per-byte syndrome planes: `SYN[j][b]` packs byte `j`'s contribution to
+/// the Hamming syndrome (low 6 bits) and overall parity (bit 6).
+static SYN: [[u8; 256]; 5] = build_syn();
+
+const fn build_syn() -> [[u8; 256]; 5] {
+    let mut t = [[0u8; 256]; 5];
+    let mut j = 0;
+    while j < 5 {
+        let mut b = 0;
+        while b < 256 {
+            let mut acc = 0u8;
+            let mut i = 0;
+            while i < 8 {
+                let pos = 8 * (j as u32) + i;
+                if pos < 39 && (b >> i) & 1 == 1 {
+                    // Syndrome bit k flips iff position `pos` has bit k set,
+                    // so XORing the position itself accumulates all six
+                    // syndrome bits at once (positions fit in 6 bits).
+                    acc ^= pos as u8;
+                    acc ^= 0x40; // overall parity counts every set bit
+                }
+                i += 1;
+            }
+            t[j][b] = acc;
+            b += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+#[inline]
+fn encode_tabled(word: u32) -> u64 {
+    let w = word as usize;
+    ENC[0][w & 0xFF] ^ ENC[1][w >> 8 & 0xFF] ^ ENC[2][w >> 16 & 0xFF] ^ ENC[3][w >> 24]
+}
+
+#[inline]
+fn decode_tabled(cw: Codeword) -> Decoded {
+    let bits = cw.raw() & CODEWORD_MASK;
+    let b = bits as usize;
+    let t = SYN[0][b & 0xFF]
+        ^ SYN[1][b >> 8 & 0xFF]
+        ^ SYN[2][b >> 16 & 0xFF]
+        ^ SYN[3][b >> 24 & 0xFF]
+        ^ SYN[4][(bits >> 32) as usize & 0xFF];
+    let syndrome = u32::from(t & 0x3F);
+    let overall_ok = t & 0x40 == 0;
+    match (syndrome, overall_ok) {
+        (0, true) => Decoded::Clean(extract(bits)),
+        (0, false) => Decoded::Corrected(extract(bits)),
+        (_, true) => Decoded::Detected,
+        (s, false) => {
+            if s > 38 {
+                Decoded::Detected
+            } else {
+                Decoded::Corrected(extract(bits ^ (1u64 << s)))
+            }
+        }
+    }
+}
+
+/// Encodes a slice of words, one codeword per word, returning the
+/// aggregated stats delta (`computes == words.len()`).
+///
+/// Bit-exact against per-word [`encode`]; see the module docs for the
+/// table construction argument and `tests/prop.rs` for the differential
+/// property tests.
+///
+/// # Panics
+///
+/// Panics if `words` and `out` differ in length.
+pub fn encode_slice(words: &[u32], out: &mut [Codeword]) -> EccStats {
+    assert_eq!(words.len(), out.len(), "encode_slice length mismatch");
+    for (&w, o) in words.iter().zip(out.iter_mut()) {
+        *o = Codeword::from_raw(encode_tabled(w));
+    }
+    EccStats {
+        computes: words.len() as u64,
+        ..EccStats::default()
+    }
+}
+
+/// Decodes a slice of codewords, returning the aggregated stats delta
+/// (`checks == cws.len()` plus per-word `corrections`/`detections`).
+///
+/// Verdicts and corrected payloads are bit-exact against per-word
+/// [`decode`].
+///
+/// # Panics
+///
+/// Panics if `cws` and `out` differ in length.
+pub fn decode_slice(cws: &[Codeword], out: &mut [Decoded]) -> EccStats {
+    assert_eq!(cws.len(), out.len(), "decode_slice length mismatch");
+    let mut stats = EccStats {
+        checks: cws.len() as u64,
+        ..EccStats::default()
+    };
+    for (&cw, o) in cws.iter().zip(out.iter_mut()) {
+        let d = decode_tabled(cw);
+        match d {
+            Decoded::Corrected(_) => stats.corrections += 1,
+            Decoded::Detected => stats.detections += 1,
+            Decoded::Clean(_) => {}
+        }
+        *o = d;
+    }
+    stats
+}
+
+/// Scalar fallback for [`encode_slice`]: per-word [`encode`] with the same
+/// aggregated-stats contract. Reference implementation for the
+/// differential tests and the portable path for targets where the lookup
+/// planes are not worth their cache footprint.
+pub fn encode_slice_scalar(words: &[u32], out: &mut [Codeword]) -> EccStats {
+    assert_eq!(words.len(), out.len(), "encode_slice length mismatch");
+    for (&w, o) in words.iter().zip(out.iter_mut()) {
+        *o = encode(w);
+    }
+    EccStats {
+        computes: words.len() as u64,
+        ..EccStats::default()
+    }
+}
+
+/// Scalar fallback for [`decode_slice`] (same contract; see
+/// [`encode_slice_scalar`]).
+pub fn decode_slice_scalar(cws: &[Codeword], out: &mut [Decoded]) -> EccStats {
+    assert_eq!(cws.len(), out.len(), "decode_slice length mismatch");
+    let mut stats = EccStats {
+        checks: cws.len() as u64,
+        ..EccStats::default()
+    };
+    for (&cw, o) in cws.iter().zip(out.iter_mut()) {
+        let d = decode(cw);
+        match d {
+            Decoded::Corrected(_) => stats.corrections += 1,
+            Decoded::Detected => stats.detections += 1,
+            Decoded::Clean(_) => {}
+        }
+        *o = d;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::CODEWORD_BITS;
+
+    /// Every single-byte word must encode identically through the planes
+    /// and the scalar path — this is exhaustive over the table domain, so
+    /// together with linearity it covers all 2^32 words.
+    #[test]
+    fn encode_planes_match_scalar_exhaustively_per_byte() {
+        for j in 0..4 {
+            for b in 0..=255u32 {
+                let w = b << (8 * j);
+                assert_eq!(encode_tabled(w), encode(w).raw(), "byte {j} value {b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_slice_matches_scalar_on_mixed_words() {
+        let words: Vec<u32> = (0..257u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(i % 31))
+            .collect();
+        let mut tabled = vec![Codeword::default(); words.len()];
+        let mut scalar = vec![Codeword::default(); words.len()];
+        let st = encode_slice(&words, &mut tabled);
+        let ss = encode_slice_scalar(&words, &mut scalar);
+        assert_eq!(tabled, scalar);
+        assert_eq!(st, ss);
+        assert_eq!(st.computes, words.len() as u64);
+        assert_eq!(st.checks, 0);
+    }
+
+    #[test]
+    fn decode_slice_matches_scalar_under_corruption() {
+        // Clean, every single-bit flip, and a spread of double flips for a
+        // handful of payloads; verdicts and stats must agree exactly.
+        for w in [0u32, 1, u32::MAX, 0xDEAD_BEEF, 0x0F0F_0F0F] {
+            let clean = encode(w);
+            let mut cws = vec![clean];
+            for b1 in 0..CODEWORD_BITS {
+                cws.push(clean.with_flipped_bit(b1));
+                cws.push(
+                    clean
+                        .with_flipped_bit(b1)
+                        .with_flipped_bit((b1 + 7) % CODEWORD_BITS),
+                );
+            }
+            let mut tabled = vec![Decoded::Detected; cws.len()];
+            let mut scalar = vec![Decoded::Detected; cws.len()];
+            let st = decode_slice(&cws, &mut tabled);
+            let ss = decode_slice_scalar(&cws, &mut scalar);
+            assert_eq!(tabled, scalar, "word {w:#x}");
+            assert_eq!(st, ss, "word {w:#x}");
+            assert_eq!(st.checks, cws.len() as u64);
+        }
+    }
+
+    #[test]
+    fn decode_ignores_bits_above_codeword() {
+        let cw = encode(0x1234_5678);
+        let noisy = Codeword::from_raw(cw.raw() | 0xFFFF_FF80_0000_0000);
+        let mut out = [Decoded::Detected];
+        decode_slice(&[noisy], &mut out);
+        assert_eq!(out[0], Decoded::Clean(0x1234_5678));
+    }
+
+    #[test]
+    fn aggregated_stats_count_corrections_and_detections() {
+        let w = 0xCAFE_F00D;
+        let clean = encode(w);
+        let cws = [
+            clean,
+            clean.with_flipped_bit(5),
+            clean.with_flipped_bit(1).with_flipped_bit(2),
+        ];
+        let mut out = [Decoded::Detected; 3];
+        let st = decode_slice(&cws, &mut out);
+        assert_eq!(st.checks, 3);
+        assert_eq!(st.corrections, 1);
+        assert_eq!(st.detections, 1);
+        assert_eq!(out[0], Decoded::Clean(w));
+        assert_eq!(out[1], Decoded::Corrected(w));
+        assert_eq!(out[2], Decoded::Detected);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn encode_slice_length_mismatch_panics() {
+        let mut out = [Codeword::default(); 2];
+        let _ = encode_slice(&[1, 2, 3], &mut out);
+    }
+}

@@ -16,6 +16,9 @@ pub const CODEWORD_BITS: u32 = 39;
 /// Number of Hamming parity bits (excluding the overall parity bit).
 const PARITY_BITS: u32 = 6;
 
+/// Mask selecting the 39 significant codeword bits.
+pub(crate) const CODEWORD_MASK: u64 = (1u64 << CODEWORD_BITS) - 1;
+
 /// A SECDED-encoded 32-bit word.
 ///
 /// The raw `u64` can be freely corrupted (e.g. by a fault injector flipping
@@ -127,8 +130,8 @@ const PARITY_MASKS: [u64; PARITY_BITS as usize] = [
 /// 1..=38 that is not a power of two), in ascending order, so the scatter
 /// is five contiguous shifts.
 #[inline]
-fn scatter(word: u32) -> u64 {
-    let w = u64::from(word);
+const fn scatter(word: u32) -> u64 {
+    let w = word as u64;
     ((w & 0x1) << 3)
         | ((w >> 1 & 0x7) << 5)
         | ((w >> 4 & 0x7F) << 9)
@@ -138,24 +141,32 @@ fn scatter(word: u32) -> u64 {
 
 /// Encodes a 32-bit word into a SECDED codeword.
 pub fn encode(word: u32) -> Codeword {
+    Codeword(encode_raw(word))
+}
+
+/// Const-evaluable encode body. The batch lookup planes in [`crate::batch`]
+/// are built by folding this function over single-byte words, so the table
+/// path is bit-exact against the scalar path by construction.
+pub(crate) const fn encode_raw(word: u32) -> u64 {
     let mut cw = scatter(word);
-    for (k, mask) in PARITY_MASKS.iter().enumerate() {
+    let mut k = 0;
+    while k < PARITY_BITS as usize {
         // Each mask covers only data positions plus its own (still-unset)
         // parity position, so this parity is over data bits alone.
-        let parity = (cw & mask).count_ones() as u64 & 1;
-        cw |= parity << (1 << k);
+        let parity = (cw & PARITY_MASKS[k]).count_ones() as u64 & 1;
+        cw |= parity << (1u32 << k);
+        k += 1;
     }
     // Overall parity (bit 0) over positions 1..=38, even parity.
     let overall = ((cw >> 1).count_ones() as u64) & 1;
-    cw |= overall; // bit 0
-    Codeword(cw)
+    cw | overall // bit 0
 }
 
 /// Decodes a codeword, correcting single-bit errors and detecting doubles.
 ///
 /// Triple or worse errors may be miscorrected (inherent to SECDED codes).
 pub fn decode(cw: Codeword) -> Decoded {
-    let bits = cw.0 & ((1u64 << CODEWORD_BITS) - 1);
+    let bits = cw.0 & CODEWORD_MASK;
     // Syndrome bit k = parity over mask k; each mask covers its own parity
     // position (2^k has exactly bit k set), so the stored parity bit is
     // already folded in and a clean word yields parity 0.
@@ -188,7 +199,7 @@ pub fn decode(cw: Codeword) -> Decoded {
 /// Extracts the 32 data bits from a (corrected) codeword bit pattern
 /// (inverse of [`scatter`]).
 #[inline]
-fn extract(bits: u64) -> u32 {
+pub(crate) fn extract(bits: u64) -> u32 {
     ((bits >> 3 & 0x1)
         | (bits >> 5 & 0x7) << 1
         | (bits >> 9 & 0x7F) << 4

@@ -1,6 +1,9 @@
 //! Property tests for the SECDED implementation.
 
-use cg_ecc::{decode, encode, Decoded, CODEWORD_BITS};
+use cg_ecc::{
+    decode, decode_slice, decode_slice_scalar, encode, encode_slice, encode_slice_scalar, Codeword,
+    Decoded, EccStats, CODEWORD_BITS,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -30,5 +33,72 @@ proptest! {
     fn encoding_injective(a: u32, b: u32) {
         prop_assume!(a != b);
         prop_assert_ne!(encode(a), encode(b));
+    }
+
+    /// The table-driven batch encoder is bit-exact against scalar encode
+    /// over random batches, and its aggregated stats delta equals the sum
+    /// of per-unit deltas.
+    #[test]
+    fn encode_slice_differential(words in proptest::collection::vec(any::<u32>(), 0..96)) {
+        let mut tabled = vec![Codeword::default(); words.len()];
+        let mut scalar = vec![Codeword::default(); words.len()];
+        let ts = encode_slice(&words, &mut tabled);
+        let ss = encode_slice_scalar(&words, &mut scalar);
+        prop_assert_eq!(&tabled, &scalar);
+        for (&w, &cw) in words.iter().zip(tabled.iter()) {
+            prop_assert_eq!(cw, encode(w));
+        }
+        prop_assert_eq!(ts, ss);
+        let mut per_unit = EccStats::default();
+        for _ in &words {
+            per_unit.computes += 1;
+        }
+        prop_assert_eq!(ts, per_unit);
+    }
+
+    /// The table-driven batch decoder agrees with scalar decode — verdicts
+    /// (Clean/Corrected/Detected), corrected payloads, and aggregated
+    /// stats — over batches where each codeword carries 0..=2 random bit
+    /// flips.
+    #[test]
+    fn decode_slice_differential(
+        seeds in proptest::collection::vec(
+            (any::<u32>(), 0..=2usize, 0..CODEWORD_BITS, 0..CODEWORD_BITS),
+            0..96,
+        )
+    ) {
+        let cws: Vec<Codeword> = seeds
+            .iter()
+            .map(|&(w, flips, b1, b2)| {
+                let mut cw = encode(w);
+                if flips >= 1 {
+                    cw = cw.with_flipped_bit(b1);
+                }
+                if flips == 2 {
+                    cw = cw.with_flipped_bit(b2);
+                }
+                cw
+            })
+            .collect();
+        let mut tabled = vec![Decoded::Detected; cws.len()];
+        let mut scalar = vec![Decoded::Detected; cws.len()];
+        let ts = decode_slice(&cws, &mut tabled);
+        let ss = decode_slice_scalar(&cws, &mut scalar);
+        prop_assert_eq!(&tabled, &scalar);
+        for (&cw, &d) in cws.iter().zip(tabled.iter()) {
+            prop_assert_eq!(d, decode(cw));
+        }
+        prop_assert_eq!(ts, ss);
+        // Aggregated delta equals the fold of per-unit increments.
+        let mut per_unit = EccStats::default();
+        for &d in &scalar {
+            per_unit.checks += 1;
+            match d {
+                Decoded::Corrected(_) => per_unit.corrections += 1,
+                Decoded::Detected => per_unit.detections += 1,
+                Decoded::Clean(_) => {}
+            }
+        }
+        prop_assert_eq!(ts, per_unit);
     }
 }

@@ -94,6 +94,48 @@ impl Slots {
     fn is_shared(&self) -> bool {
         matches!(self, Slots::Shared(_))
     }
+
+    fn capacity(&self) -> usize {
+        match self {
+            Slots::Local(v) => v.len(),
+            Slots::Shared(s) => s.len(),
+        }
+    }
+
+    /// Writes `units` into consecutive ring slots starting at ring index
+    /// `idx`, split into two windows when the run crosses the wrap point.
+    /// Local storage takes a `copy_from_slice` per window; shared storage
+    /// a tight run of `Relaxed` stores (ordered, as ever, by the release
+    /// publish of the shared tail pointer).
+    fn write_run(&mut self, idx: usize, units: &[Unit]) {
+        let first = units.len().min(self.capacity() - idx);
+        match self {
+            Slots::Local(v) => {
+                v[idx..idx + first].copy_from_slice(&units[..first]);
+                v[..units.len() - first].copy_from_slice(&units[first..]);
+            }
+            Slots::Shared(s) => {
+                s.write_run(idx, &units[..first]);
+                s.write_run(0, &units[first..]);
+            }
+        }
+    }
+
+    /// Reads `n` consecutive ring slots starting at ring index `idx` into
+    /// `out` (two windows across the wrap point; see [`Self::write_run`]).
+    fn read_run(&self, idx: usize, n: usize, out: &mut Vec<Unit>) {
+        let first = n.min(self.capacity() - idx);
+        match self {
+            Slots::Local(v) => {
+                out.extend_from_slice(&v[idx..idx + first]);
+                out.extend_from_slice(&v[..n - first]);
+            }
+            Slots::Shared(s) => {
+                s.read_run(idx, first, out);
+                s.read_run(0, n - first, out);
+            }
+        }
+    }
 }
 
 impl fmt::Debug for Slots {
@@ -320,12 +362,45 @@ impl SimQueue {
             // Reserve the apparent free segment in one step.
             let free = (cap - self.apparent_used()) as usize;
             let n = free.min(slice.len() - written);
-            for &unit in &slice[written..written + n] {
-                self.push_unchecked(unit);
+            if self.tracer.is_enabled() {
+                // Traced runs keep the per-unit loop so the emitted event
+                // stream is byte-identical to one-at-a-time pushing.
+                for &unit in &slice[written..written + n] {
+                    self.push_unchecked(unit);
+                }
+            } else {
+                self.fill_run(&slice[written..written + n]);
             }
             written += n;
         }
         written
+    }
+
+    /// Bulk-appends a reserved run: zero-copy slot writes into the ring
+    /// segment, chunked at workset boundaries (and the u32 cursor wrap) so
+    /// every boundary publish — and its shared-pointer/ECC/stat activity —
+    /// happens exactly where the per-unit path would perform it.
+    fn fill_run(&mut self, units: &[Unit]) {
+        let cap = self.spec.capacity;
+        let ws = self.spec.workset_size as u32;
+        let mut done = 0;
+        while done < units.len() {
+            let to_boundary = (ws - self.tail % ws) as usize;
+            let to_wrap = (u32::MAX - self.tail) as usize + 1;
+            let c = (units.len() - done).min(to_boundary).min(to_wrap);
+            let chunk = &units[done..done + c];
+            self.slots.write_run(self.tail as usize % cap, chunk);
+            self.tail = self.tail.wrapping_add(c as u32);
+            let headers = chunk.iter().filter(|u| u.is_header()).count() as u64;
+            self.stats.record_pushes(c as u64 - headers, headers);
+            // Occupancy grows monotonically over the run, so noting the
+            // post-chunk depth reproduces the per-unit high-water mark.
+            self.stats.note_occupancy(self.occupancy());
+            if self.tail.is_multiple_of(ws) {
+                self.publish_tail();
+            }
+            done += c;
+        }
     }
 
     /// Pops up to `max` units into `out`, stopping early when the queue
@@ -345,13 +420,134 @@ impl SimQueue {
             }
             let avail = self.apparent_available() as usize;
             let n = avail.min(max - popped);
-            for _ in 0..n {
-                let unit = self.pop_unchecked();
-                out.push(unit);
+            if self.tracer.is_enabled() {
+                // Traced runs keep the per-unit loop (see `push_slice`).
+                for _ in 0..n {
+                    let unit = self.pop_unchecked();
+                    out.push(unit);
+                }
+            } else {
+                self.drain_run(out, n);
             }
             popped += n;
         }
         popped
+    }
+
+    /// Bulk-removes an available run: zero-copy slot reads out of the ring
+    /// segment, head advanced per chunk with the same boundary publishes
+    /// as per-unit popping (see [`Self::fill_run`] for the chunking
+    /// contract).
+    fn drain_run(&mut self, out: &mut Vec<Unit>, n: usize) {
+        let cap = self.spec.capacity;
+        let ws = self.spec.workset_size as u32;
+        let mut done = 0;
+        while done < n {
+            let to_boundary = (ws - self.head % ws) as usize;
+            let to_wrap = (u32::MAX - self.head) as usize + 1;
+            let c = (n - done).min(to_boundary).min(to_wrap);
+            let start = out.len();
+            self.slots.read_run(self.head as usize % cap, c, out);
+            let headers = out[start..].iter().filter(|u| u.is_header()).count() as u64;
+            self.head = self.head.wrapping_add(c as u32);
+            self.stats.record_pops(c as u64 - headers, headers);
+            if self.head.is_multiple_of(ws) {
+                self.publish_head();
+            }
+            done += c;
+        }
+    }
+
+    /// Pushes plain item payloads without the caller materialising
+    /// [`Unit`]s — the bulk entry point for executors staging raw `u32`
+    /// frames. Blocking, statistics, and workset publication are identical
+    /// to [`Self::push_slice`] over `Unit::Item`s.
+    pub fn push_items(&mut self, items: &[u32]) -> usize {
+        let mut buf = [Unit::Item(0); 64];
+        let mut written = 0;
+        while written < items.len() {
+            let n = (items.len() - written).min(buf.len());
+            for (slot, &v) in buf.iter_mut().zip(&items[written..written + n]) {
+                *slot = Unit::Item(v);
+            }
+            let accepted = self.push_slice(&buf[..n]);
+            written += accepted;
+            if accepted < n {
+                break;
+            }
+        }
+        written
+    }
+
+    /// Pops up to `max` *item* payloads into `out`, stopping early at the
+    /// visible end of the queue or just before the first in-flight header;
+    /// the header is left queued so the alignment machinery can pop it
+    /// through its FSM. Returns the delivered count and whether a header
+    /// was hit. Statistics match popping each delivered item with
+    /// [`Self::try_pop`]; stopping at a header costs nothing extra.
+    pub fn pop_items(&mut self, out: &mut Vec<u32>, max: usize) -> (usize, bool) {
+        let cap = self.spec.capacity;
+        let mut popped = 0;
+        while popped < max {
+            if self.apparent_available() == 0 {
+                self.refresh_seen_tail();
+                if self.apparent_available() == 0 {
+                    self.stats.blocked_pops += 1;
+                    return (popped, false);
+                }
+            }
+            let avail = (self.apparent_available() as usize).min(max - popped);
+            // Peek the run and take only its item prefix; commit the head
+            // afterwards so a header is never consumed here.
+            let start = out.len();
+            let mut hit_header = false;
+            for i in 0..avail {
+                match self.slots.get((self.head as usize + i) % cap) {
+                    Unit::Item(v) => out.push(v),
+                    Unit::Header(_) => {
+                        hit_header = true;
+                        break;
+                    }
+                }
+            }
+            let taken = out.len() - start;
+            if self.tracer.is_enabled() {
+                // Re-walk the prefix per-unit for a byte-identical event
+                // stream (the peek above already decided where to stop).
+                out.truncate(start);
+                for _ in 0..taken {
+                    match self.pop_unchecked() {
+                        Unit::Item(v) => out.push(v),
+                        Unit::Header(_) => unreachable!("peek found an item here"),
+                    }
+                }
+            } else {
+                self.commit_pops(taken);
+            }
+            popped += taken;
+            if hit_header {
+                return (popped, true);
+            }
+        }
+        (popped, false)
+    }
+
+    /// Advances the head past `n` already-read item slots, with the same
+    /// boundary publishes and pop accounting as per-unit popping.
+    fn commit_pops(&mut self, n: usize) {
+        let ws = self.spec.workset_size as u32;
+        let mut done = 0;
+        while done < n {
+            let to_boundary = (ws - self.head % ws) as usize;
+            let to_wrap = (u32::MAX - self.head) as usize + 1;
+            let c = (n - done).min(to_boundary).min(to_wrap);
+            self.head = self.head.wrapping_add(c as u32);
+            self.stats.record_pops(c as u64, 0);
+            if self.head.is_multiple_of(ws) {
+                self.publish_head();
+            }
+            done += c;
+        }
     }
 
     /// Forces a push past a full condition, overwriting (dropping) the
@@ -764,6 +960,102 @@ mod tests {
         );
         let mut out = Vec::new();
         assert_eq!(q.pop_slice(&mut out, 8), 2, "unpublished tail invisible");
+    }
+
+    /// The zero-copy bulk fill/drain must be stat-identical to per-unit
+    /// push/pop across many ring wraps, including header traffic.
+    #[test]
+    fn bulk_slice_ops_match_per_unit_stats_across_wrap() {
+        let mut bulk = small();
+        let mut per_unit = small();
+        for round in 0..50u32 {
+            let mut units: Vec<Unit> = (0..5).map(|i| Unit::Item(round * 8 + i)).collect();
+            units.push(Unit::header(round));
+            assert_eq!(bulk.push_slice(&units), 6);
+            for &u in &units {
+                per_unit.try_push(u).unwrap();
+            }
+            per_unit.flush();
+            bulk.flush();
+            let mut got = Vec::new();
+            assert_eq!(bulk.pop_slice(&mut got, 6), 6);
+            let want: Vec<Unit> = (0..6).map(|_| per_unit.try_pop().unwrap()).collect();
+            assert_eq!(got, want, "round {round}");
+        }
+        assert_eq!(bulk.stats(), per_unit.stats());
+    }
+
+    #[test]
+    fn push_items_and_pop_items_roundtrip_with_per_unit_stats() {
+        let mut q = small();
+        let mut reference = small();
+        let items: Vec<u32> = (0..7).collect();
+        assert_eq!(q.push_items(&items), 7);
+        for &v in &items {
+            reference.try_push(Unit::Item(v)).unwrap();
+        }
+        q.flush();
+        reference.flush();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_items(&mut out, 16), (7, false));
+        assert_eq!(out, items);
+        let mut want = Vec::new();
+        while let Some(u) = reference.try_pop() {
+            want.push(u.item_value().unwrap());
+        }
+        assert_eq!(out, want);
+        assert_eq!(q.stats(), reference.stats());
+        assert_eq!(q.stats().blocked_pops, 1, "the visible-empty stop");
+    }
+
+    #[test]
+    fn pop_items_stops_before_a_header_and_leaves_it_queued() {
+        let mut q = small();
+        q.push_slice(&[Unit::Item(1), Unit::Item(2), Unit::header(9), Unit::Item(3)]);
+        q.flush();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_items(&mut out, 8), (2, true));
+        assert_eq!(out, [1, 2]);
+        assert_eq!(q.stats().header_pops, 0, "header not consumed");
+        assert_eq!(q.try_pop().unwrap().header_id(), Some(9));
+        out.clear();
+        assert_eq!(q.pop_items(&mut out, 8), (1, false));
+        assert_eq!(out, [3]);
+    }
+
+    #[test]
+    fn spsc_views_bulk_slices_roundtrip() {
+        let (mut p, mut c) = small_views();
+        let units: Vec<Unit> = (0..6u32).map(Unit::Item).collect();
+        for round in 0..40u32 {
+            assert_eq!(p.push_slice(&units), 6, "round {round}");
+            p.flush();
+            let mut got = Vec::new();
+            assert_eq!(c.pop_slice(&mut got, 6), 6, "round {round}");
+            assert_eq!(got, units);
+        }
+        assert_eq!(p.stats().item_pushes, 240);
+        assert_eq!(c.stats().item_pops, 240);
+    }
+
+    /// Traced bulk calls fall back to the per-unit loop, so the event
+    /// stream is byte-identical to one-at-a-time operation.
+    #[test]
+    fn traced_slice_ops_emit_per_unit_events() {
+        use cg_trace::{EventKind, TraceConfig};
+        let t = TraceConfig::ring().tracer();
+        let mut q = small();
+        q.attach_tracer(t.clone(), 3);
+        q.push_slice(&[Unit::Item(1), Unit::Item(2), Unit::header(4)]);
+        q.flush();
+        let mut out = Vec::new();
+        q.pop_slice(&mut out, 2);
+        let mut items = Vec::new();
+        assert_eq!(q.pop_items(&mut items, 4), (0, true), "header hit first");
+        let data = t.finish().expect("enabled");
+        assert_eq!(data.counts.count(EventKind::Push), 3);
+        assert_eq!(data.counts.count(EventKind::Pop), 2, "header never popped");
+        assert_eq!(items, Vec::<u32>::new());
     }
 
     #[test]

@@ -150,6 +150,25 @@ impl SharedQueue {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The counter that must advance for `side`'s progress to become
+    /// visible to a parked peer: the consumer can only see units once the
+    /// tail is published (a workset publish or a flush), and the producer
+    /// can only see freed space once the head is published. Progress that
+    /// stays below a workset boundary is invisible, so waking the peer for
+    /// it guarantees a futile wake/re-park cycle — on shallow pipelines
+    /// with large worksets that wake storm is what dragged the batched
+    /// transport below the deterministic baseline.
+    fn visible_progress(q: &SimQueue, side: Side) -> u64 {
+        match side {
+            // Tail publishes are exactly `workset_publishes`.
+            Side::Producer => q.stats().workset_publishes,
+            // Head publishes count only in `shared_ptr_writes`; consumer
+            // ops never publish the tail, so the aggregate is monotone in
+            // head publishes alone here.
+            Side::Consumer => q.stats().shared_ptr_writes,
+        }
+    }
+
     fn blocking_op<R>(
         &self,
         side: Side,
@@ -158,12 +177,20 @@ impl SharedQueue {
         let mut st = self.lock();
         let mut deadline: Option<Instant> = None;
         loop {
+            let before = Self::visible_progress(&st.q, side);
             if let Some(r) = f(&mut st.q) {
+                let published = Self::visible_progress(&st.q, side) != before;
                 drop(st);
-                // SPSC: at most one thread parks on the opposite condvar.
-                match side {
-                    Side::Producer => self.can_pop.notify_one(),
-                    Side::Consumer => self.can_push.notify_one(),
+                // SPSC: at most one thread parks on the opposite condvar,
+                // and it can only proceed once this side's published
+                // cursor moves — so notify exactly when that happened.
+                // (`with`/`close` still notify_all unconditionally, which
+                // covers flushes and shutdown.)
+                if published {
+                    match side {
+                        Side::Producer => self.can_pop.notify_one(),
+                        Side::Consumer => self.can_push.notify_one(),
+                    }
                 }
                 return Ok(r);
             }
@@ -379,6 +406,40 @@ mod tests {
                 assert_eq!(got, items, "seed {seed} reordered or lost units");
             });
         }
+    }
+
+    /// The wake gate must never strand a parked peer: a producer that
+    /// fills a tiny queue (constant boundary publishes) and a consumer
+    /// that drains in sub-workset nibbles still hand off the full stream.
+    #[test]
+    fn publish_gated_wakeups_do_not_strand_either_side() {
+        const N: u32 = 8_192;
+        // Capacity 16 → workset 2: publishes are frequent but most pops
+        // stay below the boundary, exercising the "no publish, no wake"
+        // path on both sides.
+        let sq = shared(16);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..N {
+                    sq.produce(|q| q.try_push(Unit::Item(i)).ok()).unwrap();
+                }
+                sq.with(|q| q.flush());
+                sq.close(Side::Producer);
+            });
+            let mut got = Vec::new();
+            while got.len() < N as usize {
+                sq.consume(|q| {
+                    let n = q.pop_slice(&mut got, 3);
+                    (n > 0).then_some(n)
+                })
+                .unwrap();
+            }
+            assert_eq!(got.len(), N as usize);
+            assert!(got
+                .iter()
+                .enumerate()
+                .all(|(i, u)| *u == Unit::Item(i as u32)));
+        });
     }
 
     #[test]

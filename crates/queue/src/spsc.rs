@@ -104,6 +104,24 @@ impl SharedSlots {
     pub(crate) fn set(&self, idx: usize, unit: Unit) {
         self.slots[idx].store(encode_unit(unit), Ordering::Relaxed);
     }
+
+    /// Writes a contiguous run of units starting at `idx` (no wrap): the
+    /// bulk form of [`Self::set`], a tight loop of `Relaxed` stores that
+    /// the release-publish of the shared tail pointer orders for the
+    /// consumer exactly as it does single-slot stores.
+    pub(crate) fn write_run(&self, idx: usize, units: &[Unit]) {
+        for (slot, &unit) in self.slots[idx..idx + units.len()].iter().zip(units) {
+            slot.store(encode_unit(unit), Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a contiguous run of `n` units starting at `idx` (no wrap)
+    /// into `out`: the bulk form of [`Self::get`].
+    pub(crate) fn read_run(&self, idx: usize, n: usize, out: &mut Vec<Unit>) {
+        for slot in &self.slots[idx..idx + n] {
+            out.push(decode_unit(slot.load(Ordering::Relaxed)));
+        }
+    }
 }
 
 /// A shared head/tail pointer cell in atomic storage, with the same

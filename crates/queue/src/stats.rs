@@ -74,6 +74,20 @@ impl QueueStats {
             self.item_pops += 1;
         }
     }
+
+    /// Records a run of successful pushes in one step — the aggregated
+    /// form of calling [`Self::record_push`] once per unit.
+    pub(crate) fn record_pushes(&mut self, items: u64, headers: u64) {
+        self.item_pushes += items;
+        self.header_pushes += headers;
+    }
+
+    /// Records a run of successful pops in one step — the aggregated form
+    /// of calling [`Self::record_pop`] once per unit.
+    pub(crate) fn record_pops(&mut self, items: u64, headers: u64) {
+        self.item_pops += items;
+        self.header_pops += headers;
+    }
 }
 
 impl AddAssign for QueueStats {

@@ -511,29 +511,35 @@ fn step(
                     let need = n.pop_rates[port] as usize;
                     while n.staged_in[port].len() < need {
                         let q = &mut queues[e.index()];
-                        match n.guard.pop(port, q) {
-                            Some(v) => {
-                                n.in_timeouts[port].on_progress();
+                        let want = need - n.staged_in[port].len();
+                        // Zero-copy batch pop; a short count is exactly
+                        // one blocked attempt (the guard accounts it), so
+                        // the timeout tracker advances at the same cadence
+                        // as per-unit popping — `on_progress` is a pure
+                        // streak reset, so once per run equals once per
+                        // unit.
+                        let got = n.guard.pop_batch(port, q, &mut n.staged_in[port], want);
+                        if got > 0 {
+                            n.in_timeouts[port].on_progress();
+                        }
+                        if got == want {
+                            continue;
+                        }
+                        if n.in_timeouts[port].on_block() {
+                            tracer.emit(Event::QmTimeout {
+                                port: port as u32,
+                                dir: DirTag::In,
+                            });
+                            // QM timeout: transfer the whole remaining
+                            // firing's worth of (stale) data at once
+                            // rather than grinding one forced item per
+                            // timeout window.
+                            while n.staged_in[port].len() < need {
+                                let v = n.guard.timeout_pop(port, q);
                                 n.staged_in[port].push(v);
                             }
-                            None => {
-                                if n.in_timeouts[port].on_block() {
-                                    tracer.emit(Event::QmTimeout {
-                                        port: port as u32,
-                                        dir: DirTag::In,
-                                    });
-                                    // QM timeout: transfer the whole
-                                    // remaining firing's worth of (stale)
-                                    // data at once rather than grinding
-                                    // one forced item per timeout window.
-                                    while n.staged_in[port].len() < need {
-                                        let v = n.guard.timeout_pop(port, q);
-                                        n.staged_in[port].push(v);
-                                    }
-                                } else {
-                                    return;
-                                }
-                            }
+                        } else {
+                            return;
                         }
                     }
                 }
@@ -547,29 +553,31 @@ fn step(
                 for (port, &e) in n.out_edges.iter().enumerate() {
                     while n.out_pos[port] < n.staged_out[port].len() {
                         let q = &mut queues[e.index()];
-                        let v = n.staged_out[port][n.out_pos[port]];
-                        match n.guard.push(port, q, v) {
-                            Ok(()) => {
-                                n.out_timeouts[port].on_progress();
+                        let pending = &n.staged_out[port][n.out_pos[port]..];
+                        // Zero-copy batch push; a short count is exactly
+                        // one blocked attempt (see `PopInputs`).
+                        let got = n.guard.push_batch(port, q, pending);
+                        n.out_pos[port] += got;
+                        if got > 0 {
+                            n.out_timeouts[port].on_progress();
+                        }
+                        if n.out_pos[port] >= n.staged_out[port].len() {
+                            break;
+                        }
+                        if n.out_timeouts[port].on_block() {
+                            tracer.emit(Event::QmTimeout {
+                                port: port as u32,
+                                dir: DirTag::Out,
+                            });
+                            // QM timeout: force the rest of this firing's
+                            // output out in one go.
+                            while n.out_pos[port] < n.staged_out[port].len() {
+                                let v = n.staged_out[port][n.out_pos[port]];
+                                n.guard.timeout_push(port, q, v);
                                 n.out_pos[port] += 1;
                             }
-                            Err(_) => {
-                                if n.out_timeouts[port].on_block() {
-                                    tracer.emit(Event::QmTimeout {
-                                        port: port as u32,
-                                        dir: DirTag::Out,
-                                    });
-                                    // QM timeout: force the rest of this
-                                    // firing's output out in one go.
-                                    while n.out_pos[port] < n.staged_out[port].len() {
-                                        let v = n.staged_out[port][n.out_pos[port]];
-                                        n.guard.timeout_push(port, q, v);
-                                        n.out_pos[port] += 1;
-                                    }
-                                } else {
-                                    return;
-                                }
-                            }
+                        } else {
+                            return;
                         }
                     }
                 }

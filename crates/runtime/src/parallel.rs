@@ -1135,6 +1135,72 @@ mod tests {
         assert_eq!(batched.queues.header_pops, lock_free.queues.header_pops);
     }
 
+    /// Ten-seed bit-parity sweep for the zero-copy bulk paths: seeded
+    /// pseudo-random data streams over per-seed queue geometries (firing
+    /// rate, frame count, ring capacity — hence workset size and wrap
+    /// cadence) must produce byte-identical sinks and conserved
+    /// item/header traffic on the batched and lock-free executors against
+    /// the deterministic golden run.
+    #[test]
+    fn lock_free_bit_parity_across_seeds() {
+        for seed in 1..=10u64 {
+            let rate = 4 + (seed as u32 % 5) * 7; // 4..=32 units/firing
+            let frames = 30 + (seed % 4) * 10;
+            let capacity = 2 * rate as usize; // small rings: wrap + block
+            let build = || {
+                let mut b = GraphBuilder::new("parity");
+                let s = b.add_node("s", NodeKind::Source);
+                let f = b.add_node("f", NodeKind::Filter);
+                let k = b.add_node("k", NodeKind::Sink);
+                b.pipeline(&[s, f, k], rate).unwrap();
+                let mut p = Program::new(b.build().unwrap());
+                let mut z = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                p.set_source(s, move |out| {
+                    for _ in 0..rate {
+                        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                        let mut x = z;
+                        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                        out.push((x ^ (x >> 27)) as u32);
+                    }
+                });
+                p.set_filter(f, |inp, out| {
+                    out[0].extend(inp[0].iter().map(|&v| v.rotate_left(5)));
+                });
+                (p, k)
+            };
+            let cfg = SimConfig {
+                protection: Protection::commguard(),
+                inject: false,
+                queue_capacity: capacity,
+                ..SimConfig::error_free(frames)
+            };
+            let (p, sink) = build();
+            let det = run(p, &cfg).unwrap();
+            for transport in [ParTransport::Batched, ParTransport::LockFree] {
+                let (p, _) = build();
+                let got = run_parallel_with(p, &cfg, transport).unwrap();
+                let label = transport.label();
+                assert_eq!(
+                    got.sink_output(sink),
+                    det.sink_output(sink),
+                    "seed {seed}: {label} sink diverged from deterministic"
+                );
+                assert_eq!(
+                    got.queues.item_pushes, det.queues.item_pushes,
+                    "seed {seed}: {label} item traffic"
+                );
+                assert_eq!(
+                    got.queues.header_pushes, det.queues.header_pushes,
+                    "seed {seed}: {label} header pushes"
+                );
+                assert_eq!(
+                    got.queues.header_pops, det.queues.header_pops,
+                    "seed {seed}: {label} header pops"
+                );
+            }
+        }
+    }
+
     #[test]
     fn transport_labels_roundtrip_through_parse() {
         for t in [
