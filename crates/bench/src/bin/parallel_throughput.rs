@@ -28,8 +28,9 @@ use cg_apps::jpeg::JpegApp;
 use cg_apps::mp3::Mp3App;
 use cg_apps::vocoder::VocoderApp;
 use cg_campaign::json::Json;
+use cg_fault::{FaultClass, Mtbe};
 use cg_runtime::{
-    run, run_parallel_with, ParTransport, Program, RunReport, SimConfig, TelemetryConfig,
+    run, run_parallel_with, Pacing, ParTransport, Program, RunReport, SimConfig, TelemetryConfig,
 };
 use commguard::graph::{GraphBuilder, NodeId, NodeKind};
 use commguard::Protection;
@@ -44,6 +45,22 @@ const PIPELINE_RATE: u32 = 64;
 /// threads in parallel.
 const MULTICORE_GATE_CASE: &str = "pipeline-4-guarded";
 const MULTICORE_GATE_FLOOR: f64 = 2.0;
+
+/// The paced SLO gate: the guarded 4-stage pipeline under burst faults,
+/// released every [`PACED_GATE_PERIOD_US`] µs, must commit every frame
+/// inside [`PACED_GATE_DEADLINE_US`] µs — zero deadline misses and a p99
+/// release-to-commit latency within the SLO. The cadence is tight enough
+/// that a stalled recovery cannot hide behind the schedule, the budget
+/// loose enough that an unloaded CI worker clears it; like the multicore
+/// gate it is skipped (and recorded as skipped) on hosts too narrow to
+/// run the pipeline's threads in parallel. Setting the `PACED_GATE_FORCE`
+/// environment variable runs the gate even on a narrow host — useful for
+/// exercising the pass path where the threads merely time-slice; the
+/// recorded `host_parallelism` still identifies such runs.
+const PACED_GATE_CASE: &str = "pipeline-4-guarded-paced";
+const PACED_GATE_PERIOD_US: u64 = 300;
+const PACED_GATE_DEADLINE_US: u64 = 10_000;
+const PACED_GATE_MTBE: u64 = 2_048;
 
 struct Args {
     quick: bool,
@@ -394,18 +411,102 @@ fn main() -> ExitCode {
         }
     }
 
+    // The paced SLO gate runs once, on the lock-free transport only: it
+    // measures deadline discipline under faults, not throughput, so the
+    // timed matrix above stays untouched.
+    let paced_frames: u64 = if args.quick { 200 } else { 1_000 };
+    let paced_case = pipeline_case(4, paced_frames, true);
+    let paced_threads = (paced_case.build)().0.graph().node_count();
+    let mut paced_gate = Json::object();
+    paced_gate
+        .set("case", PACED_GATE_CASE)
+        .set("period_us", PACED_GATE_PERIOD_US)
+        .set("deadline_us", PACED_GATE_DEADLINE_US)
+        .set("mtbe_instructions", PACED_GATE_MTBE)
+        .set("frames", paced_frames)
+        .set("threads", paced_threads)
+        .set("host_parallelism", host_parallelism);
+    if host_parallelism >= paced_threads || std::env::var("PACED_GATE_FORCE").is_ok() {
+        let cfg = SimConfig {
+            fault_class: FaultClass::Burst,
+            ..SimConfig::with_errors(
+                paced_frames,
+                Protection::commguard(),
+                Mtbe::instructions(PACED_GATE_MTBE),
+                1,
+            )
+        }
+        .pacing(Pacing::Paced {
+            period: PACED_GATE_PERIOD_US,
+            deadline: PACED_GATE_DEADLINE_US,
+            slo: PACED_GATE_DEADLINE_US,
+        });
+        let (paced_prog, paced_sink) = (paced_case.build)();
+        let report =
+            run_parallel_with(paced_prog, &cfg, ParTransport::LockFree).expect("paced gate run");
+        let pace = report.pacing.as_ref().expect("paced run reports pacing");
+        let frame_exact =
+            report.sink_output(paced_sink).len() as u64 == paced_frames * u64::from(PIPELINE_RATE);
+        let pass = report.completed
+            && frame_exact
+            && pace.frames_observed() == paced_frames
+            && pace.deadline_misses == 0
+            && pace.slo_met();
+        paced_gate
+            .set("faults", report.total_faults().total())
+            .set("frames_on_time", pace.frames_on_time)
+            .set("deadline_misses", pace.deadline_misses)
+            .set("degraded_for_deadline", pace.degraded_for_deadline)
+            .set("p99_latency_us", pace.p99_latency())
+            .set("slo_met", pace.slo_met())
+            .set("status", if pass { "pass" } else { "fail" });
+        eprintln!(
+            "{:<22} paced gate: {} (misses={} on-time={}/{} p99={}us of {}us budget, \
+             {} faults)",
+            PACED_GATE_CASE,
+            if pass { "pass" } else { "FAIL" },
+            pace.deadline_misses,
+            pace.frames_on_time,
+            paced_frames,
+            pace.p99_latency(),
+            PACED_GATE_DEADLINE_US,
+            report.total_faults().total(),
+        );
+        if !pass {
+            failures.push(format!(
+                "{PACED_GATE_CASE}: paced SLO gate failed (completed={} frame_exact={frame_exact} \
+                 observed={} misses={} p99={}us, slo {}us)",
+                report.completed,
+                pace.frames_observed(),
+                pace.deadline_misses,
+                pace.p99_latency(),
+                PACED_GATE_DEADLINE_US,
+            ));
+        }
+    } else {
+        paced_gate.set("status", "skipped-single-core");
+        eprintln!(
+            "{:<22} paced gate: skipped ({host_parallelism} core(s), needs {paced_threads})",
+            PACED_GATE_CASE
+        );
+    }
+
     let mut doc = Json::object();
-    doc.set("schema", "commguard-parallel-bench-v4")
+    doc.set("schema", "commguard-parallel-bench-v5")
         .set("mode", if args.quick { "quick" } else { "full" })
         // v4: ECC runs the table-driven batch codec and the queues move
         // slices through the zero-copy reserve/commit path; the multicore
         // gate's speedup is null when its status is a skip.
+        // v5: adds the paced_slo_gate object (deadline discipline under
+        // burst faults); its counters are absent when its status is a
+        // skip.
         .set("ecc_mode", "batch-tabled")
         .set("transport_mode", "zero-copy-slices")
         .set("repeats", repeats)
         .set("host_parallelism", host_parallelism)
         .set("pipeline_rate", PIPELINE_RATE)
         .set("multicore_gate", gate)
+        .set("paced_slo_gate", paced_gate)
         .set("runs", runs);
     if let Err(e) = std::fs::write(&args.out, doc.pretty()) {
         eprintln!("parallel_throughput: cannot write {}: {e}", args.out);

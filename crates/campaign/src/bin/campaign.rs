@@ -6,8 +6,10 @@
 //! campaign [--quick] [--seeds N] [--frames N] [--threads N]
 //!          [--executor det|threaded] [--transport per-item|batched|lock-free]
 //!          [--classes a,b,..] [--mtbe n1,n2,..]
+//!          [--paced] [--period N] [--deadline N] [--slo N]
 //!          [--out PATH] [--trace] [--trace-dir DIR]
 //!          [--telemetry] [--telemetry-dir DIR]
+//! campaign --deadline-sweep [--quick] [--apps a,b,..] [--mults n1,n2,..] [...]
 //! campaign --random N [--seed S] [--repro-dir DIR] [...]
 //! campaign --replay FILE[,FILE..]
 //! ```
@@ -19,11 +21,15 @@
 
 use std::process::ExitCode;
 
+use cg_apps::BenchApp;
 use cg_campaign::fuzz::{self, FuzzReport, FuzzSpec};
 use cg_campaign::json::Json;
-use cg_campaign::{run_campaign, CampaignReport, CampaignSpec, ExecutorKind, Outcome};
+use cg_campaign::{
+    run_campaign, run_deadline_sweep, CampaignReport, CampaignSpec, DeadlineReport,
+    DeadlineSweepSpec, ExecutorKind, Outcome,
+};
 use cg_fault::{FaultClass, Mtbe};
-use cg_runtime::ParTransport;
+use cg_runtime::{Pacing, ParTransport};
 
 fn usage() -> ! {
     eprintln!(
@@ -32,8 +38,12 @@ fn usage() -> ! {
          \x20               [--transport per-item|batched|lock-free]\n\
          \x20               [--classes a,b,..]\n\
          \x20               [--mtbe n1,n2,..] [--out PATH]\n\
+         \x20               [--paced] [--period N] [--deadline N] [--slo N]\n\
          \x20               [--trace] [--trace-dir DIR]\n\
          \x20               [--telemetry] [--telemetry-dir DIR]\n\
+         \x20      campaign --deadline-sweep [--quick] [--apps a,b,..]\n\
+         \x20               [--mults n1,n2,..] [--seeds N] [--classes a,b,..]\n\
+         \x20               [--mtbe n1,n2,..] [--threads N] [--out PATH]\n\
          \x20      campaign --random N [--seed S] [--repro-dir DIR] [...]\n\
          \x20      campaign --replay FILE[,FILE..]\n\
          \n\
@@ -54,6 +64,17 @@ fn usage() -> ! {
          \x20          p50/p99 land in the table and JSON\n\
          telemetry-dir: where telemetry dumps go (default: telemetry;\n\
          \x20          implies --telemetry)\n\
+         paced:     run every cell on a real-time schedule: sources release\n\
+         \x20          frames on the period, overdue frames degrade at the\n\
+         \x20          deadline, and on-time/miss counts land in the table\n\
+         \x20          and JSON (units: scheduler rounds on det, us threaded)\n\
+         period/deadline/slo: override the executor's default schedule\n\
+         \x20          (each implies --paced)\n\
+         deadline-sweep: quality-vs-MTBE-vs-deadline surface over the app\n\
+         \x20          suite: per-app calibrated base latency, deadlines at\n\
+         \x20          --mults multiples of it, quality in dB per cell\n\
+         apps:      restrict the sweep's app set (default: all six)\n\
+         mults:     deadline budgets as base-latency multiples (default 1,2,8)\n\
          random:    fuzz mode — generate N seeded random stream graphs and\n\
          \x20          run each through the golden, det-vs-threaded parity,\n\
          \x20          and faulted differential oracles; failures are shrunk\n\
@@ -79,6 +100,26 @@ struct Args {
     replay: Vec<String>,
     /// Whether `--frames` was given explicitly (fuzz defaults lower).
     frames_set: bool,
+    /// `--deadline-sweep`: quality-vs-deadline surface over the app suite.
+    deadline_sweep: bool,
+    /// The deadline sweep's resolved spec (only read in sweep mode).
+    sweep: DeadlineSweepSpec,
+    /// Whether `--out` was given explicitly (sweep mode defaults differ).
+    out_set: bool,
+}
+
+/// Parses an app name as the paper writes it.
+fn parse_app(s: &str) -> BenchApp {
+    BenchApp::all()
+        .into_iter()
+        .find(|a| a.name() == s)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown app '{s}' (expected one of: {})",
+                BenchApp::all().map(|a| a.name()).join(", ")
+            );
+            usage()
+        })
 }
 
 fn parse_args() -> Args {
@@ -89,6 +130,18 @@ fn parse_args() -> Args {
     let mut repro_dir = "fuzz_repros".to_string();
     let mut replay = Vec::new();
     let mut frames_set = false;
+    let mut quick = false;
+    let mut seeds_set = false;
+    let mut classes_set = false;
+    let mut mtbes_set = false;
+    let mut out_set = false;
+    let mut paced = false;
+    let mut period_override = None;
+    let mut deadline_override = None;
+    let mut slo_override = None;
+    let mut deadline_sweep = false;
+    let mut apps_override: Option<Vec<BenchApp>> = None;
+    let mut mults_override: Option<Vec<u64>> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -101,9 +154,11 @@ fn parse_args() -> Args {
                 let base = CampaignSpec::quick();
                 spec.seeds = base.seeds;
                 spec.frames = base.frames;
+                quick = true;
             }
             "--seeds" => {
                 spec.seeds = value(&mut i).parse().unwrap_or_else(|_| usage());
+                seeds_set = true;
             }
             "--frames" => {
                 spec.frames = value(&mut i).parse().unwrap_or_else(|_| usage());
@@ -135,14 +190,41 @@ fn parse_args() -> Args {
                         })
                     })
                     .collect();
+                classes_set = true;
             }
             "--mtbe" => {
                 spec.mtbes = value(&mut i)
                     .split(',')
                     .map(|s| Mtbe::instructions(s.parse().unwrap_or_else(|_| usage())))
                     .collect();
+                mtbes_set = true;
             }
-            "--out" => out = value(&mut i),
+            "--out" => {
+                out = value(&mut i);
+                out_set = true;
+            }
+            "--paced" => paced = true,
+            "--period" => {
+                period_override = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--deadline" => {
+                deadline_override = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--slo" => {
+                slo_override = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--deadline-sweep" => deadline_sweep = true,
+            "--apps" => {
+                apps_override = Some(value(&mut i).split(',').map(parse_app).collect());
+            }
+            "--mults" => {
+                mults_override = Some(
+                    value(&mut i)
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
             "--trace" => {
                 if spec.trace_dir.is_none() {
                     spec.trace_dir = Some("traces".to_string());
@@ -176,6 +258,62 @@ fn parse_args() -> Args {
     if spec.classes.is_empty() || spec.mtbes.is_empty() || spec.seeds == 0 {
         usage()
     }
+    // A schedule override implies --paced; start from the executor's
+    // default schedule and apply whichever knobs were given.
+    if paced || period_override.is_some() || deadline_override.is_some() || slo_override.is_some() {
+        let Pacing::Paced {
+            period,
+            deadline,
+            slo,
+        } = spec.executor.default_pacing()
+        else {
+            unreachable!("default_pacing is always paced")
+        };
+        let deadline = deadline_override.unwrap_or(deadline);
+        spec.pacing = Some(Pacing::Paced {
+            period: period_override.unwrap_or(period),
+            // An explicit deadline moves the SLO with it unless the SLO
+            // was itself pinned.
+            deadline,
+            slo: slo_override.unwrap_or(if deadline_override.is_some() {
+                deadline
+            } else {
+                slo
+            }),
+        });
+    }
+    // The deadline sweep reuses the shared axes only where the user set
+    // them explicitly; its own defaults differ from the main campaign's.
+    let mut sweep = if quick {
+        DeadlineSweepSpec::quick()
+    } else {
+        DeadlineSweepSpec::default()
+    };
+    if let Some(apps) = apps_override {
+        sweep.apps = apps;
+    }
+    if let Some(mults) = mults_override {
+        sweep.deadline_mults = mults;
+    }
+    if seeds_set {
+        sweep.seeds = spec.seeds;
+    }
+    if classes_set {
+        sweep.classes = spec.classes.clone();
+    }
+    if mtbes_set {
+        sweep.mtbes = spec.mtbes.clone();
+    }
+    sweep.threads = spec.threads;
+    if deadline_sweep
+        && (sweep.apps.is_empty()
+            || sweep.classes.is_empty()
+            || sweep.mtbes.is_empty()
+            || sweep.deadline_mults.is_empty()
+            || sweep.seeds == 0)
+    {
+        usage()
+    }
     Args {
         spec,
         out,
@@ -184,6 +322,9 @@ fn parse_args() -> Args {
         repro_dir,
         replay,
         frames_set,
+        deadline_sweep,
+        sweep,
+        out_set,
     }
 }
 
@@ -250,6 +391,23 @@ fn to_json(report: &CampaignReport) -> Json {
         .set(
             "telemetry_dir",
             spec.telemetry_dir.as_deref().map_or(Json::Null, Json::from),
+        )
+        .set(
+            "pacing",
+            match spec.pacing {
+                Some(Pacing::Paced {
+                    period,
+                    deadline,
+                    slo,
+                }) => {
+                    let mut jp = Json::object();
+                    jp.set("period", period)
+                        .set("deadline", deadline)
+                        .set("slo", slo);
+                    jp
+                }
+                _ => Json::Null,
+            },
         );
 
     let runs: Vec<Json> = report
@@ -287,6 +445,38 @@ fn to_json(report: &CampaignReport) -> Json {
                 .set(
                     "telemetry_file",
                     r.telemetry_file.as_deref().map_or(Json::Null, Json::from),
+                )
+                .set(
+                    "frames_on_time",
+                    r.pacing
+                        .as_ref()
+                        .map_or(Json::Null, |p| p.frames_on_time.into()),
+                )
+                .set(
+                    "deadline_misses",
+                    r.pacing
+                        .as_ref()
+                        .map_or(Json::Null, |p| p.deadline_misses.into()),
+                )
+                .set(
+                    "degraded_for_deadline",
+                    r.pacing
+                        .as_ref()
+                        .map_or(Json::Null, |p| p.degraded_for_deadline.into()),
+                )
+                .set(
+                    "pace_p99_latency",
+                    r.pacing
+                        .as_ref()
+                        .map_or(Json::Null, |p| p.p99_latency().into()),
+                )
+                .set(
+                    "slo_met",
+                    r.pacing.as_ref().map_or(Json::Null, |p| p.slo_met().into()),
+                )
+                .set(
+                    "pacing_unit",
+                    r.pacing.as_ref().map_or(Json::Null, |p| p.unit.into()),
                 )
                 .set(
                     "violations",
@@ -341,8 +531,20 @@ fn print_summary(report: &CampaignReport) {
     } else {
         String::new()
     };
+    // Paced sweeps append the deadline columns: on-time frames, misses,
+    // frames the ladder degraded for their deadline, and the worst p99
+    // release-to-commit latency in the group (clock units).
+    let paced = report.spec.pacing.is_some();
+    let paced_hdr = if paced {
+        format!(
+            " {:>6} {:>5} {:>5} {:>7}",
+            "ontime", "miss", "ddl", "pacep99"
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5}{latency_hdr}",
+        "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5}{latency_hdr}{paced_hdr}",
         "class",
         "mtbe",
         "protection",
@@ -394,8 +596,20 @@ fn print_summary(report: &CampaignReport) {
                 } else {
                     String::new()
                 };
+                let paced_cols = if paced {
+                    let pacing = || rows.iter().filter_map(|r| r.pacing.as_ref());
+                    format!(
+                        " {:>6} {:>5} {:>5} {:>7}",
+                        pacing().map(|p| p.frames_on_time).sum::<u64>(),
+                        pacing().map(|p| p.deadline_misses).sum::<u64>(),
+                        pacing().map(|p| p.degraded_for_deadline).sum::<u64>(),
+                        pacing().map(|p| p.p99_latency()).max().unwrap_or(0),
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5}{latency}",
+                    "{:<10} {:>8}  {:<22} {:>4} {:>4} {:>4} {:>4}  {:>7} {:>7} {:>4} {:>4} {:>4} {:>5} {:>4} {:>5} {:>5}{latency}{paced_cols}",
                     class.label(),
                     mtbe.as_instructions(),
                     protection.label(),
@@ -550,6 +764,183 @@ fn run_fuzz_mode(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn sweep_to_json(report: &DeadlineReport) -> Json {
+    let spec = &report.spec;
+    let mut jspec = Json::object();
+    jspec
+        .set(
+            "apps",
+            spec.apps
+                .iter()
+                .map(|a| Json::from(a.name()))
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "classes",
+            spec.classes
+                .iter()
+                .map(|c| Json::from(c.label()))
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "mtbe_instructions",
+            spec.mtbes
+                .iter()
+                .map(|m| Json::from(m.as_instructions()))
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "deadline_mults",
+            spec.deadline_mults
+                .iter()
+                .map(|&m| Json::from(m))
+                .collect::<Vec<_>>(),
+        )
+        .set("seeds", spec.seeds);
+    let runs: Vec<Json> = report
+        .runs
+        .iter()
+        .map(|r| {
+            let mut j = Json::object();
+            j.set("app", r.cell.app.name())
+                .set("class", r.cell.class.label())
+                .set("mtbe_instructions", r.cell.mtbe.as_instructions())
+                .set("deadline_mult", r.cell.mult)
+                .set("seed", r.cell.seed)
+                .set("base_latency", r.base_latency)
+                .set("period", r.period)
+                .set("deadline", r.deadline)
+                .set("completed", r.completed)
+                .set("quality_db", r.quality_db)
+                .set("faults", r.faults)
+                .set("frames_on_time", r.pacing.frames_on_time)
+                .set("deadline_misses", r.pacing.deadline_misses)
+                .set("degraded_for_deadline", r.pacing.degraded_for_deadline)
+                .set("pace_p99_latency", r.pacing.p99_latency())
+                .set("slo_met", r.pacing.slo_met())
+                .set("pacing_unit", r.pacing.unit)
+                .set(
+                    "violations",
+                    r.violations
+                        .iter()
+                        .map(|v| Json::from(v.as_str()))
+                        .collect::<Vec<_>>(),
+                );
+            j
+        })
+        .collect();
+    let mut doc = Json::object();
+    doc.set("spec", jspec)
+        .set("workers", report.workers)
+        .set("total_runs", report.runs.len())
+        .set("violations", report.violations().len())
+        .set("runs", runs);
+    doc
+}
+
+fn print_sweep_summary(report: &DeadlineReport) {
+    println!(
+        "{:<16} {:<10} {:>8} {:>5} {:>6} {:>8}  {:>6} {:>5} {:>5} {:>7} {:>9}",
+        "app",
+        "class",
+        "mtbe",
+        "mult",
+        "baseL",
+        "deadline",
+        "ontime",
+        "miss",
+        "ddl",
+        "pacep99",
+        "avg dB"
+    );
+    for &app in &report.spec.apps {
+        for &class in &report.spec.classes {
+            for &mtbe in &report.spec.mtbes {
+                for &mult in &report.spec.deadline_mults {
+                    let rows: Vec<_> = report
+                        .runs
+                        .iter()
+                        .filter(|r| {
+                            r.cell.app == app
+                                && r.cell.class == class
+                                && r.cell.mtbe == mtbe
+                                && r.cell.mult == mult
+                        })
+                        .collect();
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let quality: f64 =
+                        rows.iter().map(|r| r.quality_db).sum::<f64>() / rows.len() as f64;
+                    println!(
+                        "{:<16} {:<10} {:>8} {:>5} {:>6} {:>8}  {:>6} {:>5} {:>5} {:>7} {:>9.2}",
+                        app.name(),
+                        class.label(),
+                        mtbe.as_instructions(),
+                        mult,
+                        rows[0].base_latency,
+                        rows[0].deadline,
+                        rows.iter().map(|r| r.pacing.frames_on_time).sum::<u64>(),
+                        rows.iter().map(|r| r.pacing.deadline_misses).sum::<u64>(),
+                        rows.iter()
+                            .map(|r| r.pacing.degraded_for_deadline)
+                            .sum::<u64>(),
+                        rows.iter()
+                            .map(|r| r.pacing.p99_latency())
+                            .max()
+                            .unwrap_or(0),
+                        quality,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn run_sweep_mode(args: &Args) -> ExitCode {
+    let spec = &args.sweep;
+    eprintln!(
+        "campaign: deadline sweep — {} apps x {} classes x {} mtbes x {} budgets x {} seeds \
+         = {} runs (det executor, commguard, rounds)",
+        spec.apps.len(),
+        spec.classes.len(),
+        spec.mtbes.len(),
+        spec.deadline_mults.len(),
+        spec.seeds,
+        spec.total_runs(),
+    );
+    let report = run_deadline_sweep(spec);
+    print_sweep_summary(&report);
+    let out = if args.out_set {
+        args.out.clone()
+    } else {
+        "deadline_sweep.json".to_string()
+    };
+    if let Err(e) = std::fs::write(&out, sweep_to_json(&report).pretty()) {
+        eprintln!("campaign: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("campaign: deadline-sweep report written to {out}");
+    let violations = report.violations();
+    if violations.is_empty() {
+        eprintln!("campaign: all deadline-sweep invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for (r, v) in &violations {
+            eprintln!(
+                "VIOLATION [{} {} mtbe={} x{} seed={}]: {v}",
+                r.cell.app.name(),
+                r.cell.class,
+                r.cell.mtbe.as_instructions(),
+                r.cell.mult,
+                r.cell.seed
+            );
+        }
+        eprintln!("campaign: {} invariant violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn run_replay_mode(paths: &[String]) -> ExitCode {
     let mut mismatched = 0usize;
     for path in paths {
@@ -594,8 +985,11 @@ fn main() -> ExitCode {
     if args.random > 0 {
         return run_fuzz_mode(&args);
     }
+    if args.deadline_sweep {
+        return run_sweep_mode(&args);
+    }
     eprintln!(
-        "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs ({} executor{})",
+        "campaign: {} classes x {} mtbes x {} protections x {} seeds = {} runs ({} executor{}{})",
         args.spec.classes.len(),
         args.spec.mtbes.len(),
         args.spec.protections.len(),
@@ -606,6 +1000,12 @@ fn main() -> ExitCode {
             format!(", {} transport", args.spec.transport.label())
         } else {
             String::new()
+        },
+        match args.spec.pacing {
+            Some(Pacing::Paced {
+                period, deadline, ..
+            }) => format!(", paced {period}/{deadline}"),
+            _ => String::new(),
         }
     );
     let report = run_campaign(&args.spec);

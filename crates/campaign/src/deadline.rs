@@ -1,0 +1,355 @@
+//! Deadline sweep: quality-vs-MTBE-vs-deadline surfaces over the
+//! application suite.
+//!
+//! Each cell runs one benchmark app on the deterministic executor under
+//! CommGuard, paced at the app's own intrinsic cadence, with the frame
+//! deadline set to a multiple of the app's calibrated base latency. The
+//! sweep answers the paper-style question "how much output quality does
+//! a real-time budget cost under faults?": a deadline at 1× the
+//! intrinsic latency forces the degrade ladder to discharge frames that
+//! faults push over budget, while a generous multiple lets recovery
+//! re-execute in place — the recorded quality (dB vs the fault-free
+//! reference) traces the surface between the two.
+//!
+//! Calibration is self-contained: a fault-free paced probe per app, with
+//! the period set from the app's unpaced cadence (so the schedule never
+//! backlogs) and an unreachable deadline, measures the intrinsic p99
+//! frame latency in scheduler rounds. Everything downstream is expressed
+//! in multiples of that number, which keeps the sweep meaningful across
+//! apps whose pipelines differ by orders of magnitude in depth.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cg_apps::{BenchApp, Size, Workload};
+use cg_fault::{FaultClass, Mtbe};
+use cg_runtime::{run, Pacing, PacingReport, SimConfig};
+use commguard::Protection;
+
+/// The axes of a deadline sweep.
+#[derive(Debug, Clone)]
+pub struct DeadlineSweepSpec {
+    /// Benchmark apps to sweep (default: the full suite).
+    pub apps: Vec<BenchApp>,
+    /// Fault classes to inject.
+    pub classes: Vec<FaultClass>,
+    /// Error rates (mean instructions between errors).
+    pub mtbes: Vec<Mtbe>,
+    /// Deadline budgets, as multiples of the app's calibrated base
+    /// latency. `1` is the tightest honest schedule; large multiples
+    /// approximate self-timed execution.
+    pub deadline_mults: Vec<u64>,
+    /// Seeds per cell; runs use seeds `1..=seeds`.
+    pub seeds: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for DeadlineSweepSpec {
+    fn default() -> Self {
+        DeadlineSweepSpec {
+            apps: BenchApp::all().to_vec(),
+            classes: FaultClass::all().to_vec(),
+            mtbes: vec![
+                Mtbe::instructions(256),
+                Mtbe::instructions(2048),
+                Mtbe::instructions(16_384),
+            ],
+            deadline_mults: vec![1, 2, 8],
+            seeds: 3,
+            threads: 0,
+        }
+    }
+}
+
+impl DeadlineSweepSpec {
+    /// A fast smoke-test sweep (CI / `--quick`).
+    pub fn quick() -> Self {
+        DeadlineSweepSpec {
+            mtbes: vec![Mtbe::instructions(2048)],
+            deadline_mults: vec![1, 8],
+            seeds: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of runs in the sweep.
+    pub fn total_runs(&self) -> usize {
+        self.apps.len()
+            * self.classes.len()
+            * self.mtbes.len()
+            * self.deadline_mults.len()
+            * self.seeds as usize
+    }
+
+    /// Flattens the cross product into per-run cells.
+    pub fn cells(&self) -> Vec<DeadlineCell> {
+        let mut out = Vec::with_capacity(self.total_runs());
+        for &app in &self.apps {
+            for &class in &self.classes {
+                for &mtbe in &self.mtbes {
+                    for &mult in &self.deadline_mults {
+                        for seed in 1..=self.seeds {
+                            out.push(DeadlineCell {
+                                app,
+                                class,
+                                mtbe,
+                                mult,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One point of the deadline sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineCell {
+    /// Benchmark app.
+    pub app: BenchApp,
+    /// Fault class injected.
+    pub class: FaultClass,
+    /// Error rate.
+    pub mtbe: Mtbe,
+    /// Deadline budget as a multiple of the app's base latency.
+    pub mult: u64,
+    /// Run seed.
+    pub seed: u64,
+}
+
+/// The result of one paced app run.
+#[derive(Debug, Clone)]
+pub struct DeadlineRecord {
+    /// The sweep cell this run belongs to.
+    pub cell: DeadlineCell,
+    /// The app's calibrated fault-free p99 frame latency (rounds).
+    pub base_latency: u64,
+    /// Pacing period the run used (rounds).
+    pub period: u64,
+    /// Frame deadline the run used (rounds): `mult × base_latency`.
+    pub deadline: u64,
+    /// Whether the run finished before the round cap.
+    pub completed: bool,
+    /// Output quality in dB against the fault-free reference (PSNR for
+    /// image apps, SNR otherwise).
+    pub quality_db: f64,
+    /// Faults injected.
+    pub faults: u64,
+    /// The run's full deadline accounting.
+    pub pacing: PacingReport,
+    /// Hard-invariant violations (always empty for a passing sweep).
+    pub violations: Vec<String>,
+}
+
+/// Everything a finished deadline sweep produced.
+#[derive(Debug, Clone)]
+pub struct DeadlineReport {
+    /// The sweep that was run.
+    pub spec: DeadlineSweepSpec,
+    /// One record per run, in cell order.
+    pub runs: Vec<DeadlineRecord>,
+    /// Worker threads the sweep actually ran on.
+    pub workers: usize,
+}
+
+impl DeadlineReport {
+    /// All invariant violations across the sweep.
+    pub fn violations(&self) -> Vec<(&DeadlineRecord, &str)> {
+        self.runs
+            .iter()
+            .flat_map(|r| r.violations.iter().map(move |v| (r, v.as_str())))
+            .collect()
+    }
+}
+
+/// Calibrates one app's intrinsic frame latency: a fault-free paced
+/// probe whose period matches the app's unpaced cadence (no backlog)
+/// and whose deadline is unreachable, measured at p99 in rounds.
+fn calibrate(app: BenchApp) -> u64 {
+    let w = Workload::new(app, Size::Small);
+    let (p, _) = w.build();
+    let unpaced = run(p, &SimConfig::error_free(w.frames())).expect("calibration run");
+    assert!(unpaced.completed, "unpaced calibration must complete");
+    let cadence = (unpaced.rounds / w.frames().max(1)).max(1);
+    let (p, _) = w.build();
+    let cfg = SimConfig::error_free(w.frames()).pacing(Pacing::Paced {
+        period: cadence,
+        deadline: unpaced.rounds.max(16) * 4,
+        slo: unpaced.rounds.max(16) * 4,
+    });
+    let probe = run(p, &cfg).expect("paced calibration run");
+    assert!(probe.completed, "paced calibration must complete");
+    let pace = probe.pacing.expect("paced run reports pacing");
+    pace.p99_latency().max(1)
+}
+
+/// Executes one sweep cell: the app under faults at the cell's budget.
+fn run_cell(cell: DeadlineCell, base_latency: u64) -> DeadlineRecord {
+    let w = Workload::new(cell.app, Size::Small);
+    let (p, _) = w.build();
+    let period = base_latency;
+    let deadline = base_latency * cell.mult;
+    let cfg = SimConfig {
+        fault_class: cell.class,
+        ..SimConfig::with_errors(w.frames(), Protection::commguard(), cell.mtbe, cell.seed)
+    }
+    .pacing(Pacing::Paced {
+        period,
+        deadline,
+        slo: deadline,
+    });
+    let report = run(p, &cfg).expect("sweep runs never error at runtime");
+
+    let sink = report.sink_output(w.sink());
+    let quality_db = w.quality_db(sink);
+    let faults = report.total_faults().total();
+    let mut violations = Vec::new();
+    if !report.completed {
+        violations.push("paced app run hit the round cap".to_string());
+    }
+    if sink.len() != w.reference().len() {
+        violations.push(format!(
+            "sink length {} != reference {} (pads yes, truncation no)",
+            sink.len(),
+            w.reference().len()
+        ));
+    }
+    let pacing = report.pacing.unwrap_or_else(|| {
+        violations.push("paced run carries no pacing report".to_string());
+        PacingReport::for_pacing(
+            Pacing::Paced {
+                period,
+                deadline,
+                slo: deadline,
+            },
+            "rounds",
+        )
+        .expect("paced schedule yields a report")
+    });
+    if pacing.frames_observed() != w.frames() {
+        violations.push(format!(
+            "pacing accounted {} of {} frames",
+            pacing.frames_observed(),
+            w.frames()
+        ));
+    }
+
+    DeadlineRecord {
+        cell,
+        base_latency,
+        period,
+        deadline,
+        completed: report.completed,
+        quality_db,
+        faults,
+        pacing,
+        violations,
+    }
+}
+
+/// Runs the whole deadline sweep on `spec.threads` workers.
+pub fn run_deadline_sweep(spec: &DeadlineSweepSpec) -> DeadlineReport {
+    // One calibration per app, shared by every cell.
+    let bases: Vec<(BenchApp, u64)> = spec.apps.iter().map(|&a| (a, calibrate(a))).collect();
+    let base_for = |app: BenchApp| -> u64 {
+        bases
+            .iter()
+            .find(|(a, _)| *a == app)
+            .map(|&(_, l)| l)
+            .expect("every swept app was calibrated")
+    };
+
+    let cells = spec.cells();
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        spec.threads
+    }
+    .min(cells.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<DeadlineRecord>>> = Mutex::new(vec![None; cells.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell) = cells.get(i) else { break };
+                let record = run_cell(cell, base_for(cell.app));
+                results.lock().expect("no poisoned workers")[i] = Some(record);
+            });
+        }
+    });
+
+    let runs = results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect();
+    DeadlineReport {
+        spec: spec.clone(),
+        runs,
+        workers: threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_deterministic_and_positive() {
+        let a = calibrate(BenchApp::all()[0]);
+        let b = calibrate(BenchApp::all()[0]);
+        assert_eq!(a, b, "calibration must be reproducible");
+        assert!(a >= 1);
+    }
+
+    #[test]
+    fn tiny_sweep_upholds_invariants_and_orders_quality() {
+        let app = BenchApp::all()[0];
+        let spec = DeadlineSweepSpec {
+            apps: vec![app],
+            classes: vec![FaultClass::Burst],
+            mtbes: vec![Mtbe::instructions(512)],
+            deadline_mults: vec![1, 16],
+            seeds: 2,
+            threads: 2,
+        };
+        let report = run_deadline_sweep(&spec);
+        assert_eq!(report.runs.len(), spec.total_runs());
+        let bad = report.violations();
+        assert!(
+            bad.is_empty(),
+            "deadline-sweep violations: {:?}",
+            bad.iter().map(|(_, v)| v).collect::<Vec<_>>()
+        );
+        for r in &report.runs {
+            assert!(r.completed, "{:?}", r.cell);
+            assert_eq!(r.deadline, r.base_latency * r.cell.mult);
+            assert_eq!(r.pacing.unit, "rounds");
+            assert!(r.quality_db.is_finite(), "{:?}", r.cell);
+        }
+        // The surface itself (quality vs budget) is an empirical output,
+        // not an invariant — a corrupted-but-completed frame can score
+        // worse than a degraded frame's zero pads. What must hold: the
+        // 1x budget sits at the app's intrinsic latency, so burst faults
+        // have to push some frame over it somewhere in the sweep.
+        let pressure = |mult: u64| -> u64 {
+            report
+                .runs
+                .iter()
+                .filter(|r| r.cell.mult == mult)
+                .map(|r| r.pacing.deadline_misses + r.pacing.degraded_for_deadline)
+                .sum()
+        };
+        assert!(
+            pressure(1) > 0,
+            "a 1x budget under burst faults must register deadline pressure"
+        );
+    }
+}

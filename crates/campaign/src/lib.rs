@@ -4,11 +4,15 @@
 //! many seeds in parallel, asserts hard per-run invariants, and emits a
 //! machine-readable JSON report plus a human-readable summary table.
 
+pub mod deadline;
 pub mod fuzz;
 pub mod json;
 pub mod runner;
 pub mod spec;
 
+pub use deadline::{
+    run_deadline_sweep, DeadlineCell, DeadlineRecord, DeadlineReport, DeadlineSweepSpec,
+};
 pub use fuzz::{minimize, replay_file, run_fuzz, FuzzReport, FuzzSpec, Oracle, ReproCase};
 pub use runner::{run_campaign, CampaignReport, Outcome, RunRecord};
 pub use spec::{CampaignSpec, ExecutorKind, RunCell};

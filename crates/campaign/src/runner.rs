@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use cg_runtime::{run, run_parallel_with, Program, RunReport, SimConfig, WatchdogStats};
+use cg_runtime::{
+    run, run_parallel_with, PacingReport, Program, RunReport, SimConfig, WatchdogStats,
+};
 use cg_telemetry::{to_jsonl, to_prometheus, TelemetryConfig, TelemetryReport};
 use cg_trace::{analyze, text, to_chrome_json, TraceConfig};
 use commguard::graph::{GraphBuilder, NodeId, NodeKind, StreamGraph};
@@ -85,6 +87,11 @@ pub struct RunRecord {
     /// Path of the dumped telemetry snapshot series (`.jsonl`; a `.prom`
     /// sibling sits next to it), when the campaign ran with telemetry.
     pub telemetry_file: Option<String>,
+    /// Deadline accounting when the campaign ran paced
+    /// ([`CampaignSpec::pacing`]): on-time/missed frame counts, deadline
+    /// degradations, and the latency/slack histograms. `None` on
+    /// self-timed sweeps.
+    pub pacing: Option<PacingReport>,
     /// Hard-invariant violations (always empty for a passing campaign).
     pub violations: Vec<String>,
     /// Path of the dumped trace, when this run was bad enough to keep one
@@ -227,6 +234,24 @@ fn classify(completed: bool, sink: &[u32], expected: &[u32]) -> Outcome {
     }
 }
 
+/// Paced-run invariant, shared by both executors: a guarded paced run
+/// must carry a deadline report accounting for every scheduled frame —
+/// a frame the degradation ladder loses track of is a silent stall.
+fn check_pacing(spec: &CampaignSpec, report: &RunReport, violations: &mut Vec<String>) {
+    if spec.pacing.is_none() {
+        return;
+    }
+    match report.pacing.as_ref() {
+        None => violations.push("paced run carries no pacing report".to_string()),
+        Some(p) if p.frames_observed() != spec.frames => violations.push(format!(
+            "pacing accounted {} of {} frames",
+            p.frames_observed(),
+            spec.frames
+        )),
+        Some(_) => {}
+    }
+}
+
 /// The telemetry config a sweep cell runs under.
 fn cell_telemetry(spec: &CampaignSpec) -> TelemetryConfig {
     if spec.telemetry_dir.is_some() {
@@ -322,6 +347,10 @@ fn run_cell_det(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunReco
         ..SimConfig::error_free(spec.frames)
     }
     .seed(cell.seed);
+    let cfg = match spec.pacing {
+        Some(p) => cfg.pacing(p),
+        None => cfg,
+    };
     // Invariant: every run terminates. `run` itself is bounded by
     // `max_rounds`, so returning at all proves termination; anything
     // else (a panic) aborts the campaign loudly.
@@ -354,6 +383,7 @@ fn run_cell_det(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunReco
                 "realignment events {realign_events} exceed structural bound {realign_bound}"
             ));
         }
+        check_pacing(spec, &report, &mut violations);
     }
 
     let sink_len = sink.len();
@@ -380,6 +410,7 @@ fn run_cell_det(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> RunReco
         blocked_ops: report.queues.blocked_pushes + report.queues.blocked_pops,
         frame_latency: frame_latency(&report),
         telemetry_file,
+        pacing: report.pacing,
         violations,
         trace_file,
         propagation,
@@ -430,6 +461,10 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
         ..SimConfig::error_free(spec.frames)
     }
     .seed(cell.seed);
+    let cfg = match spec.pacing {
+        Some(p) => cfg.pacing(p),
+        None => cfg,
+    };
 
     // Liveness is the threaded executor's own contract: every blocking
     // operation times out and every frame either retries within budget or
@@ -457,6 +492,7 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
                 blocked_ops: 0,
                 frame_latency: None,
                 telemetry_file: None,
+                pacing: None,
                 violations,
                 trace_file: None,
                 propagation: Vec::new(),
@@ -493,6 +529,7 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
                 report.watchdog.frame_retries
             ));
         }
+        check_pacing(spec, &report, &mut violations);
     }
 
     let sink_len = sink.len();
@@ -520,6 +557,7 @@ fn run_cell_threaded(spec: &CampaignSpec, cell: RunCell, expected: &[u32]) -> Ru
         blocked_ops: report.queues.blocked_pushes + report.queues.blocked_pops,
         frame_latency: frame_latency(&report),
         telemetry_file,
+        pacing: report.pacing,
         violations,
         trace_file,
         propagation,
@@ -732,6 +770,59 @@ mod tests {
         }
         // The sweep genuinely injected faults somewhere.
         assert!(report.runs.iter().map(|r| r.faults).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn paced_det_smoke_campaign_accounts_every_frame() {
+        let spec = CampaignSpec {
+            pacing: Some(ExecutorKind::Deterministic.default_pacing()),
+            ..smoke_spec()
+        };
+        let report = run_campaign(&spec);
+        let bad = report.violations();
+        assert!(
+            bad.is_empty(),
+            "paced invariant violations: {:?}",
+            bad.iter().map(|(_, v)| v).collect::<Vec<_>>()
+        );
+        for r in report
+            .runs
+            .iter()
+            .filter(|r| r.cell.protection.guards_enabled())
+        {
+            let pace = r.pacing.as_ref().expect("paced record carries a report");
+            assert_eq!(pace.frames_observed(), spec.frames, "{:?}", r.cell);
+            assert_eq!(pace.unit, "rounds");
+        }
+        // Unpaced sweeps keep the field empty.
+        let plain = run_campaign(&smoke_spec());
+        assert!(plain.runs.iter().all(|r| r.pacing.is_none()));
+    }
+
+    #[test]
+    fn paced_threaded_smoke_campaign_accounts_every_frame() {
+        let spec = CampaignSpec {
+            executor: ExecutorKind::Threaded,
+            pacing: Some(ExecutorKind::Threaded.default_pacing()),
+            classes: vec![FaultClass::Burst],
+            mtbes: vec![cg_fault::Mtbe::instructions(256)],
+            protections: vec![Protection::commguard()],
+            seeds: 2,
+            frames: 8,
+            ..CampaignSpec::default()
+        };
+        let report = run_campaign(&spec);
+        let bad = report.violations();
+        assert!(
+            bad.is_empty(),
+            "paced threaded violations: {:?}",
+            bad.iter().map(|(_, v)| v).collect::<Vec<_>>()
+        );
+        for r in &report.runs {
+            let pace = r.pacing.as_ref().expect("paced record carries a report");
+            assert_eq!(pace.frames_observed(), spec.frames, "{:?}", r.cell);
+            assert_eq!(pace.unit, "us");
+        }
     }
 
     #[test]

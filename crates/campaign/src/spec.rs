@@ -1,7 +1,7 @@
 //! Campaign specification: the sweep's axes and per-run parameters.
 
 use cg_fault::{FaultClass, Mtbe};
-use cg_runtime::ParTransport;
+use cg_runtime::{Pacing, ParTransport};
 use commguard::Protection;
 
 /// Which executor runs the sweep's cells.
@@ -33,6 +33,26 @@ impl ExecutorKind {
             other => Err(format!(
                 "unknown executor '{other}' (expected det or threaded)"
             )),
+        }
+    }
+
+    /// The default paced schedule for this executor's clock domain:
+    /// scheduler rounds on the deterministic simulator, microseconds on
+    /// the threaded executor. Both leave the deadline several periods
+    /// past release so healthy runs meet it with room while a wedged
+    /// recovery still trips the ladder inside the sweep's budget.
+    pub fn default_pacing(&self) -> Pacing {
+        match self {
+            ExecutorKind::Deterministic => Pacing::Paced {
+                period: 32,
+                deadline: 128,
+                slo: 128,
+            },
+            ExecutorKind::Threaded => Pacing::Paced {
+                period: 300,
+                deadline: 5_000,
+                slo: 5_000,
+            },
         }
     }
 }
@@ -77,6 +97,13 @@ pub struct CampaignSpec {
     /// Prometheus `.prom` + snapshot `.jsonl` pair into this directory.
     /// `None` (the default) keeps the zero-cost unprobed path.
     pub telemetry_dir: Option<String>,
+    /// When set, every run executes under this paced real-time schedule:
+    /// sources release frames on the period, overdue frames degrade at
+    /// the deadline instead of stalling, and each [`crate::RunRecord`]
+    /// carries the run's deadline accounting. Guarded paced runs must
+    /// account for every scheduled frame. `None` (the default) keeps the
+    /// self-timed executors.
+    pub pacing: Option<Pacing>,
 }
 
 impl Default for CampaignSpec {
@@ -107,6 +134,7 @@ impl Default for CampaignSpec {
             transport: ParTransport::default(),
             trace_dir: None,
             telemetry_dir: None,
+            pacing: None,
         }
     }
 }
@@ -197,5 +225,16 @@ mod tests {
     #[test]
     fn default_transport_is_lock_free() {
         assert_eq!(CampaignSpec::default().transport, ParTransport::LockFree);
+    }
+
+    #[test]
+    fn pacing_defaults_match_the_executor_clock_domain() {
+        assert_eq!(CampaignSpec::default().pacing, None);
+        let det = ExecutorKind::Deterministic.default_pacing();
+        let thr = ExecutorKind::Threaded.default_pacing();
+        assert!(det.is_paced() && thr.is_paced());
+        // Rounds are coarser than microseconds; the det schedule must be
+        // numerically tighter than the wall-clock one.
+        assert!(det.period().unwrap() < thr.period().unwrap());
     }
 }

@@ -58,6 +58,17 @@ impl TimeoutTracker {
         self.blocked = self.threshold - 1;
     }
 
+    /// Blocked attempts still needed before the timeout fires at the
+    /// current streak — the QM's "time to fire" in fruitless visits.
+    /// Deadline-aware executors compare this against a frame's remaining
+    /// slack: a timeout that would land after the frame's deadline is
+    /// useless, so the port is [`Self::arm`]ed instead and the blocked
+    /// operation forces (possibly stale) transfer while it can still
+    /// commit on time.
+    pub fn time_to_fire(&self) -> u64 {
+        self.threshold - self.blocked
+    }
+
     /// Number of timeouts fired so far.
     pub fn fired(&self) -> u64 {
         self.fired
@@ -102,6 +113,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_panics() {
         let _ = TimeoutTracker::new(0);
+    }
+
+    #[test]
+    fn time_to_fire_tracks_the_streak() {
+        let mut t = TimeoutTracker::new(5);
+        assert_eq!(t.time_to_fire(), 5);
+        t.on_block();
+        t.on_block();
+        assert_eq!(t.time_to_fire(), 3);
+        t.on_progress();
+        assert_eq!(t.time_to_fire(), 5);
+        t.arm();
+        assert_eq!(t.time_to_fire(), 1);
     }
 
     #[test]

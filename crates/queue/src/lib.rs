@@ -49,6 +49,8 @@ mod unit;
 pub use ptr::{PointerMode, PtrCell, Which};
 pub use ring::{PushError, QueueSpec, SimQueue};
 pub use shared::{SharedQueue, Side, WaitError};
-pub use spsc::{spsc_pair, SpscConsumer, SpscProducer, SpscStats};
+pub use spsc::{
+    spsc_pair, spsc_pair_with, SpscConsumer, SpscProducer, SpscStats, DEFAULT_PARK_SLICE,
+};
 pub use stats::QueueStats;
 pub use unit::{FrameId, Unit, END_FRAME_ID};

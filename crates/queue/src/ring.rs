@@ -733,8 +733,19 @@ impl SimQueue {
     }
 
     /// Units the consumer believes are available (last-seen tail − head).
+    /// Timeout pops can run the exact head past every published tail; the
+    /// reliable QM applies the same occupancy invariant as
+    /// [`Self::refresh_seen_tail`] and reads such a view as empty rather
+    /// than as a near-`2^32` flood of stale slots. Unprotected pointers
+    /// keep the raw wrapped difference — a corrupted tail flooding the
+    /// consumer with garbage is part of the modeled failure.
     fn apparent_available(&self) -> u32 {
-        self.seen_tail.wrapping_sub(self.head)
+        let d = self.seen_tail.wrapping_sub(self.head);
+        if self.spec.pointer_mode == PointerMode::Ecc && d > self.spec.capacity as u32 {
+            0
+        } else {
+            d
+        }
     }
 
     /// Refreshes the cached head cursor from the shared pointer — the
@@ -1214,6 +1225,39 @@ mod tests {
         let mut q = small();
         let _ = q.timeout_pop();
         assert_eq!(q.occupancy(), 0, "overdrained queue reads as empty");
+    }
+
+    #[test]
+    fn overdrained_ecc_queue_blocks_instead_of_flooding() {
+        let mut q = small();
+        let _ = q.timeout_pop();
+        // Head is now one past every published tail; with protected
+        // pointers the availability invariant must read this as empty,
+        // not as a wrapped ~2^32 flood of stale slots.
+        assert_eq!(q.try_pop(), None, "overdrained view must block");
+        // Production catching back up past the head restores delivery.
+        for i in 0..3u32 {
+            q.try_push(Unit::Item(i)).unwrap();
+        }
+        q.flush();
+        // The unit landing in the slot the head already skipped is lost
+        // (timeout data loss); the ones past the head come through.
+        assert_eq!(q.try_pop(), Some(Unit::Item(1)));
+        assert_eq!(q.try_pop(), Some(Unit::Item(2)));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn overdrained_raw_queue_keeps_the_modeled_flood() {
+        let mut q = SimQueue::new(QueueSpec {
+            capacity: 8,
+            workset_size: 2,
+            pointer_mode: PointerMode::Raw,
+        });
+        let _ = q.timeout_pop();
+        // Unprotected pointers take the raw wrapped difference: stale
+        // garbage stays visible, which is the paper's Fig. 3b failure.
+        assert!(q.try_pop().is_some(), "raw mode keeps the stale flood");
     }
 
     fn small_views() -> (SimQueue, SimQueue) {

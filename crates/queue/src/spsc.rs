@@ -307,8 +307,10 @@ const SPIN_HINTS: u32 = 32;
 const SPIN_YIELDS: u32 = 4;
 /// Parked waits happen in short slices: an unpark token ends one early,
 /// and the bounded slice is the liveness backstop that makes even a
-/// (theoretically) lost wakeup cost one millisecond, not a hang.
-const PARK_SLICE: Duration = Duration::from_millis(1);
+/// (theoretically) lost wakeup cost one slice, not a hang. This is the
+/// default; paced runs pass a tighter slice via [`spsc_pair_with`] so a
+/// parked worker wakes often enough to observe sub-millisecond deadlines.
+pub const DEFAULT_PARK_SLICE: Duration = Duration::from_millis(1);
 
 /// Retries `f` on `q` until it reports progress, spinning then parking
 /// between attempts; the lock-free analogue of
@@ -319,6 +321,7 @@ fn blocking_op<R>(
     ctrl: &Ctrl,
     me: usize,
     stall: Duration,
+    park_slice: Duration,
     mut f: impl FnMut(&mut SimQueue) -> Option<R>,
 ) -> Result<R, WaitError> {
     let peer = 1 - me;
@@ -369,7 +372,7 @@ fn blocking_op<R>(
                 None => Err(WaitError::PeerClosed),
             };
         }
-        thread::park_timeout(PARK_SLICE.min(dl - now));
+        thread::park_timeout(park_slice.min(dl - now));
         ctrl.retract_park(me);
     }
 }
@@ -379,11 +382,29 @@ fn blocking_op<R>(
 /// stays valid after both endpoints (typically moved into worker threads)
 /// are gone.
 ///
-/// Every blocking wait on either endpoint is bounded by `stall_timeout`.
+/// Every blocking wait on either endpoint is bounded by `stall_timeout`;
+/// parked waits use the [`DEFAULT_PARK_SLICE`].
 pub fn spsc_pair(
     spec: QueueSpec,
     stall_timeout: Duration,
 ) -> (SpscProducer, SpscConsumer, SpscStats) {
+    spsc_pair_with(spec, stall_timeout, DEFAULT_PARK_SLICE)
+}
+
+/// [`spsc_pair`] with an explicit park slice: the maximum time a blocked
+/// endpoint sleeps between deadline re-checks. Paced real-time runs pass
+/// a slice derived from the frame period (a parked worker must wake often
+/// enough to notice a deadline that is a fraction of the period); the
+/// batch executors keep [`DEFAULT_PARK_SLICE`].
+///
+/// A zero slice is clamped to 1 µs so the park loop cannot become a
+/// pure spin.
+pub fn spsc_pair_with(
+    spec: QueueSpec,
+    stall_timeout: Duration,
+    park_slice: Duration,
+) -> (SpscProducer, SpscConsumer, SpscStats) {
+    let park_slice = park_slice.max(Duration::from_micros(1));
     let (pq, cq) = SimQueue::spsc_views(spec);
     let ctrl = Arc::new(Ctrl::new());
     (
@@ -391,11 +412,13 @@ pub fn spsc_pair(
             q: pq,
             ctrl: Arc::clone(&ctrl),
             stall: stall_timeout,
+            park_slice,
         },
         SpscConsumer {
             q: cq,
             ctrl: Arc::clone(&ctrl),
             stall: stall_timeout,
+            park_slice,
         },
         SpscStats { ctrl },
     )
@@ -408,6 +431,7 @@ pub struct SpscProducer {
     q: SimQueue,
     ctrl: Arc<Ctrl>,
     stall: Duration,
+    park_slice: Duration,
 }
 
 impl SpscProducer {
@@ -423,7 +447,14 @@ impl SpscProducer {
         &mut self,
         f: impl FnMut(&mut SimQueue) -> Option<R>,
     ) -> Result<R, WaitError> {
-        blocking_op(&mut self.q, &self.ctrl, PRODUCER, self.stall, f)
+        blocking_op(
+            &mut self.q,
+            &self.ctrl,
+            PRODUCER,
+            self.stall,
+            self.park_slice,
+            f,
+        )
     }
 
     /// Runs `f` once (no blocking) and wakes the consumer — for flushes
@@ -465,6 +496,7 @@ pub struct SpscConsumer {
     q: SimQueue,
     ctrl: Arc<Ctrl>,
     stall: Duration,
+    park_slice: Duration,
 }
 
 impl SpscConsumer {
@@ -479,7 +511,14 @@ impl SpscConsumer {
         &mut self,
         f: impl FnMut(&mut SimQueue) -> Option<R>,
     ) -> Result<R, WaitError> {
-        blocking_op(&mut self.q, &self.ctrl, CONSUMER, self.stall, f)
+        blocking_op(
+            &mut self.q,
+            &self.ctrl,
+            CONSUMER,
+            self.stall,
+            self.park_slice,
+            f,
+        )
     }
 
     /// Runs `f` once (no blocking) and wakes the producer.
@@ -711,6 +750,37 @@ mod tests {
         let start = Instant::now();
         assert_eq!(rx.consume(|q| q.try_pop()), Err(WaitError::TimedOut));
         assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn custom_park_slice_keeps_blocking_semantics() {
+        // A paced-style sub-millisecond slice: same timeout semantics…
+        let (_tx, mut rx, _) = spsc_pair_with(
+            QueueSpec::with_capacity(8),
+            Duration::from_millis(30),
+            Duration::from_micros(100),
+        );
+        let start = Instant::now();
+        assert_eq!(rx.consume(|q| q.try_pop()), Err(WaitError::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+
+        // …and a zero slice is clamped rather than becoming a pure spin.
+        let (mut tx, mut rx, _) = spsc_pair_with(
+            QueueSpec::with_capacity(8),
+            Duration::from_secs(10),
+            Duration::ZERO,
+        );
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                tx.with(|q| {
+                    q.try_push(Unit::Item(3)).unwrap();
+                    q.flush();
+                });
+                drop(tx);
+            });
+            assert_eq!(rx.consume(|q| q.try_pop()), Ok(Unit::Item(3)));
+        });
     }
 
     #[test]

@@ -26,6 +26,66 @@ pub enum ParFaults {
     Deny,
 }
 
+/// Real-time pacing of a run's sources.
+///
+/// Ticks are in the executor's *clock unit*: microseconds of wall time on
+/// the threaded executor, scheduler rounds on the deterministic executor
+/// (whose virtual clock keeps paced runs byte-reproducible). A frame `f`
+/// (0-based) is released at `f × period` and must be committed at every
+/// sink by `f × period + deadline`; `slo` is the p99 end-to-end latency
+/// target judged in [`crate::report::PacingReport::slo_met`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pacing {
+    /// Batch mode (the default): frames run back to back, no deadlines,
+    /// and the executors behave bit-identically to pre-pacing builds.
+    #[default]
+    Off,
+    /// Paced live-source mode with per-frame deadlines.
+    Paced {
+        /// Release period between consecutive frames, in clock ticks.
+        period: u64,
+        /// Per-frame latency budget from release to sink commit, in
+        /// clock ticks. Usually ≥ `period`; smaller values leave no
+        /// pipelining slack at all.
+        deadline: u64,
+        /// p99 end-to-end latency objective, in clock ticks.
+        slo: u64,
+    },
+}
+
+impl Pacing {
+    /// Whether pacing is on.
+    pub fn is_paced(&self) -> bool {
+        matches!(self, Pacing::Paced { .. })
+    }
+
+    /// The release period in clock ticks (`None` when off).
+    pub fn period(&self) -> Option<u64> {
+        match self {
+            Pacing::Off => None,
+            Pacing::Paced { period, .. } => Some(*period),
+        }
+    }
+
+    /// Release tick of 0-based frame `f` (`0` when off).
+    pub fn release(&self, frame: u64) -> u64 {
+        match self {
+            Pacing::Off => 0,
+            Pacing::Paced { period, .. } => frame.saturating_mul(*period),
+        }
+    }
+
+    /// Absolute deadline tick of 0-based frame `f` (`u64::MAX` when off).
+    pub fn deadline_for(&self, frame: u64) -> u64 {
+        match self {
+            Pacing::Off => u64::MAX,
+            Pacing::Paced {
+                period, deadline, ..
+            } => frame.saturating_mul(*period).saturating_add(*deadline),
+        }
+    }
+}
+
 /// Memory-event model: the fraction of committed instructions that are
 /// data loads/stores, used to estimate *all* processor memory events when
 /// relating header traffic to total traffic (paper Fig. 12). Values are
@@ -111,6 +171,15 @@ pub struct SimConfig {
     /// recovery) instead of a hang; scale it down in tests so failures
     /// surface in seconds.
     pub stall_timeout: Duration,
+    /// Threaded executor: how long a blocked SPSC ring port parks per
+    /// slice before re-checking its deadline. `None` (the default) uses
+    /// the built-in 1 ms slice, or a slice derived from the pacing period
+    /// when paced mode is on ([`Self::effective_park_slice`]).
+    pub park_slice: Option<Duration>,
+    /// Real-time pacing: `Off` (the default, batch semantics) or
+    /// `Paced { period, deadline, slo }` in clock ticks (µs threaded,
+    /// rounds deterministic).
+    pub pacing: Pacing,
     /// Event tracing. `Off` (the default) takes the untraced fast path:
     /// no tracer is constructed and every emit site is one `None` check.
     pub trace: TraceConfig,
@@ -144,6 +213,8 @@ impl SimConfig {
             par_faults: ParFaults::default(),
             par_retry_budget: 3,
             stall_timeout: Duration::from_secs(10),
+            park_slice: None,
+            pacing: Pacing::Off,
             trace: TraceConfig::Off,
             telemetry: TelemetryConfig::Off,
         }
@@ -212,6 +283,71 @@ impl SimConfig {
     pub fn stall_timeout(mut self, timeout: Duration) -> Self {
         self.stall_timeout = timeout;
         self
+    }
+
+    /// Sets the SPSC park slice override (builder style).
+    #[must_use]
+    pub fn park_slice(mut self, slice: Duration) -> Self {
+        self.park_slice = Some(slice);
+        self
+    }
+
+    /// Sets the per-port QM timeout threshold, in fruitless visits
+    /// (builder style).
+    #[must_use]
+    pub fn timeout_rounds(mut self, rounds: u64) -> Self {
+        self.timeout_rounds = rounds;
+        self
+    }
+
+    /// Enables pacing (builder style) and derives paced-appropriate
+    /// blocking backstops when the caller left them at their batch
+    /// defaults:
+    ///
+    /// * `stall_timeout` drops from the 10 s batch backstop to
+    ///   `4 × period` (floored at 50 ms) — under pacing a blocked port
+    ///   should turn into a recovery well inside a handful of frame
+    ///   periods, not after ten wall seconds.
+    /// * the SPSC park slice ([`Self::effective_park_slice`]) shrinks to
+    ///   `period / 20` clamped to [50 µs, 1 ms], so a parked worker
+    ///   wakes often enough to observe a deadline that is a fraction of
+    ///   the period.
+    /// * `timeout_rounds` is raised to at least `4 × period` (the
+    ///   deterministic analogue): a paced consumer legitimately idles up
+    ///   to a full period between released frames, and a QM timeout
+    ///   shorter than that would force stale transfers on an error-free
+    ///   paced run.
+    ///
+    /// Explicitly-set values are respected (the derivation only replaces
+    /// untouched defaults). Periods are interpreted as µs on the threaded
+    /// executor and as scheduler rounds on the deterministic one.
+    #[must_use]
+    pub fn pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        if let Pacing::Paced { period, .. } = pacing {
+            if self.stall_timeout == Duration::from_secs(10) {
+                self.stall_timeout =
+                    Duration::from_micros(period.saturating_mul(4)).max(Duration::from_millis(50));
+            }
+            if self.timeout_rounds == 256 {
+                self.timeout_rounds = self.timeout_rounds.max(period.saturating_mul(4));
+            }
+        }
+        self
+    }
+
+    /// The SPSC park slice actually used by the threaded executor: the
+    /// explicit override if set, else a slice derived from the pacing
+    /// period (`period / 20` µs clamped to [50 µs, 1 ms]), else the
+    /// historical 1 ms.
+    pub fn effective_park_slice(&self) -> Duration {
+        if let Some(slice) = self.park_slice {
+            return slice;
+        }
+        match self.pacing {
+            Pacing::Paced { period, .. } => Duration::from_micros((period / 20).clamp(50, 1000)),
+            Pacing::Off => Duration::from_millis(1),
+        }
     }
 
     /// Sizes the occupancy-sensitive knobs for a graph whose hottest
@@ -306,6 +442,57 @@ mod tests {
         }
         .for_queue_demand(3);
         assert_eq!(tiny.queue_capacity, 8);
+    }
+
+    #[test]
+    fn pacing_defaults_off_and_schedule_math() {
+        let c = SimConfig::error_free(4);
+        assert_eq!(c.pacing, Pacing::Off);
+        assert!(!c.pacing.is_paced());
+        assert_eq!(c.pacing.release(3), 0);
+        assert_eq!(c.pacing.deadline_for(3), u64::MAX);
+        assert_eq!(c.effective_park_slice(), Duration::from_millis(1));
+
+        let p = Pacing::Paced {
+            period: 1000,
+            deadline: 2500,
+            slo: 2000,
+        };
+        assert!(p.is_paced());
+        assert_eq!(p.period(), Some(1000));
+        assert_eq!(p.release(3), 3000);
+        assert_eq!(p.deadline_for(3), 5500);
+    }
+
+    #[test]
+    fn pacing_builder_derives_backstops() {
+        let p = Pacing::Paced {
+            period: 20_000,
+            deadline: 40_000,
+            slo: 40_000,
+        };
+        // Untouched defaults are re-derived from the period…
+        let c = SimConfig::error_free(4).pacing(p);
+        assert_eq!(c.stall_timeout, Duration::from_millis(80));
+        assert_eq!(c.effective_park_slice(), Duration::from_micros(1000));
+        assert_eq!(c.timeout_rounds, 80_000, "QM timeout covers the idle gap");
+        // …explicit settings win over the derivation…
+        let c = SimConfig::error_free(4)
+            .stall_timeout(Duration::from_millis(250))
+            .park_slice(Duration::from_micros(200))
+            .timeout_rounds(512)
+            .pacing(p);
+        assert_eq!(c.stall_timeout, Duration::from_millis(250));
+        assert_eq!(c.effective_park_slice(), Duration::from_micros(200));
+        assert_eq!(c.timeout_rounds, 512);
+        // …short periods floor the stall timeout and clamp the slice.
+        let tight = SimConfig::error_free(4).pacing(Pacing::Paced {
+            period: 100,
+            deadline: 300,
+            slo: 300,
+        });
+        assert_eq!(tight.stall_timeout, Duration::from_millis(50));
+        assert_eq!(tight.effective_park_slice(), Duration::from_micros(50));
     }
 
     #[test]

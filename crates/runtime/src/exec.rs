@@ -11,7 +11,7 @@
 use cg_fault::{CoreInjector, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
 use cg_queue::{QueueSpec, SimQueue, Which};
-use cg_telemetry::{ClockMode, CoreProbe, RunCounters};
+use cg_telemetry::{Clock, ClockMode, CoreProbe, RunCounters};
 use cg_trace::{DirTag, Event, Tracer, MACHINE_CORE};
 use commguard::qm::TimeoutTracker;
 use commguard::CoreGuard;
@@ -22,6 +22,7 @@ use crate::faults::{
     apply_perturbation, burst_flip_random_item, flip_random_item, garble_random_item,
     partition_events,
 };
+use crate::pacing::{PacedSource, PacingReport};
 use crate::program::Program;
 use crate::report::{NodeReport, RunReport};
 use crate::watchdog::{Watchdog, WatchdogAction};
@@ -295,13 +296,39 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
     let mut watchdog = Watchdog::new(config.watchdog);
     let mut last_fp = None;
 
+    // Paced real-time mode: the virtual clock is the round counter, so a
+    // paced deterministic run is a pure function of (program, config,
+    // seed) — byte-reproducible like every other deterministic run.
+    let paced_on = config.pacing.is_paced();
+    let pace_clock = Clock::new(ClockMode::Deterministic);
+    let paced = PacedSource::new(config.pacing, pace_clock.clone());
+    let mut pacing_report = PacingReport::for_pacing(config.pacing, "rounds");
+    let mut deadline_degrades: u64 = 0;
+    let mut sink_seen: Vec<u64> = vec![0; nodes.len()];
+
     loop {
         rounds += 1;
         telem.advance_clock(rounds);
+        pace_clock.advance_to(rounds);
         let mut all_done = true;
+        let mut pacing_wait = false;
         for &nid in &order {
             let i = nid.index();
             let n = &mut nodes[i];
+            // Paced source gating: a source sitting at its frame boundary
+            // does not start frame f before the virtual clock reaches the
+            // frame's release tick (f × period). The skipped visit is an
+            // idle wait, not a stall.
+            if paced_on
+                && n.kind == NodeKind::Source
+                && n.phase == Phase::Boundary
+                && n.firings_done < n.total_firings
+                && !paced.released(n.firings_done / n.reps)
+            {
+                pacing_wait = true;
+                all_done = false;
+                continue;
+            }
             tracer.set_context(i as u32, rounds, n.guard.active_fc());
             // Busy/stall attribution: a visit that changes observable
             // node state (or moves data on an attached queue) was busy;
@@ -317,6 +344,7 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
                 &mut queues,
                 &cost_models[i],
                 config,
+                &paced,
                 &tracer,
                 &mut probes[i],
             );
@@ -325,6 +353,69 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
                 probes[i].visit(after != fp);
             }
             all_done &= nodes[i].is_done();
+        }
+        if paced_on {
+            // Deadline ladder: a frame still in flight past its absolute
+            // deadline can no longer land on time, so it is discharged
+            // through the terminal degrade rung *now* — recovery is
+            // re-budgeted in time, not attempts. `degrade_frame` is a
+            // no-op at boundaries, so a frame is degraded at most once.
+            let mut any_degraded = false;
+            let period = config.pacing.period().unwrap_or(0);
+            for (idx, n) in nodes.iter_mut().enumerate() {
+                if matches!(n.phase, Phase::Done | Phase::Finishing | Phase::Boundary) {
+                    continue;
+                }
+                let frame = n.firings_done / n.reps;
+                // Deadline-critical escalation: once a frame is within one
+                // period of dying, any QM timeout that would land after
+                // the deadline is useless — arm those ports now so a
+                // blocked operation forces transfer while the frame can
+                // still commit on time. Strictly a last-chance measure:
+                // frames with healthy slack never reach it.
+                let slack = paced.slack(frame);
+                if slack > 0 && slack < period {
+                    for t in n.in_timeouts.iter_mut().chain(&mut n.out_timeouts) {
+                        if slack < t.time_to_fire() {
+                            t.arm();
+                        }
+                    }
+                }
+                if rounds >= paced.deadline(frame) {
+                    tracer.set_context(idx as u32, rounds, n.guard.active_fc());
+                    tracer.emit(Event::FrameDegraded {
+                        frame: n.guard.active_fc(),
+                    });
+                    degrade_frame(n, &mut queues);
+                    deadline_degrades += 1;
+                    any_degraded = true;
+                }
+            }
+            if any_degraded {
+                // The overdue frame was discharged — that IS progress; a
+                // racing watchdog ladder must not go on to abort the
+                // fresh frame (the terminal rung stays idempotent).
+                watchdog.note_external_degrade();
+            }
+            // Deadline accounting happens where the paper's quality
+            // metrics do: at sink frame commits.
+            if let Some(acc) = pacing_report.as_mut() {
+                for (idx, n) in nodes.iter().enumerate() {
+                    if n.kind != NodeKind::Sink {
+                        continue;
+                    }
+                    let committed = n.firings_done / n.reps;
+                    while sink_seen[idx] < committed {
+                        let f = sink_seen[idx];
+                        acc.record_commit(
+                            config.pacing.release(f),
+                            config.pacing.deadline_for(f),
+                            rounds,
+                        );
+                        sink_seen[idx] += 1;
+                    }
+                }
+            }
         }
         if all_done {
             completed = true;
@@ -336,7 +427,9 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
         let fp = progress_fingerprint(&nodes, &queues);
         let progressed = last_fp != Some(fp);
         last_fp = Some(fp);
-        match watchdog.on_round(progressed) {
+        // A round spent gated on the release schedule is an idle wait,
+        // not a stall — it must not walk the watchdog ladder.
+        match watchdog.on_round(progressed || pacing_wait) {
             WatchdogAction::None => {}
             WatchdogAction::ArmTimeouts => {
                 tracer.set_context(MACHINE_CORE, rounds, 0);
@@ -390,6 +483,10 @@ pub fn run(program: Program, config: &SimConfig) -> Result<RunReport, RunError> 
         trace: tracer.finish(),
         ..Default::default()
     };
+    if let Some(mut acc) = pacing_report {
+        acc.degraded_for_deadline = deadline_degrades;
+        report.pacing = Some(acc);
+    }
     for q in &queues {
         report.queues += *q.stats();
     }
@@ -455,6 +552,7 @@ fn step(
     queues: &mut [SimQueue],
     cost: &cg_graph::CostModel,
     config: &SimConfig,
+    paced: &PacedSource,
     tracer: &Tracer,
     probe: &mut CoreProbe,
 ) {
@@ -466,6 +564,14 @@ fn step(
                     n.guard.finish();
                     n.phase = Phase::Finishing;
                     continue;
+                }
+                // Paced source gating: hold the next frame at its
+                // boundary until the release tick. This also catches the
+                // mid-visit continuation where a source commits frame f
+                // and would roll straight into frame f+1 within the same
+                // visit. Waiting here is idle time, not a stall.
+                if n.kind == NodeKind::Source && !paced.released(n.firings_done / n.reps) {
+                    return;
                 }
                 if n.firings_done == 0 {
                     n.guard.start();

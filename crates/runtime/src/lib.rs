@@ -61,6 +61,7 @@ mod config;
 mod exec;
 mod faults;
 mod overhead;
+mod pacing;
 mod parallel;
 mod program;
 mod report;
@@ -69,9 +70,10 @@ pub mod work;
 
 pub use cg_telemetry::{TelemetryConfig, TelemetryReport};
 pub use cg_trace::{TraceConfig, TraceData};
-pub use config::{MemModel, OverheadModel, ParFaults, SimConfig};
+pub use config::{MemModel, OverheadModel, Pacing, ParFaults, SimConfig};
 pub use exec::{check_queue_capacity, run, RunError};
 pub use overhead::{estimate_overhead, OverheadEstimate};
+pub use pacing::{PacedSource, PacingReport};
 pub use parallel::{run_parallel, run_parallel_with, ParTransport};
 pub use program::Program;
 pub use report::{NodeReport, RunReport};

@@ -66,10 +66,10 @@
 use cg_fault::{CoreInjector, StuckAtState};
 use cg_graph::{EdgeId, NodeId, NodeKind};
 use cg_queue::{
-    spsc_pair, QueueSpec, QueueStats, SharedQueue, Side, SimQueue, SpscConsumer, SpscProducer,
+    spsc_pair_with, QueueSpec, QueueStats, SharedQueue, Side, SimQueue, SpscConsumer, SpscProducer,
     SpscStats, WaitError, Which,
 };
-use cg_telemetry::{ClockMode, CoreProbe};
+use cg_telemetry::{Clock, ClockMode, CoreProbe};
 use cg_trace::{Event, MACHINE_CORE};
 use commguard::CoreGuard;
 use rand::Rng;
@@ -79,6 +79,7 @@ use crate::faults::{
     apply_perturbation, burst_flip_random_item, flip_random_item, garble_random_item,
     partition_events,
 };
+use crate::pacing::{PacedSource, PacingReport};
 use crate::program::Program;
 use crate::report::{NodeReport, RunReport};
 use crate::watchdog::WatchdogStats;
@@ -389,6 +390,11 @@ pub fn run_parallel_with(
     // Wall clock: threaded frame latency is real microseconds. (The
     // determinism contract only covers the deterministic executor.)
     let telem = config.telemetry.telemetry(ClockMode::Wall);
+    // Pacing drives its own wall clock, shared by every worker: clones
+    // of a wall [`Clock`] keep the same origin instant, so all cores
+    // agree on "now", frame release ticks, and deadlines (all in µs).
+    let paced_on = config.pacing.is_paced();
+    let pace = PacedSource::new(config.pacing, Clock::new(ClockMode::Wall));
 
     let lock_free = transport == ParTransport::LockFree;
     let spec = || {
@@ -412,7 +418,8 @@ pub fn run_parallel_with(
     let mut lf_stats: Vec<SpscStats> = Vec::new();
     if lock_free {
         for _ in graph.edges() {
-            let (p, c, s) = spsc_pair(spec(), config.stall_timeout);
+            let (p, c, s) =
+                spsc_pair_with(spec(), config.stall_timeout, config.effective_park_slice());
             lf_producers.push(Some(p));
             lf_consumers.push(Some(c));
             lf_stats.push(s);
@@ -445,6 +452,7 @@ pub fn run_parallel_with(
         retries: u64,
         degrades: u64,
         probe: CoreProbe,
+        pace: Option<PacingReport>,
     }
 
     let mut results: Vec<ThreadResult> = Vec::with_capacity(graph.node_count());
@@ -467,6 +475,7 @@ pub fn run_parallel_with(
             let frames = config.frames;
             let edge_labels = &edge_labels;
             let wtracer = tracer.clone();
+            let pace = pace.clone();
             let core_id = id.index() as u32;
             // The worker owns its probe outright (lock-free by
             // ownership); it travels back in the ThreadResult.
@@ -540,10 +549,19 @@ pub fn run_parallel_with(
                 let mut timeouts = 0u64;
                 let mut retries = 0u64;
                 let mut degrades = 0u64;
+                let mut deadline_degrades = 0u64;
+                let mut pace_acc = PacingReport::for_pacing(config.pacing, "us");
                 let items_moved: u64 = pop_rates.iter().map(|&r| u64::from(r)).sum::<u64>()
                     + push_rates.iter().map(|&r| u64::from(r)).sum::<u64>();
                 guard.start();
                 for frame in 0..frames {
+                    // Paced sources release frames on the period schedule
+                    // (sleeping *before* the telemetry frame opens, so
+                    // pacing idle never counts as frame latency); every
+                    // other node paces naturally on data arrival.
+                    if kind == NodeKind::Source {
+                        pace.wait_release(frame);
+                    }
                     // Open the telemetry frame before the boundary flush so
                     // no wall time goes unattributed.
                     probe.frame_start();
@@ -589,7 +607,9 @@ pub fn run_parallel_with(
                     }
                     committed.fill(0);
                     let mut attempt: u32 = 0;
+                    let mut deadline_cut = false;
                     'attempts: loop {
+                        let attempt_start = if paced_on { pace.now() } else { 0 };
                         sink_buf.truncate(sink_mark);
                         replayed.fill(0);
                         for b in &mut staged_in {
@@ -600,7 +620,20 @@ pub fn run_parallel_with(
                         }
                         let mut produced: Vec<usize> = vec![0; out_edges.len()];
                         let mut fail: Option<FrameFail> = None;
+                        // Overload shedding: a frame already past its
+                        // deadline cannot land on time no matter what —
+                        // discharge it through the degrade rung below
+                        // without executing (or blocking on) anything,
+                        // so the source is never back-pressured into
+                        // stalling.
+                        if recovery && pace.hopeless(frame) {
+                            deadline_cut = true;
+                            fail = Some(FrameFail::Terminal);
+                        }
                         'firings: for _ in 0..reps {
+                            if fail.is_some() {
+                                break 'firings;
+                            }
                             // Pop inputs: replay the frame log first, then
                             // live pops (one lock acquisition per wakeup).
                             for (port, &e) in in_edges.iter().enumerate() {
@@ -848,21 +881,42 @@ pub fn run_parallel_with(
                         let Some(why) = fail else {
                             break 'attempts; // frame committed
                         };
+                        // Deadline-aware re-budgeting: a retry is only
+                        // worth its time when the frame's remaining slack
+                        // can still cover a re-execution, estimated by the
+                        // cost of the attempt that just failed. Pacing off
+                        // means infinite slack, reducing this to the pure
+                        // attempt budget.
+                        let retry_fits = !paced_on || {
+                            let attempt_cost = pace.now().saturating_sub(attempt_start).max(1);
+                            pace.slack(frame) > attempt_cost
+                        };
                         if why == FrameFail::Retryable && attempt < retry_budget {
-                            attempt += 1;
-                            retries += 1;
-                            if wtracer.is_enabled() {
-                                wtracer.set_context(core_id, frame, guard.active_fc());
-                                wtracer.emit(Event::FrameRetry {
-                                    frame: guard.active_fc(),
-                                    attempt,
-                                });
+                            if retry_fits {
+                                attempt += 1;
+                                retries += 1;
+                                if wtracer.is_enabled() {
+                                    wtracer.set_context(core_id, frame, guard.active_fc());
+                                    wtracer.emit(Event::FrameRetry {
+                                        frame: guard.active_fc(),
+                                        attempt,
+                                    });
+                                }
+                                continue 'attempts;
                             }
-                            continue 'attempts;
+                            // Slack can no longer cover a re-execution:
+                            // skip the rest of the retry budget and take
+                            // the degrade rung now, making the deadline
+                            // instead of blowing it on doomed retries.
+                            deadline_cut = true;
                         }
-                        // Budget exhausted (or the peer is gone): discharge
-                        // the frame's remaining obligations and advance.
+                        // Budget exhausted (or the peer is gone, or the
+                        // deadline ladder cut in): discharge the frame's
+                        // remaining obligations and advance.
                         degrades += 1;
+                        if deadline_cut {
+                            deadline_degrades += 1;
+                        }
                         if wtracer.is_enabled() {
                             wtracer.set_context(core_id, frame, guard.active_fc());
                             wtracer.emit(Event::FrameDegraded {
@@ -895,6 +949,20 @@ pub fn run_parallel_with(
                             b.clear();
                         }
                         break 'attempts;
+                    }
+                    // Deadline accounting happens where the frame becomes
+                    // externally visible: the sink's commit. Degraded
+                    // frames count too — a pad that lands on time is an
+                    // on-time (if lossy) frame, which is the entire point
+                    // of the degrade-don't-stall ladder.
+                    if kind == NodeKind::Sink {
+                        if let Some(acc) = pace_acc.as_mut() {
+                            acc.record_commit(
+                                config.pacing.release(frame),
+                                config.pacing.deadline_for(frame),
+                                pace.now(),
+                            );
+                        }
                     }
                     if probe.is_enabled() {
                         // Consumer-side sample: occupancy high-water and
@@ -973,6 +1041,10 @@ pub fn run_parallel_with(
                     retries,
                     degrades,
                     probe,
+                    pace: pace_acc.map(|mut acc| {
+                        acc.degraded_for_deadline = deadline_degrades;
+                        acc
+                    }),
                 })
             };
             handles.push((node.name().to_string(), scope.spawn(worker)));
@@ -1016,7 +1088,11 @@ pub fn run_parallel_with(
         report.queues += *s;
     }
     let mut probes = Vec::with_capacity(results.len());
+    let mut pacing_report = PacingReport::for_pacing(config.pacing, "us");
     for mut r in results {
+        if let (Some(acc), Some(p)) = (pacing_report.as_mut(), r.pace.as_ref()) {
+            acc.merge(p);
+        }
         // Consumer-side attribution, matching the deterministic executor.
         r.report.max_queue_occupancy = r
             .in_edges
@@ -1035,6 +1111,7 @@ pub fn run_parallel_with(
     }
     report.watchdog = wd;
     report.telemetry = telem.finish(probes, crate::exec::run_counters(config.frames, &report));
+    report.pacing = pacing_report;
     Ok(report)
 }
 
@@ -1100,6 +1177,63 @@ mod tests {
             "same header traffic either way"
         );
         assert_eq!(got.queues.header_pops, want.queues.header_pops);
+    }
+
+    #[test]
+    fn paced_run_matches_batch_output_and_reports_deadlines() {
+        use crate::config::Pacing;
+        let (p, sink) = program();
+        let want = run(p, &SimConfig::error_free(40)).unwrap();
+        let (p, _) = program();
+        // 300 µs period, roomy deadline: every frame lands on time and
+        // the data is identical to the unpaced run.
+        let cfg = SimConfig::error_free(40).pacing(Pacing::Paced {
+            period: 300,
+            deadline: 200_000,
+            slo: 200_000,
+        });
+        let got = run_parallel(p, &cfg).unwrap();
+        assert_eq!(got.sink_output(sink), want.sink_output(sink));
+        let pr = got.pacing.expect("paced run reports pacing");
+        assert_eq!(pr.unit, "us");
+        assert_eq!(pr.frames_observed(), 40, "one observation per sink frame");
+        assert_eq!(pr.deadline_misses, 0);
+        assert_eq!(pr.degraded_for_deadline, 0);
+        assert!(pr.slo_met());
+        assert_eq!(pr.latency.count(), 40);
+        // Batch runs must not grow a pacing report.
+        let (p, _) = program();
+        let unpaced = run_parallel(p, &SimConfig::error_free(10)).unwrap();
+        assert!(unpaced.pacing.is_none());
+    }
+
+    #[test]
+    fn paced_faulty_run_degrades_rather_than_stalls() {
+        use crate::config::Pacing;
+        const FRAMES: u64 = 30;
+        // Tight budget under burst faults: the run must finish with
+        // frame-exact sink length (pads allowed), never hang, and report
+        // deadline accounting for every frame.
+        let cfg = SimConfig {
+            fault_class: FaultClass::Burst,
+            ..SimConfig::with_errors(FRAMES, Protection::commguard(), Mtbe::instructions(256), 11)
+        }
+        .pacing(Pacing::Paced {
+            period: 200,
+            deadline: 2_000,
+            slo: 2_000,
+        });
+        let (p, sink) = program();
+        let got = run_parallel(p, &cfg).unwrap();
+        assert!(got.completed);
+        assert_eq!(
+            got.sink_output(sink).len(),
+            (FRAMES * 8) as usize,
+            "degraded frames still land frame-exact"
+        );
+        let pr = got.pacing.expect("paced run reports pacing");
+        assert_eq!(pr.frames_observed(), FRAMES);
+        assert_eq!(pr.latency.count(), FRAMES);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use cg_trace::TraceData;
 use commguard::SubopCounters;
 
 use crate::config::MemModel;
+use crate::pacing::PacingReport;
 use crate::watchdog::WatchdogStats;
 
 /// Per-node (= per-core) results.
@@ -92,6 +93,9 @@ pub struct RunReport {
     /// The metrics-plane report (latency histograms, snapshot series,
     /// time attribution), when the run was configured with telemetry.
     pub telemetry: Option<TelemetryReport>,
+    /// Deadline accounting and the SLO verdict, when the run was paced
+    /// ([`crate::Pacing::Paced`]); `None` for batch runs.
+    pub pacing: Option<PacingReport>,
 }
 
 impl RunReport {
@@ -297,5 +301,6 @@ mod tests {
         assert_eq!(r.realignment_episodes, 0);
         assert!(r.trace.is_none());
         assert!(r.telemetry.is_none());
+        assert!(r.pacing.is_none());
     }
 }

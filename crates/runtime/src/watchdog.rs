@@ -198,6 +198,17 @@ impl Watchdog {
         self.stats.frame_degrades += n;
     }
 
+    /// Notes that something *outside* the ladder just degraded a frame
+    /// (the deadline ladder's forced `DegradeFrame`), which IS progress:
+    /// the stalled frame was discharged and the machine is on a fresh
+    /// frame. Resets the stall episode so a concurrently-armed ladder
+    /// cannot go on to fire `AbortFrame`/`DegradeFrame` against the *new*
+    /// frame — the terminal rung stays idempotent per frame.
+    pub fn note_external_degrade(&mut self) {
+        self.stalled_for = 0;
+        self.rung = 0;
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> WatchdogStats {
         self.stats
@@ -275,6 +286,30 @@ mod tests {
         }
         assert!(seen_arm);
         assert_eq!(w.stats().stall_events, 2);
+    }
+
+    #[test]
+    fn external_degrade_resets_a_racing_ladder() {
+        let mut w = tiny();
+        // Ladder runs to AbortFrame: rounds 3, 5, 7 fire rungs 1–3.
+        for _ in 0..7 {
+            w.on_round(false);
+        }
+        assert_eq!(w.stats().frame_aborts, 1);
+        // A deadline degrade discharges the frame outside the ladder…
+        w.note_external_degrade();
+        // …so a continued stall must start a NEW episode from rung 1
+        // rather than firing the terminal DegradeFrame on the next frame.
+        let mut next_fire = WatchdogAction::None;
+        for _ in 0..3 {
+            let a = w.on_round(false);
+            if a != WatchdogAction::None {
+                next_fire = a;
+            }
+        }
+        assert_eq!(next_fire, WatchdogAction::ArmTimeouts);
+        assert_eq!(w.stats().stall_events, 2);
+        assert_eq!(w.stats().frame_degrades, 0, "terminal rung not re-fired");
     }
 
     #[test]

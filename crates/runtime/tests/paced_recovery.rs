@@ -1,0 +1,282 @@
+//! Seeded stress suite for paced (real-time) execution under faults: the
+//! degrade-don't-stall ladder must hold frame cadence on both executors.
+//!
+//! Covers the robustness acceptance surface of the paced mode:
+//!
+//! * threaded burst and pointer faults under tight deadlines across 10+
+//!   seeds — zero hangs (hard liveness bound), frame-exact sink lengths
+//!   (degraded pads allowed, truncation not), header conservation against
+//!   a fault-free golden run;
+//! * deterministic paced runs are a pure function of (program, config,
+//!   seed): bit-identical sinks AND bit-identical deadline accounting
+//!   across repeats, because the virtual clock is the round counter;
+//! * the deadline ladder pre-empts the watchdog's terminal rung — a frame
+//!   degraded for its deadline is never *also* degraded by a racing
+//!   stall ladder (per-frame idempotence of the terminal rung).
+
+use std::time::{Duration, Instant};
+
+use cg_fault::{FaultClass, Mtbe};
+use cg_graph::{GraphBuilder, NodeId, NodeKind};
+use cg_runtime::{run, run_parallel, Pacing, Program, SimConfig};
+use commguard::Protection;
+
+const FRAMES: u64 = 24;
+const RATE: u32 = 8;
+const NODES: u64 = 4;
+const RETRY_BUDGET: u32 = 3;
+
+fn program() -> (Program, NodeId) {
+    let mut b = GraphBuilder::new("paced-recovery");
+    let s = b.add_node("s", NodeKind::Source);
+    let f = b.add_node("f", NodeKind::Filter);
+    let g = b.add_node("g", NodeKind::Filter);
+    let k = b.add_node("k", NodeKind::Sink);
+    b.pipeline(&[s, f, g, k], RATE).unwrap();
+    let mut p = Program::new(b.build().unwrap());
+    let mut next = 0u32;
+    p.set_source(s, move |out| {
+        for _ in 0..RATE {
+            out.push(next);
+            next = next.wrapping_add(1);
+        }
+    });
+    p.set_filter(f, |inp, out| {
+        out[0].extend(inp[0].iter().map(|&v| v.rotate_left(3)));
+    });
+    p.set_filter(g, |inp, out| {
+        out[0].extend(inp[0].iter().map(|&v| v.wrapping_add(0x9e37)));
+    });
+    (p, k)
+}
+
+/// Threaded paced schedule: 200 µs cadence with a 5 ms budget — tight
+/// enough that a stalled recovery cannot hide, loose enough that an
+/// unloaded CI worker clears it.
+fn paced_wall() -> Pacing {
+    Pacing::Paced {
+        period: 200,
+        deadline: 5_000,
+        slo: 5_000,
+    }
+}
+
+fn faulty_paced_cfg(class: FaultClass, seed: u64) -> SimConfig {
+    SimConfig {
+        fault_class: class,
+        par_retry_budget: RETRY_BUDGET,
+        ..SimConfig::with_errors(
+            FRAMES,
+            Protection::commguard(),
+            Mtbe::instructions(192),
+            seed,
+        )
+    }
+    .pacing(paced_wall())
+}
+
+/// Fault-free golden header traffic, from the deterministic executor
+/// under the same protection mode.
+fn golden_header_pushes() -> u64 {
+    let (p, _) = program();
+    let cfg = SimConfig {
+        protection: Protection::commguard(),
+        inject: false,
+        ..SimConfig::error_free(FRAMES)
+    };
+    run(p, &cfg).unwrap().queues.header_pushes
+}
+
+/// The headline paced sweep: 12 seeds of threaded burst faults under the
+/// tight schedule must all complete inside a hard liveness bound, keep
+/// the sink frame-exact, conserve golden header traffic, and account for
+/// every frame in the deadline report.
+#[test]
+fn paced_burst_faults_recover_across_seeds() {
+    let golden_headers = golden_header_pushes();
+    let mut total_faults = 0u64;
+    for seed in 1..=12u64 {
+        let (p, sink) = program();
+        let cfg = faulty_paced_cfg(FaultClass::Burst, seed);
+        let start = Instant::now();
+        let report = run_parallel(p, &cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // Liveness: pacing floor (FRAMES × period) plus the recovery
+        // worst case — every frame burning its stall-timeout-bounded
+        // retry budget on every core.
+        let bound = Duration::from_micros(FRAMES * 200)
+            + cfg.stall_timeout
+                * u32::try_from((u64::from(RETRY_BUDGET) + 2) * FRAMES * NODES).unwrap();
+        assert!(
+            start.elapsed() < bound,
+            "seed {seed}: run exceeded the liveness bound ({:?})",
+            start.elapsed()
+        );
+        assert!(report.completed, "seed {seed}: did not complete");
+        assert_eq!(
+            report.sink_output(sink).len(),
+            (FRAMES * u64::from(RATE)) as usize,
+            "seed {seed}: sink length must stay frame-exact (pads yes, truncation no)"
+        );
+        assert_eq!(
+            report.queues.header_pushes, golden_headers,
+            "seed {seed}: header conservation violated"
+        );
+        let pace = report
+            .pacing
+            .as_ref()
+            .unwrap_or_else(|| panic!("seed {seed}: paced run must report pacing"));
+        assert_eq!(
+            pace.frames_observed(),
+            FRAMES,
+            "seed {seed}: every frame must reach a deadline verdict"
+        );
+        assert_eq!(pace.unit, "us");
+        total_faults += report.total_faults().total();
+    }
+    assert!(total_faults > 0, "the sweep must actually inject faults");
+}
+
+/// Pointer corruption against unprotected shared queues, paced: the
+/// nastiest liveness case must still hold cadence — terminate promptly
+/// with a frame-exact sink, never hang, never error.
+#[test]
+fn paced_pointer_chaos_still_terminates() {
+    for seed in [3u64, 11, 27] {
+        let (p, sink) = program();
+        let cfg = SimConfig {
+            fault_class: FaultClass::PointerCorruption,
+            par_retry_budget: 1,
+            ..SimConfig::with_errors(
+                8,
+                Protection::PpuUnprotectedQueue,
+                Mtbe::instructions(192),
+                seed,
+            )
+        }
+        .pacing(paced_wall());
+        let start = Instant::now();
+        let report = run_parallel(p, &cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(report.completed, "seed {seed}");
+        assert_eq!(
+            report.sink_output(sink).len(),
+            (8 * u64::from(RATE)) as usize
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "seed {seed}: liveness bound exceeded"
+        );
+        assert_eq!(report.pacing.as_ref().unwrap().frames_observed(), 8);
+    }
+}
+
+/// Error-free deterministic pacing with a generous budget: the schedule
+/// stretches the run (sources idle between releases) but the sink output
+/// is bit-identical to the unpaced run, every frame lands on time, and
+/// the SLO verdict passes.
+#[test]
+fn det_paced_matches_unpaced_sink_when_deadline_is_generous() {
+    let (p, sink) = program();
+    let golden = run(p, &SimConfig::error_free(FRAMES)).unwrap();
+
+    let (p, _) = program();
+    let cfg = SimConfig::error_free(FRAMES).pacing(Pacing::Paced {
+        period: 16,
+        deadline: 64,
+        slo: 64,
+    });
+    let paced = run(p, &cfg).unwrap();
+    assert!(paced.completed);
+    assert_eq!(
+        paced.sink_output(sink),
+        golden.sink_output(sink),
+        "pacing must not change error-free output"
+    );
+    // The release schedule actually gated the sources: the last frame
+    // cannot start before its release tick.
+    assert!(paced.rounds >= (FRAMES - 1) * 16);
+    let pace = paced.pacing.as_ref().unwrap();
+    assert_eq!(pace.unit, "rounds");
+    assert_eq!(pace.frames_observed(), FRAMES);
+    assert_eq!(pace.deadline_misses, 0);
+    assert_eq!(pace.degraded_for_deadline, 0);
+    assert!(pace.slo_met());
+    // Unpaced runs carry no pacing section at all.
+    assert!(golden.pacing.is_none());
+}
+
+/// Deterministic paced runs are byte-reproducible: same (program,
+/// config, seed) twice — faults, deadline degrades and all — must agree
+/// on the sink bytes, the round count, and the entire deadline report
+/// (histograms included).
+#[test]
+fn det_paced_is_bit_identical_across_repeats() {
+    let run_once = |seed: u64| {
+        let (p, sink) = program();
+        let cfg = SimConfig::with_errors(
+            FRAMES,
+            Protection::commguard(),
+            Mtbe::instructions(256),
+            seed,
+        )
+        .pacing(Pacing::Paced {
+            period: 8,
+            deadline: 24,
+            slo: 24,
+        });
+        let r = run(p, &cfg).unwrap();
+        (r.sink_output(sink).to_vec(), r.rounds, r.pacing.clone())
+    };
+    for seed in [1u64, 7, 13, 29, 71] {
+        let a = run_once(seed);
+        let b = run_once(seed);
+        assert_eq!(a, b, "seed {seed}: paced det run must be reproducible");
+        assert!(a.2.is_some(), "seed {seed}: pacing report missing");
+    }
+}
+
+/// Tight deterministic deadlines under burst faults: overdue frames are
+/// discharged by the deadline ladder (degrade, never stall), the sink
+/// stays frame-exact, and the watchdog's terminal rung never double-fires
+/// on a frame the deadline ladder already degraded — the deadline pass
+/// resets the stall episode, so `frame_degrades` stays at zero while
+/// `degraded_for_deadline` does the work.
+#[test]
+fn det_deadline_ladder_preempts_watchdog_terminal_rung() {
+    let mut any_degraded = false;
+    for seed in [2u64, 9, 17, 23, 31] {
+        let (p, sink) = program();
+        let cfg = SimConfig::with_errors(
+            FRAMES,
+            Protection::commguard(),
+            Mtbe::instructions(128),
+            seed,
+        )
+        .pacing(Pacing::Paced {
+            // A 2-round budget sits below the pipeline's intrinsic
+            // latency, so frames are still in flight at their deadline
+            // even when the deadline-critical port arming forces
+            // transfers — the hard degrade rung must discharge them.
+            period: 4,
+            deadline: 2,
+            slo: 2,
+        });
+        let report = run(p, &cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(report.completed, "seed {seed}: paced det run must complete");
+        assert_eq!(
+            report.sink_output(sink).len(),
+            (FRAMES * u64::from(RATE)) as usize,
+            "seed {seed}: degraded frames pad, they never truncate"
+        );
+        let pace = report.pacing.as_ref().unwrap();
+        assert_eq!(pace.frames_observed(), FRAMES, "seed {seed}");
+        any_degraded |= pace.degraded_for_deadline > 0;
+        assert_eq!(
+            report.watchdog.frame_degrades, 0,
+            "seed {seed}: watchdog terminal rung must not race the deadline ladder"
+        );
+    }
+    assert!(
+        any_degraded,
+        "a 2-round budget under burst faults must trip the deadline ladder somewhere"
+    );
+}
